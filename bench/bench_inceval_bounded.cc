@@ -1,0 +1,128 @@
+// Experiment E6 — the boundedness claim of Sec. 2.2(2): IncEval's cost is a
+// function of |M_i| + |ΔO_i| (changes in and out), not of |F_i|. Two probes:
+//
+// (a) Ablation: the same SSSP query with bounded IncEval vs. the engine's
+//     full-re-evaluation mode (every round re-evaluates whole fragments, the
+//     Blogel-style discipline). Expected shape: IncEval time grows much more
+//     slowly with graph size than recompute time.
+//
+// (b) Per-round scaling: on one large graph, per-round IncEval time tracks
+//     the round's update count, not the (constant) fragment size.
+//
+// Flags: --workers.
+
+#include "apps/seq/seq_algorithms.h"
+#include "bench/bench_util.h"
+#include "util/flags.h"
+
+namespace grape {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  GRAPE_CHECK(flags.Parse(argc, argv).ok());
+  const auto workers = static_cast<FragmentId>(flags.GetInt("workers", 8));
+
+  PrintHeader("IncEval boundedness (a): bounded IncEval vs full recompute");
+  std::printf("%12s %14s %16s %10s\n", "Graph |V|", "IncEval(s)",
+              "Recompute(s)", "Ratio");
+  for (uint32_t side : {60u, 90u, 130u, 190u}) {
+    auto g = GenerateGridRoad(side, side, 601 + side);
+    GRAPE_CHECK(g.ok());
+    std::vector<double> expected = SeqDijkstra(*g, 0);
+    FragmentedGraph fg = Fragmentize(*g, "grid2d", workers);
+
+    GrapeEngine<SsspApp> inc(fg, SsspApp{});
+    auto inc_out = inc.Run(SsspQuery{0});
+    GRAPE_CHECK(inc_out.ok());
+    GRAPE_CHECK(SsspMatches(inc_out->dist, expected));
+
+    EngineOptions opts;
+    opts.incremental = false;
+    GrapeEngine<SsspApp> full(fg, SsspApp{}, opts);
+    auto full_out = full.Run(SsspQuery{0});
+    GRAPE_CHECK(full_out.ok());
+    GRAPE_CHECK(SsspMatches(full_out->dist, expected));
+
+    std::printf("%12u %14.4f %16.4f %9.1fx\n", side * side,
+                inc.metrics().inceval_seconds,
+                full.metrics().inceval_seconds,
+                full.metrics().inceval_seconds /
+                    std::max(1e-9, inc.metrics().inceval_seconds));
+  }
+
+  PrintHeader(
+      "IncEval boundedness (c): incremental re-answering after graph "
+      "updates (Q(G+M) from Q(G))");
+  {
+    std::printf("%12s %16s %16s %14s %14s\n", "Graph |V|", "Full run upd",
+                "Incr. upd", "Full(s)", "Incr(s)");
+    for (uint32_t side : {80u, 120u, 160u}) {
+      auto g = GenerateGridRoad(side, side, 701 + side);
+      GRAPE_CHECK(g.ok());
+      FragmentedGraph fg = Fragmentize(*g, "grid2d", workers);
+      GrapeEngine<SsspApp> initial(fg, SsspApp{});
+      GRAPE_CHECK(initial.Run(SsspQuery{0}).ok());
+      uint64_t full_updates = 0;
+      for (const RoundMetrics& r : initial.metrics().rounds) {
+        full_updates += r.updated_params;
+      }
+
+      // Insert one shortcut near the far corner and re-answer.
+      const VertexId corner = side * side - 1;
+      GraphBuilder builder(true);
+      for (const Edge& e : g->ToEdgeList()) builder.AddEdge(e);
+      builder.AddEdge(corner - 3, corner, 0.5);
+      builder.AddEdge(corner, corner - 3, 0.5);
+      auto updated = std::move(builder).Build(g->num_vertices());
+      GRAPE_CHECK(updated.ok());
+      FragmentedGraph fg2 = Fragmentize(*updated, "grid2d", workers);
+
+      GrapeEngine<SsspApp> incremental(fg2, SsspApp{});
+      auto out = incremental.RunIncremental(SsspQuery{0}, initial,
+                                            {corner - 3, corner});
+      GRAPE_CHECK(out.ok());
+      GRAPE_CHECK(SsspMatches(out->dist, SeqDijkstra(*updated, 0)));
+      uint64_t incr_updates = 0;
+      for (const RoundMetrics& r : incremental.metrics().rounds) {
+        incr_updates += r.updated_params;
+      }
+      std::printf("%12u %16llu %16llu %14.4f %14.4f\n", side * side,
+                  static_cast<unsigned long long>(full_updates),
+                  static_cast<unsigned long long>(incr_updates),
+                  initial.metrics().total_seconds,
+                  incremental.metrics().total_seconds);
+    }
+  }
+
+  PrintHeader("IncEval boundedness (b): per-round cost tracks update size");
+  {
+    auto g = GenerateGridRoad(200, 200, 907);
+    GRAPE_CHECK(g.ok());
+    FragmentedGraph fg = Fragmentize(*g, "grid2d", workers);
+    GrapeEngine<SsspApp> engine(fg, SsspApp{});
+    auto out = engine.Run(SsspQuery{0});
+    GRAPE_CHECK(out.ok());
+    std::printf("fragment size is constant at ~%u vertices/worker\n",
+                g->num_vertices() / workers);
+    std::printf("%6s %12s %14s %18s\n", "Round", "ParamUpd", "Round(s)",
+                "us per update");
+    const auto& rounds = engine.metrics().rounds;
+    for (size_t i = 1; i < rounds.size(); ++i) {
+      if (rounds[i].updated_params == 0) continue;
+      std::printf("%6u %12llu %14.5f %18.2f\n", rounds[i].round,
+                  static_cast<unsigned long long>(rounds[i].updated_params),
+                  rounds[i].seconds,
+                  rounds[i].seconds * 1e6 /
+                      static_cast<double>(rounds[i].updated_params));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace grape
+
+int main(int argc, char** argv) { return grape::bench::Run(argc, argv); }

@@ -1,0 +1,119 @@
+// Experiment E8 — google-benchmark microbenchmarks for the substrate: the
+// serializer that carries every message, the partition strategies, fragment
+// construction, and a full small engine run (per-superstep overhead).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/sssp.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "util/serializer.h"
+
+namespace grape {
+namespace {
+
+void BM_EncoderVarint(benchmark::State& state) {
+  Encoder enc;
+  for (auto _ : state) {
+    enc.Clear();
+    for (uint64_t i = 0; i < 1024; ++i) enc.WriteVarint(i * 2654435761u);
+    benchmark::DoNotOptimize(enc.buffer().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(enc.size()));
+}
+BENCHMARK(BM_EncoderVarint);
+
+void BM_DecoderVarint(benchmark::State& state) {
+  Encoder enc;
+  for (uint64_t i = 0; i < 1024; ++i) enc.WriteVarint(i * 2654435761u);
+  for (auto _ : state) {
+    Decoder dec(enc.buffer());
+    uint64_t v = 0;
+    for (int i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(dec.ReadVarint(&v));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(enc.size()));
+}
+BENCHMARK(BM_DecoderVarint);
+
+void BM_ParamUpdateRoundTrip(benchmark::State& state) {
+  // The exact wire format of an engine flush batch.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Encoder enc;
+    enc.WriteU32(0);
+    enc.WriteVarint(n);
+    for (int i = 0; i < n; ++i) {
+      enc.WriteU32(static_cast<uint32_t>(i));
+      enc.WritePod(static_cast<double>(i) * 0.5);
+    }
+    Decoder dec(enc.buffer());
+    uint32_t dst = 0;
+    uint64_t count = 0;
+    benchmark::DoNotOptimize(dec.ReadU32(&dst));
+    benchmark::DoNotOptimize(dec.ReadVarint(&count));
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t gid = 0;
+      double value = 0;
+      benchmark::DoNotOptimize(dec.ReadU32(&gid));
+      benchmark::DoNotOptimize(dec.ReadPod(&value));
+    }
+  }
+}
+BENCHMARK(BM_ParamUpdateRoundTrip)->Arg(128)->Arg(4096);
+
+void BM_Partitioner(benchmark::State& state, const std::string& name) {
+  RMatOptions opts;
+  opts.scale = 13;
+  opts.edge_factor = 8;
+  opts.seed = 5;
+  auto g = GenerateRMat(opts);
+  for (auto _ : state) {
+    auto partitioner = MakePartitioner(name);
+    auto assignment = (*partitioner)->Partition(*g, 8);
+    benchmark::DoNotOptimize(assignment);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g->num_vertices());
+}
+BENCHMARK_CAPTURE(BM_Partitioner, hash, "hash");
+BENCHMARK_CAPTURE(BM_Partitioner, ldg, "ldg");
+BENCHMARK_CAPTURE(BM_Partitioner, metis, "metis");
+
+void BM_FragmentBuild(benchmark::State& state) {
+  RMatOptions opts;
+  opts.scale = 13;
+  opts.edge_factor = 8;
+  opts.seed = 5;
+  auto g = GenerateRMat(opts);
+  auto partitioner = MakePartitioner("hash");
+  auto assignment = (*partitioner)->Partition(*g, 8);
+  for (auto _ : state) {
+    auto fg = FragmentBuilder::Build(*g, *assignment, 8);
+    benchmark::DoNotOptimize(fg);
+  }
+}
+BENCHMARK(BM_FragmentBuild);
+
+void BM_GrapeSsspEndToEnd(benchmark::State& state) {
+  auto g = GenerateGridRoad(64, 64, 6);
+  auto partitioner = MakePartitioner("grid2d");
+  auto assignment = (*partitioner)->Partition(*g, 4);
+  auto fg = FragmentBuilder::Build(*g, *assignment, 4);
+  for (auto _ : state) {
+    GrapeEngine<SsspApp> engine(*fg, SsspApp{});
+    auto out = engine.Run(SsspQuery{0});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GrapeSsspEndToEnd);
+
+}  // namespace
+}  // namespace grape
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// grape_cli — the demo's plug/play console as a command-line tool.
+//
+//   grape_cli --graph=<kind> [--scale=N|--rows=R --cols=C] \
+//             [--partitioner=<name>|auto] --workers=N \
+//             <app> [k=v ...]
+//
+// Graph kinds: rmat, grid, er, community, labeled, social, ratings, or a
+// path to an edge-list file (whitespace "src dst [weight] [label]").
+// Apps: any registered query class (sssp, bfs, cc, pagerank, sim, dualsim,
+// subiso, keyword, cf, gpar, triangle, kcore). Trailing k=v pairs are the
+// query arguments.
+//
+// Examples:
+//   grape_cli --graph=grid --rows=200 --cols=200 --workers=8 sssp source=0
+//   grape_cli --graph=social --scale=15 --workers=4 gpar item=32768
+//   grape_cli --graph=labeled --workers=8 sim pattern=path3 l0=1 l1=2 l2=3
+
+#include <cstdio>
+#include <string>
+
+#include "apps/register_apps.h"
+#include "core/app_registry.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "partition/advisor.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "partition/quality.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace grape {
+namespace {
+
+Result<Graph> MakeGraph(const FlagParser& flags) {
+  const std::string kind = flags.GetString("graph", "rmat");
+  const auto scale = static_cast<uint32_t>(flags.GetInt("scale", 13));
+  const uint64_t seed = flags.GetInt("seed", 42);
+  if (kind == "rmat") {
+    RMatOptions opts;
+    opts.scale = scale;
+    opts.edge_factor =
+        static_cast<uint32_t>(flags.GetInt("edge_factor", 12));
+    opts.seed = seed;
+    return GenerateRMat(opts);
+  }
+  if (kind == "grid") {
+    return GenerateGridRoad(
+        static_cast<uint32_t>(flags.GetInt("rows", 200)),
+        static_cast<uint32_t>(flags.GetInt("cols", 200)), seed);
+  }
+  if (kind == "er") {
+    VertexId n = 1u << scale;
+    return GenerateErdosRenyi(
+        n, n * static_cast<size_t>(flags.GetInt("edge_factor", 8)),
+        /*directed=*/true, seed);
+  }
+  if (kind == "community") {
+    CommunityGraphOptions opts;
+    opts.num_vertices = 1u << scale;
+    opts.seed = seed;
+    return GenerateCommunityGraph(opts);
+  }
+  if (kind == "labeled") {
+    LabeledGraphOptions opts;
+    opts.scale = scale;
+    opts.num_vertex_labels =
+        static_cast<uint32_t>(flags.GetInt("labels", 8));
+    opts.seed = seed;
+    return GenerateLabeledGraph(opts);
+  }
+  if (kind == "social") {
+    SocialGraphOptions opts;
+    opts.num_persons = 1u << scale;
+    opts.seed = seed;
+    return GenerateSocialGraph(opts);
+  }
+  if (kind == "ratings") {
+    BipartiteOptions opts;
+    opts.num_users = 1u << scale;
+    opts.seed = seed;
+    return GenerateBipartiteRatings(opts);
+  }
+  // Otherwise: treat as an edge-list file path.
+  EdgeListFormat format;
+  format.directed = flags.GetBool("directed", true);
+  format.has_weight = flags.GetBool("weighted", false);
+  format.has_label = flags.GetBool("edge_labels", false);
+  return LoadEdgeListFile(kind, format);
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  RegisterBuiltinApps();
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: grape_cli --graph=<kind> [--workers=N] "
+                         "<app> [k=v ...]\nregistered apps:");
+    for (const std::string& name : AppRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const std::string app_name = flags.positional()[0];
+  QueryArgs args = ParseQueryArgs({flags.positional().begin() + 1,
+                                   flags.positional().end()});
+
+  auto graph = MakeGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  GraphProfile profile = ProfileGraph(*graph);
+  std::printf("graph: %s\n", profile.ToString().c_str());
+
+  std::string strategy = flags.GetString("partitioner", "auto");
+  if (strategy == "auto") {
+    PartitionAdvice advice = AdvisePartitioner(profile);
+    strategy = advice.strategy;
+    std::printf("partitioner: %s (auto: %s)\n", strategy.c_str(),
+                advice.rationale.c_str());
+  }
+  const auto workers = static_cast<FragmentId>(flags.GetInt("workers", 8));
+
+  auto partitioner = MakePartitioner(strategy);
+  if (!partitioner.ok()) {
+    std::fprintf(stderr, "%s\n", partitioner.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer prep_timer;
+  auto assignment = (*partitioner)->Partition(*graph, workers);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "%s\n", assignment.status().ToString().c_str());
+    return 1;
+  }
+  PartitionQuality quality = EvaluatePartition(*graph, *assignment, workers);
+  auto fg = FragmentBuilder::Build(*graph, *assignment, workers);
+  if (!fg.ok()) {
+    std::fprintf(stderr, "%s\n", fg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("partition: %s in %.2fs\n", quality.ToString().c_str(),
+              prep_timer.ElapsedSeconds());
+
+  auto app = AppRegistry::Global().Get(app_name);
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("running '%s' (%s) on %u workers...\n", app->name.c_str(),
+              app->description.c_str(), workers);
+  EngineMetrics metrics;
+  auto answer = app->run(*fg, args, EngineOptions{}, &metrics);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nanswer : %s\n", answer->c_str());
+  std::printf("engine : %s\n", metrics.ToString().c_str());
+  if (metrics.rounds.size() > 1) {
+    std::printf("rounds :");
+    for (const RoundMetrics& r : metrics.rounds) {
+      std::printf(" %llu",
+                  static_cast<unsigned long long>(r.updated_params));
+    }
+    std::printf("  (parameter updates per superstep)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace grape
+
+int main(int argc, char** argv) { return grape::Run(argc, argv); }

@@ -1,0 +1,85 @@
+#include "apps/bfs.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grape {
+
+namespace {
+
+using HeapEntry = std::pair<uint32_t, LocalId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+/// Seeds may sit at different depths after message application, so the
+/// local pass is a unit-weight Dijkstra rather than a plain queue BFS.
+void LocalBfs(const Fragment& frag, ParamStore<uint32_t>& params,
+              MinHeap& heap) {
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > params.Get(v)) continue;
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+      uint32_t nd = d + 1;
+      if (nd < params.Get(nb.local)) {
+        params.Set(nb.local, nd);
+        heap.push({nd, nb.local});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BfsApp::PEval(const QueryType& query, const Fragment& frag,
+                   ParamStore<uint32_t>& params) {
+  MinHeap heap;
+  LocalId lid = frag.Lid(query.source);
+  if (lid != kInvalidLocal && frag.IsInner(lid)) {
+    params.Set(lid, 0);
+    heap.push({0, lid});
+  }
+  LocalBfs(frag, params, heap);
+}
+
+void BfsApp::IncEval(const QueryType& query, const Fragment& frag,
+                     ParamStore<uint32_t>& params,
+                     const std::vector<LocalId>& updated) {
+  (void)query;
+  MinHeap heap;
+  for (LocalId lid : updated) heap.push({params.Get(lid), lid});
+  LocalBfs(frag, params, heap);
+}
+
+BfsApp::PartialType BfsApp::GetPartial(const QueryType& query,
+                                       const Fragment& frag,
+                                       const ParamStore<uint32_t>& params) const {
+  (void)query;
+  PartialType partial;
+  partial.reserve(frag.num_inner());
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    partial.emplace_back(frag.Gid(lid), params.Get(lid));
+  }
+  return partial;
+}
+
+BfsApp::OutputType BfsApp::Assemble(const QueryType& query,
+                                    std::vector<PartialType>&& partials) {
+  (void)query;
+  VertexId max_gid = 0;
+  bool any = false;
+  for (const PartialType& p : partials) {
+    for (const auto& [gid, depth] : p) {
+      max_gid = std::max(max_gid, gid);
+      any = true;
+    }
+  }
+  BfsOutput out;
+  out.depth.assign(any ? max_gid + 1 : 0, UINT32_MAX);
+  for (PartialType& p : partials) {
+    for (const auto& [gid, depth] : p) out.depth[gid] = depth;
+  }
+  return out;
+}
+
+}  // namespace grape

@@ -1,0 +1,151 @@
+#include "apps/cf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace grape {
+
+namespace {
+
+std::vector<float> InitFactors(VertexId gid, uint32_t rank, uint64_t seed) {
+  std::vector<float> f(rank);
+  uint64_t h = seed ^ (static_cast<uint64_t>(gid) + 1) * 0x9e3779b97f4a7c15ULL;
+  for (uint32_t t = 0; t < rank; ++t) {
+    h = SplitMix64(h);
+    // Uniform in [0, 0.5): small positive start keeps early predictions in
+    // range for 1..5 ratings.
+    f[t] = static_cast<float>((h >> 11) * 0x1.0p-53) * 0.5f;
+  }
+  return f;
+}
+
+float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  float s = 0.0f;
+  for (size_t t = 0; t < a.size(); ++t) s += a[t] * b[t];
+  return s;
+}
+
+}  // namespace
+
+void CfApp::RunEpoch(const QueryType& query, const Fragment& frag,
+                     ParamStore<ValueType>& params) {
+  const float lr = static_cast<float>(
+      query.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch_)));
+  const float reg = static_cast<float>(query.regularization);
+  last_epoch_sse_ = 0.0;
+  size_t ratings = 0;
+
+  for (LocalId v = 0; v < frag.num_inner(); ++v) {
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+      const bool partner_inner = frag.IsInner(nb.local);
+      // Inner-inner edges are stored twice in the fragment; visit once
+      // (from the smaller lid) and update both endpoints. Cross edges have
+      // one inner endpoint per fragment: update it against the mirror (the
+      // mirror's owner updates the other side symmetrically).
+      if (partner_inner && nb.local < v) continue;
+      const std::vector<float> partner = params.Get(nb.local);  // snapshot
+      if (partner.empty()) continue;
+      std::vector<float>& mine = params.UntrackedRef(v);
+      float err = static_cast<float>(nb.weight) - Dot(mine, partner);
+      last_epoch_sse_ += static_cast<double>(err) * err;
+      ++ratings;
+      for (uint32_t t = 0; t < query.rank; ++t) {
+        float g = -2.0f * err * partner[t] + 2.0f * reg * mine[t];
+        mine[t] -= lr * g;
+      }
+      params.MarkChanged(v);
+      if (partner_inner) {
+        std::vector<float>& theirs = params.UntrackedRef(nb.local);
+        for (uint32_t t = 0; t < query.rank; ++t) {
+          float g = -2.0f * err * mine[t] + 2.0f * reg * theirs[t];
+          theirs[t] -= lr * g;
+        }
+        params.MarkChanged(nb.local);
+      }
+    }
+  }
+  (void)ratings;
+}
+
+void CfApp::PEval(const QueryType& query, const Fragment& frag,
+                  ParamStore<ValueType>& params) {
+  epoch_ = 0;
+  // Deterministic init: owner and mirror copies agree without messages.
+  for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+    params.UntrackedRef(lid) =
+        InitFactors(frag.Gid(lid), query.rank, query.seed);
+  }
+  RunEpoch(query, frag, params);
+  ++epoch_;
+}
+
+void CfApp::IncEval(const QueryType& query, const Fragment& frag,
+                    ParamStore<ValueType>& params,
+                    const std::vector<LocalId>& updated) {
+  (void)updated;  // mirror refreshes are already in the store
+  if (epoch_ >= query.epochs) return;  // training done: reach fixed point
+  RunEpoch(query, frag, params);
+  ++epoch_;
+}
+
+CfApp::PartialType CfApp::GetPartial(const QueryType& query,
+                                     const Fragment& frag,
+                                     const ParamStore<ValueType>& params) const {
+  PartialType partial;
+  partial.factors.reserve(frag.num_inner());
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    partial.factors.emplace_back(frag.Gid(lid), params.Get(lid));
+  }
+  // Final training error over inner-endpoint ratings, each edge counted
+  // once globally: inner-inner edges from the smaller lid, cross edges from
+  // the endpoint with the smaller gid (so exactly one fragment counts it).
+  double sse = 0.0;
+  size_t count = 0;
+  for (LocalId v = 0; v < frag.num_inner(); ++v) {
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+      if (frag.IsInner(nb.local)) {
+        if (nb.local < v) continue;
+      } else if (frag.Gid(nb.local) < frag.Gid(v)) {
+        continue;
+      }
+      const std::vector<float>& partner = params.Get(nb.local);
+      if (partner.empty()) continue;
+      float err =
+          static_cast<float>(nb.weight) - Dot(params.Get(v), partner);
+      sse += static_cast<double>(err) * err;
+      ++count;
+    }
+  }
+  partial.squared_error = sse;
+  partial.num_ratings = count;
+  (void)query;
+  return partial;
+}
+
+CfApp::OutputType CfApp::Assemble(const QueryType& query,
+                                  std::vector<PartialType>&& partials) {
+  (void)query;
+  CfOutput out;
+  VertexId max_gid = 0;
+  bool any = false;
+  double sse = 0.0;
+  size_t count = 0;
+  for (const PartialType& p : partials) {
+    sse += p.squared_error;
+    count += p.num_ratings;
+    for (const auto& [gid, f] : p.factors) {
+      max_gid = std::max(max_gid, gid);
+      any = true;
+    }
+  }
+  out.factors.resize(any ? max_gid + 1 : 0);
+  for (PartialType& p : partials) {
+    for (auto& [gid, f] : p.factors) out.factors[gid] = std::move(f);
+  }
+  out.train_rmse = count == 0 ? 0.0 : std::sqrt(sse / count);
+  return out;
+}
+
+}  // namespace grape

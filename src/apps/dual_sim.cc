@@ -1,0 +1,214 @@
+#include "apps/dual_sim.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace grape {
+
+namespace {
+
+uint64_t LabelMask(const Pattern& pattern, Label label) {
+  uint64_t m = 0;
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    if (pattern.vertex_label(u) == label) m |= (1ULL << u);
+  }
+  return m;
+}
+
+/// Recomputes the dual-simulation mask of inner vertex v; returns true if
+/// it shrank. Child conditions read v's out-neighbourhood, parent
+/// conditions its in-neighbourhood; both are complete for inner vertices.
+bool RefineVertex(const Pattern& pattern, const Fragment& frag,
+                  ParamStore<uint64_t>& params, LocalId v) {
+  uint64_t m = params.Get(v);
+  if (m == 0) return false;
+  uint64_t next = m;
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    if (!(m & (1ULL << u))) continue;
+    bool alive = true;
+    for (const auto& [u2, elabel] : pattern.Out(u)) {
+      bool witness = false;
+      for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+        if (nb.label == elabel && (params.Get(nb.local) & (1ULL << u2))) {
+          witness = true;
+          break;
+        }
+      }
+      if (!witness) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) {
+      for (const auto& [u0, elabel] : pattern.In(u)) {
+        bool witness = false;
+        for (const FragNeighbor& nb : frag.InNeighbors(v)) {
+          if (nb.label == elabel && (params.Get(nb.local) & (1ULL << u0))) {
+            witness = true;
+            break;
+          }
+        }
+        if (!witness) {
+          alive = false;
+          break;
+        }
+      }
+    }
+    if (!alive) next &= ~(1ULL << u);
+  }
+  if (next == m) return false;
+  params.Set(v, next);
+  return true;
+}
+
+void RefineLoop(const Pattern& pattern, const Fragment& frag,
+                ParamStore<uint64_t>& params, std::deque<LocalId> worklist) {
+  std::vector<uint8_t> queued(frag.num_local(), 0);
+  for (LocalId v : worklist) queued[v] = 1;
+  while (!worklist.empty()) {
+    LocalId v = worklist.front();
+    worklist.pop_front();
+    queued[v] = 0;
+    if (!RefineVertex(pattern, frag, params, v)) continue;
+    // Both directions can lose a witness when v's mask shrinks.
+    auto schedule = [&](LocalId w) {
+      if (frag.IsInner(w) && !queued[w]) {
+        queued[w] = 1;
+        worklist.push_back(w);
+      }
+    };
+    for (const FragNeighbor& nb : frag.InNeighbors(v)) schedule(nb.local);
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) schedule(nb.local);
+  }
+}
+
+}  // namespace
+
+void DualSimApp::PEval(const QueryType& query, const Fragment& frag,
+                       ParamStore<uint64_t>& params) {
+  for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+    params.UntrackedRef(lid) =
+        LabelMask(query.pattern, frag.vertex_label(lid));
+  }
+  std::deque<LocalId> worklist;
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    worklist.push_back(lid);
+  }
+  RefineLoop(query.pattern, frag, params, std::move(worklist));
+}
+
+void DualSimApp::IncEval(const QueryType& query, const Fragment& frag,
+                         ParamStore<uint64_t>& params,
+                         const std::vector<LocalId>& updated) {
+  std::deque<LocalId> worklist;
+  std::vector<uint8_t> queued(frag.num_local(), 0);
+  auto schedule = [&](LocalId w) {
+    if (frag.IsInner(w) && !queued[w]) {
+      queued[w] = 1;
+      worklist.push_back(w);
+    }
+  };
+  for (LocalId w : updated) {
+    for (const FragNeighbor& nb : frag.InNeighbors(w)) schedule(nb.local);
+    for (const FragNeighbor& nb : frag.OutNeighbors(w)) schedule(nb.local);
+    schedule(w);
+  }
+  RefineLoop(query.pattern, frag, params, std::move(worklist));
+}
+
+DualSimApp::PartialType DualSimApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<uint64_t>& params) const {
+  PartialType partial(query.pattern.num_vertices());
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    uint64_t m = params.Get(lid);
+    while (m != 0) {
+      int u = __builtin_ctzll(m);
+      partial[u].push_back(frag.Gid(lid));
+      m &= m - 1;
+    }
+  }
+  return partial;
+}
+
+DualSimApp::OutputType DualSimApp::Assemble(
+    const QueryType& query, std::vector<PartialType>&& partials) {
+  SimOutput out;
+  out.sim.resize(query.pattern.num_vertices());
+  for (PartialType& p : partials) {
+    for (uint32_t u = 0; u < p.size(); ++u) {
+      out.sim[u].insert(out.sim[u].end(), p[u].begin(), p[u].end());
+    }
+  }
+  for (auto& v : out.sim) std::sort(v.begin(), v.end());
+  return out;
+}
+
+std::vector<std::vector<VertexId>> SeqDualSimulation(const Graph& graph,
+                                                     const Pattern& pattern) {
+  const VertexId n = graph.num_vertices();
+  const uint32_t k = pattern.num_vertices();
+  std::vector<uint64_t> mask(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t u = 0; u < k; ++u) {
+      if (graph.vertex_label(v) == pattern.vertex_label(u)) {
+        mask[v] |= (1ULL << u);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      uint64_t m = mask[v];
+      if (m == 0) continue;
+      uint64_t next = m;
+      for (uint32_t u = 0; u < k; ++u) {
+        if (!(m & (1ULL << u))) continue;
+        bool alive = true;
+        for (const auto& [u2, elabel] : pattern.Out(u)) {
+          bool witness = false;
+          for (const Neighbor& nb : graph.OutNeighbors(v)) {
+            if (nb.label == elabel && (mask[nb.vertex] & (1ULL << u2))) {
+              witness = true;
+              break;
+            }
+          }
+          if (!witness) {
+            alive = false;
+            break;
+          }
+        }
+        if (alive) {
+          for (const auto& [u0, elabel] : pattern.In(u)) {
+            bool witness = false;
+            for (const Neighbor& nb : graph.InNeighbors(v)) {
+              if (nb.label == elabel && (mask[nb.vertex] & (1ULL << u0))) {
+                witness = true;
+                break;
+              }
+            }
+            if (!witness) {
+              alive = false;
+              break;
+            }
+          }
+        }
+        if (!alive) next &= ~(1ULL << u);
+      }
+      if (next != m) {
+        mask[v] = next;
+        changed = true;
+      }
+    }
+  }
+  std::vector<std::vector<VertexId>> sim(k);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t u = 0; u < k; ++u) {
+      if (mask[v] & (1ULL << u)) sim[u].push_back(v);
+    }
+  }
+  return sim;
+}
+
+}  // namespace grape

@@ -1,0 +1,117 @@
+#include "apps/gpar.h"
+
+#include <algorithm>
+
+namespace grape {
+
+void GparApp::Evaluate(const QueryType& query, const Fragment& frag,
+                       const ParamStore<uint8_t>& params, LocalId lid) {
+  if (frag.vertex_label(lid) != kPersonLabel) return;
+  uint32_t followees = 0;
+  uint32_t recommending = 0;
+  bool bad = false;
+  for (const FragNeighbor& nb : frag.OutNeighbors(lid)) {
+    if (nb.label != kFollowsLabel) continue;
+    ++followees;
+    uint8_t flags = params.Get(nb.local);
+    if (flags & kRecommendsBit) ++recommending;
+    if (flags & kRatesBadBit) {
+      bad = true;
+      break;
+    }
+  }
+  GparCandidate& d = decisions_[lid];
+  d.person = frag.Gid(lid);
+  d.followees = followees;
+  d.recommending = recommending;
+  d.confidence = followees == 0
+                     ? 0.0
+                     : static_cast<double>(recommending) / followees;
+  is_candidate_[lid] =
+      (!bad && followees >= query.min_followees &&
+       d.confidence >= query.support)
+          ? 1
+          : 0;
+}
+
+void GparApp::PEval(const QueryType& query, const Fragment& frag,
+                    ParamStore<uint8_t>& params) {
+  decisions_.assign(frag.num_inner(), GparCandidate{});
+  is_candidate_.assign(frag.num_inner(), 0);
+
+  // Phase A: flags of inner persons w.r.t. the item.
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    if (frag.vertex_label(lid) != kPersonLabel) continue;
+    uint8_t flags = 0;
+    for (const FragNeighbor& nb : frag.OutNeighbors(lid)) {
+      if (frag.Gid(nb.local) != query.item) continue;
+      if (nb.label == kRecommendsLabel) flags |= kRecommendsBit;
+      if (nb.label == kRatesBadLabel) flags |= kRatesBadBit;
+    }
+    // Non-zero flags are changes (init is 0) and flush to mirrors; zero
+    // flags match every mirror's default, needing no message.
+    if (flags != 0) {
+      params.Set(lid, flags);
+    }
+  }
+
+  // Phase B: optimistic rule evaluation with current (possibly default)
+  // mirror flags; persons affected by mirror refreshes are re-evaluated in
+  // IncEval.
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    Evaluate(query, frag, params, lid);
+  }
+}
+
+void GparApp::IncEval(const QueryType& query, const Fragment& frag,
+                      ParamStore<uint8_t>& params,
+                      const std::vector<LocalId>& updated) {
+  // Bounded incremental step: only followers of changed mirrors re-run.
+  std::vector<uint8_t> dirty(frag.num_inner(), 0);
+  for (LocalId w : updated) {
+    if (frag.IsInner(w)) {
+      // Full re-evaluation mode (ablation): the engine passes inner ids.
+      dirty[w] = 1;
+      continue;
+    }
+    for (const FragNeighbor& nb : frag.InNeighbors(w)) {
+      if (nb.label == kFollowsLabel && frag.IsInner(nb.local)) {
+        dirty[nb.local] = 1;
+      }
+    }
+  }
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    if (dirty[lid]) Evaluate(query, frag, params, lid);
+  }
+}
+
+GparApp::PartialType GparApp::GetPartial(const QueryType& query,
+                                         const Fragment& frag,
+                                         const ParamStore<uint8_t>& params) const {
+  (void)query;
+  (void)params;
+  PartialType out;
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    if (is_candidate_[lid]) out.push_back(decisions_[lid]);
+  }
+  return out;
+}
+
+GparApp::OutputType GparApp::Assemble(const QueryType& query,
+                                      std::vector<PartialType>&& partials) {
+  (void)query;
+  GparOutput out;
+  for (PartialType& p : partials) {
+    out.candidates.insert(out.candidates.end(), p.begin(), p.end());
+  }
+  std::sort(out.candidates.begin(), out.candidates.end(),
+            [](const GparCandidate& a, const GparCandidate& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.person < b.person;
+            });
+  return out;
+}
+
+}  // namespace grape

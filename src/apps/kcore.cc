@@ -1,0 +1,194 @@
+#include "apps/kcore.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace grape {
+
+namespace {
+
+/// Incident arc count in the undirected view (parallel edges count).
+size_t LocalDegree(const Fragment& frag, LocalId v) {
+  size_t d = frag.OutNeighbors(v).size();
+  if (frag.is_directed()) d += frag.InNeighbors(v).size();
+  return d;
+}
+
+/// h-index of v's neighbour bounds: the largest h such that at least h
+/// incident arcs lead to bounds >= h.
+uint32_t HIndex(const Fragment& frag, const ParamStore<uint32_t>& params,
+                LocalId v) {
+  const size_t d = LocalDegree(frag, v);
+  std::vector<uint32_t> count(d + 1, 0);
+  auto tally = [&](const FragNeighbor& nb) {
+    uint64_t b = params.Get(nb.local);
+    count[std::min<uint64_t>(b, d)]++;
+  };
+  for (const FragNeighbor& nb : frag.OutNeighbors(v)) tally(nb);
+  if (frag.is_directed()) {
+    for (const FragNeighbor& nb : frag.InNeighbors(v)) tally(nb);
+  }
+  uint32_t cumulative = 0;
+  for (size_t h = d; h > 0; --h) {
+    cumulative += count[h];
+    if (cumulative >= h) return static_cast<uint32_t>(h);
+  }
+  return 0;
+}
+
+/// Worklist refinement of inner bounds until the local fixed point.
+void RefineLoop(const Fragment& frag, ParamStore<uint32_t>& params,
+                std::deque<LocalId> worklist) {
+  std::vector<uint8_t> queued(frag.num_local(), 0);
+  for (LocalId v : worklist) queued[v] = 1;
+  while (!worklist.empty()) {
+    LocalId v = worklist.front();
+    worklist.pop_front();
+    queued[v] = 0;
+    uint32_t h = HIndex(frag, params, v);
+    if (h >= params.Get(v)) continue;
+    params.Set(v, h);
+    auto schedule = [&](const FragNeighbor& nb) {
+      if (frag.IsInner(nb.local) && !queued[nb.local]) {
+        queued[nb.local] = 1;
+        worklist.push_back(nb.local);
+      }
+    };
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) schedule(nb);
+    if (frag.is_directed()) {
+      for (const FragNeighbor& nb : frag.InNeighbors(v)) schedule(nb);
+    }
+  }
+}
+
+}  // namespace
+
+void KCoreApp::PEval(const QueryType& query, const Fragment& frag,
+                     ParamStore<uint32_t>& params) {
+  (void)query;
+  // Inner bounds start at the degree; outer copies stay at the optimistic
+  // InitValue (infinity) until their owner's first refresh arrives, which
+  // preserves the upper-bound invariant.
+  std::deque<LocalId> worklist;
+  for (LocalId v = 0; v < frag.num_inner(); ++v) {
+    params.Set(v, static_cast<uint32_t>(LocalDegree(frag, v)));
+    worklist.push_back(v);
+  }
+  RefineLoop(frag, params, std::move(worklist));
+}
+
+void KCoreApp::IncEval(const QueryType& query, const Fragment& frag,
+                       ParamStore<uint32_t>& params,
+                       const std::vector<LocalId>& updated) {
+  (void)query;
+  std::deque<LocalId> worklist;
+  std::vector<uint8_t> queued(frag.num_local(), 0);
+  auto schedule = [&](LocalId w) {
+    if (frag.IsInner(w) && !queued[w]) {
+      queued[w] = 1;
+      worklist.push_back(w);
+    }
+  };
+  for (LocalId w : updated) {
+    for (const FragNeighbor& nb : frag.OutNeighbors(w)) schedule(nb.local);
+    if (frag.is_directed()) {
+      for (const FragNeighbor& nb : frag.InNeighbors(w)) schedule(nb.local);
+    }
+    schedule(w);
+  }
+  RefineLoop(frag, params, std::move(worklist));
+}
+
+KCoreApp::PartialType KCoreApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<uint32_t>& params) const {
+  (void)query;
+  PartialType partial;
+  partial.reserve(frag.num_inner());
+  for (LocalId v = 0; v < frag.num_inner(); ++v) {
+    partial.emplace_back(frag.Gid(v), params.Get(v));
+  }
+  return partial;
+}
+
+KCoreApp::OutputType KCoreApp::Assemble(const QueryType& query,
+                                        std::vector<PartialType>&& partials) {
+  (void)query;
+  VertexId max_gid = 0;
+  bool any = false;
+  for (const PartialType& p : partials) {
+    for (const auto& [gid, c] : p) {
+      max_gid = std::max(max_gid, gid);
+      any = true;
+    }
+  }
+  KCoreOutput out;
+  out.coreness.assign(any ? max_gid + 1 : 0, 0);
+  for (const PartialType& p : partials) {
+    for (const auto& [gid, c] : p) out.coreness[gid] = c;
+  }
+  return out;
+}
+
+std::vector<uint32_t> SeqKCore(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  // Undirected-view adjacency with multiplicity.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      adj[v].push_back(nb.vertex);
+    }
+    if (graph.is_directed()) {
+      for (const Neighbor& nb : graph.InNeighbors(v)) {
+        adj[v].push_back(nb.vertex);
+      }
+    }
+  }
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(adj[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Batagelj–Zaversnik bin-sort peeling.
+  std::vector<VertexId> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) bin[degree[v] + 1]++;
+  for (size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<VertexId> vert(n);
+  std::vector<VertexId> pos(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  std::vector<uint32_t> core(n, 0);
+  std::vector<uint32_t> current = degree;
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId v = vert[i];
+    core[v] = current[v];
+    for (VertexId u : adj[v]) {
+      if (current[u] > current[v]) {
+        // Move u one bucket down: swap it to the front of its bucket.
+        uint32_t du = current[u];
+        VertexId pu = pos[u];
+        VertexId pw = bin[du];
+        VertexId w = vert[pw];
+        if (u != w) {
+          pos[u] = pw;
+          vert[pw] = u;
+          pos[w] = pu;
+          vert[pu] = w;
+        }
+        bin[du]++;
+        current[u]--;
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace grape

@@ -1,0 +1,120 @@
+#include "apps/keyword.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grape {
+
+namespace {
+
+using HeapEntry = std::pair<double, LocalId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+double DistOf(const std::vector<double>& v, size_t k) {
+  return k < v.size() ? v[k] : kInfDistance;
+}
+
+/// Dijkstra for keyword k over the fragment, bounded by the query radius
+/// (distances beyond it can never contribute to an answer).
+void LocalKeywordDijkstra(const Fragment& frag,
+                          ParamStore<std::vector<double>>& params, size_t k,
+                          double radius, MinHeap& heap) {
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > DistOf(params.Get(v), k) || d > radius) continue;
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+      double nd = d + nb.weight;
+      if (nd > radius) continue;
+      if (nd < DistOf(params.Get(nb.local), k)) {
+        std::vector<double>& val = params.Mutate(nb.local);
+        if (val.size() <= k) val.resize(k + 1, kInfDistance);
+        val[k] = nd;
+        heap.push({nd, nb.local});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void KeywordApp::PEval(const QueryType& query, const Fragment& frag,
+                       ParamStore<ValueType>& params) {
+  const size_t m = query.keywords.size();
+  for (size_t k = 0; k < m; ++k) {
+    MinHeap heap;
+    for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+      if (frag.vertex_label(lid) == query.keywords[k]) {
+        // Keyword sources are label-determined, hence globally consistent
+        // without messages; declare them without dirty-marking. Outer
+        // sources are correct too (labels are replicated onto mirrors).
+        std::vector<double>& val = params.UntrackedRef(lid);
+        if (val.size() <= k) val.resize(k + 1, kInfDistance);
+        val[k] = 0.0;
+        heap.push({0.0, lid});
+      }
+    }
+    LocalKeywordDijkstra(frag, params, k, query.radius, heap);
+  }
+}
+
+void KeywordApp::IncEval(const QueryType& query, const Fragment& frag,
+                         ParamStore<ValueType>& params,
+                         const std::vector<LocalId>& updated) {
+  const size_t m = query.keywords.size();
+  for (size_t k = 0; k < m; ++k) {
+    MinHeap heap;
+    for (LocalId lid : updated) {
+      double d = DistOf(params.Get(lid), k);
+      if (d <= query.radius) heap.push({d, lid});
+    }
+    LocalKeywordDijkstra(frag, params, k, query.radius, heap);
+  }
+}
+
+KeywordApp::PartialType KeywordApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<ValueType>& params) const {
+  const size_t m = query.keywords.size();
+  PartialType matches;
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    const std::vector<double>& val = params.Get(lid);
+    double score = 0.0;
+    bool all = true;
+    for (size_t k = 0; k < m; ++k) {
+      double d = DistOf(val, k);
+      if (d > query.radius) {
+        all = false;
+        break;
+      }
+      score = std::max(score, d);
+    }
+    if (!all) continue;
+    KeywordMatch match;
+    match.vertex = frag.Gid(lid);
+    match.dist.resize(m);
+    for (size_t k = 0; k < m; ++k) match.dist[k] = DistOf(val, k);
+    match.score = score;
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+KeywordApp::OutputType KeywordApp::Assemble(
+    const QueryType& query, std::vector<PartialType>&& partials) {
+  (void)query;
+  KeywordOutput out;
+  for (PartialType& p : partials) {
+    out.matches.insert(out.matches.end(), std::make_move_iterator(p.begin()),
+                       std::make_move_iterator(p.end()));
+  }
+  std::sort(out.matches.begin(), out.matches.end(),
+            [](const KeywordMatch& a, const KeywordMatch& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.vertex < b.vertex;
+            });
+  return out;
+}
+
+}  // namespace grape

@@ -1,0 +1,198 @@
+#include "apps/msf.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace grape {
+
+namespace {
+
+/// Union-find keeping the smallest member id as the representative, so
+/// component labels remain valid vertex ids (the reduction keys).
+class MinUnionFind {
+ public:
+  explicit MinUnionFind(VertexId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Returns true if a merge happened.
+  bool Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+void MwoePhaseApp::PEval(const QueryType& query, const Fragment& frag,
+                         ParamStore<MwoeCandidate>& params) {
+  const std::vector<VertexId>& labels = *query.labels;
+  // Pre-reduce locally per component root before posting, so each worker
+  // ships at most one candidate per component it touches.
+  std::unordered_map<VertexId, MwoeCandidate> best;
+  for (LocalId u = 0; u < frag.num_inner(); ++u) {
+    const VertexId gu = frag.Gid(u);
+    const VertexId root = labels[gu];
+    auto consider = [&](const FragNeighbor& nb) {
+      const VertexId gv = frag.Gid(nb.local);
+      if (labels[gv] == root) return;  // not an outgoing edge
+      MwoeCandidate cand{nb.weight, std::min(gu, gv), std::max(gu, gv)};
+      auto [it, inserted] = best.try_emplace(root, cand);
+      if (!inserted && cand < it->second) it->second = cand;
+    };
+    for (const FragNeighbor& nb : frag.OutNeighbors(u)) consider(nb);
+    if (frag.is_directed()) {
+      for (const FragNeighbor& nb : frag.InNeighbors(u)) consider(nb);
+    }
+  }
+  for (const auto& [root, cand] : best) {
+    params.PostRemote(root, cand);
+  }
+}
+
+void MwoePhaseApp::IncEval(const QueryType& query, const Fragment& frag,
+                           ParamStore<MwoeCandidate>& params,
+                           const std::vector<LocalId>& updated) {
+  // The reduction happens in the aggregate function as candidates arrive at
+  // the root's owner; there is nothing to propagate further.
+  (void)query;
+  (void)frag;
+  (void)params;
+  (void)updated;
+}
+
+MwoePhaseApp::PartialType MwoePhaseApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<MwoeCandidate>& params) const {
+  const std::vector<VertexId>& labels = *query.labels;
+  PartialType out;
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    const VertexId gid = frag.Gid(lid);
+    if (labels[gid] != gid) continue;  // only roots hold reductions
+    const MwoeCandidate& cand = params.Get(lid);
+    if (cand.valid()) out.push_back(cand);
+  }
+  return out;
+}
+
+MwoePhaseApp::OutputType MwoePhaseApp::Assemble(
+    const QueryType& query, std::vector<PartialType>&& partials) {
+  (void)query;
+  OutputType out;
+  for (PartialType& p : partials) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+Result<MsfOutput> MsfSolver::Solve(const FragmentedGraph& fg,
+                                   EngineOptions options) {
+  const VertexId n = fg.total_vertices;
+  MsfOutput result;
+  if (n == 0) return result;
+
+  MinUnionFind components(n);
+  auto labels = std::make_shared<std::vector<VertexId>>(n);
+  std::iota(labels->begin(), labels->end(), 0);
+
+  GrapeEngine<MwoePhaseApp> engine(fg, MwoePhaseApp{}, options);
+  // Components at least halve per phase: log2(n) + slack bounds the loop.
+  const uint32_t max_phases = 2 * 32 + 2;
+  for (uint32_t phase = 0; phase < max_phases; ++phase) {
+    MwoePhaseApp::Query query;
+    query.labels = labels;
+    auto candidates = engine.Run(query);
+    if (!candidates.ok()) return candidates.status();
+    if (candidates->empty()) break;  // no outgoing edges anywhere
+
+    bool merged_any = false;
+    for (const MwoeCandidate& cand : *candidates) {
+      if (components.Union(cand.u, cand.v)) {
+        result.edges.push_back(Edge{cand.u, cand.v, cand.weight, 0});
+        result.total_weight += cand.weight;
+        merged_any = true;
+      }
+    }
+    result.phases = phase + 1;
+    if (!merged_any) break;
+    auto next = std::make_shared<std::vector<VertexId>>(n);
+    for (VertexId v = 0; v < n; ++v) (*next)[v] = components.Find(v);
+    labels = std::move(next);
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (components.Find(v) == v) ++result.num_components;
+  }
+  std::sort(result.edges.begin(), result.edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+            });
+  return result;
+}
+
+MsfOutput SeqKruskal(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  MsfOutput result;
+  if (n == 0) return result;
+
+  // Undirected view, one entry per arc pair, deterministic tie order.
+  struct Candidate {
+    double weight;
+    VertexId u;
+    VertexId v;
+  };
+  std::vector<Candidate> edges;
+  for (VertexId x = 0; x < n; ++x) {
+    for (const Neighbor& nb : graph.OutNeighbors(x)) {
+      VertexId a = std::min(x, nb.vertex);
+      VertexId b = std::max(x, nb.vertex);
+      if (a == b) continue;
+      // Directed graphs emit each arc once; undirected CSRs emit both
+      // directions — keep the canonical orientation only.
+      if (!graph.is_directed() && x != a) continue;
+      edges.push_back({nb.weight, a, b});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::tie(a.weight, a.u, a.v) <
+                     std::tie(b.weight, b.u, b.v);
+            });
+
+  MinUnionFind components(n);
+  for (const Candidate& e : edges) {
+    if (components.Union(e.u, e.v)) {
+      result.edges.push_back(Edge{e.u, e.v, e.weight, 0});
+      result.total_weight += e.weight;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (components.Find(v) == v) ++result.num_components;
+  }
+  std::sort(result.edges.begin(), result.edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+            });
+  return result;
+}
+
+}  // namespace grape

@@ -1,0 +1,70 @@
+#ifndef GRAPE_APPS_PAGERANK_H_
+#define GRAPE_APPS_PAGERANK_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/aggregators.h"
+#include "core/pie.h"
+
+namespace grape {
+
+struct PageRankQuery {
+  double damping = 0.85;
+  uint32_t max_iterations = 50;
+  /// Stop once the global L1 delta of the rank vector drops below epsilon.
+  double epsilon = 1e-9;
+};
+
+struct PageRankOutput {
+  std::vector<double> rank;
+};
+
+/// PIE program for PageRank. Unlike SSSP/CC this computation is *not*
+/// monotonic, so it terminates through the ShouldTerminate hook (coordinator
+/// checks the summed L1 delta) rather than the fixed-point-of-parameters
+/// rule — demonstrating that GRAPE also hosts iterative numeric algorithms
+/// (the Simulation Theorem direction).
+///
+///   Update parameter of v: its out-contribution c(v) = rank(v)/outdeg(v).
+///   PEval broadcasts initial contributions of border vertices to mirrors;
+///   each IncEval round pulls in-neighbour contributions (mirrors included)
+///   and refreshes changed border contributions. Dangling (sink) mass is
+///   dropped, matching SeqPageRank exactly.
+class PageRankApp {
+ public:
+  using QueryType = PageRankQuery;
+  using ValueType = double;
+  using AggregatorType = OverwriteAggregator<double>;
+  using PartialType = std::vector<std::pair<VertexId, double>>;
+  using OutputType = PageRankOutput;
+  static constexpr MessageScope kScope = MessageScope::kToMirrors;
+  static constexpr bool kResetAfterFlush = false;
+
+  ValueType InitValue() const { return 0.0; }
+
+  void PEval(const QueryType& query, const Fragment& frag,
+             ParamStore<double>& params);
+  void IncEval(const QueryType& query, const Fragment& frag,
+               ParamStore<double>& params,
+               const std::vector<LocalId>& updated);
+  PartialType GetPartial(const QueryType& query, const Fragment& frag,
+                         const ParamStore<double>& params) const;
+  static OutputType Assemble(const QueryType& query,
+                             std::vector<PartialType>&& partials);
+
+  double GlobalValue() const { return delta_; }
+  bool ShouldTerminate(uint32_t round, double global) const {
+    if (round < 2) return false;  // at least one rank update
+    return global < query_.epsilon || round >= query_.max_iterations + 1;
+  }
+
+ private:
+  QueryType query_;
+  std::vector<double> rank_;  // by inner lid
+  double delta_ = 0.0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_APPS_PAGERANK_H_

@@ -1,0 +1,70 @@
+#include "apps/pattern.h"
+
+#include <deque>
+#include <sstream>
+
+namespace grape {
+
+Result<Pattern> Pattern::Create(std::vector<Label> vertex_labels,
+                                std::vector<PatternEdge> edges) {
+  if (vertex_labels.empty()) {
+    return Status::InvalidArgument("pattern must have at least one vertex");
+  }
+  if (vertex_labels.size() > 64) {
+    return Status::InvalidArgument("patterns are limited to 64 vertices");
+  }
+  Pattern p;
+  p.vertex_labels_ = std::move(vertex_labels);
+  p.edges_ = std::move(edges);
+  p.out_.resize(p.vertex_labels_.size());
+  p.in_.resize(p.vertex_labels_.size());
+  for (const PatternEdge& e : p.edges_) {
+    if (e.src >= p.num_vertices() || e.dst >= p.num_vertices()) {
+      return Status::InvalidArgument("pattern edge references unknown vertex");
+    }
+    p.out_[e.src].emplace_back(e.dst, e.label);
+    p.in_[e.dst].emplace_back(e.src, e.label);
+  }
+  return p;
+}
+
+bool Pattern::IsConnected() const {
+  if (num_vertices() == 0) return false;
+  std::vector<bool> seen(num_vertices(), false);
+  std::deque<uint32_t> frontier{0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!frontier.empty()) {
+    uint32_t u = frontier.front();
+    frontier.pop_front();
+    auto visit = [&](uint32_t v) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        frontier.push_back(v);
+      }
+    };
+    for (const auto& [v, l] : out_[u]) visit(v);
+    for (const auto& [v, l] : in_[u]) visit(v);
+  }
+  return visited == num_vertices();
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream os;
+  os << "Pattern(" << num_vertices() << " vertices: [";
+  for (uint32_t u = 0; u < num_vertices(); ++u) {
+    if (u > 0) os << ", ";
+    os << vertex_labels_[u];
+  }
+  os << "]; edges: ";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << edges_[i].src << "->" << edges_[i].dst;
+    if (edges_[i].label != 0) os << ":" << edges_[i].label;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace grape

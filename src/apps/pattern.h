@@ -1,0 +1,65 @@
+#ifndef GRAPE_APPS_PATTERN_H_
+#define GRAPE_APPS_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace grape {
+
+/// A directed edge of a query pattern.
+struct PatternEdge {
+  uint32_t src;
+  uint32_t dst;
+  Label label = 0;
+};
+
+/// A small query pattern for graph pattern matching (Sim, SubIso, GPAR).
+/// Pattern vertices are dense ids [0, num_vertices); each carries a vertex
+/// label matched against data-vertex labels. At most 64 pattern vertices
+/// (simulation encodes candidate sets as 64-bit masks).
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Builds a pattern and its adjacency index; fails on dangling ids or
+  /// size > 64.
+  static Result<Pattern> Create(std::vector<Label> vertex_labels,
+                                std::vector<PatternEdge> edges);
+
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(vertex_labels_.size());
+  }
+  size_t num_edges() const { return edges_.size(); }
+
+  Label vertex_label(uint32_t u) const { return vertex_labels_[u]; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+
+  /// (neighbor, edge label) pairs.
+  const std::vector<std::pair<uint32_t, Label>>& Out(uint32_t u) const {
+    return out_[u];
+  }
+  const std::vector<std::pair<uint32_t, Label>>& In(uint32_t u) const {
+    return in_[u];
+  }
+
+  /// True if the pattern, viewed as undirected, is connected (required by
+  /// the SubIso matching-order construction).
+  bool IsConnected() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Label> vertex_labels_;
+  std::vector<PatternEdge> edges_;
+  std::vector<std::vector<std::pair<uint32_t, Label>>> out_;
+  std::vector<std::vector<std::pair<uint32_t, Label>>> in_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_APPS_PATTERN_H_

@@ -1,0 +1,305 @@
+#include "apps/register_apps.h"
+
+#include <sstream>
+
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/cf.h"
+#include "apps/dual_sim.h"
+#include "apps/gpar.h"
+#include "apps/kcore.h"
+#include "apps/keyword.h"
+#include "apps/pagerank.h"
+#include "apps/sim.h"
+#include "apps/sssp.h"
+#include "apps/subiso.h"
+#include "apps/triangle.h"
+#include "core/app_registry.h"
+#include "core/engine.h"
+#include "util/string_util.h"
+
+namespace grape {
+
+namespace {
+
+uint64_t ArgInt(const QueryArgs& args, const std::string& key,
+                uint64_t fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  uint64_t v = 0;
+  return ParseUint64(it->second, &v) ? v : fallback;
+}
+
+double ArgDouble(const QueryArgs& args, const std::string& key,
+                 double fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  double v = 0;
+  return ParseDouble(it->second, &v) ? v : fallback;
+}
+
+/// A small fixed pattern library for the sim/subiso play panel: "edge",
+/// "path3", "triangle", "star3". Labels refer to data vertex labels.
+Result<Pattern> PatternByName(const std::string& name, Label l0, Label l1,
+                              Label l2) {
+  if (name == "edge") {
+    return Pattern::Create({l0, l1}, {{0, 1, 0}});
+  }
+  if (name == "path3") {
+    return Pattern::Create({l0, l1, l2}, {{0, 1, 0}, {1, 2, 0}});
+  }
+  if (name == "triangle") {
+    return Pattern::Create({l0, l1, l2}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  }
+  if (name == "star3") {
+    return Pattern::Create({l0, l1, l1, l1},
+                           {{0, 1, 0}, {0, 2, 0}, {0, 3, 0}});
+  }
+  return Status::NotFound("unknown pattern: " + name);
+}
+
+template <typename App, typename MakeQuery, typename Describe>
+RegisteredApp MakeEntry(std::string name, std::string description,
+                        MakeQuery make_query, Describe describe) {
+  RegisteredApp entry;
+  entry.name = std::move(name);
+  entry.description = std::move(description);
+  entry.run = [make_query, describe](const FragmentedGraph& fg,
+                                     const QueryArgs& args,
+                                     const EngineOptions& options,
+                                     EngineMetrics* metrics)
+      -> Result<std::string> {
+    auto query = make_query(fg, args);
+    if (!query.ok()) return query.status();
+    GrapeEngine<App> engine(fg, App{}, options);
+    auto output = engine.Run(*query);
+    if (!output.ok()) return output.status();
+    if (metrics != nullptr) *metrics = engine.metrics();
+    return describe(*output);
+  };
+  return entry;
+}
+
+}  // namespace
+
+void RegisterBuiltinApps() {
+  AppRegistry& registry = AppRegistry::Global();
+
+  registry.Register(MakeEntry<SsspApp>(
+      "sssp", "single-source shortest paths (args: source)",
+      [](const FragmentedGraph&, const QueryArgs& args) -> Result<SsspQuery> {
+        return SsspQuery{static_cast<VertexId>(ArgInt(args, "source", 0))};
+      },
+      [](const SsspOutput& out) {
+        size_t reached = 0;
+        double max_dist = 0;
+        for (double d : out.dist) {
+          if (d < kInfDistance) {
+            ++reached;
+            max_dist = std::max(max_dist, d);
+          }
+        }
+        std::ostringstream os;
+        os << "reached " << reached << " vertices, eccentricity " << max_dist;
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<BfsApp>(
+      "bfs", "breadth-first hop counts (args: source)",
+      [](const FragmentedGraph&, const QueryArgs& args) -> Result<BfsQuery> {
+        return BfsQuery{static_cast<VertexId>(ArgInt(args, "source", 0))};
+      },
+      [](const BfsOutput& out) {
+        size_t reached = 0;
+        uint32_t depth = 0;
+        for (uint32_t d : out.depth) {
+          if (d != UINT32_MAX) {
+            ++reached;
+            depth = std::max(depth, d);
+          }
+        }
+        std::ostringstream os;
+        os << "reached " << reached << " vertices, depth " << depth;
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<CcApp>(
+      "cc", "connected components (no args)",
+      [](const FragmentedGraph&, const QueryArgs&) -> Result<CcQuery> {
+        return CcQuery{};
+      },
+      [](const CcOutput& out) {
+        size_t components = 0;
+        for (VertexId v = 0; v < out.label.size(); ++v) {
+          if (out.label[v] == v) ++components;
+        }
+        std::ostringstream os;
+        os << components << " components over " << out.label.size()
+           << " vertices";
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<PageRankApp>(
+      "pagerank", "PageRank (args: damping, iters, epsilon)",
+      [](const FragmentedGraph&,
+         const QueryArgs& args) -> Result<PageRankQuery> {
+        PageRankQuery q;
+        q.damping = ArgDouble(args, "damping", q.damping);
+        q.max_iterations = static_cast<uint32_t>(
+            ArgInt(args, "iters", q.max_iterations));
+        q.epsilon = ArgDouble(args, "epsilon", q.epsilon);
+        return q;
+      },
+      [](const PageRankOutput& out) {
+        double sum = 0;
+        for (double r : out.rank) sum += r;
+        std::ostringstream os;
+        os << out.rank.size() << " ranks, mass " << sum;
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<SimApp>(
+      "sim", "graph simulation (args: pattern, l0, l1, l2)",
+      [](const FragmentedGraph&, const QueryArgs& args) -> Result<SimQuery> {
+        auto pattern = PatternByName(
+            args.count("pattern") ? args.at("pattern") : "edge",
+            static_cast<Label>(ArgInt(args, "l0", 0)),
+            static_cast<Label>(ArgInt(args, "l1", 1)),
+            static_cast<Label>(ArgInt(args, "l2", 2)));
+        if (!pattern.ok()) return pattern.status();
+        return SimQuery{*pattern};
+      },
+      [](const SimOutput& out) {
+        std::ostringstream os;
+        os << "sim sets:";
+        for (size_t u = 0; u < out.sim.size(); ++u) {
+          os << " |sim(" << u << ")|=" << out.sim[u].size();
+        }
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<DualSimApp>(
+      "dualsim", "dual graph simulation (args: pattern, l0, l1, l2)",
+      [](const FragmentedGraph&, const QueryArgs& args) -> Result<SimQuery> {
+        auto pattern = PatternByName(
+            args.count("pattern") ? args.at("pattern") : "edge",
+            static_cast<Label>(ArgInt(args, "l0", 0)),
+            static_cast<Label>(ArgInt(args, "l1", 1)),
+            static_cast<Label>(ArgInt(args, "l2", 2)));
+        if (!pattern.ok()) return pattern.status();
+        return SimQuery{*pattern};
+      },
+      [](const SimOutput& out) {
+        std::ostringstream os;
+        os << "dual-sim sets:";
+        for (size_t u = 0; u < out.sim.size(); ++u) {
+          os << " |sim(" << u << ")|=" << out.sim[u].size();
+        }
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<SubIsoApp>(
+      "subiso", "subgraph isomorphism (args: pattern, l0, l1, l2, limit)",
+      [](const FragmentedGraph&,
+         const QueryArgs& args) -> Result<SubIsoQuery> {
+        auto pattern = PatternByName(
+            args.count("pattern") ? args.at("pattern") : "edge",
+            static_cast<Label>(ArgInt(args, "l0", 0)),
+            static_cast<Label>(ArgInt(args, "l1", 1)),
+            static_cast<Label>(ArgInt(args, "l2", 2)));
+        if (!pattern.ok()) return pattern.status();
+        return SubIsoQuery{*pattern, ArgInt(args, "limit", 0)};
+      },
+      [](const SubIsoOutput& out) {
+        std::ostringstream os;
+        os << out.embeddings.size() << " embeddings";
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<KeywordApp>(
+      "keyword", "keyword search (args: k0, k1, ..., radius)",
+      [](const FragmentedGraph&,
+         const QueryArgs& args) -> Result<KeywordQuery> {
+        KeywordQuery q;
+        for (int i = 0; i < 8; ++i) {
+          std::string key = "k" + std::to_string(i);
+          if (!args.count(key)) break;
+          q.keywords.push_back(static_cast<Label>(ArgInt(args, key, 0)));
+        }
+        if (q.keywords.empty()) q.keywords = {0, 1};
+        q.radius = ArgDouble(args, "radius", q.radius);
+        return q;
+      },
+      [](const KeywordOutput& out) {
+        std::ostringstream os;
+        os << out.matches.size() << " matching vertices";
+        if (!out.matches.empty()) {
+          os << ", best " << out.matches.front().vertex << " (score "
+             << out.matches.front().score << ")";
+        }
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<CfApp>(
+      "cf", "collaborative filtering (args: rank, epochs, lr, reg)",
+      [](const FragmentedGraph&, const QueryArgs& args) -> Result<CfQuery> {
+        CfQuery q;
+        q.rank = static_cast<uint32_t>(ArgInt(args, "rank", q.rank));
+        q.epochs = static_cast<uint32_t>(ArgInt(args, "epochs", q.epochs));
+        q.learning_rate = ArgDouble(args, "lr", q.learning_rate);
+        q.regularization = ArgDouble(args, "reg", q.regularization);
+        return q;
+      },
+      [](const CfOutput& out) {
+        std::ostringstream os;
+        os << "trained " << out.factors.size() << " factor vectors, RMSE "
+           << out.train_rmse;
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<KCoreApp>(
+      "kcore", "k-core decomposition (no args)",
+      [](const FragmentedGraph&, const QueryArgs&) -> Result<KCoreQuery> {
+        return KCoreQuery{};
+      },
+      [](const KCoreOutput& out) {
+        uint32_t max_core = 0;
+        for (uint32_t c : out.coreness) max_core = std::max(max_core, c);
+        std::ostringstream os;
+        os << "degeneracy " << max_core << " over " << out.coreness.size()
+           << " vertices";
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<TriangleApp>(
+      "triangle", "triangle counting (no args)",
+      [](const FragmentedGraph&, const QueryArgs&) -> Result<TriangleQuery> {
+        return TriangleQuery{};
+      },
+      [](const TriangleOutput& out) {
+        std::ostringstream os;
+        os << out.triangles << " triangles";
+        return os.str();
+      }));
+
+  registry.Register(MakeEntry<GparApp>(
+      "gpar", "GPAR social-media marketing (args: item, support)",
+      [](const FragmentedGraph&, const QueryArgs& args) -> Result<GparQuery> {
+        GparQuery q;
+        q.item = static_cast<VertexId>(ArgInt(args, "item", 0));
+        q.support = ArgDouble(args, "support", q.support);
+        q.min_followees = static_cast<uint32_t>(
+            ArgInt(args, "min_followees", q.min_followees));
+        return q;
+      },
+      [](const GparOutput& out) {
+        std::ostringstream os;
+        os << out.candidates.size() << " potential customers";
+        if (!out.candidates.empty()) {
+          os << ", top confidence " << out.candidates.front().confidence;
+        }
+        return os.str();
+      }));
+}
+
+}  // namespace grape

@@ -1,0 +1,14 @@
+#ifndef GRAPE_APPS_REGISTER_APPS_H_
+#define GRAPE_APPS_REGISTER_APPS_H_
+
+namespace grape {
+
+/// Registers every built-in PIE program (sssp, bfs, cc, pagerank, sim,
+/// subiso, keyword, cf, gpar) in AppRegistry::Global(). Idempotent.
+/// Examples and benches call this once at startup — the programmatic
+/// equivalent of the demo's pre-populated GRAPE library.
+void RegisterBuiltinApps();
+
+}  // namespace grape
+
+#endif  // GRAPE_APPS_REGISTER_APPS_H_

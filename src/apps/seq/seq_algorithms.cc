@@ -1,0 +1,188 @@
+#include "apps/seq/seq_algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <queue>
+
+namespace grape {
+
+namespace {
+
+using HeapEntry = std::pair<double, VertexId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+void RunDijkstra(const Graph& graph, std::vector<double>& dist,
+                 MinHeap& heap) {
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // stale entry (lazy deletion)
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      double nd = d + nb.weight;
+      if (nd < dist[nb.vertex]) {
+        dist[nb.vertex] = nd;
+        heap.push({nd, nb.vertex});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> SeqDijkstra(const Graph& graph, VertexId source) {
+  std::vector<double> dist(graph.num_vertices(), kInfDistance);
+  if (source >= graph.num_vertices()) return dist;
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  RunDijkstra(graph, dist, heap);
+  return dist;
+}
+
+size_t SeqIncrementalSssp(const Graph& graph, std::vector<double>& dist,
+                          const std::vector<VertexId>& decreased) {
+  MinHeap heap;
+  for (VertexId v : decreased) heap.push({dist[v], v});
+  // Count changes by monitoring improvements during propagation.
+  size_t changed = 0;
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      double nd = d + nb.weight;
+      if (nd < dist[nb.vertex]) {
+        dist[nb.vertex] = nd;
+        heap.push({nd, nb.vertex});
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+std::vector<uint32_t> SeqBfs(const Graph& graph, VertexId source) {
+  std::vector<uint32_t> depth(graph.num_vertices(), UINT32_MAX);
+  if (source >= graph.num_vertices()) return depth;
+  std::deque<VertexId> frontier{source};
+  depth[source] = 0;
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      if (depth[nb.vertex] == UINT32_MAX) {
+        depth[nb.vertex] = depth[v] + 1;
+        frontier.push_back(nb.vertex);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<VertexId> SeqConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+
+  // Union-find with path halving; roots keep the smallest member id by
+  // always attaching the larger root under the smaller.
+  auto find = [&parent](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      VertexId a = find(v);
+      VertexId b = find(nb.vertex);
+      if (a == b) continue;
+      if (a < b) {
+        parent[b] = a;
+      } else {
+        parent[a] = b;
+      }
+    }
+  }
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<double> SeqPageRank(const Graph& graph,
+                                const PageRankConfig& config) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return {};
+  const double base = (1.0 - config.damping) / n;
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> contribution(n, 0.0);
+
+  for (uint32_t iter = 0; iter < config.max_iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      size_t deg = graph.OutDegree(v);
+      contribution[v] = deg == 0 ? 0.0 : rank[v] / static_cast<double>(deg);
+    }
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const Neighbor& nb : graph.InNeighbors(v)) {
+        sum += contribution[nb.vertex];
+      }
+      double next = base + config.damping * sum;
+      delta += std::abs(next - rank[v]);
+      rank[v] = next;
+    }
+    if (delta < config.epsilon) break;
+  }
+  return rank;
+}
+
+uint64_t SeqTriangleCount(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  // Unique undirected neighbour sets.
+  std::vector<std::vector<VertexId>> nbrs(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      if (nb.vertex != v) nbrs[v].push_back(nb.vertex);
+    }
+    if (graph.is_directed()) {
+      for (const Neighbor& nb : graph.InNeighbors(v)) {
+        if (nb.vertex != v) nbrs[v].push_back(nb.vertex);
+      }
+    }
+    std::sort(nbrs[v].begin(), nbrs[v].end());
+    nbrs[v].erase(std::unique(nbrs[v].begin(), nbrs[v].end()),
+                  nbrs[v].end());
+  }
+  uint64_t count = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    auto mid = std::lower_bound(nbrs[v].begin(), nbrs[v].end(), v);
+    for (auto u = nbrs[v].begin(); u != mid; ++u) {
+      for (auto w = mid; w != nbrs[v].end(); ++w) {
+        if (*w == v) continue;
+        if (std::binary_search(nbrs[*u].begin(), nbrs[*u].end(), *w)) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<double> SeqKeywordDistance(const Graph& graph, Label keyword) {
+  std::vector<double> dist(graph.num_vertices(), kInfDistance);
+  MinHeap heap;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.vertex_label(v) == keyword) {
+      dist[v] = 0.0;
+      heap.push({0.0, v});
+    }
+  }
+  RunDijkstra(graph, dist, heap);
+  return dist;
+}
+
+}  // namespace grape

@@ -1,0 +1,57 @@
+#ifndef GRAPE_APPS_SEQ_SEQ_ALGORITHMS_H_
+#define GRAPE_APPS_SEQ_SEQ_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace grape {
+
+/// Whole-graph sequential algorithms: exactly the "existing sequential
+/// algorithms" a GRAPE user would plug into PEval/IncEval, and the ground
+/// truth the test suite compares every parallel run against.
+
+/// Dijkstra from `source`; dist[v] = kInfDistance when unreachable.
+/// (PEval of the paper's Example 1; binary heap with lazy deletion.)
+std::vector<double> SeqDijkstra(const Graph& graph, VertexId source);
+
+/// Incremental SSSP in the spirit of Ramalingam–Reps: given current dist
+/// values and a set of vertices whose dist just decreased, propagates the
+/// improvements. Touches only the affected region — the "bounded IncEval"
+/// of Example 1. Returns the number of vertices whose value changed.
+size_t SeqIncrementalSssp(const Graph& graph, std::vector<double>& dist,
+                          const std::vector<VertexId>& decreased);
+
+/// BFS hop counts from `source` (unweighted); kInvalidVertex-sized graphs
+/// unreachable entries are UINT32_MAX.
+std::vector<uint32_t> SeqBfs(const Graph& graph, VertexId source);
+
+/// Connected components over the undirected view; label[v] = smallest
+/// vertex id in v's component.
+std::vector<VertexId> SeqConnectedComponents(const Graph& graph);
+
+struct PageRankConfig {
+  double damping = 0.85;
+  uint32_t max_iterations = 50;
+  /// Stop when the L1 delta of successive rank vectors drops below epsilon.
+  double epsilon = 1e-9;
+};
+
+/// Synchronous power iteration. Dangling mass is dropped (same policy as
+/// the PIE program, so results are directly comparable).
+std::vector<double> SeqPageRank(const Graph& graph,
+                                const PageRankConfig& config);
+
+/// Multi-source Dijkstra: dist to the nearest vertex whose label equals
+/// `keyword`.
+std::vector<double> SeqKeywordDistance(const Graph& graph, Label keyword);
+
+/// Triangles in the undirected view of the graph (node-iterator with id
+/// ordering; parallel edges and self loops ignored).
+uint64_t SeqTriangleCount(const Graph& graph);
+
+}  // namespace grape
+
+#endif  // GRAPE_APPS_SEQ_SEQ_ALGORITHMS_H_

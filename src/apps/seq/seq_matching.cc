@@ -1,0 +1,219 @@
+#include "apps/seq/seq_matching.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace grape {
+
+std::vector<std::vector<VertexId>> SeqSimulation(const Graph& graph,
+                                                 const Pattern& pattern) {
+  const VertexId n = graph.num_vertices();
+  const uint32_t k = pattern.num_vertices();
+  // mask[v] bit u <=> v currently simulates pattern vertex u.
+  std::vector<uint64_t> mask(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t u = 0; u < k; ++u) {
+      if (graph.vertex_label(v) == pattern.vertex_label(u)) {
+        mask[v] |= (1ULL << u);
+      }
+    }
+  }
+
+  // Worklist refinement: when v loses a bit, its predecessors must be
+  // re-checked.
+  std::deque<VertexId> worklist;
+  std::vector<uint8_t> queued(n, 1);
+  for (VertexId v = 0; v < n; ++v) worklist.push_back(v);
+
+  auto refine = [&](VertexId v) -> bool {
+    uint64_t m = mask[v];
+    if (m == 0) return false;
+    uint64_t next = m;
+    for (uint32_t u = 0; u < k; ++u) {
+      if (!(m & (1ULL << u))) continue;
+      for (const auto& [u2, elabel] : pattern.Out(u)) {
+        bool witness = false;
+        for (const Neighbor& nb : graph.OutNeighbors(v)) {
+          if (nb.label == elabel && (mask[nb.vertex] & (1ULL << u2))) {
+            witness = true;
+            break;
+          }
+        }
+        if (!witness) {
+          next &= ~(1ULL << u);
+          break;
+        }
+      }
+    }
+    if (next == m) return false;
+    mask[v] = next;
+    return true;
+  };
+
+  while (!worklist.empty()) {
+    VertexId v = worklist.front();
+    worklist.pop_front();
+    queued[v] = 0;
+    if (refine(v)) {
+      for (const Neighbor& nb : graph.InNeighbors(v)) {
+        if (!queued[nb.vertex]) {
+          queued[nb.vertex] = 1;
+          worklist.push_back(nb.vertex);
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<VertexId>> sim(k);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t u = 0; u < k; ++u) {
+      if (mask[v] & (1ULL << u)) sim[u].push_back(v);
+    }
+  }
+  return sim;
+}
+
+std::vector<uint32_t> BuildMatchingOrder(const Pattern& pattern) {
+  const uint32_t k = pattern.num_vertices();
+  std::vector<uint32_t> degree(k, 0);
+  for (const PatternEdge& e : pattern.edges()) {
+    degree[e.src]++;
+    degree[e.dst]++;
+  }
+  std::vector<uint32_t> order;
+  std::vector<bool> placed(k, false);
+  // Seed: highest-degree vertex (most constrained first).
+  uint32_t seed = 0;
+  for (uint32_t u = 1; u < k; ++u) {
+    if (degree[u] > degree[seed]) seed = u;
+  }
+  order.push_back(seed);
+  placed[seed] = true;
+  while (order.size() < k) {
+    // Next: unplaced vertex with the most placed neighbours; ties by degree.
+    uint32_t best = kInvalidVertex;
+    uint32_t best_conn = 0;
+    for (uint32_t u = 0; u < k; ++u) {
+      if (placed[u]) continue;
+      uint32_t conn = 0;
+      for (const auto& [v, l] : pattern.Out(u)) conn += placed[v] ? 1 : 0;
+      for (const auto& [v, l] : pattern.In(u)) conn += placed[v] ? 1 : 0;
+      if (best == kInvalidVertex || conn > best_conn ||
+          (conn == best_conn && degree[u] > degree[best])) {
+        best = u;
+        best_conn = conn;
+      }
+    }
+    order.push_back(best);
+    placed[best] = true;
+  }
+  return order;
+}
+
+namespace {
+
+/// Checks that `candidate` can play pattern vertex `u` given the partial
+/// embedding: label match plus every pattern edge between u and an
+/// already-matched vertex must exist in the data graph.
+bool Feasible(const Graph& graph, const Pattern& pattern,
+              const std::vector<VertexId>& embedding, uint32_t u,
+              VertexId candidate) {
+  if (graph.vertex_label(candidate) != pattern.vertex_label(u)) return false;
+  for (uint32_t w = 0; w < pattern.num_vertices(); ++w) {
+    if (w == u || embedding[w] == kInvalidVertex) continue;
+    if (embedding[w] == candidate) return false;  // injectivity
+  }
+  auto has_edge = [&graph](VertexId a, VertexId b, Label label) {
+    for (const Neighbor& nb : graph.OutNeighbors(a)) {
+      if (nb.vertex == b && nb.label == label) return true;
+    }
+    return false;
+  };
+  for (const auto& [v, l] : pattern.Out(u)) {
+    if (embedding[v] != kInvalidVertex &&
+        !has_edge(candidate, embedding[v], l)) {
+      return false;
+    }
+  }
+  for (const auto& [v, l] : pattern.In(u)) {
+    if (embedding[v] != kInvalidVertex &&
+        !has_edge(embedding[v], candidate, l)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Backtrack(const Graph& graph, const Pattern& pattern,
+               const std::vector<uint32_t>& order, size_t depth,
+               std::vector<VertexId>& embedding,
+               std::vector<Embedding>& results, size_t max_results) {
+  if (max_results > 0 && results.size() >= max_results) return;
+  if (depth == order.size()) {
+    results.push_back(embedding);
+    return;
+  }
+  uint32_t u = order[depth];
+  if (depth == 0) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (!Feasible(graph, pattern, embedding, u, v)) continue;
+      embedding[u] = v;
+      Backtrack(graph, pattern, order, depth + 1, embedding, results,
+                max_results);
+      embedding[u] = kInvalidVertex;
+    }
+    return;
+  }
+  // Candidates come from the adjacency of an already-matched anchor.
+  uint32_t anchor = kInvalidVertex;
+  bool anchor_out = true;  // anchor -> u in the pattern?
+  Label anchor_label = 0;
+  for (size_t d = 0; d < depth && anchor == kInvalidVertex; ++d) {
+    uint32_t w = order[d];
+    for (const auto& [v, l] : pattern.Out(w)) {
+      if (v == u) {
+        anchor = w;
+        anchor_out = true;
+        anchor_label = l;
+        break;
+      }
+    }
+    if (anchor != kInvalidVertex) break;
+    for (const auto& [v, l] : pattern.In(w)) {
+      if (v == u) {
+        anchor = w;
+        anchor_out = false;
+        anchor_label = l;
+        break;
+      }
+    }
+  }
+  VertexId a = embedding[anchor];
+  std::span<const Neighbor> candidates =
+      anchor_out ? graph.OutNeighbors(a) : graph.InNeighbors(a);
+  for (const Neighbor& nb : candidates) {
+    if (nb.label != anchor_label) continue;
+    if (!Feasible(graph, pattern, embedding, u, nb.vertex)) continue;
+    embedding[u] = nb.vertex;
+    Backtrack(graph, pattern, order, depth + 1, embedding, results,
+              max_results);
+    embedding[u] = kInvalidVertex;
+  }
+}
+
+}  // namespace
+
+std::vector<Embedding> SeqSubgraphIsomorphism(const Graph& graph,
+                                              const Pattern& pattern,
+                                              size_t max_results) {
+  std::vector<Embedding> results;
+  if (pattern.num_vertices() == 0 || !pattern.IsConnected()) return results;
+  std::vector<uint32_t> order = BuildMatchingOrder(pattern);
+  std::vector<VertexId> embedding(pattern.num_vertices(), kInvalidVertex);
+  Backtrack(graph, pattern, order, 0, embedding, results, max_results);
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  return results;
+}
+
+}  // namespace grape

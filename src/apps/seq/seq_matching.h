@@ -1,0 +1,39 @@
+#ifndef GRAPE_APPS_SEQ_SEQ_MATCHING_H_
+#define GRAPE_APPS_SEQ_SEQ_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/pattern.h"
+#include "graph/graph.h"
+
+namespace grape {
+
+/// Graph simulation (Henzinger–Henzinger–Kopke refinement): returns
+/// sim[u] = sorted data vertices that simulate pattern vertex u. A data
+/// vertex v simulates u iff label(v) == label(u) and for every pattern edge
+/// u -> u' there is a data edge v -> v' (with matching edge label) such that
+/// v' simulates u'.
+std::vector<std::vector<VertexId>> SeqSimulation(const Graph& graph,
+                                                 const Pattern& pattern);
+
+/// One subgraph-isomorphism embedding: mapping[u] = data vertex matched to
+/// pattern vertex u.
+using Embedding = std::vector<VertexId>;
+
+/// Enumerates subgraph-isomorphism embeddings of `pattern` in `graph` by
+/// ordered backtracking (VF2-style feasibility checks). Stops after
+/// max_results embeddings when max_results > 0.
+std::vector<Embedding> SeqSubgraphIsomorphism(const Graph& graph,
+                                              const Pattern& pattern,
+                                              size_t max_results = 0);
+
+/// Computes a connected matching order for `pattern`: a permutation of
+/// pattern vertices such that every vertex (after the first) has at least
+/// one earlier neighbour. Starts from the vertex with the most constraints
+/// (highest degree). Shared by the sequential and distributed matchers.
+std::vector<uint32_t> BuildMatchingOrder(const Pattern& pattern);
+
+}  // namespace grape
+
+#endif  // GRAPE_APPS_SEQ_SEQ_MATCHING_H_

@@ -1,0 +1,139 @@
+#include "apps/sim.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace grape {
+
+namespace {
+
+/// Recomputes the mask of inner vertex v from its local out-neighbourhood;
+/// returns true if the mask shrank. Outer neighbours' masks are whatever the
+/// owner last broadcast (a superset of the truth between rounds, which
+/// preserves soundness of the refinement).
+bool RefineVertex(const Pattern& pattern, const Fragment& frag,
+                  ParamStore<uint64_t>& params, LocalId v) {
+  uint64_t m = params.Get(v);
+  if (m == 0) return false;
+  uint64_t next = m;
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    if (!(m & (1ULL << u))) continue;
+    for (const auto& [u2, elabel] : pattern.Out(u)) {
+      bool witness = false;
+      for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+        if (nb.label == elabel && (params.Get(nb.local) & (1ULL << u2))) {
+          witness = true;
+          break;
+        }
+      }
+      if (!witness) {
+        next &= ~(1ULL << u);
+        break;
+      }
+    }
+  }
+  if (next == m) return false;
+  params.Set(v, next);
+  return true;
+}
+
+/// Worklist refinement until the local fixed point; seeds are inner
+/// vertices to re-check.
+void RefineLoop(const Pattern& pattern, const Fragment& frag,
+                ParamStore<uint64_t>& params, std::deque<LocalId> worklist) {
+  std::vector<uint8_t> queued(frag.num_local(), 0);
+  for (LocalId v : worklist) queued[v] = 1;
+  while (!worklist.empty()) {
+    LocalId v = worklist.front();
+    worklist.pop_front();
+    queued[v] = 0;
+    if (!RefineVertex(pattern, frag, params, v)) continue;
+    // v's mask shrank: every inner predecessor may lose a witness.
+    for (const FragNeighbor& nb : frag.InNeighbors(v)) {
+      if (frag.IsInner(nb.local) && !queued[nb.local]) {
+        queued[nb.local] = 1;
+        worklist.push_back(nb.local);
+      }
+    }
+  }
+}
+
+uint64_t LabelMask(const Pattern& pattern, Label label) {
+  uint64_t m = 0;
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    if (pattern.vertex_label(u) == label) m |= (1ULL << u);
+  }
+  return m;
+}
+
+}  // namespace
+
+void SimApp::PEval(const QueryType& query, const Fragment& frag,
+                   ParamStore<uint64_t>& params) {
+  // Declare parameters: label-based candidate masks for every local vertex.
+  // Outer copies start from the same deterministic value their owner uses,
+  // so the initial state is globally consistent without any message.
+  for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+    params.UntrackedRef(lid) =
+        LabelMask(query.pattern, frag.vertex_label(lid));
+  }
+  std::deque<LocalId> worklist;
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    worklist.push_back(lid);
+  }
+  RefineLoop(query.pattern, frag, params, std::move(worklist));
+}
+
+void SimApp::IncEval(const QueryType& query, const Fragment& frag,
+                     ParamStore<uint64_t>& params,
+                     const std::vector<LocalId>& updated) {
+  // `updated` lists outer vertices whose masks shrank at their owner;
+  // re-check their inner predecessors.
+  std::deque<LocalId> worklist;
+  std::vector<uint8_t> queued(frag.num_local(), 0);
+  for (LocalId w : updated) {
+    for (const FragNeighbor& nb : frag.InNeighbors(w)) {
+      if (frag.IsInner(nb.local) && !queued[nb.local]) {
+        queued[nb.local] = 1;
+        worklist.push_back(nb.local);
+      }
+    }
+    // In the full-re-evaluation ablation the engine passes inner vertices
+    // here as well; re-check them directly.
+    if (frag.IsInner(w) && !queued[w]) {
+      queued[w] = 1;
+      worklist.push_back(w);
+    }
+  }
+  RefineLoop(query.pattern, frag, params, std::move(worklist));
+}
+
+SimApp::PartialType SimApp::GetPartial(const QueryType& query,
+                                       const Fragment& frag,
+                                       const ParamStore<uint64_t>& params) const {
+  PartialType partial(query.pattern.num_vertices());
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    uint64_t m = params.Get(lid);
+    while (m != 0) {
+      int u = __builtin_ctzll(m);
+      partial[u].push_back(frag.Gid(lid));
+      m &= m - 1;
+    }
+  }
+  return partial;
+}
+
+SimApp::OutputType SimApp::Assemble(const QueryType& query,
+                                    std::vector<PartialType>&& partials) {
+  SimOutput out;
+  out.sim.resize(query.pattern.num_vertices());
+  for (PartialType& p : partials) {
+    for (uint32_t u = 0; u < p.size(); ++u) {
+      out.sim[u].insert(out.sim[u].end(), p[u].begin(), p[u].end());
+    }
+  }
+  for (auto& v : out.sim) std::sort(v.begin(), v.end());
+  return out;
+}
+
+}  // namespace grape

@@ -1,0 +1,249 @@
+#include "apps/subiso.h"
+
+#include <algorithm>
+
+namespace grape {
+
+namespace {
+
+/// Number of matched order positions; embeddings always fill a prefix of
+/// the matching order.
+size_t DepthOf(const std::vector<uint32_t>& order,
+               const std::vector<VertexId>& match) {
+  size_t depth = 0;
+  while (depth < order.size() && match[order[depth]] != kInvalidVertex) {
+    ++depth;
+  }
+  return depth;
+}
+
+bool UsesVertex(const std::vector<VertexId>& match, uint32_t k,
+                VertexId gid) {
+  for (uint32_t u = 0; u < k; ++u) {
+    if (match[u] == gid) return true;
+  }
+  return false;
+}
+
+/// Scans `rows` for an edge to a *local* endpoint with the given label.
+bool HasEdgeToLocal(std::span<const FragNeighbor> rows, LocalId target,
+                    Label label) {
+  for (const FragNeighbor& nb : rows) {
+    if (nb.local == target && nb.label == label) return true;
+  }
+  return false;
+}
+
+/// Scans `rows` for an edge to a *global* endpoint with the given label.
+bool HasEdgeToGid(const Fragment& frag, std::span<const FragNeighbor> rows,
+                  VertexId gid, Label label) {
+  for (const FragNeighbor& nb : rows) {
+    if (frag.Gid(nb.local) == gid && nb.label == label) return true;
+  }
+  return false;
+}
+
+/// Verifies every pattern edge between u and already-matched vertices from
+/// vertex b's side. Requires b to be inner (full adjacency).
+bool VerifyFromB(const Fragment& frag, const Pattern& pattern,
+                 const std::vector<VertexId>& match, uint32_t u,
+                 LocalId b_lid) {
+  for (const auto& [w, l] : pattern.Out(u)) {
+    if (w == u || match[w] == kInvalidVertex) continue;
+    if (!HasEdgeToGid(frag, frag.OutNeighbors(b_lid), match[w], l)) {
+      return false;
+    }
+  }
+  for (const auto& [w, l] : pattern.In(u)) {
+    if (w == u || match[w] == kInvalidVertex) continue;
+    if (!HasEdgeToGid(frag, frag.InNeighbors(b_lid), match[w], l)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void SubIsoApp::Extend(const QueryType& query, const Fragment& frag,
+                       ParamStore<ValueType>& params,
+                       std::vector<VertexId>& match, size_t depth) {
+  const Pattern& pattern = query.pattern;
+  const uint32_t k = pattern.num_vertices();
+  if (query.max_results > 0 && results_.size() >= query.max_results) return;
+  if (depth == k) {
+    results_.emplace_back(match.begin(), match.begin() + k);
+    return;
+  }
+
+  const uint32_t u = order_[depth];
+  // Anchor: the first earlier order vertex adjacent to u in the pattern
+  // (BuildMatchingOrder guarantees one exists for depth >= 1).
+  uint32_t anchor = kInvalidVertex;
+  bool anchor_out = true;
+  Label anchor_label = 0;
+  for (size_t t = 0; t < depth && anchor == kInvalidVertex; ++t) {
+    uint32_t w = order_[t];
+    for (const auto& [x, l] : pattern.Out(w)) {
+      if (x == u) {
+        anchor = w;
+        anchor_out = true;
+        anchor_label = l;
+        break;
+      }
+    }
+    if (anchor != kInvalidVertex) break;
+    for (const auto& [x, l] : pattern.In(w)) {
+      if (x == u) {
+        anchor = w;
+        anchor_out = false;
+        anchor_label = l;
+        break;
+      }
+    }
+  }
+
+  const VertexId a_gid = match[anchor];
+  const LocalId a_lid = frag.Lid(a_gid);
+  if (a_lid == kInvalidLocal || !frag.IsInner(a_lid)) {
+    // The anchor's full adjacency lives at its owner: forward the embedding
+    // there and resume (flag 0: nothing pending verification).
+    match[k] = 0;
+    if (a_lid != kInvalidLocal) {
+      params.Mutate(a_lid).push_back(match);
+    } else {
+      params.PostRemote(a_gid, {match});
+    }
+    return;
+  }
+
+  std::span<const FragNeighbor> rows =
+      anchor_out ? frag.OutNeighbors(a_lid) : frag.InNeighbors(a_lid);
+  for (const FragNeighbor& nb : rows) {
+    if (nb.label != anchor_label) continue;
+    const LocalId b_lid = nb.local;
+    const VertexId b_gid = frag.Gid(b_lid);
+    if (frag.vertex_label(b_lid) != pattern.vertex_label(u)) continue;
+    if (UsesVertex(match, k, b_gid)) continue;  // injectivity
+
+    // Verify the remaining pattern edges between u and matched vertices.
+    // Each edge is checkable from whichever endpoint is inner; if neither
+    // is, verification is deferred to b's owner.
+    bool ok = true;
+    bool defer = false;
+    const bool b_inner = frag.IsInner(b_lid);
+    auto check = [&](uint32_t w, Label l, bool u_to_w) {
+      if (!ok || defer) return;
+      if (w == u || match[w] == kInvalidVertex) return;
+      const VertexId c_gid = match[w];
+      if (w == anchor && c_gid == a_gid) {
+        // The anchor edge that generated this candidate may still need a
+        // direction/label distinct from (anchor_out, anchor_label); check
+        // cheaply below like any other edge.
+      }
+      const LocalId c_lid = frag.Lid(c_gid);
+      if (b_inner) {
+        ok = u_to_w
+                 ? HasEdgeToGid(frag, frag.OutNeighbors(b_lid), c_gid, l)
+                 : HasEdgeToGid(frag, frag.InNeighbors(b_lid), c_gid, l);
+      } else if (c_lid != kInvalidLocal && frag.IsInner(c_lid)) {
+        // From c's side: pattern edge u->w is a data edge b->c, i.e. an
+        // in-edge of c (and vice versa).
+        ok = u_to_w ? HasEdgeToLocal(frag.InNeighbors(c_lid), b_lid, l)
+                    : HasEdgeToLocal(frag.OutNeighbors(c_lid), b_lid, l);
+      } else {
+        defer = true;
+      }
+    };
+    for (const auto& [w, l] : pattern.Out(u)) check(w, l, /*u_to_w=*/true);
+    for (const auto& [w, l] : pattern.In(u)) check(w, l, /*u_to_w=*/false);
+    if (!ok) continue;
+
+    match[u] = b_gid;
+    if (defer) {
+      // b's owner verifies position `depth` before extending.
+      match[k] = static_cast<VertexId>(depth + 1);
+      params.Mutate(b_lid).push_back(match);
+      match[k] = 0;
+    } else {
+      Extend(query, frag, params, match, depth + 1);
+    }
+    match[u] = kInvalidVertex;
+  }
+}
+
+void SubIsoApp::PEval(const QueryType& query, const Fragment& frag,
+                      ParamStore<ValueType>& params) {
+  results_.clear();
+  if (query.pattern.num_vertices() == 0 || !query.pattern.IsConnected()) {
+    return;
+  }
+  order_ = BuildMatchingOrder(query.pattern);
+  const uint32_t k = query.pattern.num_vertices();
+  std::vector<VertexId> match(k + 1, kInvalidVertex);
+  match[k] = 0;
+
+  // Graph-level optimization the paper highlights: root candidates come
+  // from the fragment's label index instead of a full vertex scan.
+  index_ = LabelIndex(frag);
+  const uint32_t root = order_[0];
+  for (LocalId lid : index_.InnerWithLabel(query.pattern.vertex_label(root))) {
+    match[root] = frag.Gid(lid);
+    Extend(query, frag, params, match, 1);
+    match[root] = kInvalidVertex;
+  }
+}
+
+void SubIsoApp::IncEval(const QueryType& query, const Fragment& frag,
+                        ParamStore<ValueType>& params,
+                        const std::vector<LocalId>& updated) {
+  if (order_.empty()) return;  // degenerate pattern
+  const uint32_t k = query.pattern.num_vertices();
+  for (LocalId lid : updated) {
+    if (!frag.IsInner(lid)) continue;
+    ValueType inbox = std::move(params.UntrackedRef(lid));
+    params.UntrackedRef(lid).clear();
+    for (std::vector<VertexId>& match : inbox) {
+      if (match.size() != k + 1) continue;  // malformed, drop
+      const VertexId flag = match[k];
+      size_t depth = DepthOf(order_, match);
+      if (flag != 0) {
+        const uint32_t pos = static_cast<uint32_t>(flag - 1);
+        if (pos >= k) continue;
+        const uint32_t u = order_[pos];
+        const LocalId b_lid = frag.Lid(match[u]);
+        if (b_lid == kInvalidLocal || !frag.IsInner(b_lid)) continue;
+        if (!VerifyFromB(frag, query.pattern, match, u, b_lid)) continue;
+        match[k] = 0;
+      }
+      Extend(query, frag, params, match, depth);
+    }
+  }
+}
+
+SubIsoApp::PartialType SubIsoApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<ValueType>& params) const {
+  (void)query;
+  (void)frag;
+  (void)params;
+  return results_;
+}
+
+SubIsoApp::OutputType SubIsoApp::Assemble(const QueryType& query,
+                                          std::vector<PartialType>&& partials) {
+  (void)query;
+  SubIsoOutput out;
+  for (PartialType& p : partials) {
+    out.embeddings.insert(out.embeddings.end(),
+                          std::make_move_iterator(p.begin()),
+                          std::make_move_iterator(p.end()));
+  }
+  std::sort(out.embeddings.begin(), out.embeddings.end());
+  out.embeddings.erase(
+      std::unique(out.embeddings.begin(), out.embeddings.end()),
+      out.embeddings.end());
+  return out;
+}
+
+}  // namespace grape

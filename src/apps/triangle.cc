@@ -1,0 +1,102 @@
+#include "apps/triangle.h"
+
+#include <algorithm>
+
+namespace grape {
+
+namespace {
+
+/// Unique neighbour gids of `lid` in the undirected view, excluding self.
+std::vector<VertexId> NeighborGids(const Fragment& frag, LocalId lid) {
+  std::vector<VertexId> gids;
+  VertexId self = frag.Gid(lid);
+  for (const FragNeighbor& nb : frag.OutNeighbors(lid)) {
+    if (frag.Gid(nb.local) != self) gids.push_back(frag.Gid(nb.local));
+  }
+  if (frag.is_directed()) {
+    for (const FragNeighbor& nb : frag.InNeighbors(lid)) {
+      if (frag.Gid(nb.local) != self) gids.push_back(frag.Gid(nb.local));
+    }
+  }
+  std::sort(gids.begin(), gids.end());
+  gids.erase(std::unique(gids.begin(), gids.end()), gids.end());
+  return gids;
+}
+
+/// Does the undirected edge (x, y_gid) exist, judged from inner vertex x's
+/// full adjacency?
+bool HasUndirectedEdge(const Fragment& frag, LocalId x, VertexId y_gid) {
+  for (const FragNeighbor& nb : frag.OutNeighbors(x)) {
+    if (frag.Gid(nb.local) == y_gid) return true;
+  }
+  if (frag.is_directed()) {
+    for (const FragNeighbor& nb : frag.InNeighbors(x)) {
+      if (frag.Gid(nb.local) == y_gid) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void TriangleApp::PEval(const QueryType& query, const Fragment& frag,
+                        ParamStore<ValueType>& params) {
+  (void)query;
+  local_count_ = 0;
+  for (LocalId v = 0; v < frag.num_inner(); ++v) {
+    const VertexId v_gid = frag.Gid(v);
+    std::vector<VertexId> nbrs = NeighborGids(frag, v);
+    // Wedges u - v - w with u < v < w; `nbrs` is sorted, so split it around
+    // v's id.
+    auto mid = std::lower_bound(nbrs.begin(), nbrs.end(), v_gid);
+    for (auto u_it = nbrs.begin(); u_it != mid; ++u_it) {
+      const LocalId u_lid = frag.Lid(*u_it);
+      const bool u_inner = u_lid != kInvalidLocal && frag.IsInner(u_lid);
+      for (auto w_it = mid; w_it != nbrs.end(); ++w_it) {
+        if (*w_it == v_gid) continue;
+        const LocalId w_lid = frag.Lid(*w_it);
+        if (u_inner) {
+          if (HasUndirectedEdge(frag, u_lid, *w_it)) ++local_count_;
+        } else if (w_lid != kInvalidLocal && frag.IsInner(w_lid)) {
+          if (HasUndirectedEdge(frag, w_lid, *u_it)) ++local_count_;
+        } else {
+          // Neither endpoint's full adjacency is local: ask u's owner.
+          params.Mutate(u_lid).push_back(*w_it);
+        }
+      }
+    }
+  }
+}
+
+void TriangleApp::IncEval(const QueryType& query, const Fragment& frag,
+                          ParamStore<ValueType>& params,
+                          const std::vector<LocalId>& updated) {
+  (void)query;
+  for (LocalId u : updated) {
+    if (!frag.IsInner(u)) continue;
+    ValueType inbox = std::move(params.UntrackedRef(u));
+    params.UntrackedRef(u).clear();
+    for (VertexId w : inbox) {
+      if (HasUndirectedEdge(frag, u, w)) ++local_count_;
+    }
+  }
+}
+
+TriangleApp::PartialType TriangleApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<ValueType>& params) const {
+  (void)query;
+  (void)frag;
+  (void)params;
+  return local_count_;
+}
+
+TriangleApp::OutputType TriangleApp::Assemble(
+    const QueryType& query, std::vector<PartialType>&& partials) {
+  (void)query;
+  TriangleOutput out;
+  for (uint64_t c : partials) out.triangles += c;
+  return out;
+}
+
+}  // namespace grape

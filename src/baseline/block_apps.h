@@ -1,0 +1,148 @@
+#ifndef GRAPE_BASELINE_BLOCK_APPS_H_
+#define GRAPE_BASELINE_BLOCK_APPS_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/block_engine.h"
+#include "graph/types.h"
+
+namespace grape {
+
+/// Blogel-style SSSP: B-compute applies incoming distances and then runs
+/// Bellman-Ford sweeps over the whole block until the block is locally
+/// stable — a full (unbounded) local evaluation each superstep, in contrast
+/// to GRAPE's heap-based bounded IncEval. Each vertex improved in this
+/// superstep emits one uncombined message per cross edge.
+class BlockSssp {
+ public:
+  using MessageType = double;
+  using VertexValueType = double;
+
+  explicit BlockSssp(VertexId source = 0) : source_(source) {}
+
+  VertexValueType InitValue(VertexId gid, VertexId num_vertices) const {
+    (void)num_vertices;
+    return gid == source_ ? 0.0 : kInfDistance;
+  }
+
+  bool BCompute(const Fragment& frag, std::vector<double>& vals,
+                const std::unordered_map<LocalId, std::vector<double>>& inbox,
+                uint32_t superstep, VertexMessageBus<double>* bus) {
+    std::vector<uint8_t> improved(frag.num_inner(), superstep == 0 ? 1 : 0);
+    bool changed = false;
+    for (const auto& [lid, msgs] : inbox) {
+      for (double m : msgs) {
+        if (m < vals[lid]) {
+          vals[lid] = m;
+          improved[lid] = 1;
+          changed = true;
+        }
+      }
+    }
+    // Bellman-Ford sweeps over all inner vertices until stable: the whole
+    // block is rescanned per sweep regardless of how few vertices changed.
+    bool swept = true;
+    while (swept) {
+      swept = false;
+      for (LocalId v = 0; v < frag.num_inner(); ++v) {
+        if (vals[v] == kInfDistance) continue;
+        for (const FragNeighbor& e : frag.OutNeighbors(v)) {
+          if (!frag.IsInner(e.local)) continue;
+          double nd = vals[v] + e.weight;
+          if (nd < vals[e.local]) {
+            vals[e.local] = nd;
+            improved[e.local] = 1;
+            swept = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    bool sent = false;
+    for (LocalId v = 0; v < frag.num_inner(); ++v) {
+      if (!improved[v] || vals[v] == kInfDistance) continue;
+      for (const FragNeighbor& e : frag.OutNeighbors(v)) {
+        if (frag.IsInner(e.local)) continue;
+        bus->Send(frag.Gid(e.local), vals[v] + e.weight);
+        sent = true;
+      }
+    }
+    return changed || sent;
+  }
+
+ private:
+  VertexId source_;
+};
+
+/// Blogel-style connected components: min-label flooding with full local
+/// sweeps per superstep.
+class BlockCc {
+ public:
+  using MessageType = VertexId;
+  using VertexValueType = VertexId;
+
+  VertexValueType InitValue(VertexId gid, VertexId num_vertices) const {
+    (void)num_vertices;
+    return gid;
+  }
+
+  bool BCompute(const Fragment& frag, std::vector<VertexId>& vals,
+                const std::unordered_map<LocalId, std::vector<VertexId>>& inbox,
+                uint32_t superstep, VertexMessageBus<VertexId>* bus) {
+    std::vector<uint8_t> improved(frag.num_inner(), superstep == 0 ? 1 : 0);
+    bool changed = false;
+    for (const auto& [lid, msgs] : inbox) {
+      for (VertexId m : msgs) {
+        if (m < vals[lid]) {
+          vals[lid] = m;
+          improved[lid] = 1;
+          changed = true;
+        }
+      }
+    }
+    bool swept = true;
+    while (swept) {
+      swept = false;
+      for (LocalId v = 0; v < frag.num_inner(); ++v) {
+        auto relax = [&](const FragNeighbor& e) {
+          if (!frag.IsInner(e.local)) return;
+          if (vals[v] < vals[e.local]) {
+            vals[e.local] = vals[v];
+            improved[e.local] = 1;
+            swept = true;
+            changed = true;
+          } else if (vals[e.local] < vals[v]) {
+            vals[v] = vals[e.local];
+            improved[v] = 1;
+            swept = true;
+            changed = true;
+          }
+        };
+        for (const FragNeighbor& e : frag.OutNeighbors(v)) relax(e);
+        if (frag.is_directed()) {
+          for (const FragNeighbor& e : frag.InNeighbors(v)) relax(e);
+        }
+      }
+    }
+    bool sent = false;
+    for (LocalId v = 0; v < frag.num_inner(); ++v) {
+      if (!improved[v]) continue;
+      auto emit = [&](const FragNeighbor& e) {
+        if (frag.IsInner(e.local)) return;
+        bus->Send(frag.Gid(e.local), vals[v]);
+        sent = true;
+      };
+      for (const FragNeighbor& e : frag.OutNeighbors(v)) emit(e);
+      if (frag.is_directed()) {
+        for (const FragNeighbor& e : frag.InNeighbors(v)) emit(e);
+      }
+    }
+    return changed || sent;
+  }
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_BASELINE_BLOCK_APPS_H_

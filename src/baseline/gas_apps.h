@@ -1,0 +1,84 @@
+#ifndef GRAPE_BASELINE_GAS_APPS_H_
+#define GRAPE_BASELINE_GAS_APPS_H_
+
+#include <algorithm>
+
+#include "baseline/gas_engine.h"
+#include "graph/types.h"
+
+namespace grape {
+
+/// GraphLab-style SSSP: gather the minimum of in-neighbour distance + edge
+/// weight; apply keeps the improvement and re-schedules out-neighbours.
+class GasSssp {
+ public:
+  using GatherType = double;
+  using VertexValueType = double;
+  static constexpr bool kGatherBoth = false;
+
+  explicit GasSssp(VertexId source = 0) : source_(source) {}
+
+  VertexValueType InitValue(VertexId gid, VertexId n) const {
+    (void)n;
+    return gid == source_ ? 0.0 : kInfDistance;
+  }
+  bool IsInitiallyActive(VertexId gid) const { return gid == source_; }
+
+  GatherType IdentityGather() const { return kInfDistance; }
+  GatherType Gather(const FragNeighbor& in_edge,
+                    const VertexValueType& nbr_val) const {
+    return nbr_val == kInfDistance ? kInfDistance : nbr_val + in_edge.weight;
+  }
+  GatherType Merge(const GatherType& a, const GatherType& b) const {
+    return std::min(a, b);
+  }
+  bool Apply(VertexValueType& val, const GatherType& total) const {
+    if (total < val) {
+      val = total;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  VertexId source_;
+};
+
+/// GraphLab-style connected components: min label over both edge
+/// directions.
+class GasCc {
+ public:
+  using GatherType = VertexId;
+  using VertexValueType = VertexId;
+  static constexpr bool kGatherBoth = true;
+
+  VertexValueType InitValue(VertexId gid, VertexId n) const {
+    (void)n;
+    return gid;
+  }
+  bool IsInitiallyActive(VertexId gid) const {
+    (void)gid;
+    return true;
+  }
+
+  GatherType IdentityGather() const { return kInvalidVertex; }
+  GatherType Gather(const FragNeighbor& edge,
+                    const VertexValueType& nbr_val) const {
+    (void)edge;
+    return nbr_val;
+  }
+  GatherType Merge(const GatherType& a, const GatherType& b) const {
+    return std::min(a, b);
+  }
+  bool Apply(VertexValueType& val, const GatherType& total) const {
+    if (total < val) {
+      val = total;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_BASELINE_GAS_APPS_H_

@@ -1,0 +1,105 @@
+#ifndef GRAPE_BASELINE_TRANSPORT_H_
+#define GRAPE_BASELINE_TRANSPORT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/codec.h"
+#include "partition/fragment.h"
+#include "rt/comm_world.h"
+
+namespace grape {
+
+/// Vertex-addressed message transport shared by the baseline engines
+/// (vertex-centric and block-centric): workers exchange (gid, payload)
+/// pairs directly, one serialized batch per destination worker per
+/// superstep — the Pregel/Blogel wire model, in contrast to GRAPE's
+/// coordinator-aggregated update parameters.
+template <typename Msg>
+class VertexMessageBus {
+ public:
+  VertexMessageBus(CommWorld* world, const FragmentedGraph* fg, uint32_t self)
+      : world_(world), fg_(fg), self_(self) {}
+
+  /// Buffers a message for the owner of `dst`.
+  void Send(VertexId dst, const Msg& msg) {
+    outgoing_[(*fg_->owner)[dst]].emplace_back(dst, msg);
+    ++logical_sent_;
+  }
+
+  /// Buffers with a combiner: per (destination vertex) at this sender, two
+  /// messages combine into one (the Giraph combiner optimization).
+  template <typename Combiner>
+  void SendCombined(VertexId dst, const Msg& msg, Combiner&& combine) {
+    auto& slot = combined_[(*fg_->owner)[dst]];
+    auto [it, inserted] = slot.try_emplace(dst, msg);
+    if (!inserted) {
+      it->second = combine(it->second, msg);
+    } else {
+      ++logical_sent_;
+    }
+  }
+
+  /// Serializes and ships all buffered messages. Returns how many batches
+  /// were sent.
+  Status Flush() {
+    for (auto& [dst_worker, buffer] : combined_) {
+      auto& flat = outgoing_[dst_worker];
+      for (auto& [gid, msg] : buffer) flat.emplace_back(gid, msg);
+      buffer.clear();
+    }
+    for (auto& [dst_worker, buffer] : outgoing_) {
+      if (buffer.empty()) continue;
+      Encoder enc;
+      enc.WriteVarint(buffer.size());
+      for (const auto& [gid, msg] : buffer) {
+        enc.WriteU32(gid);
+        EncodeValue(enc, msg);
+      }
+      GRAPE_RETURN_NOT_OK(
+          world_->Send(self_, dst_worker, kTagVertexMessage, enc.TakeBuffer()));
+      buffer.clear();
+    }
+    return Status::OK();
+  }
+
+  /// Drains this worker's inbox into per-local-vertex message lists.
+  /// Returns the number of messages received.
+  Result<size_t> Receive(const Fragment& frag,
+                         std::unordered_map<LocalId, std::vector<Msg>>* inbox) {
+    size_t received = 0;
+    while (auto rt = world_->TryRecv(self_, kTagVertexMessage)) {
+      Decoder dec(rt->payload);
+      uint64_t count = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        VertexId gid = 0;
+        Msg msg{};
+        GRAPE_RETURN_NOT_OK(dec.ReadU32(&gid));
+        GRAPE_RETURN_NOT_OK(DecodeValue(dec, &msg));
+        LocalId lid = frag.Lid(gid);
+        if (lid == kInvalidLocal || !frag.IsInner(lid)) {
+          return Status::Internal("vertex message for non-owned vertex");
+        }
+        (*inbox)[lid].push_back(std::move(msg));
+        ++received;
+      }
+    }
+    return received;
+  }
+
+  uint64_t logical_sent() const { return logical_sent_; }
+
+ private:
+  CommWorld* world_;
+  const FragmentedGraph* fg_;
+  uint32_t self_;
+  std::unordered_map<uint32_t, std::vector<std::pair<VertexId, Msg>>>
+      outgoing_;
+  std::unordered_map<uint32_t, std::unordered_map<VertexId, Msg>> combined_;
+  uint64_t logical_sent_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_BASELINE_TRANSPORT_H_

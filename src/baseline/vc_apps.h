@@ -1,0 +1,128 @@
+#ifndef GRAPE_BASELINE_VC_APPS_H_
+#define GRAPE_BASELINE_VC_APPS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/vc_engine.h"
+#include "graph/types.h"
+
+namespace grape {
+
+/// Classic Pregel SSSP: distance values with min combiner; improved
+/// distances propagate along out-edges; every vertex votes to halt each
+/// step and is reactivated by messages.
+class VcSssp {
+ public:
+  using MessageType = double;
+  using VertexValueType = double;
+  static constexpr bool kHasCombiner = true;
+  static MessageType Combine(const MessageType& a, const MessageType& b) {
+    return std::min(a, b);
+  }
+
+  explicit VcSssp(VertexId source = 0) : source_(source) {}
+
+  VertexValueType InitValue(VertexId gid, VertexId num_vertices) const {
+    (void)gid;
+    (void)num_vertices;
+    return kInfDistance;
+  }
+
+  void Compute(VcContext<VcSssp>& ctx, const std::vector<double>& msgs) {
+    double best = ctx.Value();
+    if (ctx.Superstep() == 0 && ctx.Id() == source_) best = 0.0;
+    for (double m : msgs) best = std::min(best, m);
+    if (best < ctx.Value()) {
+      ctx.Value() = best;
+      for (const FragNeighbor& e : ctx.OutEdges()) {
+        ctx.SendTo(ctx.GidOf(e.local), best + e.weight);
+      }
+    }
+    ctx.VoteToHalt();
+  }
+
+ private:
+  VertexId source_;
+};
+
+/// Hash-min connected components: labels propagate along both edge
+/// directions until the minimum id floods each component.
+class VcCc {
+ public:
+  using MessageType = VertexId;
+  using VertexValueType = VertexId;
+  static constexpr bool kHasCombiner = true;
+  static MessageType Combine(const MessageType& a, const MessageType& b) {
+    return std::min(a, b);
+  }
+
+  VertexValueType InitValue(VertexId gid, VertexId num_vertices) const {
+    (void)num_vertices;
+    return gid;
+  }
+
+  void Compute(VcContext<VcCc>& ctx, const std::vector<VertexId>& msgs) {
+    VertexId best = ctx.Value();
+    for (VertexId m : msgs) best = std::min(best, m);
+    if (ctx.Superstep() == 0 || best < ctx.Value()) {
+      ctx.Value() = best;
+      for (const FragNeighbor& e : ctx.OutEdges()) {
+        ctx.SendTo(ctx.GidOf(e.local), best);
+      }
+      for (const FragNeighbor& e : ctx.InEdges()) {
+        ctx.SendTo(ctx.GidOf(e.local), best);
+      }
+    }
+    ctx.VoteToHalt();
+  }
+};
+
+/// Fixed-iteration Pregel PageRank with dropped dangling mass (the same
+/// policy as PageRankApp / SeqPageRank so outputs are comparable).
+class VcPageRank {
+ public:
+  using MessageType = double;
+  using VertexValueType = double;
+  static constexpr bool kHasCombiner = true;
+  static MessageType Combine(const MessageType& a, const MessageType& b) {
+    return a + b;
+  }
+
+  VcPageRank() = default;
+  VcPageRank(double damping, uint32_t iterations)
+      : damping_(damping), iterations_(iterations) {}
+
+  VertexValueType InitValue(VertexId gid, VertexId num_vertices) const {
+    (void)gid;
+    return 1.0 / static_cast<double>(num_vertices);
+  }
+
+  void Compute(VcContext<VcPageRank>& ctx, const std::vector<double>& msgs) {
+    const double n = static_cast<double>(ctx.NumVertices());
+    if (ctx.Superstep() > 0) {
+      double sum = 0.0;
+      for (double m : msgs) sum += m;
+      ctx.Value() = (1.0 - damping_) / n + damping_ * sum;
+    }
+    if (ctx.Superstep() < iterations_) {
+      size_t deg = ctx.OutEdges().size();
+      if (deg > 0) {
+        double contribution = ctx.Value() / static_cast<double>(deg);
+        for (const FragNeighbor& e : ctx.OutEdges()) {
+          ctx.SendTo(ctx.GidOf(e.local), contribution);
+        }
+      }
+    } else {
+      ctx.VoteToHalt();
+    }
+  }
+
+ private:
+  double damping_ = 0.85;
+  uint32_t iterations_ = 50;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_BASELINE_VC_APPS_H_

@@ -1,0 +1,136 @@
+#ifndef GRAPE_CORE_AGGREGATORS_H_
+#define GRAPE_CORE_AGGREGATORS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace grape {
+
+/// Aggregate functions resolve conflicts when several workers assign values
+/// to the same update parameter (Sec. 2.2: "an aggregate function to resolve
+/// conflicts"). An aggregator defines:
+///   - Aggregate(cur, in): folds `in` into `cur`; returns true iff `cur`
+///     changed (drives the fixed-point/termination test).
+///   - kMonotonic / InOrder(next, prev): the partial order of the Assurance
+///     Theorem. When kMonotonic, every accepted change must satisfy
+///     InOrder(next, prev); the engine counts violations in debug mode.
+
+template <typename V>
+struct MinAggregator {
+  static constexpr bool kMonotonic = true;
+  static bool Aggregate(V& cur, const V& in) {
+    if (in < cur) {
+      cur = in;
+      return true;
+    }
+    return false;
+  }
+  static bool InOrder(const V& next, const V& prev) { return !(prev < next); }
+};
+
+template <typename V>
+struct MaxAggregator {
+  static constexpr bool kMonotonic = true;
+  static bool Aggregate(V& cur, const V& in) {
+    if (cur < in) {
+      cur = in;
+      return true;
+    }
+    return false;
+  }
+  static bool InOrder(const V& next, const V& prev) { return !(next < prev); }
+};
+
+/// Accumulating sum; not monotonic in general (negative deltas).
+template <typename V>
+struct SumAggregator {
+  static constexpr bool kMonotonic = false;
+  static bool Aggregate(V& cur, const V& in) {
+    if (in == V{}) return false;
+    cur += in;
+    return true;
+  }
+  static bool InOrder(const V&, const V&) { return true; }
+};
+
+/// Last-writer-wins; used where the owner is the sole writer (PageRank/CF
+/// mirror refresh), so no true conflict exists.
+template <typename V>
+struct OverwriteAggregator {
+  static constexpr bool kMonotonic = false;
+  static bool Aggregate(V& cur, const V& in) {
+    if (cur == in) return false;
+    cur = in;
+    return true;
+  }
+  static bool InOrder(const V&, const V&) { return true; }
+};
+
+/// Bitwise intersection over a set encoded as a mask; values only shrink
+/// (graph-simulation refinement).
+struct BitAndAggregator {
+  static constexpr bool kMonotonic = true;
+  static bool Aggregate(uint64_t& cur, const uint64_t& in) {
+    uint64_t next = cur & in;
+    if (next == cur) return false;
+    cur = next;
+    return true;
+  }
+  static bool InOrder(const uint64_t& next, const uint64_t& prev) {
+    return (next & prev) == next;  // next is a subset of prev
+  }
+};
+
+/// Grow-only union by concatenation (duplicate suppression is the app's
+/// concern); used for partial-match forwarding in SubIso.
+template <typename T>
+struct AppendAggregator {
+  static constexpr bool kMonotonic = true;
+  static bool Aggregate(std::vector<T>& cur, const std::vector<T>& in) {
+    if (in.empty()) return false;
+    cur.insert(cur.end(), in.begin(), in.end());
+    return true;
+  }
+  static bool InOrder(const std::vector<T>& next,
+                      const std::vector<T>& prev) {
+    return next.size() >= prev.size();
+  }
+};
+
+/// Element-wise minimum over fixed-length vectors (multi-source distance
+/// propagation in keyword search).
+struct ElementwiseMinAggregator {
+  static constexpr bool kMonotonic = true;
+  static bool Aggregate(std::vector<double>& cur,
+                        const std::vector<double>& in) {
+    bool changed = false;
+    if (cur.size() < in.size()) {
+      // Treat missing entries as +inf: adopt the incoming tail.
+      size_t old = cur.size();
+      cur.resize(in.size());
+      for (size_t i = old; i < in.size(); ++i) {
+        cur[i] = in[i];
+        changed = true;
+      }
+    }
+    for (size_t i = 0; i < std::min(cur.size(), in.size()); ++i) {
+      if (in[i] < cur[i]) {
+        cur[i] = in[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  static bool InOrder(const std::vector<double>& next,
+                      const std::vector<double>& prev) {
+    for (size_t i = 0; i < std::min(next.size(), prev.size()); ++i) {
+      if (next[i] > prev[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_CORE_AGGREGATORS_H_

@@ -1,0 +1,46 @@
+#include "core/app_registry.h"
+
+#include "util/string_util.h"
+
+namespace grape {
+
+AppRegistry& AppRegistry::Global() {
+  // Function-local static reference: safe under the static-initialization
+  // rules (never destroyed, constructed on first use).
+  static AppRegistry& registry = *new AppRegistry();
+  return registry;
+}
+
+void AppRegistry::Register(RegisteredApp app) {
+  apps_[app.name] = std::move(app);
+}
+
+Result<RegisteredApp> AppRegistry::Get(const std::string& name) const {
+  auto it = apps_.find(name);
+  if (it == apps_.end()) {
+    return Status::NotFound("no PIE program registered under '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> AppRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& [name, app] : apps_) names.push_back(name);
+  return names;
+}
+
+QueryArgs ParseQueryArgs(const std::vector<std::string>& kvs) {
+  QueryArgs args;
+  for (const std::string& kv : kvs) {
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      args[kv] = "true";
+    } else {
+      args[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+}  // namespace grape

@@ -1,0 +1,53 @@
+#ifndef GRAPE_CORE_APP_REGISTRY_H_
+#define GRAPE_CORE_APP_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "partition/fragment.h"
+#include "util/result.h"
+
+namespace grape {
+
+/// Free-form query arguments ("source=3", "pattern=triangle", ...), the
+/// string form a demo user would type into the play panel.
+using QueryArgs = std::map<std::string, std::string>;
+
+/// A PIE program registered in the GRAPE library (the demo's plug panel).
+/// `run` executes the program end to end and returns a printable summary;
+/// engine metrics are written to *metrics when non-null.
+struct RegisteredApp {
+  std::string name;
+  std::string description;
+  std::function<Result<std::string>(const FragmentedGraph&, const QueryArgs&,
+                                    const EngineOptions&,
+                                    EngineMetrics* metrics)>
+      run;
+};
+
+/// Process-wide registry keyed by query-class name ("sssp", "cc", "sim",
+/// "subiso", "keyword", "cf", ...). Developers plug programs in; end users
+/// pick one by name and play it on a fragmented graph.
+class AppRegistry {
+ public:
+  static AppRegistry& Global();
+
+  /// Registers (or replaces) a PIE program.
+  void Register(RegisteredApp app);
+
+  Result<RegisteredApp> Get(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, RegisteredApp> apps_;
+};
+
+/// Parses "k=v" strings into QueryArgs.
+QueryArgs ParseQueryArgs(const std::vector<std::string>& kvs);
+
+}  // namespace grape
+
+#endif  // GRAPE_CORE_APP_REGISTRY_H_

@@ -1,0 +1,89 @@
+#ifndef GRAPE_CORE_CODEC_H_
+#define GRAPE_CORE_CODEC_H_
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/serializer.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// Serialization of update-parameter values. Arithmetic types, enums, pairs,
+/// strings and vectors work out of the box; app-specific structs opt in by
+/// providing members
+///   void EncodeTo(Encoder&) const;
+///   static Status DecodeFrom(Decoder&, T*);
+template <typename T>
+concept SelfCodable = requires(const T ct, T t, Encoder& enc, Decoder& dec) {
+  { ct.EncodeTo(enc) };
+  { T::DecodeFrom(dec, &t) } -> std::same_as<Status>;
+};
+
+namespace codec_internal {
+
+template <typename T>
+struct IsVector : std::false_type {};
+template <typename T>
+struct IsVector<std::vector<T>> : std::true_type {};
+
+template <typename T>
+struct IsPair : std::false_type {};
+template <typename A, typename B>
+struct IsPair<std::pair<A, B>> : std::true_type {};
+
+}  // namespace codec_internal
+
+template <typename T>
+void EncodeValue(Encoder& enc, const T& value) {
+  if constexpr (SelfCodable<T>) {
+    value.EncodeTo(enc);
+  } else if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+    enc.WritePod(value);
+  } else if constexpr (codec_internal::IsVector<T>::value) {
+    enc.WriteVarint(value.size());
+    for (const auto& e : value) EncodeValue(enc, e);
+  } else if constexpr (codec_internal::IsPair<T>::value) {
+    EncodeValue(enc, value.first);
+    EncodeValue(enc, value.second);
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    enc.WriteString(value);
+  } else {
+    static_assert(SelfCodable<T>,
+                  "type lacks EncodeTo/DecodeFrom and no built-in codec");
+  }
+}
+
+template <typename T>
+Status DecodeValue(Decoder& dec, T* out) {
+  if constexpr (SelfCodable<T>) {
+    return T::DecodeFrom(dec, out);
+  } else if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+    return dec.ReadPod(out);
+  } else if constexpr (codec_internal::IsVector<T>::value) {
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    out->clear();
+    out->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      typename T::value_type e{};
+      GRAPE_RETURN_NOT_OK(DecodeValue(dec, &e));
+      out->push_back(std::move(e));
+    }
+    return Status::OK();
+  } else if constexpr (codec_internal::IsPair<T>::value) {
+    GRAPE_RETURN_NOT_OK(DecodeValue(dec, &out->first));
+    return DecodeValue(dec, &out->second);
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return dec.ReadString(out);
+  } else {
+    static_assert(SelfCodable<T>,
+                  "type lacks EncodeTo/DecodeFrom and no built-in codec");
+  }
+}
+
+}  // namespace grape
+
+#endif  // GRAPE_CORE_CODEC_H_

@@ -1,0 +1,575 @@
+#ifndef GRAPE_CORE_ENGINE_H_
+#define GRAPE_CORE_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/pie.h"
+#include "rt/comm_world.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace grape {
+
+/// Engine configuration (the demo's "play panel" knobs).
+struct EngineOptions {
+  /// Worker threads; 0 means one per fragment.
+  uint32_t num_threads = 0;
+  /// Hard stop against non-terminating (non-monotonic, mis-specified) apps.
+  uint32_t max_supersteps = 1000000;
+  /// When false, every round re-evaluates from *all* inner vertices instead
+  /// of only the message-affected ones — the "no IncEval" ablation used by
+  /// bench_inceval_bounded to demonstrate boundedness (Sec. 2.2(2)).
+  bool incremental = true;
+  /// Track the partial order of monotonic aggregators and count violations
+  /// (the Assurance Theorem's side condition).
+  bool check_monotonicity = false;
+  bool verbose = false;
+};
+
+/// Per-superstep observability (drives the Fig. 3(4)-style analytics).
+struct RoundMetrics {
+  uint32_t round = 0;
+  double seconds = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  /// Update parameters whose values changed in this round's messages.
+  uint64_t updated_params = 0;
+  double global = 0;
+};
+
+struct EngineMetrics {
+  uint32_t supersteps = 0;
+  double peval_seconds = 0;
+  double inceval_seconds = 0;
+  double coordinator_seconds = 0;
+  double assemble_seconds = 0;
+  double total_seconds = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t monotonicity_violations = 0;
+  std::vector<RoundMetrics> rounds;
+
+  std::string ToString() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "supersteps=%u total=%.3fs (peval=%.3fs inceval=%.3fs "
+                  "coord=%.3fs assemble=%.3fs) msgs=%llu bytes=%llu",
+                  supersteps, total_seconds, peval_seconds, inceval_seconds,
+                  coordinator_seconds, assemble_seconds,
+                  static_cast<unsigned long long>(messages),
+                  static_cast<unsigned long long>(bytes));
+    return buf;
+  }
+};
+
+/// GRAPE's parallel engine (Sec. 2.2): a coordinator P0 plus n workers
+/// executing the PIE fixed point under BSP. Workers run the *sequential*
+/// PEval / IncEval of the plugged-in program on whole fragments; the engine
+/// extracts changed update parameters, serializes them, routes them through
+/// the coordinator (which resolves conflicts with the app's aggregate
+/// function), and terminates when no parameter changes anywhere.
+template <PIEProgram App>
+class GrapeEngine {
+ public:
+  using Query = typename App::QueryType;
+  using Value = typename App::ValueType;
+  using Agg = typename App::AggregatorType;
+  using Partial = typename App::PartialType;
+  using Output = typename App::OutputType;
+
+  GrapeEngine(const FragmentedGraph& fg, App prototype,
+              EngineOptions options = {})
+      : fg_(fg),
+        options_(options),
+        world_(fg.num_fragments() + 1),
+        pool_(options.num_threads == 0 ? fg.num_fragments()
+                                       : options.num_threads) {
+    const FragmentId n = fg_.num_fragments();
+    apps_.assign(n, prototype);
+    stores_.resize(n);
+    updated_.resize(n);
+    phase_status_.assign(n, Status::OK());
+    flush_dirty_.assign(n, 0);
+    pending_sends_.resize(n);
+    if (options_.check_monotonicity) prev_flushed_.resize(n);
+  }
+
+  GrapeEngine(const GrapeEngine&) = delete;
+  GrapeEngine& operator=(const GrapeEngine&) = delete;
+
+  /// Runs the full PEval → IncEval* → Assemble pipeline for one query.
+  Result<Output> Run(const Query& query) {
+    WallTimer total_timer;
+    metrics_ = EngineMetrics{};
+    world_.ResetStats();
+    const FragmentId n = fg_.num_fragments();
+
+    for (FragmentId i = 0; i < n; ++i) {
+      stores_[i].Init(fg_.fragments[i].num_local(), apps_[i].InitValue());
+      updated_[i].clear();
+      if (options_.check_monotonicity) {
+        prev_flushed_[i].assign(fg_.fragments[i].num_local(),
+                                apps_[i].InitValue());
+      }
+    }
+
+    // Superstep 1: partial evaluation on every fragment in parallel.
+    // Messages are staged inside the parallel phase and dispatched after
+    // the barrier, so nothing a worker sends can be consumed in the same
+    // superstep (BSP delivery semantics).
+    {
+      ScopedTimer t(&metrics_.peval_seconds);
+      pool_.ParallelFor(0, n, [&](size_t i) {
+        apps_[i].PEval(query, fg_.fragments[i], stores_[i]);
+        FlushWorker(static_cast<FragmentId>(i));
+      });
+      metrics_.supersteps = 1;
+    }
+    GRAPE_RETURN_NOT_OK(CheckPhase());
+    uint64_t direct = DispatchSends();
+    RecordRound(0.0);
+    uint64_t dirty = TotalDirty();
+
+    // Supersteps 2..: coordinator routes, workers incrementally evaluate.
+    // Termination per Sec. 2.2(3): every worker inactive and no update
+    // parameter changed anywhere — i.e. neither in-flight messages (routed
+    // through the coordinator or sent directly) nor local parameter changes
+    // (dirty) remain.
+    while (metrics_.supersteps < options_.max_supersteps) {
+      double global = 0;
+      for (FragmentId i = 0; i < n; ++i) global += apps_[i].GlobalValue();
+      if (!metrics_.rounds.empty()) metrics_.rounds.back().global = global;
+      if (apps_[0].ShouldTerminate(metrics_.supersteps, global)) break;
+
+      uint64_t routed = 0;
+      {
+        ScopedTimer t(&metrics_.coordinator_seconds);
+        GRAPE_ASSIGN_OR_RETURN(routed, CoordinatorRoute());
+      }
+      if (routed + direct == 0 && dirty == 0) break;  // simultaneous fixpoint
+
+      WallTimer round_timer;
+      {
+        ScopedTimer t(&metrics_.inceval_seconds);
+        pool_.ParallelFor(0, n, [&](size_t i) {
+          auto fid = static_cast<FragmentId>(i);
+          Status s = ApplyMessages(fid);
+          if (!s.ok()) {
+            phase_status_[i] = s;
+            return;
+          }
+          if (!options_.incremental) {
+            // Ablation: pretend everything changed, forcing IncEval to
+            // re-evaluate the entire fragment every round.
+            updated_[i].clear();
+            for (LocalId v = 0; v < fg_.fragments[i].num_inner(); ++v) {
+              updated_[i].push_back(v);
+            }
+          }
+          apps_[i].IncEval(query, fg_.fragments[i], stores_[i], updated_[i]);
+          FlushWorker(fid);
+        });
+      }
+      metrics_.supersteps++;
+      GRAPE_RETURN_NOT_OK(CheckPhase());
+      direct = DispatchSends();
+      RecordRound(round_timer.ElapsedSeconds());
+      dirty = TotalDirty();
+      if (options_.verbose) {
+        GRAPE_LOG(kInfo) << "superstep " << metrics_.supersteps << ": "
+                         << metrics_.rounds.back().messages << " msgs";
+      }
+    }
+
+    // Termination: pull partial results and Assemble at the coordinator.
+    Output output;
+    {
+      ScopedTimer t(&metrics_.assemble_seconds);
+      std::vector<Partial> partials(n);
+      pool_.ParallelFor(0, n, [&](size_t i) {
+        partials[i] =
+            apps_[i].GetPartial(query, fg_.fragments[i], stores_[i]);
+      });
+      output = App::Assemble(query, std::move(partials));
+    }
+
+    CommStats cs = world_.stats();
+    metrics_.messages = cs.messages;
+    metrics_.bytes = cs.bytes;
+    metrics_.total_seconds = total_timer.ElapsedSeconds();
+    return output;
+  }
+
+  /// Incremental evaluation across *graph updates* (Sec. 2.1: IncEval
+  /// computes Q(G ⊕ M) from Q(G)): re-answers `query` on THIS engine's
+  /// (already updated) fragmented graph, warm-started from the converged
+  /// parameters of `previous` — an engine that ran the same query on the
+  /// pre-update graph. `touched` lists the global endpoints of the update M
+  /// (e.g. inserted edges' endpoints); only they seed IncEval, so the work
+  /// is proportional to the affected region, not |G|.
+  ///
+  /// Soundness: for monotonic apps this supports change that moves
+  /// parameters down the partial order (e.g. edge insertions for SSSP/CC).
+  /// Updates that could move values against the order (deletions under min)
+  /// require a dedicated IncEval and should fall back to Run().
+  Result<Output> RunIncremental(const Query& query,
+                                const GrapeEngine& previous,
+                                const std::vector<VertexId>& touched) {
+    WallTimer total_timer;
+    metrics_ = EngineMetrics{};
+    world_.ResetStats();
+    const FragmentId n = fg_.num_fragments();
+
+    // Warm start: every local copy adopts the owner's converged value from
+    // the previous run (unseen vertices keep InitValue).
+    for (FragmentId i = 0; i < n; ++i) {
+      const Fragment& frag = fg_.fragments[i];
+      stores_[i].Init(frag.num_local(), apps_[i].InitValue());
+      for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+        VertexId gid = frag.Gid(lid);
+        if (gid >= previous.fg_.owner->size()) continue;  // new vertex
+        FragmentId prev_owner = (*previous.fg_.owner)[gid];
+        const Fragment& prev_frag = previous.fg_.fragments[prev_owner];
+        LocalId prev_lid = prev_frag.Lid(gid);
+        if (prev_lid == kInvalidLocal) continue;
+        stores_[i].UntrackedRef(lid) =
+            previous.stores_[prev_owner].Get(prev_lid);
+      }
+      updated_[i].clear();
+      if (options_.check_monotonicity) {
+        prev_flushed_[i].assign(frag.num_local(), apps_[i].InitValue());
+      }
+    }
+    // Seed M: the update's touched vertices (all local copies).
+    for (VertexId gid : touched) {
+      for (FragmentId i = 0; i < n; ++i) {
+        LocalId lid = fg_.fragments[i].Lid(gid);
+        if (lid != kInvalidLocal) updated_[i].push_back(lid);
+      }
+    }
+
+    // IncEval-only fixed point (superstep 1 is the first IncEval).
+    {
+      ScopedTimer t(&metrics_.inceval_seconds);
+      pool_.ParallelFor(0, n, [&](size_t i) {
+        apps_[i].IncEval(query, fg_.fragments[i], stores_[i], updated_[i]);
+        FlushWorker(static_cast<FragmentId>(i));
+      });
+      metrics_.supersteps = 1;
+    }
+    GRAPE_RETURN_NOT_OK(CheckPhase());
+    uint64_t direct = DispatchSends();
+    RecordRound(0.0);
+    uint64_t dirty = TotalDirty();
+
+    while (metrics_.supersteps < options_.max_supersteps) {
+      double global = 0;
+      for (FragmentId i = 0; i < n; ++i) global += apps_[i].GlobalValue();
+      if (apps_[0].ShouldTerminate(metrics_.supersteps, global)) break;
+      uint64_t routed = 0;
+      {
+        ScopedTimer t(&metrics_.coordinator_seconds);
+        GRAPE_ASSIGN_OR_RETURN(routed, CoordinatorRoute());
+      }
+      if (routed + direct == 0 && dirty == 0) break;
+      WallTimer round_timer;
+      {
+        ScopedTimer t(&metrics_.inceval_seconds);
+        pool_.ParallelFor(0, n, [&](size_t i) {
+          auto fid = static_cast<FragmentId>(i);
+          Status s = ApplyMessages(fid);
+          if (!s.ok()) {
+            phase_status_[i] = s;
+            return;
+          }
+          apps_[i].IncEval(query, fg_.fragments[i], stores_[i], updated_[i]);
+          FlushWorker(fid);
+        });
+      }
+      metrics_.supersteps++;
+      GRAPE_RETURN_NOT_OK(CheckPhase());
+      direct = DispatchSends();
+      RecordRound(round_timer.ElapsedSeconds());
+      dirty = TotalDirty();
+    }
+
+    Output output;
+    {
+      ScopedTimer t(&metrics_.assemble_seconds);
+      std::vector<Partial> partials(n);
+      pool_.ParallelFor(0, n, [&](size_t i) {
+        partials[i] =
+            apps_[i].GetPartial(query, fg_.fragments[i], stores_[i]);
+      });
+      output = App::Assemble(query, std::move(partials));
+    }
+    CommStats cs = world_.stats();
+    metrics_.messages = cs.messages;
+    metrics_.bytes = cs.bytes;
+    metrics_.total_seconds = total_timer.ElapsedSeconds();
+    return output;
+  }
+
+  const EngineMetrics& metrics() const { return metrics_; }
+
+  /// Post-run parameter access (tests assert on converged stores).
+  const ParamStore<Value>& params(FragmentId i) const { return stores_[i]; }
+
+  FragmentId num_workers() const { return fg_.num_fragments(); }
+
+ private:
+  /// Rank of worker i in the comm world (rank 0 is the coordinator).
+  static uint32_t RankOf(FragmentId i) { return i + 1; }
+
+  Status CheckPhase() {
+    for (Status& s : phase_status_) {
+      if (!s.ok()) {
+        Status out = s;
+        s = Status::OK();
+        return out;
+      }
+    }
+    return Status::OK();
+  }
+
+  void RecordRound(double seconds) {
+    CommStats cs = world_.stats();
+    RoundMetrics rm;
+    rm.round = metrics_.supersteps;
+    rm.seconds = seconds;
+    uint64_t prev_msgs = 0;
+    uint64_t prev_bytes = 0;
+    for (const RoundMetrics& r : metrics_.rounds) {
+      prev_msgs += r.messages;
+      prev_bytes += r.bytes;
+    }
+    rm.messages = cs.messages - prev_msgs;
+    rm.bytes = cs.bytes - prev_bytes;
+    uint64_t updated = 0;
+    for (const auto& u : updated_) updated += u.size();
+    rm.updated_params = updated;
+    metrics_.rounds.push_back(rm);
+  }
+
+  /// Extracts changed in-scope parameters of worker i, serializes them and
+  /// ships them to the coordinator, one buffer per destination fragment.
+  uint64_t TotalDirty() const {
+    uint64_t total = 0;
+    for (uint64_t d : flush_dirty_) total += d;
+    return total;
+  }
+
+  void FlushWorker(FragmentId i) {
+    const Fragment& frag = fg_.fragments[i];
+    ParamStore<Value>& store = stores_[i];
+    std::vector<LocalId> changed = store.TakeChanged();
+    std::vector<std::pair<VertexId, Value>> remote = store.TakeRemote();
+    flush_dirty_[i] = changed.size() + remote.size();
+    if (changed.empty() && remote.empty()) return;
+
+    // Destination fragment -> flat list of (gid, value) updates.
+    struct Outgoing {
+      VertexId gid;
+      const Value* value;
+    };
+    std::unordered_map<FragmentId, std::vector<Outgoing>> by_dst;
+    std::vector<LocalId> reset_list;
+    for (LocalId lid : changed) {
+      const bool to_owner =
+          App::kScope != MessageScope::kToMirrors && frag.IsOuter(lid);
+      const bool to_mirrors =
+          App::kScope != MessageScope::kToOwner && frag.IsBorder(lid);
+      const VertexId gid = frag.Gid(lid);
+      if (to_owner) {
+        by_dst[frag.OwnerOf(gid)].push_back({gid, &store.Get(lid)});
+        if (App::kResetAfterFlush) reset_list.push_back(lid);
+      }
+      if (to_mirrors) {
+        for (FragmentId dst : frag.MirrorFragments(lid)) {
+          by_dst[dst].push_back({gid, &store.Get(lid)});
+        }
+      }
+      if (options_.check_monotonicity && Agg::kMonotonic &&
+          (to_owner || to_mirrors)) {
+        if (!Agg::InOrder(store.Get(lid), prev_flushed_[i][lid])) {
+          metrics_.monotonicity_violations++;
+        }
+        prev_flushed_[i][lid] = store.Get(lid);
+      }
+    }
+    for (const auto& [gid, value] : remote) {
+      by_dst[frag.OwnerOf(gid)].push_back({gid, &value});
+    }
+
+    // Deterministic destination order. Mirror refreshes have a single
+    // writer (the owner), so they need no conflict resolution and travel
+    // directly worker-to-worker; owner-bound values carry potential
+    // conflicts and go through the coordinator's aggregate function.
+    std::vector<FragmentId> dsts;
+    dsts.reserve(by_dst.size());
+    for (const auto& [dst, outgoing] : by_dst) dsts.push_back(dst);
+    std::sort(dsts.begin(), dsts.end());
+
+    for (FragmentId dst : dsts) {
+      const std::vector<Outgoing>& outgoing = by_dst[dst];
+      const bool direct = App::kScope == MessageScope::kToMirrors;
+      Encoder enc;
+      if (!direct) enc.WriteU32(dst);
+      enc.WriteVarint(outgoing.size());
+      for (const Outgoing& o : outgoing) {
+        enc.WriteU32(o.gid);
+        EncodeValue(enc, *o.value);
+      }
+      pending_sends_[i].push_back(
+          PendingSend{direct ? RankOf(dst) : kCoordinatorRank,
+                      direct ? outgoing.size() : 0, enc.TakeBuffer()});
+    }
+    for (LocalId lid : reset_list) {
+      store.UntrackedRef(lid) = apps_[i].InitValue();
+    }
+  }
+
+  /// Ships every staged buffer (runs between parallel phases); returns the
+  /// number of directly-sent updates (coordinator-bound updates are counted
+  /// when routed).
+  uint64_t DispatchSends() {
+    uint64_t direct = 0;
+    for (FragmentId i = 0; i < fg_.num_fragments(); ++i) {
+      for (PendingSend& p : pending_sends_[i]) {
+        direct += p.direct_updates;
+        Status s = world_.Send(RankOf(i), p.rank, kTagParamUpdate,
+                               std::move(p.payload));
+        GRAPE_CHECK(s.ok()) << s.ToString();
+      }
+      pending_sends_[i].clear();
+    }
+    return direct;
+  }
+
+  /// Coordinator step: collects all pending parameter updates, resolves
+  /// conflicts per (destination, vertex) with the app's aggregate function,
+  /// and forwards one consolidated buffer to each destination worker.
+  /// Returns the number of routed updates (0 signals the fixed point).
+  Result<uint64_t> CoordinatorRoute() {
+    std::vector<RtMessage> inbox = world_.DrainAll(kCoordinatorRank);
+    if (inbox.empty()) return uint64_t{0};
+    // Mailbox order is FIFO per sender; sort by sender for a deterministic
+    // merge independent of thread scheduling.
+    std::stable_sort(inbox.begin(), inbox.end(),
+                     [](const RtMessage& a, const RtMessage& b) {
+                       return a.from < b.from;
+                     });
+
+    struct DstBatch {
+      std::vector<ParamUpdate<Value>> updates;
+      std::unordered_map<VertexId, size_t> index;
+    };
+    std::unordered_map<FragmentId, DstBatch> batches;
+
+    for (const RtMessage& msg : inbox) {
+      Decoder dec(msg.payload);
+      uint32_t dst = 0;
+      uint64_t count = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&dst));
+      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&count));
+      DstBatch& batch = batches[dst];
+      for (uint64_t k = 0; k < count; ++k) {
+        VertexId gid = 0;
+        Value value{};
+        GRAPE_RETURN_NOT_OK(dec.ReadU32(&gid));
+        GRAPE_RETURN_NOT_OK(DecodeValue(dec, &value));
+        auto [it, inserted] =
+            batch.index.try_emplace(gid, batch.updates.size());
+        if (inserted) {
+          batch.updates.push_back(ParamUpdate<Value>{gid, std::move(value)});
+        } else {
+          Agg::Aggregate(batch.updates[it->second].value, value);
+        }
+      }
+    }
+
+    std::vector<FragmentId> dsts;
+    for (const auto& [dst, batch] : batches) dsts.push_back(dst);
+    std::sort(dsts.begin(), dsts.end());
+
+    uint64_t routed = 0;
+    for (FragmentId dst : dsts) {
+      DstBatch& batch = batches[dst];
+      Encoder enc;
+      enc.WriteVarint(batch.updates.size());
+      for (const ParamUpdate<Value>& u : batch.updates) {
+        enc.WriteU32(u.gid);
+        EncodeValue(enc, u.value);
+      }
+      routed += batch.updates.size();
+      GRAPE_RETURN_NOT_OK(world_.Send(kCoordinatorRank, RankOf(dst),
+                                      kTagParamUpdate, enc.TakeBuffer()));
+    }
+    return routed;
+  }
+
+  /// Applies routed updates to worker i's parameters via the aggregate
+  /// function; vertices whose value actually changed form M_i, the update
+  /// set handed to IncEval.
+  Status ApplyMessages(FragmentId i) {
+    updated_[i].clear();
+    const Fragment& frag = fg_.fragments[i];
+    ParamStore<Value>& store = stores_[i];
+    while (auto msg = world_.TryRecv(RankOf(i), kTagParamUpdate)) {
+      Decoder dec(msg->payload);
+      uint64_t count = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&count));
+      for (uint64_t k = 0; k < count; ++k) {
+        VertexId gid = 0;
+        Value value{};
+        GRAPE_RETURN_NOT_OK(dec.ReadU32(&gid));
+        GRAPE_RETURN_NOT_OK(DecodeValue(dec, &value));
+        LocalId lid = frag.Lid(gid);
+        if (lid == kInvalidLocal) {
+          return Status::Internal("routed update for unknown vertex " +
+                                  std::to_string(gid));
+        }
+        // No dirty-marking here: message application is not a local change
+        // to re-broadcast; only IncEval's own writes are.
+        if (Agg::Aggregate(store.UntrackedRef(lid), value)) {
+          updated_[i].push_back(lid);
+        }
+      }
+    }
+    std::sort(updated_[i].begin(), updated_[i].end());
+    updated_[i].erase(std::unique(updated_[i].begin(), updated_[i].end()),
+                      updated_[i].end());
+    return Status::OK();
+  }
+
+  const FragmentedGraph& fg_;
+  EngineOptions options_;
+  CommWorld world_;
+  ThreadPool pool_;
+
+  std::vector<App> apps_;                    // one instance per worker
+  std::vector<ParamStore<Value>> stores_;    // x̄_i per fragment
+  std::vector<std::vector<LocalId>> updated_;  // M_i per fragment
+  struct PendingSend {
+    uint32_t rank;
+    uint64_t direct_updates;  // 0 for coordinator-bound buffers
+    std::vector<uint8_t> payload;
+  };
+
+  std::vector<Status> phase_status_;
+  std::vector<uint64_t> flush_dirty_;  // parameters changed at last flush
+  std::vector<std::vector<PendingSend>> pending_sends_;
+  std::vector<std::vector<Value>> prev_flushed_;  // monotonicity tracking
+  EngineMetrics metrics_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_CORE_ENGINE_H_

@@ -1,0 +1,387 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace grape {
+
+namespace {
+
+/// Pairs (src, dst) packed into one word for dedup sets.
+uint64_t PackEdge(VertexId src, VertexId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+double RandomWeight(Rng& rng, double max_weight) {
+  // Integer weights in [1, max_weight]; road/SSSP benches assume positive.
+  return static_cast<double>(rng.NextInt(1, static_cast<int64_t>(max_weight)));
+}
+
+}  // namespace
+
+Result<Graph> GenerateErdosRenyi(VertexId num_vertices, size_t num_edges,
+                                 bool directed, uint64_t seed,
+                                 double max_weight) {
+  if (num_vertices < 2) {
+    return Status::InvalidArgument("ErdosRenyi requires >= 2 vertices");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(directed);
+  builder.ReserveEdges(num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = num_edges * 50 + 1000;
+  while (added < num_edges && attempts < max_attempts) {
+    ++attempts;
+    auto src = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    auto dst = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (src == dst) continue;
+    uint64_t key = directed ? PackEdge(src, dst)
+                            : PackEdge(std::min(src, dst), std::max(src, dst));
+    if (!seen.insert(key).second) continue;
+    builder.AddEdge(src, dst, RandomWeight(rng, max_weight));
+    ++added;
+  }
+  if (added < num_edges) {
+    return Status::InvalidArgument(
+        "requested edge count denser than the vertex set permits");
+  }
+  builder.AddVertex(num_vertices - 1);
+  return std::move(builder).Build(num_vertices);
+}
+
+Result<Graph> GenerateRMat(const RMatOptions& options) {
+  if (options.scale == 0 || options.scale > 28) {
+    return Status::InvalidArgument("RMat scale must be in [1, 28]");
+  }
+  double d = 1.0 - options.a - options.b - options.c;
+  if (options.a <= 0 || options.b < 0 || options.c < 0 || d < 0) {
+    return Status::InvalidArgument("RMat probabilities must be a valid pmf");
+  }
+
+  const VertexId n = 1u << options.scale;
+  const size_t m = static_cast<size_t>(options.edge_factor) * n;
+  Rng rng(options.seed);
+
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (options.permute) std::shuffle(perm.begin(), perm.end(), rng);
+
+  GraphBuilder builder(options.directed);
+  builder.ReserveEdges(m);
+  for (size_t i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (uint32_t bit = 0; bit < options.scale; ++bit) {
+      double r = rng.NextDouble();
+      int quadrant;
+      if (r < options.a) {
+        quadrant = 0;
+      } else if (r < options.a + options.b) {
+        quadrant = 1;
+      } else if (r < options.a + options.b + options.c) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      src = (src << 1) | (quadrant >> 1);
+      dst = (dst << 1) | (quadrant & 1);
+    }
+    if (src == dst) {
+      dst = (dst + 1) % n;  // repair self loops instead of rejecting
+    }
+    builder.AddEdge(perm[src], perm[dst], RandomWeight(rng, options.max_weight));
+  }
+  builder.AddVertex(n - 1);
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GenerateGridRoad(uint32_t rows, uint32_t cols, uint64_t seed,
+                               double max_weight, double shortcut_fraction) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  const uint64_t n64 = static_cast<uint64_t>(rows) * cols;
+  if (n64 >= kInvalidVertex) {
+    return Status::InvalidArgument("grid too large for 32-bit vertex ids");
+  }
+  const auto n = static_cast<VertexId>(n64);
+  Rng rng(seed);
+  GraphBuilder builder(/*directed=*/true);
+  builder.ReserveEdges(4 * n64);
+
+  auto id = [cols](uint32_t r, uint32_t c) -> VertexId {
+    return static_cast<VertexId>(r) * cols + c;
+  };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        double w = RandomWeight(rng, max_weight);
+        builder.AddEdge(id(r, c), id(r, c + 1), w);
+        builder.AddEdge(id(r, c + 1), id(r, c), w);
+      }
+      if (r + 1 < rows) {
+        double w = RandomWeight(rng, max_weight);
+        builder.AddEdge(id(r, c), id(r + 1, c), w);
+        builder.AddEdge(id(r + 1, c), id(r, c), w);
+      }
+    }
+  }
+  auto shortcuts = static_cast<size_t>(shortcut_fraction * n);
+  for (size_t i = 0; i < shortcuts; ++i) {
+    auto u = static_cast<VertexId>(rng.NextBounded(n));
+    auto v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    // Highways are longer links but cheaper per hop than the local detour.
+    double w = RandomWeight(rng, max_weight) * 3.0;
+    builder.AddEdge(u, v, w);
+    builder.AddEdge(v, u, w);
+  }
+  builder.AddVertex(n - 1);
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GeneratePath(VertexId n, bool directed) {
+  if (n == 0) return Status::InvalidArgument("empty path");
+  GraphBuilder builder(directed);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1, 1.0);
+  builder.AddVertex(n - 1);
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GenerateCycle(VertexId n, bool directed) {
+  if (n < 3) return Status::InvalidArgument("cycle needs >= 3 vertices");
+  GraphBuilder builder(directed);
+  for (VertexId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n, 1.0);
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GenerateStar(VertexId leaves, bool directed) {
+  if (leaves == 0) return Status::InvalidArgument("star needs >= 1 leaf");
+  GraphBuilder builder(directed);
+  for (VertexId v = 1; v <= leaves; ++v) builder.AddEdge(0, v, 1.0);
+  return std::move(builder).Build(leaves + 1);
+}
+
+Result<Graph> GenerateComplete(VertexId n, bool directed) {
+  if (n < 2) return Status::InvalidArgument("complete graph needs >= 2");
+  GraphBuilder builder(directed);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u != v) builder.AddEdge(u, v, 1.0);
+    }
+  }
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GenerateRandomTree(VertexId n, uint64_t seed, bool directed) {
+  if (n == 0) return Status::InvalidArgument("empty tree");
+  Rng rng(seed);
+  GraphBuilder builder(directed);
+  for (VertexId v = 1; v < n; ++v) {
+    auto parent = static_cast<VertexId>(rng.NextBounded(v));
+    builder.AddEdge(parent, v, RandomWeight(rng, 10.0));
+  }
+  builder.AddVertex(n - 1);
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GenerateBipartiteRatings(const BipartiteOptions& options) {
+  if (options.num_users == 0 || options.num_items == 0) {
+    return Status::InvalidArgument("bipartite graph needs users and items");
+  }
+  if (options.ratings_per_user > options.num_items) {
+    return Status::InvalidArgument("ratings_per_user exceeds item count");
+  }
+  Rng rng(options.seed);
+
+  // Planted low-rank model: rating(u, i) ~ clamp(round(p_u . q_i), 1, 5).
+  const uint32_t k = std::max(1u, options.latent_rank);
+  auto latent = [&](size_t count) {
+    std::vector<std::vector<double>> f(count, std::vector<double>(k));
+    for (auto& row : f) {
+      for (auto& x : row) x = 0.4 + 0.6 * rng.NextDouble();
+    }
+    return f;
+  };
+  auto user_f = latent(options.num_users);
+  auto item_f = latent(options.num_items);
+
+  GraphBuilder builder(/*directed=*/false);
+  std::vector<VertexId> items(options.num_items);
+  std::iota(items.begin(), items.end(), 0);
+  for (VertexId u = 0; u < options.num_users; ++u) {
+    std::shuffle(items.begin(), items.end(), rng);
+    for (uint32_t j = 0; j < options.ratings_per_user; ++j) {
+      VertexId item = items[j];
+      double dot = 0;
+      for (uint32_t t = 0; t < k; ++t) dot += user_f[u][t] * item_f[item][t];
+      double rating =
+          std::clamp(std::round(dot * 5.0 / k + rng.NextGaussian() * 0.3), 1.0,
+                     5.0);
+      builder.AddEdge(u, options.num_users + item, rating);
+    }
+    builder.SetVertexLabel(u, kPersonLabel);
+  }
+  for (VertexId i = 0; i < options.num_items; ++i) {
+    builder.SetVertexLabel(options.num_users + i, kItemLabel);
+  }
+  return std::move(builder).Build(options.num_users + options.num_items);
+}
+
+Result<Graph> GenerateCommunityGraph(const CommunityGraphOptions& options) {
+  const VertexId n = options.num_vertices;
+  if (n < 2 || options.num_communities == 0) {
+    return Status::InvalidArgument("community graph needs vertices & groups");
+  }
+  if (options.intra_fraction < 0.0 || options.intra_fraction > 1.0) {
+    return Status::InvalidArgument("intra_fraction must be in [0, 1]");
+  }
+  Rng rng(options.seed);
+
+  // Power-law-ish community sizes: split the id space by a random recursive
+  // proportional scheme, then shuffle vertex membership so ids don't encode
+  // the community (keeping range partitioning honest).
+  const uint32_t c = options.num_communities;
+  std::vector<VertexId> community(n);
+  for (VertexId v = 0; v < n; ++v) {
+    // Two-level sampling skews sizes: communities with small indices are
+    // proportionally larger.
+    uint64_t r = rng.NextBounded(c * (c + 1) / 2);
+    uint32_t g = 0;
+    uint64_t acc = c;
+    while (r >= acc) {
+      ++g;
+      acc += c - g;
+    }
+    community[v] = g;
+  }
+  std::vector<std::vector<VertexId>> members(c);
+  for (VertexId v = 0; v < n; ++v) members[community[v]].push_back(v);
+
+  GraphBuilder builder(options.directed);
+  const size_t m = static_cast<size_t>(options.avg_degree) * n / 2;
+  builder.ReserveEdges(m);
+  size_t added = 0;
+  size_t attempts = 0;
+  while (added < m && attempts < m * 20) {
+    ++attempts;
+    auto u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v;
+    const std::vector<VertexId>& group = members[community[u]];
+    if (group.size() > 1 && rng.NextDouble() < options.intra_fraction) {
+      v = group[rng.NextBounded(group.size())];
+    } else {
+      v = static_cast<VertexId>(rng.NextBounded(n));
+    }
+    if (u == v) continue;
+    builder.AddEdge(u, v, RandomWeight(rng, options.max_weight));
+    ++added;
+  }
+  builder.AddVertex(n - 1);
+  return std::move(builder).Build(n);
+}
+
+Result<Graph> GenerateLabeledGraph(const LabeledGraphOptions& options) {
+  RMatOptions rmat;
+  rmat.scale = options.scale;
+  rmat.edge_factor = options.edge_factor;
+  rmat.directed = options.directed;
+  rmat.seed = options.seed;
+  auto base = GenerateRMat(rmat);
+  if (!base.ok()) return base.status();
+
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  GraphBuilder builder(options.directed);
+  for (const Edge& e : base->ToEdgeList()) {
+    Edge labeled = e;
+    labeled.label = options.num_edge_labels <= 1
+                        ? 0
+                        : static_cast<Label>(
+                              rng.NextBounded(options.num_edge_labels));
+    builder.AddEdge(labeled);
+  }
+  for (VertexId v = 0; v < base->num_vertices(); ++v) {
+    builder.SetVertexLabel(
+        v, static_cast<Label>(rng.NextBounded(options.num_vertex_labels)));
+  }
+  return std::move(builder).Build(base->num_vertices());
+}
+
+Result<Graph> GenerateSocialGraph(const SocialGraphOptions& options) {
+  if (options.num_persons < 10 || options.num_items == 0) {
+    return Status::InvalidArgument("social graph too small");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder(/*directed=*/true);
+  const VertexId np = options.num_persons;
+  const VertexId item_base = np;
+
+  // Power-law-ish follow graph via preferential attachment on a ring base.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(np * options.avg_follows / 2);
+  std::unordered_set<uint64_t> follow_seen;
+  for (VertexId p = 0; p < np; ++p) {
+    uint32_t follows =
+        1 + static_cast<uint32_t>(rng.NextBounded(2 * options.avg_follows - 1));
+    for (uint32_t f = 0; f < follows; ++f) {
+      VertexId target;
+      if (!endpoint_pool.empty() && rng.NextBool(0.6)) {
+        target = endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      } else {
+        target = static_cast<VertexId>(rng.NextBounded(np));
+      }
+      if (target == p) continue;
+      if (!follow_seen.insert(PackEdge(p, target)).second) continue;
+      builder.AddEdge(p, target, 1.0, kFollowsLabel);
+      endpoint_pool.push_back(target);
+    }
+  }
+
+  // Random person->item interactions.
+  for (VertexId p = 0; p < np; ++p) {
+    for (VertexId i = 0; i < options.num_items; ++i) {
+      double r = rng.NextDouble();
+      if (r < options.recommend_prob * 2.0 / options.num_items) {
+        builder.AddEdge(p, item_base + i, 1.0, kRecommendsLabel);
+      } else if (r < (options.recommend_prob + options.bad_rating_prob) * 2.0 /
+                         options.num_items) {
+        builder.AddEdge(p, item_base + i, 1.0, kRatesBadLabel);
+      }
+    }
+  }
+
+  // Plant customers whose followees all (or >= 80%) recommend item 0 and
+  // none rates it badly, so the demo GPAR has guaranteed matches.
+  auto planted =
+      static_cast<VertexId>(options.planted_customer_fraction * np);
+  for (VertexId j = 0; j < planted; ++j) {
+    VertexId x = static_cast<VertexId>(rng.NextBounded(np));
+    // Give x a clean set of fresh followees who recommend item 0. Fresh
+    // followees are drawn from a reserved id range tail to avoid bad edges.
+    uint32_t fan = 5 + static_cast<uint32_t>(rng.NextBounded(5));
+    for (uint32_t f = 0; f < fan; ++f) {
+      VertexId followee = static_cast<VertexId>(rng.NextBounded(np));
+      if (followee == x) continue;
+      if (follow_seen.insert(PackEdge(x, followee)).second) {
+        builder.AddEdge(x, followee, 1.0, kFollowsLabel);
+      }
+      builder.AddEdge(followee, item_base, 1.0, kRecommendsLabel);
+    }
+  }
+
+  for (VertexId p = 0; p < np; ++p) builder.SetVertexLabel(p, kPersonLabel);
+  for (VertexId i = 0; i < options.num_items; ++i) {
+    builder.SetVertexLabel(item_base + i, kItemLabel);
+  }
+  return std::move(builder).Build(np + options.num_items);
+}
+
+}  // namespace grape

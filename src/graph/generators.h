@@ -1,0 +1,128 @@
+#ifndef GRAPE_GRAPH_GENERATORS_H_
+#define GRAPE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace grape {
+
+/// Deterministic synthetic graph generators. They stand in for the paper's
+/// datasets: GridRoad for the US road network (large diameter, bounded
+/// degree), RMat for LiveJournal/Weibo (power-law, small diameter), and
+/// BipartiteRatings for the collaborative-filtering workload. All take an
+/// explicit seed so tests and benches are reproducible.
+
+/// G(n, m) Erdős–Rényi multigraph-free random graph with uniform weights in
+/// [1, max_weight]. Self loops are excluded.
+Result<Graph> GenerateErdosRenyi(VertexId num_vertices, size_t num_edges,
+                                 bool directed, uint64_t seed,
+                                 double max_weight = 10.0);
+
+/// R-MAT power-law generator (Graph500-style recursive quadrant sampling)
+/// with 2^scale vertices and edge_factor * 2^scale edges.
+struct RMatOptions {
+  uint32_t scale = 14;
+  uint32_t edge_factor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  bool directed = true;
+  uint64_t seed = 1;
+  double max_weight = 10.0;
+  /// Shuffle vertex ids so degree does not correlate with id (as in
+  /// Graph500), which keeps range/streaming partitioners honest.
+  bool permute = true;
+};
+Result<Graph> GenerateRMat(const RMatOptions& options);
+
+/// rows x cols 4-neighbour lattice with integer-ish weights in
+/// [1, max_weight]; models a road network (large diameter). Both directions
+/// of each road segment are present. shortcut_fraction adds that fraction of
+/// |V| random long-range "highway" edges.
+Result<Graph> GenerateGridRoad(uint32_t rows, uint32_t cols, uint64_t seed,
+                               double max_weight = 10.0,
+                               double shortcut_fraction = 0.0);
+
+/// Deterministic small graphs for tests.
+Result<Graph> GeneratePath(VertexId n, bool directed = false);
+Result<Graph> GenerateCycle(VertexId n, bool directed = true);
+Result<Graph> GenerateStar(VertexId leaves, bool directed = false);
+Result<Graph> GenerateComplete(VertexId n, bool directed = false);
+
+/// Uniform random recursive tree on n vertices (connected by construction).
+Result<Graph> GenerateRandomTree(VertexId n, uint64_t seed,
+                                 bool directed = false);
+
+/// Bipartite user-item rating graph for collaborative filtering. Users take
+/// ids [0, num_users); items [num_users, num_users + num_items). Edge weight
+/// is an integer rating in [1, 5] drawn from a planted low-rank model so the
+/// factorization has signal to recover.
+struct BipartiteOptions {
+  VertexId num_users = 1000;
+  VertexId num_items = 200;
+  uint32_t ratings_per_user = 20;
+  uint32_t latent_rank = 4;
+  uint64_t seed = 7;
+};
+Result<Graph> GenerateBipartiteRatings(const BipartiteOptions& options);
+
+/// Social-network-like graph with planted community structure (a stochastic
+/// block model with skewed degrees): vertices belong to one of
+/// `num_communities` groups; each edge stays inside its endpoint's group
+/// with probability `intra_fraction`. LiveJournal-style inputs are
+/// community-rich, which is exactly what offline partitioners exploit in
+/// the paper's Sec. 3 partition-impact demo.
+struct CommunityGraphOptions {
+  VertexId num_vertices = 1 << 15;
+  uint32_t avg_degree = 12;
+  uint32_t num_communities = 64;
+  double intra_fraction = 0.9;
+  bool directed = true;
+  uint64_t seed = 5;
+  double max_weight = 10.0;
+};
+Result<Graph> GenerateCommunityGraph(const CommunityGraphOptions& options);
+
+/// Power-law graph with vertex labels drawn uniformly from
+/// [0, num_vertex_labels) and edge labels from [0, num_edge_labels); the
+/// workload for Sim / SubIso / Keyword.
+struct LabeledGraphOptions {
+  uint32_t scale = 12;
+  uint32_t edge_factor = 8;
+  uint32_t num_vertex_labels = 8;
+  uint32_t num_edge_labels = 1;
+  bool directed = true;
+  uint64_t seed = 11;
+};
+Result<Graph> GenerateLabeledGraph(const LabeledGraphOptions& options);
+
+/// Edge/vertex label vocabulary of the social-media-marketing workload
+/// (Example 2 / Fig. 4 of the paper).
+inline constexpr Label kPersonLabel = 1;
+inline constexpr Label kItemLabel = 2;
+inline constexpr Label kFollowsLabel = 1;
+inline constexpr Label kRecommendsLabel = 2;
+inline constexpr Label kRatesBadLabel = 3;
+inline constexpr Label kLikesLabel = 4;
+
+/// Social graph with "person --follows--> person" edges (power-law follower
+/// counts) and "person --recommends/rates_bad/likes--> item" edges. A
+/// fraction of persons is planted to satisfy the demo GPAR (>= 80% of their
+/// followees recommend item 0 and none rates it badly) so the marketing
+/// benchmark has guaranteed hits.
+struct SocialGraphOptions {
+  VertexId num_persons = 10000;
+  VertexId num_items = 50;
+  uint32_t avg_follows = 12;
+  double recommend_prob = 0.3;
+  double bad_rating_prob = 0.05;
+  double planted_customer_fraction = 0.02;
+  uint64_t seed = 13;
+};
+Result<Graph> GenerateSocialGraph(const SocialGraphOptions& options);
+
+}  // namespace grape
+
+#endif  // GRAPE_GRAPH_GENERATORS_H_

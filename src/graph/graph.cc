@@ -1,0 +1,108 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace grape {
+
+void GraphBuilder::TouchVertex(VertexId v) {
+  max_vertex_ = std::max(max_vertex_, v);
+  has_vertices_ = true;
+}
+
+void GraphBuilder::SetVertexLabel(VertexId v, Label label) {
+  TouchVertex(v);
+  if (labels_.size() <= v) labels_.resize(v + 1, 0);
+  labels_[v] = label;
+}
+
+Result<Graph> GraphBuilder::Build(VertexId num_vertices) && {
+  for (const Edge& e : edges_) {
+    TouchVertex(e.src);
+    TouchVertex(e.dst);
+  }
+  VertexId n = has_vertices_ ? max_vertex_ + 1 : 0;
+  if (num_vertices > 0) {
+    if (n > num_vertices) {
+      return Status::InvalidArgument(
+          "explicit vertex count does not cover all referenced vertices");
+    }
+    n = num_vertices;
+  }
+
+  Graph g;
+  g.num_vertices_ = n;
+  g.directed_ = directed_;
+  if (!labels_.empty()) {
+    labels_.resize(n, 0);
+    g.labels_ = std::move(labels_);
+  }
+
+  // Counting sort into CSR. Undirected edges are mirrored.
+  size_t arcs = directed_ ? edges_.size() : edges_.size() * 2;
+  g.out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    g.out_offsets_[e.src + 1]++;
+    if (!directed_) g.out_offsets_[e.dst + 1]++;
+  }
+  for (VertexId v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
+  g.out_neighbors_.resize(arcs);
+  {
+    std::vector<size_t> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      g.out_neighbors_[cursor[e.src]++] = Neighbor{e.dst, e.weight, e.label};
+      if (!directed_) {
+        g.out_neighbors_[cursor[e.dst]++] = Neighbor{e.src, e.weight, e.label};
+      }
+    }
+  }
+
+  if (directed_) {
+    g.in_offsets_.assign(n + 1, 0);
+    for (const Edge& e : edges_) g.in_offsets_[e.dst + 1]++;
+    for (VertexId v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+    g.in_neighbors_.resize(edges_.size());
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      g.in_neighbors_[cursor[e.dst]++] = Neighbor{e.src, e.weight, e.label};
+    }
+  }
+
+  // Sort adjacency lists by target id for deterministic iteration and
+  // binary-searchable neighbor lookups.
+  auto sort_csr = [n](std::vector<size_t>& offsets,
+                      std::vector<Neighbor>& neighbors) {
+    for (VertexId v = 0; v < n; ++v) {
+      std::sort(neighbors.begin() + offsets[v],
+                neighbors.begin() + offsets[v + 1],
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.vertex < b.vertex;
+                });
+    }
+  };
+  sort_csr(g.out_offsets_, g.out_neighbors_);
+  if (directed_) sort_csr(g.in_offsets_, g.in_neighbors_);
+
+  edges_.clear();
+  return g;
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(directed_ ? num_edges() : num_edges() / 2);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (const Neighbor& nb : OutNeighbors(v)) {
+      if (!directed_ && nb.vertex < v) continue;  // emit each edge once
+      edges.push_back(Edge{v, nb.vertex, nb.weight, nb.label});
+    }
+  }
+  return edges;
+}
+
+double Graph::TotalEdgeWeight() const {
+  double total = 0.0;
+  for (const Neighbor& nb : out_neighbors_) total += nb.weight;
+  return total;
+}
+
+}  // namespace grape

@@ -1,0 +1,140 @@
+#ifndef GRAPE_GRAPH_GRAPH_H_
+#define GRAPE_GRAPH_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// A directed edge endpoint as stored in adjacency lists.
+struct Neighbor {
+  VertexId vertex;
+  EdgeWeight weight;
+  Label label;
+};
+
+/// A fully specified edge, the unit of graph construction and I/O.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  EdgeWeight weight = 1.0;
+  Label label = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight &&
+           a.label == b.label;
+  }
+};
+
+class Graph;
+
+/// Accumulates edges and vertex attributes, then freezes them into an
+/// immutable CSR Graph. For undirected graphs each added edge is stored in
+/// both directions.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(bool directed = true) : directed_(directed) {}
+
+  void ReserveEdges(size_t n) { edges_.reserve(n); }
+
+  void AddEdge(VertexId src, VertexId dst, EdgeWeight weight = 1.0,
+               Label label = 0) {
+    edges_.push_back(Edge{src, dst, weight, label});
+  }
+  void AddEdge(const Edge& e) { edges_.push_back(e); }
+
+  /// Ensures the vertex exists even if isolated.
+  void AddVertex(VertexId v) { TouchVertex(v); }
+
+  /// Sets the label of a vertex (default 0). Implies AddVertex.
+  void SetVertexLabel(VertexId v, Label label);
+
+  /// Builds the CSR representation. num_vertices is max id + 1 (or the
+  /// explicit value passed, which must cover all ids). Fails on
+  /// self-consistency violations (e.g. edges referencing vertices beyond an
+  /// explicit vertex count).
+  Result<Graph> Build(VertexId num_vertices = 0) &&;
+
+  size_t num_edges() const { return edges_.size(); }
+
+ private:
+  void TouchVertex(VertexId v);
+
+  bool directed_;
+  std::vector<Edge> edges_;
+  std::vector<Label> labels_;  // indexed by vertex id; lazily grown
+  VertexId max_vertex_ = 0;
+  bool has_vertices_ = false;
+};
+
+/// Immutable graph in CSR form. Directed graphs carry both out- and
+/// in-adjacency so incremental algorithms can walk predecessors. Undirected
+/// graphs store each edge twice in the out-CSR and report is_directed() ==
+/// false.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  /// Number of stored directed arcs (2x logical edges when undirected).
+  size_t num_edges() const { return out_neighbors_.size(); }
+  bool is_directed() const { return directed_; }
+
+  std::span<const Neighbor> OutNeighbors(VertexId v) const {
+    return {out_neighbors_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// For directed graphs: incoming arcs. For undirected graphs this aliases
+  /// OutNeighbors.
+  std::span<const Neighbor> InNeighbors(VertexId v) const {
+    if (!directed_) return OutNeighbors(v);
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(VertexId v) const {
+    if (!directed_) return OutDegree(v);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  Label vertex_label(VertexId v) const {
+    return labels_.empty() ? 0 : labels_[v];
+  }
+  bool has_vertex_labels() const { return !labels_.empty(); }
+
+  /// Materializes the edge list (one entry per stored arc for directed
+  /// graphs; one per logical edge for undirected).
+  std::vector<Edge> ToEdgeList() const;
+
+  /// Sum of all stored arc weights.
+  double TotalEdgeWeight() const;
+
+ private:
+  friend class GraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  bool directed_ = true;
+  std::vector<size_t> out_offsets_;
+  std::vector<Neighbor> out_neighbors_;
+  std::vector<size_t> in_offsets_;
+  std::vector<Neighbor> in_neighbors_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_GRAPH_GRAPH_H_

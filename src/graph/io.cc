@@ -1,0 +1,286 @@
+#include "graph/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/serializer.h"
+#include "util/string_util.h"
+
+namespace grape {
+
+namespace {
+constexpr uint32_t kBinaryMagic = 0x47524150;    // "GRAP"
+constexpr uint32_t kCompressedMagic = 0x4752435a;  // "GRCZ"
+constexpr uint32_t kBinaryVersion = 1;
+
+Status WriteFile(const std::string& path, const Encoder& enc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(enc.buffer().data()),
+            static_cast<std::streamsize>(enc.size()));
+  if (!out) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+}  // namespace
+
+Result<Graph> LoadEdgeListFile(const std::string& path,
+                               const EdgeListFormat& format) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  GraphBuilder builder(format.directed);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == format.comment_char) continue;
+    std::istringstream ss{std::string(sv)};
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!(ss >> src >> dst)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": malformed edge line");
+    }
+    Edge e{static_cast<VertexId>(src), static_cast<VertexId>(dst), 1.0, 0};
+    if (format.has_weight) {
+      if (!(ss >> e.weight)) {
+        return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": missing weight column");
+      }
+    }
+    if (format.has_label) {
+      uint64_t label = 0;
+      if (!(ss >> label)) {
+        return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                  ": missing label column");
+      }
+      e.label = static_cast<Label>(label);
+    }
+    builder.AddEdge(e);
+  }
+  return std::move(builder).Build();
+}
+
+Status SaveEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  for (const Edge& e : graph.ToEdgeList()) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << ' ' << e.label << '\n';
+  }
+  if (!out) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  Encoder enc;
+  enc.WriteU32(kBinaryMagic);
+  enc.WriteU32(kBinaryVersion);
+  enc.WriteBool(graph.is_directed());
+  enc.WriteU32(graph.num_vertices());
+
+  std::vector<Edge> edges = graph.ToEdgeList();
+  enc.WriteVarint(edges.size());
+  for (const Edge& e : edges) {
+    enc.WriteU32(e.src);
+    enc.WriteU32(e.dst);
+    enc.WriteDouble(e.weight);
+    enc.WriteU32(e.label);
+  }
+  enc.WriteBool(graph.has_vertex_labels());
+  if (graph.has_vertex_labels()) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      enc.WriteU32(graph.vertex_label(v));
+    }
+  }
+  return WriteFile(path, enc);
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  {
+    auto read = ReadFile(path);
+    if (!read.ok()) return read.status();
+    bytes = std::move(read).value();
+  }
+  Decoder dec(bytes);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != kBinaryMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&version));
+  if (version != kBinaryVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  bool directed = true;
+  uint32_t num_vertices = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadBool(&directed));
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&num_vertices));
+
+  GraphBuilder builder(directed);
+  uint64_t num_edges = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadVarint(&num_edges));
+  builder.ReserveEdges(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&e.src));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&e.dst));
+    GRAPE_RETURN_NOT_OK(dec.ReadDouble(&e.weight));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&e.label));
+    builder.AddEdge(e);
+  }
+  bool has_labels = false;
+  GRAPE_RETURN_NOT_OK(dec.ReadBool(&has_labels));
+  if (has_labels) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      uint32_t label = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&label));
+      builder.SetVertexLabel(v, label);
+    }
+  }
+  return std::move(builder).Build(num_vertices);
+}
+
+Status SaveBinaryCompressed(const Graph& graph, const std::string& path) {
+  // Check whether every weight sits on the 0.1 grid within [0, 400k]; then
+  // it round-trips exactly through a varint of 10*w.
+  bool quantizable = true;
+  for (VertexId v = 0; v < graph.num_vertices() && quantizable; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      double scaled = nb.weight * 10.0;
+      if (scaled < 0 || scaled > 4e6 ||
+          scaled != std::floor(scaled)) {
+        quantizable = false;
+        break;
+      }
+    }
+  }
+
+  Encoder enc;
+  enc.WriteU32(kCompressedMagic);
+  enc.WriteU32(kBinaryVersion);
+  enc.WriteBool(graph.is_directed());
+  enc.WriteBool(quantizable);
+  enc.WriteU32(graph.num_vertices());
+
+  // Per-vertex delta-encoded adjacency: degree, then ascending-target gap
+  // list. Undirected graphs emit each edge from its smaller endpoint.
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    // Collect emitted targets (sorted by construction of the CSR).
+    std::vector<const Neighbor*> row;
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      if (!graph.is_directed() && nb.vertex < v) continue;
+      row.push_back(&nb);
+    }
+    enc.WriteVarint(row.size());
+    VertexId prev = 0;
+    for (const Neighbor* nb : row) {
+      enc.WriteVarint(nb->vertex - prev);  // gaps within a sorted row
+      prev = nb->vertex;
+      if (quantizable) {
+        enc.WriteVarint(static_cast<uint64_t>(nb->weight * 10.0 + 0.5));
+      } else {
+        enc.WriteDouble(nb->weight);
+      }
+      enc.WriteVarint(nb->label);
+    }
+  }
+
+  enc.WriteBool(graph.has_vertex_labels());
+  if (graph.has_vertex_labels()) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      enc.WriteVarint(graph.vertex_label(v));
+    }
+  }
+  return WriteFile(path, enc);
+}
+
+Result<Graph> LoadBinaryCompressed(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  {
+    auto read = ReadFile(path);
+    if (!read.ok()) return read.status();
+    bytes = std::move(read).value();
+  }
+  Decoder dec(bytes);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != kCompressedMagic) {
+    return Status::Corruption(path + ": bad magic for compressed graph");
+  }
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&version));
+  if (version != kBinaryVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  bool directed = true;
+  bool quantized = false;
+  uint32_t num_vertices = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadBool(&directed));
+  GRAPE_RETURN_NOT_OK(dec.ReadBool(&quantized));
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&num_vertices));
+
+  GraphBuilder builder(directed);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    uint64_t degree = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&degree));
+    VertexId prev = 0;
+    for (uint64_t j = 0; j < degree; ++j) {
+      uint64_t gap = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&gap));
+      VertexId target = prev + static_cast<VertexId>(gap);
+      prev = target;
+      double weight = 1.0;
+      if (quantized) {
+        uint64_t scaled = 0;
+        GRAPE_RETURN_NOT_OK(dec.ReadVarint(&scaled));
+        weight = static_cast<double>(scaled) / 10.0;
+      } else {
+        GRAPE_RETURN_NOT_OK(dec.ReadDouble(&weight));
+      }
+      uint64_t label = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&label));
+      if (target >= num_vertices) {
+        return Status::Corruption(path + ": edge target out of range");
+      }
+      builder.AddEdge(v, target, weight, static_cast<Label>(label));
+    }
+  }
+
+  bool has_labels = false;
+  GRAPE_RETURN_NOT_OK(dec.ReadBool(&has_labels));
+  if (has_labels) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      uint64_t label = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&label));
+      builder.SetVertexLabel(v, static_cast<Label>(label));
+    }
+  }
+  return std::move(builder).Build(num_vertices);
+}
+
+}  // namespace grape

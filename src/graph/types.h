@@ -1,0 +1,36 @@
+#ifndef GRAPE_GRAPH_TYPES_H_
+#define GRAPE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace grape {
+
+/// Global vertex identifier. 32 bits covers the graph sizes this in-process
+/// reproduction targets while halving message volume versus 64-bit ids.
+using VertexId = uint32_t;
+
+/// Fragment-local vertex index (position in a fragment's vertex arrays).
+using LocalId = uint32_t;
+
+/// Identifier of a fragment / worker (P_1 .. P_n in the paper).
+using FragmentId = uint32_t;
+
+/// Edge weight. SSSP/CF interpret it as distance/rating; other apps may
+/// ignore it.
+using EdgeWeight = double;
+
+/// Vertex and edge labels, used by pattern matching (Sim/SubIso/GPAR) and
+/// keyword search.
+using Label = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr LocalId kInvalidLocal = std::numeric_limits<LocalId>::max();
+inline constexpr FragmentId kInvalidFragment =
+    std::numeric_limits<FragmentId>::max();
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+}  // namespace grape
+
+#endif  // GRAPE_GRAPH_TYPES_H_

@@ -1,0 +1,42 @@
+#ifndef GRAPE_PARTITION_ADVISOR_H_
+#define GRAPE_PARTITION_ADVISOR_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace grape {
+
+/// Structural statistics the advisor bases its recommendation on.
+struct GraphProfile {
+  VertexId num_vertices = 0;
+  size_t num_edges = 0;
+  double avg_degree = 0;
+  /// Coefficient of variation of the degree distribution (skew measure;
+  /// power-law graphs score >> 1, lattices ~0).
+  double degree_cv = 0;
+  /// Fraction of edges whose endpoint ids are within ~2*sqrt(|V|) of each
+  /// other — high for row-major lattices and id-clustered graphs.
+  double id_locality = 0;
+
+  std::string ToString() const;
+};
+
+struct PartitionAdvice {
+  std::string strategy;
+  std::string rationale;
+};
+
+/// Computes the profile in one pass over the edges.
+GraphProfile ProfileGraph(const Graph& graph);
+
+/// The Load Balancer role of Fig. 2: picks a partition strategy from the
+/// workload's structure — spatial tiling for lattice-like graphs, the
+/// multilevel partitioner for community-rich graphs worth an offline cut,
+/// and cheap hashing for small or hopelessly skewed inputs.
+PartitionAdvice AdvisePartitioner(const Graph& graph);
+PartitionAdvice AdvisePartitioner(const GraphProfile& profile);
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_ADVISOR_H_

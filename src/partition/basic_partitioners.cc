@@ -1,0 +1,88 @@
+#include "partition/basic_partitioners.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace grape {
+
+Result<std::vector<FragmentId>> HashPartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  std::vector<FragmentId> assignment(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    assignment[v] = static_cast<FragmentId>(SplitMix64(v) % num_fragments);
+  }
+  return assignment;
+}
+
+Result<std::vector<FragmentId>> RangePartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const VertexId n = graph.num_vertices();
+  std::vector<FragmentId> assignment(n, 0);
+  if (n == 0) return assignment;
+
+  if (!balance_by_degree_) {
+    for (VertexId v = 0; v < n; ++v) {
+      assignment[v] = static_cast<FragmentId>(
+          static_cast<uint64_t>(v) * num_fragments / n);
+    }
+    return assignment;
+  }
+
+  // Sweep ids in order, cutting a new range whenever the running degree mass
+  // exceeds the per-fragment quota. Every fragment gets a non-empty range
+  // while ids remain.
+  double total_mass = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_mass += 1.0 + static_cast<double>(graph.OutDegree(v));
+  }
+  double quota = total_mass / num_fragments;
+  double acc = 0;
+  FragmentId current = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    assignment[v] = current;
+    acc += 1.0 + static_cast<double>(graph.OutDegree(v));
+    if (acc >= quota * (current + 1) && current + 1 < num_fragments &&
+        n - v - 1 >= num_fragments - current - 1) {
+      ++current;
+    }
+  }
+  return assignment;
+}
+
+Result<std::vector<FragmentId>> Grid2DPartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const VertexId n = graph.num_vertices();
+  std::vector<FragmentId> assignment(n, 0);
+  if (n == 0) return assignment;
+
+  // Factor n_fragments = rp * cp with rp as close to sqrt as possible.
+  FragmentId rp = static_cast<FragmentId>(
+      std::floor(std::sqrt(static_cast<double>(num_fragments))));
+  while (rp > 1 && num_fragments % rp != 0) --rp;
+  FragmentId cp = num_fragments / rp;
+
+  const auto side =
+      static_cast<VertexId>(std::ceil(std::sqrt(static_cast<double>(n))));
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId row = v / side;
+    VertexId col = v % side;
+    auto fr = static_cast<FragmentId>(
+        std::min<uint64_t>(static_cast<uint64_t>(row) * rp / side, rp - 1));
+    auto fc = static_cast<FragmentId>(
+        std::min<uint64_t>(static_cast<uint64_t>(col) * cp / side, cp - 1));
+    assignment[v] = fr * cp + fc;
+  }
+  return assignment;
+}
+
+}  // namespace grape

@@ -1,0 +1,49 @@
+#ifndef GRAPE_PARTITION_BASIC_PARTITIONERS_H_
+#define GRAPE_PARTITION_BASIC_PARTITIONERS_H_
+
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace grape {
+
+/// 1-D hash partitioning: fragment = SplitMix64(gid) mod n. The default of
+/// most vertex-centric systems; balanced but oblivious to locality.
+class HashPartitioner : public Partitioner {
+ public:
+  Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const override;
+  std::string name() const override { return "hash"; }
+};
+
+/// 1-D contiguous range partitioning over vertex ids, optionally balanced by
+/// degree mass instead of vertex count. Preserves id locality (good when ids
+/// encode geometry, e.g. road networks with row-major ids).
+class RangePartitioner : public Partitioner {
+ public:
+  explicit RangePartitioner(bool balance_by_degree = true)
+      : balance_by_degree_(balance_by_degree) {}
+
+  Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const override;
+  std::string name() const override { return "range"; }
+
+ private:
+  bool balance_by_degree_;
+};
+
+/// 2-D spatial partitioning: interprets vertex ids as row-major coordinates
+/// of a sqrt(|V|) x sqrt(|V|) square and tiles it with an rp x cp fragment
+/// grid (rp * cp = n). The "2D" strategy of the paper's Partition Manager;
+/// near-optimal for lattice-like road networks.
+class Grid2DPartitioner : public Partitioner {
+ public:
+  Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const override;
+  std::string name() const override { return "grid2d"; }
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_BASIC_PARTITIONERS_H_

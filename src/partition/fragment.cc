@@ -1,0 +1,205 @@
+#include "partition/fragment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace grape {
+
+Result<FragmentedGraph> FragmentBuilder::Build(
+    const Graph& graph, const std::vector<FragmentId>& assignment,
+    FragmentId num_fragments) {
+  const VertexId n = graph.num_vertices();
+  if (assignment.size() != n) {
+    return Status::InvalidArgument("assignment size != vertex count");
+  }
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  for (FragmentId f : assignment) {
+    if (f >= num_fragments) {
+      return Status::InvalidArgument("assignment references unknown fragment");
+    }
+  }
+
+  FragmentedGraph out;
+  out.directed = graph.is_directed();
+  out.total_vertices = n;
+  out.owner = std::make_shared<const std::vector<FragmentId>>(assignment);
+
+  // Inner vertex lists (ascending gid for deterministic local ids).
+  std::vector<std::vector<VertexId>> inner(num_fragments);
+  for (VertexId v = 0; v < n; ++v) inner[assignment[v]].push_back(v);
+
+  // Outer vertex sets per fragment + mirror lists per gid.
+  std::vector<std::unordered_set<VertexId>> outer(num_fragments);
+  std::vector<uint8_t> is_border(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    FragmentId fu = assignment[u];
+    for (const Neighbor& nb : graph.OutNeighbors(u)) {
+      FragmentId fv = assignment[nb.vertex];
+      if (fv == fu) continue;
+      is_border[u] = 1;
+      is_border[nb.vertex] = 1;
+      outer[fu].insert(nb.vertex);   // fu mirrors the foreign target
+      if (graph.is_directed()) {
+        outer[fv].insert(u);         // fv mirrors the foreign source
+      }
+    }
+  }
+
+  std::vector<std::vector<FragmentId>> mirrors_by_gid(n);
+  for (FragmentId f = 0; f < num_fragments; ++f) {
+    for (VertexId gid : outer[f]) mirrors_by_gid[gid].push_back(f);
+  }
+  for (auto& m : mirrors_by_gid) std::sort(m.begin(), m.end());
+
+  out.fragments.resize(num_fragments);
+  for (FragmentId f = 0; f < num_fragments; ++f) {
+    Fragment& frag = out.fragments[f];
+    frag.fid_ = f;
+    frag.num_fragments_ = num_fragments;
+    frag.total_vertices_ = n;
+    frag.directed_ = graph.is_directed();
+    frag.owner_ = out.owner;
+
+    frag.num_inner_ = static_cast<LocalId>(inner[f].size());
+    frag.gids_ = inner[f];
+    std::vector<VertexId> outer_sorted(outer[f].begin(), outer[f].end());
+    std::sort(outer_sorted.begin(), outer_sorted.end());
+    frag.gids_.insert(frag.gids_.end(), outer_sorted.begin(),
+                      outer_sorted.end());
+    for (VertexId gid : frag.gids_) frag.indexer_.GetOrInsert(gid);
+
+    const LocalId num_local = frag.num_local();
+    const LocalId ni = frag.num_inner_;
+
+    // Local out-CSR. Inner rows: full global out-adjacency. Outer rows:
+    // edges from the outer vertex into this fragment's inner set (derived
+    // from the in-edges of inner vertices), so apps can navigate both
+    // directions across the border.
+    frag.out_offsets_.assign(num_local + 1, 0);
+    for (LocalId i = 0; i < ni; ++i) {
+      frag.out_offsets_[i + 1] = graph.OutDegree(frag.gids_[i]);
+    }
+    if (graph.is_directed()) {
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
+          LocalId src = frag.indexer_.Find(nb.vertex);
+          if (src != kInvalidLocal && src >= ni) frag.out_offsets_[src + 1]++;
+        }
+      }
+    } else {
+      // Undirected: outer rows list neighbours inside the inner set.
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+          LocalId other = frag.indexer_.Find(nb.vertex);
+          if (other != kInvalidLocal && other >= ni) {
+            frag.out_offsets_[other + 1]++;
+          }
+        }
+      }
+    }
+    for (LocalId i = 0; i < num_local; ++i) {
+      frag.out_offsets_[i + 1] += frag.out_offsets_[i];
+    }
+    frag.out_neighbors_.resize(frag.out_offsets_[num_local]);
+    {
+      std::vector<size_t> cursor(frag.out_offsets_.begin(),
+                                 frag.out_offsets_.end() - 1);
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+          LocalId target = frag.indexer_.Find(nb.vertex);
+          frag.out_neighbors_[cursor[i]++] =
+              FragNeighbor{target, nb.weight, nb.label};
+        }
+      }
+      if (graph.is_directed()) {
+        for (LocalId i = 0; i < ni; ++i) {
+          for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
+            LocalId src = frag.indexer_.Find(nb.vertex);
+            if (src != kInvalidLocal && src >= ni) {
+              frag.out_neighbors_[cursor[src]++] =
+                  FragNeighbor{i, nb.weight, nb.label};
+            }
+          }
+        }
+      } else {
+        for (LocalId i = 0; i < ni; ++i) {
+          for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+            LocalId other = frag.indexer_.Find(nb.vertex);
+            if (other != kInvalidLocal && other >= ni) {
+              frag.out_neighbors_[cursor[other]++] =
+                  FragNeighbor{i, nb.weight, nb.label};
+            }
+          }
+        }
+      }
+    }
+
+    if (graph.is_directed()) {
+      // Local in-CSR. Inner rows: full global in-adjacency. Outer rows:
+      // in-edges from the inner set (reverse of inner out-edges that cross).
+      frag.in_offsets_.assign(num_local + 1, 0);
+      for (LocalId i = 0; i < ni; ++i) {
+        frag.in_offsets_[i + 1] = graph.InDegree(frag.gids_[i]);
+      }
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+          LocalId dst = frag.indexer_.Find(nb.vertex);
+          if (dst != kInvalidLocal && dst >= ni) frag.in_offsets_[dst + 1]++;
+        }
+      }
+      for (LocalId i = 0; i < num_local; ++i) {
+        frag.in_offsets_[i + 1] += frag.in_offsets_[i];
+      }
+      frag.in_neighbors_.resize(frag.in_offsets_[num_local]);
+      std::vector<size_t> cursor(frag.in_offsets_.begin(),
+                                 frag.in_offsets_.end() - 1);
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
+          LocalId source = frag.indexer_.Find(nb.vertex);
+          frag.in_neighbors_[cursor[i]++] =
+              FragNeighbor{source, nb.weight, nb.label};
+        }
+      }
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+          LocalId dst = frag.indexer_.Find(nb.vertex);
+          if (dst != kInvalidLocal && dst >= ni) {
+            frag.in_neighbors_[cursor[dst]++] =
+                FragNeighbor{i, nb.weight, nb.label};
+          }
+        }
+      }
+    }
+
+    if (graph.has_vertex_labels()) {
+      frag.labels_.resize(num_local);
+      for (LocalId i = 0; i < num_local; ++i) {
+        frag.labels_[i] = graph.vertex_label(frag.gids_[i]);
+      }
+    }
+
+    frag.border_.assign(ni, 0);
+    frag.num_border_ = 0;
+    frag.mirror_offsets_.assign(ni + 1, 0);
+    for (LocalId i = 0; i < ni; ++i) {
+      VertexId gid = frag.gids_[i];
+      if (is_border[gid]) {
+        frag.border_[i] = 1;
+        ++frag.num_border_;
+      }
+      frag.mirror_offsets_[i + 1] =
+          frag.mirror_offsets_[i] + mirrors_by_gid[gid].size();
+    }
+    frag.mirror_frags_.resize(frag.mirror_offsets_[ni]);
+    for (LocalId i = 0; i < ni; ++i) {
+      std::copy(mirrors_by_gid[frag.gids_[i]].begin(),
+                mirrors_by_gid[frag.gids_[i]].end(),
+                frag.mirror_frags_.begin() + frag.mirror_offsets_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace grape

@@ -1,0 +1,164 @@
+#ifndef GRAPE_PARTITION_FRAGMENT_H_
+#define GRAPE_PARTITION_FRAGMENT_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/id_indexer.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace grape {
+
+/// Adjacency entry inside a fragment; `local` indexes the fragment's local
+/// vertex space (inner vertices first, then outer/mirror vertices).
+struct FragNeighbor {
+  LocalId local;
+  EdgeWeight weight;
+  Label label;
+};
+
+/// An edge-cut fragment F_i of a graph G (Sec. 2.2): the subgraph induced by
+/// the inner vertices owned by worker P_i, together with read-only "outer"
+/// copies (mirrors) of foreign endpoints of cut edges. Update parameters
+/// attach to border and outer vertices; see core/param_store.h.
+///
+/// Local id layout: [0, num_inner) are inner vertices, [num_inner,
+/// num_local) are outer vertices. Apps run *sequential* algorithms over this
+/// local id space exactly as they would over a standalone graph.
+class Fragment {
+ public:
+  Fragment() = default;
+
+  Fragment(const Fragment&) = delete;
+  Fragment& operator=(const Fragment&) = delete;
+  Fragment(Fragment&&) = default;
+  Fragment& operator=(Fragment&&) = default;
+
+  FragmentId fid() const { return fid_; }
+  FragmentId num_fragments() const { return num_fragments_; }
+  VertexId total_num_vertices() const { return total_vertices_; }
+  bool is_directed() const { return directed_; }
+
+  LocalId num_inner() const { return num_inner_; }
+  LocalId num_outer() const {
+    return static_cast<LocalId>(gids_.size()) - num_inner_;
+  }
+  LocalId num_local() const { return static_cast<LocalId>(gids_.size()); }
+  size_t num_edges() const { return out_neighbors_.size(); }
+
+  bool IsInner(LocalId lid) const { return lid < num_inner_; }
+  bool IsOuter(LocalId lid) const {
+    return lid >= num_inner_ && lid < num_local();
+  }
+
+  VertexId Gid(LocalId lid) const { return gids_[lid]; }
+  /// Local id of a global vertex, or kInvalidLocal if this fragment has
+  /// neither an inner nor an outer copy of it.
+  LocalId Lid(VertexId gid) const { return indexer_.Find(gid); }
+  bool HasVertex(VertexId gid) const { return indexer_.Contains(gid); }
+
+  /// Out-edges of a local vertex. Inner vertices carry their full global
+  /// out-adjacency; outer vertices carry only their edges *into this
+  /// fragment's inner set* (enough for pull-style and reverse navigation —
+  /// their remaining edges live in the owner fragment).
+  std::span<const FragNeighbor> OutNeighbors(LocalId lid) const {
+    return {out_neighbors_.data() + out_offsets_[lid],
+            out_offsets_[lid + 1] - out_offsets_[lid]};
+  }
+  /// In-edges. Inner vertices carry their full global in-adjacency (sources
+  /// may be outer); outer vertices carry only in-edges from this fragment's
+  /// inner set. For undirected fragments this aliases OutNeighbors.
+  std::span<const FragNeighbor> InNeighbors(LocalId lid) const {
+    if (!directed_) return OutNeighbors(lid);
+    return {in_neighbors_.data() + in_offsets_[lid],
+            in_offsets_[lid + 1] - in_offsets_[lid]};
+  }
+
+  size_t OutDegree(LocalId lid) const {
+    return out_offsets_[lid + 1] - out_offsets_[lid];
+  }
+  size_t InDegree(LocalId lid) const {
+    if (!directed_) return OutDegree(lid);
+    return in_offsets_[lid + 1] - in_offsets_[lid];
+  }
+
+  Label vertex_label(LocalId lid) const {
+    return labels_.empty() ? 0 : labels_[lid];
+  }
+
+  /// True for inner vertices incident to at least one cut edge — the
+  /// paper's "border nodes" of F_i.
+  bool IsBorder(LocalId lid) const {
+    return IsInner(lid) && border_[lid] != 0;
+  }
+  /// Count of inner border vertices.
+  LocalId num_border() const { return num_border_; }
+
+  /// Fragments holding an outer copy of inner vertex `lid` (targets of
+  /// owner-to-mirror messages).
+  std::span<const FragmentId> MirrorFragments(LocalId lid) const {
+    return {mirror_frags_.data() + mirror_offsets_[lid],
+            mirror_offsets_[lid + 1] - mirror_offsets_[lid]};
+  }
+
+  /// Owner fragment of an arbitrary global vertex (shared routing table).
+  FragmentId OwnerOf(VertexId gid) const { return (*owner_)[gid]; }
+
+  const std::vector<VertexId>& gids() const { return gids_; }
+
+ private:
+  friend class FragmentBuilder;
+
+  FragmentId fid_ = 0;
+  FragmentId num_fragments_ = 1;
+  VertexId total_vertices_ = 0;
+  bool directed_ = true;
+  LocalId num_inner_ = 0;
+  LocalId num_border_ = 0;
+
+  std::vector<VertexId> gids_;  // local -> global
+  IdIndexer indexer_;           // global -> local
+
+  std::vector<size_t> out_offsets_;
+  std::vector<FragNeighbor> out_neighbors_;
+  std::vector<size_t> in_offsets_;
+  std::vector<FragNeighbor> in_neighbors_;
+
+  std::vector<Label> labels_;
+  std::vector<uint8_t> border_;          // by inner lid
+  std::vector<size_t> mirror_offsets_;   // by inner lid
+  std::vector<FragmentId> mirror_frags_;
+
+  /// Shared (immutable) owner table, one entry per global vertex.
+  std::shared_ptr<const std::vector<FragmentId>> owner_;
+};
+
+/// A fragmented graph: all fragments plus the global routing tables the
+/// coordinator uses.
+struct FragmentedGraph {
+  std::vector<Fragment> fragments;
+  /// owner[gid] = fragment owning gid.
+  std::shared_ptr<const std::vector<FragmentId>> owner;
+  bool directed = true;
+  VertexId total_vertices = 0;
+
+  FragmentId num_fragments() const {
+    return static_cast<FragmentId>(fragments.size());
+  }
+};
+
+/// Splits `graph` into `num_fragments` edge-cut fragments according to
+/// `assignment` (as produced by a Partitioner).
+class FragmentBuilder {
+ public:
+  static Result<FragmentedGraph> Build(
+      const Graph& graph, const std::vector<FragmentId>& assignment,
+      FragmentId num_fragments);
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_FRAGMENT_H_

@@ -1,0 +1,256 @@
+#include "partition/metis_partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace grape {
+
+namespace {
+
+/// Undirected weighted working graph used across coarsening levels.
+struct LevelGraph {
+  // adjacency[v] = (neighbor, accumulated edge weight); no self loops.
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency;
+  std::vector<double> vertex_weight;
+
+  size_t size() const { return adjacency.size(); }
+};
+
+LevelGraph FromInput(const Graph& graph) {
+  LevelGraph lg;
+  const VertexId n = graph.num_vertices();
+  lg.adjacency.resize(n);
+  lg.vertex_weight.assign(n, 1.0);
+  // Symmetrize and collapse parallel edges; edge weight counts multiplicity
+  // (a good proxy for communication volume over the cut).
+  std::unordered_map<uint64_t, double> acc;
+  acc.reserve(graph.num_edges());
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      if (nb.vertex == v) continue;
+      VertexId a = std::min(v, nb.vertex);
+      VertexId b = std::max(v, nb.vertex);
+      acc[(static_cast<uint64_t>(a) << 32) | b] += 1.0;
+    }
+  }
+  for (const auto& [key, w] : acc) {
+    auto a = static_cast<uint32_t>(key >> 32);
+    auto b = static_cast<uint32_t>(key & 0xffffffffu);
+    lg.adjacency[a].emplace_back(b, w);
+    lg.adjacency[b].emplace_back(a, w);
+  }
+  return lg;
+}
+
+/// One round of heavy-edge matching; match[v] = partner (or v for
+/// unmatched). Returns the coarse vertex count.
+size_t HeavyEdgeMatch(const LevelGraph& lg, Rng& rng,
+                      std::vector<uint32_t>* coarse_id) {
+  const size_t n = lg.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<uint32_t> match(n, kInvalidVertex);
+  coarse_id->assign(n, kInvalidVertex);
+  uint32_t next = 0;
+  for (uint32_t v : order) {
+    if (match[v] != kInvalidVertex) continue;
+    uint32_t best = v;
+    double best_w = -1.0;
+    for (const auto& [u, w] : lg.adjacency[v]) {
+      if (match[u] == kInvalidVertex && u != v && w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    match[v] = best;
+    match[best] = v;
+    (*coarse_id)[v] = next;
+    (*coarse_id)[best] = next;
+    ++next;
+  }
+  return next;
+}
+
+LevelGraph Coarsen(const LevelGraph& lg, const std::vector<uint32_t>& coarse_id,
+                   size_t coarse_n) {
+  LevelGraph out;
+  out.adjacency.resize(coarse_n);
+  out.vertex_weight.assign(coarse_n, 0.0);
+  for (size_t v = 0; v < lg.size(); ++v) {
+    out.vertex_weight[coarse_id[v]] += lg.vertex_weight[v];
+  }
+  // Accumulate inter-cluster edges.
+  std::unordered_map<uint64_t, double> acc;
+  for (size_t v = 0; v < lg.size(); ++v) {
+    uint32_t cv = coarse_id[v];
+    for (const auto& [u, w] : lg.adjacency[v]) {
+      uint32_t cu = coarse_id[u];
+      if (cu == cv) continue;
+      uint32_t a = std::min(cu, cv);
+      uint32_t b = std::max(cu, cv);
+      acc[(static_cast<uint64_t>(a) << 32) | b] += w;
+    }
+  }
+  for (const auto& [key, w] : acc) {
+    auto a = static_cast<uint32_t>(key >> 32);
+    auto b = static_cast<uint32_t>(key & 0xffffffffu);
+    // Each undirected edge was visited from both sides; halve.
+    out.adjacency[a].emplace_back(b, w / 2.0);
+    out.adjacency[b].emplace_back(a, w / 2.0);
+  }
+  return out;
+}
+
+/// Greedy region growing: grow one region per fragment from a random seed
+/// until it reaches its weight quota.
+std::vector<FragmentId> InitialPartition(const LevelGraph& lg,
+                                         FragmentId num_fragments, Rng& rng) {
+  const size_t n = lg.size();
+  std::vector<FragmentId> part(n, kInvalidFragment);
+  double total = std::accumulate(lg.vertex_weight.begin(),
+                                 lg.vertex_weight.end(), 0.0);
+  double quota = total / num_fragments;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  size_t cursor = 0;
+
+  for (FragmentId f = 0; f < num_fragments; ++f) {
+    // Find an unassigned seed.
+    while (cursor < n && part[order[cursor]] != kInvalidFragment) ++cursor;
+    if (cursor >= n) break;
+    std::deque<uint32_t> frontier{order[cursor]};
+    double grown = 0.0;
+    while (!frontier.empty() && grown < quota) {
+      uint32_t v = frontier.front();
+      frontier.pop_front();
+      if (part[v] != kInvalidFragment) continue;
+      part[v] = f;
+      grown += lg.vertex_weight[v];
+      for (const auto& [u, w] : lg.adjacency[v]) {
+        (void)w;
+        if (part[u] == kInvalidFragment) frontier.push_back(u);
+      }
+    }
+  }
+  // Leftovers (disconnected remainder): least-loaded fragment.
+  std::vector<double> load(num_fragments, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    if (part[v] != kInvalidFragment) load[part[v]] += lg.vertex_weight[v];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (part[v] == kInvalidFragment) {
+      auto f = static_cast<FragmentId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      part[v] = f;
+      load[f] += lg.vertex_weight[v];
+    }
+  }
+  return part;
+}
+
+/// Boundary refinement: positive-gain greedy moves with a balance cap.
+void Refine(const LevelGraph& lg, FragmentId num_fragments, double imbalance,
+            uint32_t passes, std::vector<FragmentId>* part) {
+  const size_t n = lg.size();
+  std::vector<double> load(num_fragments, 0.0);
+  double total = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    load[(*part)[v]] += lg.vertex_weight[v];
+    total += lg.vertex_weight[v];
+  }
+  const double cap = imbalance * total / num_fragments;
+
+  std::vector<double> conn(num_fragments, 0.0);
+  std::vector<FragmentId> touched;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    size_t moves = 0;
+    for (size_t v = 0; v < n; ++v) {
+      FragmentId cur = (*part)[v];
+      touched.clear();
+      bool boundary = false;
+      for (const auto& [u, w] : lg.adjacency[v]) {
+        FragmentId fu = (*part)[u];
+        if (conn[fu] == 0.0) touched.push_back(fu);
+        conn[fu] += w;
+        if (fu != cur) boundary = true;
+      }
+      if (boundary) {
+        double internal = conn[cur];
+        FragmentId best = cur;
+        double best_gain = 0.0;
+        for (FragmentId f : touched) {
+          if (f == cur) continue;
+          if (load[f] + lg.vertex_weight[v] > cap) continue;
+          double gain = conn[f] - internal;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = f;
+          }
+        }
+        if (best != cur) {
+          load[cur] -= lg.vertex_weight[v];
+          load[best] += lg.vertex_weight[v];
+          (*part)[v] = best;
+          ++moves;
+        }
+      }
+      for (FragmentId f : touched) conn[f] = 0.0;
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FragmentId>> MetisPartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const VertexId n = graph.num_vertices();
+  if (num_fragments == 1) return std::vector<FragmentId>(n, 0);
+  if (n == 0) return std::vector<FragmentId>{};
+
+  Rng rng(options_.seed);
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<uint32_t>> projections;  // fine -> coarse per level
+  levels.push_back(FromInput(graph));
+
+  const size_t target =
+      std::max<size_t>(64, static_cast<size_t>(options_.coarsen_factor) *
+                               num_fragments);
+  while (levels.back().size() > target) {
+    std::vector<uint32_t> coarse_id;
+    size_t coarse_n = HeavyEdgeMatch(levels.back(), rng, &coarse_id);
+    if (coarse_n >= levels.back().size() * 95 / 100) break;  // stalled
+    LevelGraph next = Coarsen(levels.back(), coarse_id, coarse_n);
+    projections.push_back(std::move(coarse_id));
+    levels.push_back(std::move(next));
+  }
+
+  std::vector<FragmentId> part =
+      InitialPartition(levels.back(), num_fragments, rng);
+  Refine(levels.back(), num_fragments, options_.imbalance,
+         options_.refine_passes, &part);
+
+  // Uncoarsen: project and refine at every level.
+  for (size_t level = levels.size() - 1; level-- > 0;) {
+    const std::vector<uint32_t>& proj = projections[level];
+    std::vector<FragmentId> finer(levels[level].size());
+    for (size_t v = 0; v < finer.size(); ++v) finer[v] = part[proj[v]];
+    part = std::move(finer);
+    Refine(levels[level], num_fragments, options_.imbalance,
+           options_.refine_passes, &part);
+  }
+  return part;
+}
+
+}  // namespace grape

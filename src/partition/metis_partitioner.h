@@ -1,0 +1,47 @@
+#ifndef GRAPE_PARTITION_METIS_PARTITIONER_H_
+#define GRAPE_PARTITION_METIS_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace grape {
+
+/// Multilevel k-way partitioner in the METIS mould, filling the role METIS
+/// plays in the paper's Sec. 3 partition-impact demo:
+///   1. Coarsening by heavy-edge matching (collapsing matched pairs and
+///      accumulating vertex/edge weights) until the graph is small.
+///   2. Initial partition by greedy region growing on the coarsest graph.
+///   3. Uncoarsening with boundary Fiduccia–Mattheyses-style refinement
+///      (positive-gain moves subject to a balance constraint) at each level.
+/// It is not a re-implementation of the METIS library, but it delivers the
+/// property the experiments depend on: substantially lower edge cut than
+/// hash/streaming strategies at comparable balance.
+class MetisPartitioner : public Partitioner {
+ public:
+  struct Options {
+    /// Stop coarsening when the graph has <= coarsen_factor * num_fragments
+    /// vertices (with a floor of 64).
+    uint32_t coarsen_factor = 30;
+    /// Maximum allowed fragment weight as a multiple of the average.
+    double imbalance = 1.05;
+    /// Refinement sweeps per level.
+    uint32_t refine_passes = 6;
+    uint64_t seed = 42;
+  };
+
+  MetisPartitioner() = default;
+  explicit MetisPartitioner(const Options& options) : options_(options) {}
+
+  Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const override;
+  std::string name() const override { return "metis"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_METIS_PARTITIONER_H_

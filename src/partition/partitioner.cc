@@ -1,0 +1,35 @@
+#include "partition/partitioner.h"
+
+#include "partition/basic_partitioners.h"
+#include "partition/metis_partitioner.h"
+#include "partition/streaming_partitioners.h"
+#include "partition/voronoi_partitioner.h"
+
+namespace grape {
+
+Result<std::unique_ptr<Partitioner>> MakePartitioner(const std::string& name) {
+  if (name == "hash") return std::unique_ptr<Partitioner>(new HashPartitioner);
+  if (name == "range") {
+    return std::unique_ptr<Partitioner>(new RangePartitioner);
+  }
+  if (name == "grid2d") {
+    return std::unique_ptr<Partitioner>(new Grid2DPartitioner);
+  }
+  if (name == "ldg") return std::unique_ptr<Partitioner>(new LdgPartitioner);
+  if (name == "fennel") {
+    return std::unique_ptr<Partitioner>(new FennelPartitioner);
+  }
+  if (name == "metis") {
+    return std::unique_ptr<Partitioner>(new MetisPartitioner);
+  }
+  if (name == "voronoi") {
+    return std::unique_ptr<Partitioner>(new VoronoiPartitioner);
+  }
+  return Status::NotFound("unknown partition strategy: " + name);
+}
+
+std::vector<std::string> BuiltinPartitionerNames() {
+  return {"hash", "range", "grid2d", "ldg", "fennel", "metis", "voronoi"};
+}
+
+}  // namespace grape

@@ -1,0 +1,40 @@
+#ifndef GRAPE_PARTITION_PARTITIONER_H_
+#define GRAPE_PARTITION_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace grape {
+
+/// Strategy interface of the Partition Manager (Fig. 2). A partitioner maps
+/// every vertex to a fragment id in [0, num_fragments); fragments are
+/// edge-cut: each vertex has exactly one owner and cut edges induce mirror
+/// ("outer") copies.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Returns assignment[v] = owning fragment of v, for every v in `graph`.
+  virtual Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const = 0;
+
+  /// Strategy name as registered in the library ("hash", "metis", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Looks up a built-in strategy by name: "hash", "range", "grid2d", "ldg",
+/// "fennel", "metis". Mirrors the demo's play-panel dropdown; new strategies
+/// can be plugged in via RegisterPartitioner.
+Result<std::unique_ptr<Partitioner>> MakePartitioner(const std::string& name);
+
+/// Names of all built-in strategies.
+std::vector<std::string> BuiltinPartitionerNames();
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_PARTITIONER_H_

@@ -1,0 +1,69 @@
+#include "partition/quality.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace grape {
+
+std::string PartitionQuality::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "fragments=%u cut=%zu/%zu (%.1f%%) v-balance=%.3f "
+                "e-balance=%.3f replication=%zu",
+                num_fragments, cut_edges, total_edges, cut_fraction * 100.0,
+                vertex_balance, edge_balance, replication);
+  return buf;
+}
+
+PartitionQuality EvaluatePartition(const Graph& graph,
+                                   const std::vector<FragmentId>& assignment,
+                                   FragmentId num_fragments) {
+  PartitionQuality q;
+  q.num_fragments = num_fragments;
+  q.total_edges = graph.num_edges();
+
+  std::vector<size_t> vertex_count(num_fragments, 0);
+  std::vector<size_t> edge_count(num_fragments, 0);
+  // Mirrors of v: set of foreign fragments adjacent to v.
+  std::vector<std::unordered_set<uint64_t>> mirror_keys(1);
+  std::unordered_set<uint64_t>& mirrors = mirror_keys[0];
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    FragmentId fv = assignment[v];
+    vertex_count[fv]++;
+    edge_count[fv] += graph.OutDegree(v);
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      FragmentId fu = assignment[nb.vertex];
+      if (fu != fv) {
+        q.cut_edges++;
+        // v is mirrored into fu's fragment? No: u=nb.vertex is mirrored into
+        // fv (the owner of the edge source). Count (vertex, host) pairs.
+        mirrors.insert((static_cast<uint64_t>(nb.vertex) << 20) | fv);
+        mirrors.insert((static_cast<uint64_t>(v) << 20) | fu);
+      }
+    }
+  }
+  q.replication = mirrors.size();
+  q.cut_fraction =
+      q.total_edges == 0
+          ? 0.0
+          : static_cast<double>(q.cut_edges) / static_cast<double>(q.total_edges);
+
+  auto balance = [&](const std::vector<size_t>& counts) {
+    size_t total = 0;
+    size_t max_count = 0;
+    for (size_t c : counts) {
+      total += c;
+      max_count = std::max(max_count, c);
+    }
+    if (total == 0) return 0.0;
+    double avg = static_cast<double>(total) / counts.size();
+    return static_cast<double>(max_count) / avg;
+  };
+  q.vertex_balance = balance(vertex_count);
+  q.edge_balance = balance(edge_count);
+  return q;
+}
+
+}  // namespace grape

@@ -1,0 +1,37 @@
+#ifndef GRAPE_PARTITION_QUALITY_H_
+#define GRAPE_PARTITION_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace grape {
+
+/// Quality metrics of an edge-cut partition; the quantities the paper's
+/// Sec. 3 partition demo turns on (cross edges drive message volume).
+struct PartitionQuality {
+  FragmentId num_fragments = 0;
+  /// Directed arcs whose endpoints live on different fragments.
+  size_t cut_edges = 0;
+  size_t total_edges = 0;
+  double cut_fraction = 0.0;
+  /// max fragment vertex count / average fragment vertex count.
+  double vertex_balance = 0.0;
+  /// max fragment out-degree mass / average.
+  double edge_balance = 0.0;
+  /// Sum over fragments of the number of distinct outer (mirror) vertices —
+  /// the per-round worst-case message footprint.
+  size_t replication = 0;
+
+  std::string ToString() const;
+};
+
+PartitionQuality EvaluatePartition(const Graph& graph,
+                                   const std::vector<FragmentId>& assignment,
+                                   FragmentId num_fragments);
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_QUALITY_H_

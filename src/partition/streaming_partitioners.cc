@@ -1,0 +1,114 @@
+#include "partition/streaming_partitioners.h"
+
+#include <cmath>
+
+namespace grape {
+
+namespace {
+
+/// Counts already-placed neighbours (either direction) of v per fragment.
+/// `scratch` must be zeroed on entry and is re-zeroed before returning, so
+/// the sweep stays O(deg) per vertex.
+void CountPlacedNeighbors(const Graph& graph,
+                          const std::vector<FragmentId>& assignment,
+                          VertexId v, std::vector<double>& scratch,
+                          std::vector<FragmentId>& touched) {
+  touched.clear();
+  auto tally = [&](VertexId u) {
+    FragmentId f = assignment[u];
+    if (f == kInvalidFragment) return;
+    if (scratch[f] == 0) touched.push_back(f);
+    scratch[f] += 1.0;
+  };
+  for (const Neighbor& nb : graph.OutNeighbors(v)) tally(nb.vertex);
+  if (graph.is_directed()) {
+    for (const Neighbor& nb : graph.InNeighbors(v)) tally(nb.vertex);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FragmentId>> LdgPartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const VertexId n = graph.num_vertices();
+  std::vector<FragmentId> assignment(n, kInvalidFragment);
+  std::vector<double> load(num_fragments, 0.0);
+  std::vector<double> scratch(num_fragments, 0.0);
+  std::vector<FragmentId> touched;
+  const double capacity =
+      capacity_slack_ * static_cast<double>(n) / num_fragments + 1.0;
+
+  for (VertexId v = 0; v < n; ++v) {
+    CountPlacedNeighbors(graph, assignment, v, scratch, touched);
+    FragmentId best = kInvalidFragment;
+    double best_score = -1.0;
+    // Consider fragments containing neighbours first; fall back to the
+    // least-loaded fragment when no neighbour helps (or all are full).
+    for (FragmentId f : touched) {
+      if (load[f] >= capacity) continue;
+      double score = scratch[f] * (1.0 - load[f] / capacity);
+      if (score > best_score) {
+        best_score = score;
+        best = f;
+      }
+    }
+    if (best == kInvalidFragment || best_score <= 0.0) {
+      FragmentId least = 0;
+      for (FragmentId f = 1; f < num_fragments; ++f) {
+        if (load[f] < load[least]) least = f;
+      }
+      if (best == kInvalidFragment) best = least;
+      // Prefer the least-loaded fragment on score ties at zero.
+      if (best_score <= 0.0) best = least;
+    }
+    assignment[v] = best;
+    load[best] += 1.0;
+    for (FragmentId f : touched) scratch[f] = 0.0;
+  }
+  return assignment;
+}
+
+Result<std::vector<FragmentId>> FennelPartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const VertexId n = graph.num_vertices();
+  std::vector<FragmentId> assignment(n, kInvalidFragment);
+  if (n == 0) return assignment;
+
+  const double m = static_cast<double>(graph.num_edges());
+  const double alpha =
+      m * std::pow(static_cast<double>(num_fragments), gamma_ - 1.0) /
+      std::pow(static_cast<double>(n), gamma_);
+  const double capacity =
+      balance_slack_ * static_cast<double>(n) / num_fragments + 1.0;
+
+  std::vector<double> load(num_fragments, 0.0);
+  std::vector<double> scratch(num_fragments, 0.0);
+  std::vector<FragmentId> touched;
+
+  for (VertexId v = 0; v < n; ++v) {
+    CountPlacedNeighbors(graph, assignment, v, scratch, touched);
+    FragmentId best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (FragmentId f = 0; f < num_fragments; ++f) {
+      if (load[f] >= capacity) continue;
+      double score = scratch[f] -
+                     alpha * gamma_ / 2.0 * std::pow(load[f], gamma_ - 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best = f;
+      }
+    }
+    assignment[v] = best;
+    load[best] += 1.0;
+    for (FragmentId f : touched) scratch[f] = 0.0;
+  }
+  return assignment;
+}
+
+}  // namespace grape

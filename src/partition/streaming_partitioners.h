@@ -1,0 +1,50 @@
+#ifndef GRAPE_PARTITION_STREAMING_PARTITIONERS_H_
+#define GRAPE_PARTITION_STREAMING_PARTITIONERS_H_
+
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace grape {
+
+/// Linear Deterministic Greedy streaming partitioner (Stanton & Kliot, KDD
+/// 2012) — the "streaming-style partition algorithm [8]" of the paper.
+/// Vertices arrive in id order; each is placed on the fragment maximizing
+///   |N(v) ∩ P_i| * (1 - |P_i| / C)
+/// where C is the per-fragment capacity.
+class LdgPartitioner : public Partitioner {
+ public:
+  /// capacity_slack > 1 loosens the balance constraint (C = slack * |V|/n).
+  explicit LdgPartitioner(double capacity_slack = 1.05)
+      : capacity_slack_(capacity_slack) {}
+
+  Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const override;
+  std::string name() const override { return "ldg"; }
+
+ private:
+  double capacity_slack_;
+};
+
+/// Fennel streaming partitioner (Tsourakakis et al., WSDM 2014): place v on
+/// the fragment maximizing |N(v) ∩ P_i| - alpha * gamma / 2 * |P_i|^(gamma-1),
+/// a one-pass relaxation of modularity-style objectives. Included as an
+/// extension strategy beyond the paper's built-ins.
+class FennelPartitioner : public Partitioner {
+ public:
+  explicit FennelPartitioner(double gamma = 1.5, double balance_slack = 1.1)
+      : gamma_(gamma), balance_slack_(balance_slack) {}
+
+  Result<std::vector<FragmentId>> Partition(
+      const Graph& graph, FragmentId num_fragments) const override;
+  std::string name() const override { return "fennel"; }
+
+ private:
+  double gamma_;
+  double balance_slack_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_PARTITION_STREAMING_PARTITIONERS_H_

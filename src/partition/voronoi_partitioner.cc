@@ -1,0 +1,83 @@
+#include "partition/voronoi_partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace grape {
+
+Result<std::vector<FragmentId>> VoronoiPartitioner::Partition(
+    const Graph& graph, FragmentId num_fragments) const {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return std::vector<FragmentId>{};
+
+  const uint32_t target_cells = std::max<uint32_t>(
+      num_fragments, options_.cells_per_fragment * num_fragments);
+  Rng rng(options_.seed);
+
+  // Multi-source BFS from sampled seeds over the undirected view; cell[v] =
+  // index of the closest seed.
+  std::vector<uint32_t> cell(n, UINT32_MAX);
+  std::deque<VertexId> frontier;
+  uint32_t num_cells = 0;
+  for (uint32_t c = 0; c < target_cells; ++c) {
+    auto v = static_cast<VertexId>(rng.NextBounded(n));
+    if (cell[v] != UINT32_MAX) continue;  // collision: skip
+    cell[v] = num_cells++;
+    frontier.push_back(v);
+  }
+  auto grow = [&] {
+    while (!frontier.empty()) {
+      VertexId v = frontier.front();
+      frontier.pop_front();
+      auto visit = [&](VertexId u) {
+        if (cell[u] == UINT32_MAX) {
+          cell[u] = cell[v];
+          frontier.push_back(u);
+        }
+      };
+      for (const Neighbor& nb : graph.OutNeighbors(v)) visit(nb.vertex);
+      if (graph.is_directed()) {
+        for (const Neighbor& nb : graph.InNeighbors(v)) visit(nb.vertex);
+      }
+    }
+  };
+  grow();
+  // Re-seed disconnected leftovers until everything is covered.
+  for (VertexId v = 0; v < n; ++v) {
+    if (cell[v] == UINT32_MAX) {
+      cell[v] = num_cells++;
+      frontier.push_back(v);
+      grow();
+    }
+  }
+
+  // Pack cells onto fragments: biggest cell first onto the least-loaded
+  // fragment (greedy multiprocessor scheduling).
+  std::vector<size_t> cell_size(num_cells, 0);
+  for (VertexId v = 0; v < n; ++v) cell_size[cell[v]]++;
+  std::vector<uint32_t> order(num_cells);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return cell_size[a] > cell_size[b];
+  });
+  std::vector<size_t> load(num_fragments, 0);
+  std::vector<FragmentId> cell_owner(num_cells, 0);
+  for (uint32_t c : order) {
+    auto f = static_cast<FragmentId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    cell_owner[c] = f;
+    load[f] += cell_size[c];
+  }
+
+  std::vector<FragmentId> assignment(n);
+  for (VertexId v = 0; v < n; ++v) assignment[v] = cell_owner[cell[v]];
+  return assignment;
+}
+
+}  // namespace grape

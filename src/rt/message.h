@@ -1,0 +1,34 @@
+#ifndef GRAPE_RT_MESSAGE_H_
+#define GRAPE_RT_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace grape {
+
+/// Rank of the coordinator P0 in a CommWorld.
+inline constexpr uint32_t kCoordinatorRank = 0;
+
+/// A serialized message travelling between ranks. Payloads are opaque byte
+/// buffers produced by Encoder; the tag distinguishes logical streams within
+/// one superstep (e.g. parameter updates vs. control).
+struct RtMessage {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint32_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Message tags used by the engines.
+enum MessageTag : uint32_t {
+  kTagParamUpdate = 1,
+  kTagControl = 2,
+  kTagVertexMessage = 3,
+  kTagPartialResult = 4,
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_RT_MESSAGE_H_

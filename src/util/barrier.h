@@ -1,0 +1,44 @@
+#ifndef GRAPE_UTIL_BARRIER_H_
+#define GRAPE_UTIL_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace grape {
+
+/// Reusable cyclic barrier for BSP supersteps: all `parties` threads must
+/// call Wait() before any of them proceeds to the next phase.
+class Barrier {
+ public:
+  explicit Barrier(size_t parties) : parties_(parties), waiting_(0) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties arrive. Returns true for exactly one caller
+  /// per generation (the "serial" thread), which may run a coordinator step.
+  bool Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t gen = generation_;
+    if (++waiting_ == parties_) {
+      ++generation_;
+      waiting_ = 0;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    return false;
+  }
+
+ private:
+  const size_t parties_;
+  size_t waiting_;
+  size_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_BARRIER_H_

@@ -1,0 +1,85 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace grape {
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  // Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds {0}.
+  if (value == 0) return 0;
+  int b = 64 - __builtin_clzll(value);
+  return std::min(b, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLimit(int bucket) {
+  if (bucket >= 63) return std::numeric_limits<uint64_t>::max();
+  return (1ULL << bucket) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  double threshold = count_ * (p / 100.0);
+  double cumulative = 0.0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      double left = (b == 0) ? 0.0 : static_cast<double>(BucketLimit(b - 1));
+      double right = static_cast<double>(BucketLimit(b));
+      double left_count = cumulative - buckets_[b];
+      double pos =
+          buckets_[b] == 0
+              ? 0.0
+              : (threshold - left_count) / static_cast<double>(buckets_[b]);
+      double r = left + (right - left) * pos;
+      return std::clamp(r, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.1f p95=%.1f p99=%.1f max=%llu",
+                static_cast<unsigned long long>(count_), Mean(), Median(),
+                Percentile(95.0), Percentile(99.0),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace grape

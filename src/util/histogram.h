@@ -1,0 +1,50 @@
+#ifndef GRAPE_UTIL_HISTOGRAM_H_
+#define GRAPE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grape {
+
+/// Log-bucketed histogram of non-negative values (latencies in micros,
+/// message sizes in bytes, degrees). Follows the RocksDB statistics style:
+/// cheap Add(), percentile queries on demand.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Approximate percentile (p in [0, 100]) via linear interpolation within
+  /// the containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: count, mean, p50/p95/p99, max.
+  std::string ToString() const;
+
+  static constexpr int kNumBuckets = 64;
+
+ private:
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLimit(int bucket);
+
+  uint64_t buckets_[kNumBuckets];
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,71 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace grape {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<Logger::Sink> g_sink{nullptr};
+std::mutex g_stderr_mutex;
+
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::SetSink(Sink sink) { g_sink.store(sink); }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  Sink sink = g_sink.load();
+  if (sink != nullptr) {
+    sink(level, message);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_stderr_mutex);
+  std::fprintf(stderr, "[%s] %s\n",
+               std::string(LogLevelToString(level)).c_str(), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories from __FILE__ for compact records.
+  std::string_view path(file);
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+  stream_ << path << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::Log(level_, stream_.str());
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace grape

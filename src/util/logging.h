@@ -1,0 +1,70 @@
+#ifndef GRAPE_UTIL_LOGGING_H_
+#define GRAPE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace grape {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+std::string_view LogLevelToString(LogLevel level);
+
+/// Process-wide logging configuration. Thread-safe; messages at or above
+/// the current threshold are written to stderr. Tests can capture output by
+/// installing a sink callback.
+class Logger {
+ public:
+  using Sink = void (*)(LogLevel, const std::string&);
+
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Install a sink that receives every emitted record instead of stderr.
+  /// Pass nullptr to restore the default stderr sink.
+  static void SetSink(Sink sink);
+
+  static void Log(LogLevel level, const std::string& message);
+};
+
+/// Stream-style log record builder; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define GRAPE_LOG(level)                                               \
+  if (static_cast<int>(::grape::LogLevel::level) <                     \
+      static_cast<int>(::grape::Logger::GetLevel())) {                 \
+  } else                                                               \
+    ::grape::LogMessage(::grape::LogLevel::level, __FILE__, __LINE__)  \
+        .stream()
+
+#define GRAPE_CHECK(cond)                                                 \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::grape::LogMessage(::grape::LogLevel::kFatal, __FILE__, __LINE__)    \
+            .stream()                                                     \
+        << "Check failed: " #cond " "
+
+#define GRAPE_DCHECK(cond) assert(cond)
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_LOGGING_H_

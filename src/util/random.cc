@@ -1,0 +1,17 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace grape {
+
+double Rng::NextGaussian() {
+  // Box–Muller transform; u1 must be non-zero for the log.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace grape

@@ -1,0 +1,91 @@
+#ifndef GRAPE_UTIL_RANDOM_H_
+#define GRAPE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace grape {
+
+/// SplitMix64: statistically strong 64-bit mixer, used both as a standalone
+/// generator for seeding and as the hash finalizer for partitioners.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality PRNG. Deterministic for a given seed,
+/// so every generated workload in tests and benches is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // Expand the seed through SplitMix64 per the xoshiro authors' advice.
+    for (auto& word : state_) {
+      seed = SplitMix64(seed);
+      word = seed;
+    }
+  }
+
+  uint64_t NextUint64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (~bound + 1) % bound;
+    while (true) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and enough
+  /// for workload generation).
+  double NextGaussian();
+
+  // std::uniform_random_bit_generator interface, so Rng plugs into
+  // std::shuffle and <random> distributions.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() { return NextUint64(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_RANDOM_H_

@@ -1,0 +1,76 @@
+#ifndef GRAPE_UTIL_RESULT_H_
+#define GRAPE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace grape {
+
+/// Result<T> holds either a value of type T or a non-OK Status describing
+/// why the value could not be produced. It is the value-returning companion
+/// of Status, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, returning the error
+/// status to the caller on failure.
+#define GRAPE_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto GRAPE_CONCAT_(res_, __LINE__) = (expr);    \
+  if (!GRAPE_CONCAT_(res_, __LINE__).ok())        \
+    return GRAPE_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(GRAPE_CONCAT_(res_, __LINE__)).value()
+
+#define GRAPE_CONCAT_IMPL_(a, b) a##b
+#define GRAPE_CONCAT_(a, b) GRAPE_CONCAT_IMPL_(a, b)
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_RESULT_H_

@@ -1,0 +1,36 @@
+#ifndef GRAPE_UTIL_STRING_UTIL_H_
+#define GRAPE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grape {
+
+/// Splits `s` on `delim`, omitting empty pieces when `skip_empty` is true.
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool skip_empty = false);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// "1.5 KB", "3.2 MB", ... for byte counts; used by bench reporters.
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.2K", "3.4M" for counts.
+std::string HumanCount(uint64_t count);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,48 @@
+#ifndef GRAPE_UTIL_THREAD_POOL_H_
+#define GRAPE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace grape {
+
+/// Fixed-size worker pool. The PIE engine maps each logical worker P_i onto
+/// a pool task per superstep; ParallelFor is used by partitioners and
+/// generators for data-parallel loops.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit scheduling overhead.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+#include <string>
+#include <tuple>
+
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/seq/seq_algorithms.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+Graph ManyComponentsGraph() {
+  // Five islands of varying shapes.
+  GraphBuilder builder(false);
+  VertexId base = 0;
+  for (VertexId size : {30u, 1u, 17u, 50u, 2u}) {
+    if (size > 1) {
+      auto island = GenerateRandomTree(size, 211 + base, false);
+      EXPECT_TRUE(island.ok());
+      for (const Edge& e : island->ToEdgeList()) {
+        builder.AddEdge(e.src + base, e.dst + base, e.weight);
+      }
+    } else {
+      builder.AddVertex(base);
+    }
+    base += size;
+  }
+  auto g = std::move(builder).Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+using Param = std::tuple<std::string, FragmentId>;
+
+class CcMatrixTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CcMatrixTest, MatchesUnionFind) {
+  const auto& [strategy, nfrag] = GetParam();
+  Graph g = ManyComponentsGraph();
+  FragmentedGraph fg = testing::MakeFragments(g, strategy, nfrag);
+  std::vector<VertexId> expected = SeqConnectedComponents(g);
+
+  GrapeEngine<CcApp> engine(fg, CcApp{});
+  auto out = engine.Run(CcQuery{});
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->label.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(out->label[v], expected[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CcMatrixTest,
+    ::testing::Combine(::testing::Values("hash", "range", "metis"),
+                       ::testing::Values(FragmentId{1}, FragmentId{3},
+                                         FragmentId{8})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CcTest, DirectedGraphUsesWeakComponents) {
+  // A directed cycle fragmentable anywhere plus a stray path.
+  GraphBuilder builder(true);
+  for (VertexId v = 0; v < 10; ++v) builder.AddEdge(v, (v + 1) % 10);
+  builder.AddEdge(20, 21);
+  builder.AddEdge(22, 21);  // 20,21,22 weakly connected
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  GrapeEngine<CcApp> engine(fg, CcApp{});
+  auto out = engine.Run(CcQuery{});
+  ASSERT_TRUE(out.ok());
+  std::vector<VertexId> expected = SeqConnectedComponents(*g);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(out->label[v], expected[v]);
+  }
+  EXPECT_EQ(out->label[21], 20u);
+}
+
+TEST(CcTest, MonotonicityHolds) {
+  Graph g = ManyComponentsGraph();
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 6);
+  EngineOptions opts;
+  opts.check_monotonicity = true;
+  GrapeEngine<CcApp> engine(fg, CcApp{}, opts);
+  ASSERT_TRUE(engine.Run(CcQuery{}).ok());
+  EXPECT_EQ(engine.metrics().monotonicity_violations, 0u);
+}
+
+class BfsMatrixTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BfsMatrixTest, MatchesSequentialBfs) {
+  const auto& [strategy, nfrag] = GetParam();
+  RMatOptions opts;
+  opts.scale = 9;
+  opts.edge_factor = 5;
+  opts.seed = 223;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, strategy, nfrag);
+  std::vector<uint32_t> expected = SeqBfs(*g, 3);
+
+  GrapeEngine<BfsApp> engine(fg, BfsApp{});
+  auto out = engine.Run(BfsQuery{3});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->depth.size(), g->num_vertices());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(out->depth[v], expected[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BfsMatrixTest,
+    ::testing::Combine(::testing::Values("hash", "ldg"),
+                       ::testing::Values(FragmentId{1}, FragmentId{5})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BfsTest, UnreachableStaysMax) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);
+  builder.AddVertex(5);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 2);
+  GrapeEngine<BfsApp> engine(fg, BfsApp{});
+  auto out = engine.Run(BfsQuery{0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->depth[0], 0u);
+  EXPECT_EQ(out->depth[1], 1u);
+  EXPECT_EQ(out->depth[5], UINT32_MAX);
+}
+
+TEST(BfsTest, PathDepthIsLinear) {
+  auto g = GeneratePath(64, /*directed=*/true);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "range", 4);
+  GrapeEngine<BfsApp> engine(fg, BfsApp{});
+  auto out = engine.Run(BfsQuery{0});
+  ASSERT_TRUE(out.ok());
+  for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(out->depth[v], v);
+  // A contiguous range partition crosses fragment borders 3 times, so the
+  // fixed point takes ~4 supersteps, not 64 (whole-fragment evaluation).
+  EXPECT_LE(engine.metrics().supersteps, 6u);
+}
+
+}  // namespace
+}  // namespace grape

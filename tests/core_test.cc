@@ -1,0 +1,163 @@
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregators.h"
+#include "core/param_store.h"
+#include "gtest/gtest.h"
+
+namespace grape {
+namespace {
+
+TEST(AggregatorsTest, MinAggregator) {
+  double cur = 10.0;
+  EXPECT_TRUE(MinAggregator<double>::Aggregate(cur, 5.0));
+  EXPECT_DOUBLE_EQ(cur, 5.0);
+  EXPECT_FALSE(MinAggregator<double>::Aggregate(cur, 7.0));
+  EXPECT_DOUBLE_EQ(cur, 5.0);
+  EXPECT_TRUE(MinAggregator<double>::InOrder(3.0, 5.0));
+  EXPECT_FALSE(MinAggregator<double>::InOrder(6.0, 5.0));
+  EXPECT_TRUE(MinAggregator<double>::InOrder(5.0, 5.0));
+}
+
+TEST(AggregatorsTest, MaxAggregator) {
+  int cur = 1;
+  EXPECT_TRUE(MaxAggregator<int>::Aggregate(cur, 4));
+  EXPECT_EQ(cur, 4);
+  EXPECT_FALSE(MaxAggregator<int>::Aggregate(cur, 2));
+  EXPECT_TRUE(MaxAggregator<int>::InOrder(5, 4));
+  EXPECT_FALSE(MaxAggregator<int>::InOrder(3, 4));
+}
+
+TEST(AggregatorsTest, SumAggregator) {
+  double cur = 1.5;
+  EXPECT_TRUE(SumAggregator<double>::Aggregate(cur, 2.0));
+  EXPECT_DOUBLE_EQ(cur, 3.5);
+  EXPECT_FALSE(SumAggregator<double>::Aggregate(cur, 0.0));
+  EXPECT_DOUBLE_EQ(cur, 3.5);
+}
+
+TEST(AggregatorsTest, OverwriteAggregator) {
+  int cur = 1;
+  EXPECT_TRUE(OverwriteAggregator<int>::Aggregate(cur, 2));
+  EXPECT_EQ(cur, 2);
+  EXPECT_FALSE(OverwriteAggregator<int>::Aggregate(cur, 2));
+}
+
+TEST(AggregatorsTest, BitAndShrinksMonotonically) {
+  uint64_t cur = 0b1111;
+  EXPECT_TRUE(BitAndAggregator::Aggregate(cur, 0b1010));
+  EXPECT_EQ(cur, 0b1010u);
+  EXPECT_FALSE(BitAndAggregator::Aggregate(cur, 0b1111));
+  EXPECT_TRUE(BitAndAggregator::InOrder(0b0010, 0b1010));
+  EXPECT_FALSE(BitAndAggregator::InOrder(0b0100, 0b1010));
+}
+
+TEST(AggregatorsTest, AppendAggregatorGrows) {
+  std::vector<std::vector<uint32_t>> cur;
+  std::vector<std::vector<uint32_t>> in = {{1, 2}, {3}};
+  EXPECT_TRUE(AppendAggregator<std::vector<uint32_t>>::Aggregate(cur, in));
+  EXPECT_EQ(cur.size(), 2u);
+  EXPECT_FALSE(AppendAggregator<std::vector<uint32_t>>::Aggregate(cur, {}));
+  EXPECT_EQ(cur.size(), 2u);
+}
+
+TEST(AggregatorsTest, ElementwiseMin) {
+  std::vector<double> cur = {5.0, 1.0};
+  EXPECT_TRUE(ElementwiseMinAggregator::Aggregate(cur, {3.0, 2.0}));
+  EXPECT_DOUBLE_EQ(cur[0], 3.0);
+  EXPECT_DOUBLE_EQ(cur[1], 1.0);
+  EXPECT_FALSE(ElementwiseMinAggregator::Aggregate(cur, {4.0, 2.0}));
+  // Longer incoming extends (missing entries behave like +inf).
+  EXPECT_TRUE(ElementwiseMinAggregator::Aggregate(cur, {9.0, 9.0, 7.0}));
+  ASSERT_EQ(cur.size(), 3u);
+  EXPECT_DOUBLE_EQ(cur[2], 7.0);
+  EXPECT_TRUE(ElementwiseMinAggregator::InOrder({2.0, 1.0}, {3.0, 1.0}));
+  EXPECT_FALSE(ElementwiseMinAggregator::InOrder({4.0}, {3.0}));
+}
+
+TEST(AggregatorsTest, MinIsCommutativeAndIdempotent) {
+  // Property sweep: aggregation order must not change the fixed point.
+  std::vector<double> inputs = {5.0, 1.0, 3.0, 1.0, 9.0};
+  double forward = 100.0;
+  for (double v : inputs) MinAggregator<double>::Aggregate(forward, v);
+  double backward = 100.0;
+  for (auto it = inputs.rbegin(); it != inputs.rend(); ++it) {
+    MinAggregator<double>::Aggregate(backward, *it);
+  }
+  EXPECT_DOUBLE_EQ(forward, backward);
+  double twice = forward;
+  MinAggregator<double>::Aggregate(twice, forward);
+  EXPECT_DOUBLE_EQ(twice, forward);
+}
+
+TEST(ParamStoreTest, InitAndGet) {
+  ParamStore<double> store;
+  store.Init(4, 1.5);
+  EXPECT_EQ(store.size(), 4u);
+  for (LocalId i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(store.Get(i), 1.5);
+  EXPECT_TRUE(store.TakeChanged().empty());
+}
+
+TEST(ParamStoreTest, SetMarksChanged) {
+  ParamStore<int> store;
+  store.Init(5, 0);
+  store.Set(2, 7);
+  store.Set(4, 9);
+  auto changed = store.TakeChanged();
+  EXPECT_EQ(changed, (std::vector<LocalId>{2, 4}));
+  // Drained: second take is empty.
+  EXPECT_TRUE(store.TakeChanged().empty());
+}
+
+TEST(ParamStoreTest, SetIfChangedSkipsEqualValues) {
+  ParamStore<int> store;
+  store.Init(3, 5);
+  EXPECT_FALSE(store.SetIfChanged(0, 5));
+  EXPECT_TRUE(store.SetIfChanged(0, 6));
+  auto changed = store.TakeChanged();
+  EXPECT_EQ(changed, (std::vector<LocalId>{0}));
+}
+
+TEST(ParamStoreTest, UntrackedRefDoesNotMark) {
+  ParamStore<int> store;
+  store.Init(3, 0);
+  store.UntrackedRef(1) = 42;
+  EXPECT_TRUE(store.TakeChanged().empty());
+  EXPECT_EQ(store.Get(1), 42);
+  store.MarkChanged(1);
+  EXPECT_EQ(store.TakeChanged(), (std::vector<LocalId>{1}));
+}
+
+TEST(ParamStoreTest, MutateMarks) {
+  ParamStore<std::vector<int>> store;
+  store.Init(2, {});
+  store.Mutate(0).push_back(3);
+  auto changed = store.TakeChanged();
+  EXPECT_EQ(changed, (std::vector<LocalId>{0}));
+  EXPECT_EQ(store.Get(0).size(), 1u);
+}
+
+TEST(ParamStoreTest, RemotePosts) {
+  ParamStore<int> store;
+  store.Init(1, 0);
+  store.PostRemote(99, 7);
+  store.PostRemote(42, 8);
+  auto remote = store.TakeRemote();
+  ASSERT_EQ(remote.size(), 2u);
+  EXPECT_EQ(remote[0].first, 99u);
+  EXPECT_EQ(remote[1].second, 8);
+  EXPECT_TRUE(store.TakeRemote().empty());
+}
+
+TEST(ParamStoreTest, ReinitClearsState) {
+  ParamStore<int> store;
+  store.Init(2, 0);
+  store.Set(0, 1);
+  store.Init(3, 9);
+  EXPECT_TRUE(store.TakeChanged().empty());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.Get(2), 9);
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,183 @@
+// Randomized differential testing: for a sweep of seeds, random graphs run
+// through the PIE engine under a randomly chosen partitioner and worker
+// count, and every answer is compared against the whole-graph sequential
+// reference. This is the repository's broadest property: *parallelization
+// never changes the answer* (the Assurance Theorem, empirically).
+
+#include <string>
+
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/kcore.h"
+#include "apps/seq/seq_algorithms.h"
+#include "apps/sim.h"
+#include "apps/seq/seq_matching.h"
+#include "apps/sssp.h"
+#include "apps/triangle.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace grape {
+namespace {
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Derives all the run's randomness from the sweep seed.
+  void SetUp() override {
+    rng_.Seed(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+    const char* strategies[] = {"hash", "range",  "grid2d", "ldg",
+                                "fennel", "metis", "voronoi"};
+    strategy_ = strategies[rng_.NextBounded(7)];
+    workers_ = static_cast<FragmentId>(1 + rng_.NextBounded(9));
+  }
+
+  Graph RandomGraph(bool directed) {
+    switch (rng_.NextBounded(3)) {
+      case 0: {
+        VertexId n = 50 + static_cast<VertexId>(rng_.NextBounded(300));
+        size_t m = n * (2 + rng_.NextBounded(6));
+        auto g = GenerateErdosRenyi(n, m, directed, rng_.NextUint64());
+        EXPECT_TRUE(g.ok());
+        return std::move(g).value();
+      }
+      case 1: {
+        RMatOptions opts;
+        opts.scale = 7 + static_cast<uint32_t>(rng_.NextBounded(3));
+        opts.edge_factor = 4 + static_cast<uint32_t>(rng_.NextBounded(6));
+        opts.directed = directed;
+        opts.seed = rng_.NextUint64();
+        auto g = GenerateRMat(opts);
+        EXPECT_TRUE(g.ok());
+        return std::move(g).value();
+      }
+      default: {
+        uint32_t side = 8 + static_cast<uint32_t>(rng_.NextBounded(20));
+        auto g = GenerateGridRoad(side, side, rng_.NextUint64());
+        EXPECT_TRUE(g.ok());
+        return std::move(g).value();
+      }
+    }
+  }
+
+  Rng rng_{1};
+  std::string strategy_;
+  FragmentId workers_ = 1;
+};
+
+TEST_P(DifferentialTest, SsspAgreesWithDijkstra) {
+  Graph g = RandomGraph(/*directed=*/true);
+  VertexId source =
+      static_cast<VertexId>(rng_.NextBounded(g.num_vertices()));
+  FragmentedGraph fg = testing::MakeFragments(g, strategy_, workers_);
+  GrapeEngine<SsspApp> engine(fg, SsspApp{});
+  auto out = engine.Run(SsspQuery{source});
+  ASSERT_TRUE(out.ok()) << strategy_ << "/" << workers_;
+  auto expected = SeqDijkstra(g, source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_DOUBLE_EQ(out->dist[v], expected[v])
+        << "seed=" << GetParam() << " strategy=" << strategy_
+        << " workers=" << workers_ << " vertex=" << v;
+  }
+}
+
+TEST_P(DifferentialTest, CcAgreesWithUnionFind) {
+  Graph g = RandomGraph(/*directed=*/false);
+  FragmentedGraph fg = testing::MakeFragments(g, strategy_, workers_);
+  GrapeEngine<CcApp> engine(fg, CcApp{});
+  auto out = engine.Run(CcQuery{});
+  ASSERT_TRUE(out.ok());
+  auto expected = SeqConnectedComponents(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(out->label[v], expected[v])
+        << "seed=" << GetParam() << " strategy=" << strategy_
+        << " workers=" << workers_ << " vertex=" << v;
+  }
+}
+
+TEST_P(DifferentialTest, KCoreAgreesWithPeeling) {
+  Graph g = RandomGraph(/*directed=*/false);
+  FragmentedGraph fg = testing::MakeFragments(g, strategy_, workers_);
+  GrapeEngine<KCoreApp> engine(fg, KCoreApp{});
+  auto out = engine.Run(KCoreQuery{});
+  ASSERT_TRUE(out.ok());
+  auto expected = SeqKCore(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(out->coreness[v], expected[v])
+        << "seed=" << GetParam() << " strategy=" << strategy_
+        << " workers=" << workers_ << " vertex=" << v;
+  }
+}
+
+TEST_P(DifferentialTest, TriangleAgreesWithNodeIterator) {
+  Graph g = RandomGraph(/*directed=*/false);
+  FragmentedGraph fg = testing::MakeFragments(g, strategy_, workers_);
+  GrapeEngine<TriangleApp> engine(fg, TriangleApp{});
+  auto out = engine.Run(TriangleQuery{});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->triangles, SeqTriangleCount(g))
+      << "seed=" << GetParam() << " strategy=" << strategy_
+      << " workers=" << workers_;
+}
+
+TEST_P(DifferentialTest, BfsAgreesWithSequential) {
+  Graph g = RandomGraph(/*directed=*/true);
+  VertexId source =
+      static_cast<VertexId>(rng_.NextBounded(g.num_vertices()));
+  FragmentedGraph fg = testing::MakeFragments(g, strategy_, workers_);
+  GrapeEngine<BfsApp> engine(fg, BfsApp{});
+  auto out = engine.Run(BfsQuery{source});
+  ASSERT_TRUE(out.ok());
+  auto expected = SeqBfs(g, source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(out->depth[v], expected[v])
+        << "seed=" << GetParam() << " strategy=" << strategy_
+        << " workers=" << workers_ << " vertex=" << v;
+  }
+}
+
+TEST_P(DifferentialTest, SimAgreesWithSequentialOnRandomPattern) {
+  LabeledGraphOptions opts;
+  opts.scale = 7 + static_cast<uint32_t>(rng_.NextBounded(2));
+  opts.edge_factor = 4 + static_cast<uint32_t>(rng_.NextBounded(4));
+  opts.num_vertex_labels = 2 + static_cast<uint32_t>(rng_.NextBounded(4));
+  opts.seed = rng_.NextUint64();
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+
+  // Random connected pattern: a labelled path of length 2-3 with a chance
+  // of a closing edge.
+  uint32_t k = 2 + static_cast<uint32_t>(rng_.NextBounded(2));
+  std::vector<Label> labels;
+  std::vector<PatternEdge> edges;
+  for (uint32_t u = 0; u < k; ++u) {
+    labels.push_back(
+        static_cast<Label>(rng_.NextBounded(opts.num_vertex_labels)));
+    if (u > 0) edges.push_back({u - 1, u, 0});
+  }
+  if (k == 3 && rng_.NextBool()) edges.push_back({k - 1, 0, 0});
+  auto pattern = Pattern::Create(labels, edges);
+  ASSERT_TRUE(pattern.ok());
+
+  FragmentedGraph fg = testing::MakeFragments(*g, strategy_, workers_);
+  GrapeEngine<SimApp> engine(fg, SimApp{});
+  auto out = engine.Run(SimQuery{*pattern});
+  ASSERT_TRUE(out.ok());
+  auto expected = SeqSimulation(*g, *pattern);
+  for (uint32_t u = 0; u < pattern->num_vertices(); ++u) {
+    ASSERT_EQ(out->sim[u], expected[u])
+        << "seed=" << GetParam() << " strategy=" << strategy_
+        << " workers=" << workers_ << " pattern vertex=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, DifferentialTest,
+                         ::testing::Range<uint64_t>(0, 12),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,205 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <tuple>
+
+#include "apps/dual_sim.h"
+#include "apps/seq/seq_matching.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+Graph LabeledData(uint64_t seed) {
+  LabeledGraphOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 6;
+  opts.num_vertex_labels = 3;
+  opts.seed = seed;
+  auto g = GenerateLabeledGraph(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+Pattern MakePattern(const std::string& name) {
+  Result<Pattern> p = Status::Internal("unset");
+  if (name == "edge") {
+    p = Pattern::Create({0, 1}, {{0, 1, 0}});
+  } else if (name == "path3") {
+    p = Pattern::Create({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  } else {
+    p = Pattern::Create({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  }
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+TEST(SeqDualSimTest, SubsetOfPlainSimulation) {
+  Graph g = LabeledData(1301);
+  Pattern pattern = MakePattern("path3");
+  auto plain = SeqSimulation(g, pattern);
+  auto dual = SeqDualSimulation(g, pattern);
+  ASSERT_EQ(plain.size(), dual.size());
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    // Dual simulation adds the parent condition: it can only shrink sets.
+    for (VertexId v : dual[u]) {
+      EXPECT_TRUE(std::binary_search(plain[u].begin(), plain[u].end(), v));
+    }
+  }
+}
+
+TEST(SeqDualSimTest, ParentConditionBites) {
+  // Chain a -> b; pattern path3 with labels (0,1,2). Vertex with label 1
+  // but no label-0 parent must be excluded by DUAL sim for position 1.
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);  // 0:label0 -> 1:label1
+  builder.AddEdge(1, 2);  // 1 -> 2:label2
+  builder.AddEdge(3, 4);  // 3:label1 (no parent!) -> 4:label2
+  builder.SetVertexLabel(0, 0);
+  builder.SetVertexLabel(1, 1);
+  builder.SetVertexLabel(2, 2);
+  builder.SetVertexLabel(3, 1);
+  builder.SetVertexLabel(4, 2);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  Pattern pattern = MakePattern("path3");
+
+  auto plain = SeqSimulation(*g, pattern);
+  auto dual = SeqDualSimulation(*g, pattern);
+  // Plain simulation keeps 3 in sim(1) (child condition holds via 4).
+  EXPECT_TRUE(std::binary_search(plain[1].begin(), plain[1].end(), 3u));
+  // Dual simulation drops 3 (no label-0 parent) and its dependent 4.
+  EXPECT_FALSE(std::binary_search(dual[1].begin(), dual[1].end(), 3u));
+  EXPECT_FALSE(std::binary_search(dual[2].begin(), dual[2].end(), 4u));
+  EXPECT_TRUE(std::binary_search(dual[1].begin(), dual[1].end(), 1u));
+}
+
+using DualParam = std::tuple<std::string, std::string, FragmentId>;
+
+class DualSimMatrixTest : public ::testing::TestWithParam<DualParam> {};
+
+TEST_P(DualSimMatrixTest, MatchesSequentialDualSimulation) {
+  const auto& [pattern_name, strategy, nfrag] = GetParam();
+  Graph g = LabeledData(1303);
+  Pattern pattern = MakePattern(pattern_name);
+  auto expected = SeqDualSimulation(g, pattern);
+
+  FragmentedGraph fg = testing::MakeFragments(g, strategy, nfrag);
+  GrapeEngine<DualSimApp> engine(fg, DualSimApp{});
+  auto out = engine.Run(SimQuery{pattern});
+  ASSERT_TRUE(out.ok()) << out.status();
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    EXPECT_EQ(out->sim[u], expected[u]) << "pattern vertex " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DualSimMatrixTest,
+    ::testing::Combine(::testing::Values("edge", "path3", "triangle"),
+                       ::testing::Values("hash", "metis"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{6})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(DualSimTest, MonotonicityHolds) {
+  Graph g = LabeledData(1307);
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+  EngineOptions opts;
+  opts.check_monotonicity = true;
+  GrapeEngine<DualSimApp> engine(fg, DualSimApp{}, opts);
+  ASSERT_TRUE(engine.Run(SimQuery{MakePattern("path3")}).ok());
+  EXPECT_EQ(engine.metrics().monotonicity_violations, 0u);
+}
+
+class CompressedIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/grape_cz_" + name;
+  }
+};
+
+TEST_F(CompressedIoTest, RoundTripEquality) {
+  Graph g = LabeledData(1319);
+  std::string path = TempPath("graph.czg");
+  ASSERT_TRUE(SaveBinaryCompressed(g, path).ok());
+  auto loaded = LoadBinaryCompressed(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  auto full_order = [](const Edge& x, const Edge& y) {
+    return std::tie(x.src, x.dst, x.weight, x.label) <
+           std::tie(y.src, y.dst, y.weight, y.label);
+  };
+  auto ea = g.ToEdgeList();
+  auto eb = loaded->ToEdgeList();
+  std::sort(ea.begin(), ea.end(), full_order);
+  std::sort(eb.begin(), eb.end(), full_order);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(loaded->vertex_label(v), g.vertex_label(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CompressedIoTest, UndirectedRoundTrip) {
+  auto g = GenerateGridRoad(20, 20, 1321);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("grid.czg");
+  ASSERT_TRUE(SaveBinaryCompressed(*g, path).ok());
+  auto loaded = LoadBinaryCompressed(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(loaded->OutDegree(v), g->OutDegree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CompressedIoTest, SmallerThanUncompressed) {
+  Graph g = LabeledData(1327);
+  std::string raw = TempPath("raw.bin");
+  std::string packed = TempPath("packed.czg");
+  ASSERT_TRUE(SaveBinary(g, raw).ok());
+  ASSERT_TRUE(SaveBinaryCompressed(g, packed).ok());
+  auto raw_size = std::filesystem::file_size(raw);
+  auto packed_size = std::filesystem::file_size(packed);
+  EXPECT_LT(packed_size * 2, raw_size)
+      << "compression should at least halve the snapshot";
+  std::remove(raw.c_str());
+  std::remove(packed.c_str());
+}
+
+TEST_F(CompressedIoTest, NonGridWeightsFallBackLosslessly) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1, 0.123456789);  // not on the 0.1 grid
+  builder.AddEdge(1, 2, 3.14159265);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("irr.czg");
+  ASSERT_TRUE(SaveBinaryCompressed(*g, path).ok());
+  auto loaded = LoadBinaryCompressed(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->OutNeighbors(0)[0].weight, 0.123456789);
+  EXPECT_DOUBLE_EQ(loaded->OutNeighbors(1)[0].weight, 3.14159265);
+  std::remove(path.c_str());
+}
+
+TEST_F(CompressedIoTest, RejectsWrongMagic) {
+  Graph g = LabeledData(1361);
+  std::string path = TempPath("mix.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  // A plain binary is not a compressed one.
+  EXPECT_FALSE(LoadBinaryCompressed(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grape

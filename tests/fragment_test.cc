@@ -1,0 +1,211 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "partition/fragment.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+Graph MakeTestGraph(const std::string& kind) {
+  if (kind == "directed_rmat") {
+    RMatOptions opts;
+    opts.scale = 8;
+    opts.edge_factor = 6;
+    opts.seed = 71;
+    auto g = GenerateRMat(opts);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+  if (kind == "undirected_er") {
+    auto g = GenerateErdosRenyi(300, 900, /*directed=*/false, 73);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+  auto g = GenerateGridRoad(16, 16, 79);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+/// (graph kind, partitioner, fragments)
+using FragmentParam = std::tuple<std::string, std::string, FragmentId>;
+
+class FragmentInvariantTest
+    : public ::testing::TestWithParam<FragmentParam> {};
+
+TEST_P(FragmentInvariantTest, StructuralInvariants) {
+  const auto& [kind, strategy, nfrag] = GetParam();
+  Graph g = MakeTestGraph(kind);
+  FragmentedGraph fg = testing::MakeFragments(g, strategy, nfrag);
+  ASSERT_EQ(fg.fragments.size(), nfrag);
+
+  // (1) Every vertex is inner in exactly one fragment.
+  std::vector<int> owners(g.num_vertices(), 0);
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+      owners[frag.Gid(lid)]++;
+      EXPECT_EQ((*fg.owner)[frag.Gid(lid)], frag.fid());
+    }
+  }
+  for (int c : owners) EXPECT_EQ(c, 1);
+
+  // (2) Edge conservation: the inner out-rows across fragments reproduce
+  // the global arc multiset exactly.
+  std::multiset<std::tuple<VertexId, VertexId, double>> global_arcs;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.OutNeighbors(v)) {
+      global_arcs.insert({v, nb.vertex, nb.weight});
+    }
+  }
+  std::multiset<std::tuple<VertexId, VertexId, double>> frag_arcs;
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+      for (const FragNeighbor& nb : frag.OutNeighbors(lid)) {
+        frag_arcs.insert({frag.Gid(lid), frag.Gid(nb.local), nb.weight});
+      }
+    }
+  }
+  EXPECT_EQ(global_arcs, frag_arcs);
+
+  // (3) Id mapping is involutive and outer/inner split is consistent.
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+      EXPECT_EQ(frag.Lid(frag.Gid(lid)), lid);
+      EXPECT_EQ(frag.IsInner(lid), lid < frag.num_inner());
+      if (frag.IsOuter(lid)) {
+        EXPECT_NE((*fg.owner)[frag.Gid(lid)], frag.fid());
+      }
+    }
+  }
+
+  // (4) Mirror tables: v's mirror list at its owner is exactly the set of
+  // fragments where v appears as outer.
+  std::map<VertexId, std::set<FragmentId>> outer_hosts;
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = frag.num_inner(); lid < frag.num_local(); ++lid) {
+      outer_hosts[frag.Gid(lid)].insert(frag.fid());
+    }
+  }
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+      auto mirrors = frag.MirrorFragments(lid);
+      std::set<FragmentId> mirror_set(mirrors.begin(), mirrors.end());
+      auto it = outer_hosts.find(frag.Gid(lid));
+      std::set<FragmentId> expected =
+          it == outer_hosts.end() ? std::set<FragmentId>{} : it->second;
+      EXPECT_EQ(mirror_set, expected);
+    }
+  }
+
+  // (5) Border flags: inner vertex is border iff some incident arc crosses.
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+      VertexId gid = frag.Gid(lid);
+      bool crosses = false;
+      for (const Neighbor& nb : g.OutNeighbors(gid)) {
+        crosses |= (*fg.owner)[nb.vertex] != frag.fid();
+      }
+      for (const Neighbor& nb : g.InNeighbors(gid)) {
+        crosses |= (*fg.owner)[nb.vertex] != frag.fid();
+      }
+      EXPECT_EQ(frag.IsBorder(lid), crosses) << "gid " << gid;
+    }
+  }
+
+  // (6) Outer adjacency rows: exactly the cross arcs into/out of the inner
+  // set, with correct reversal.
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = frag.num_inner(); lid < frag.num_local(); ++lid) {
+      VertexId outer_gid = frag.Gid(lid);
+      // Out-row of the outer vertex must list inner targets reachable in
+      // the global graph.
+      size_t expected_out = 0;
+      for (const Neighbor& nb : g.OutNeighbors(outer_gid)) {
+        if ((*fg.owner)[nb.vertex] == frag.fid()) ++expected_out;
+      }
+      EXPECT_EQ(frag.OutNeighbors(lid).size(), expected_out);
+      for (const FragNeighbor& nb : frag.OutNeighbors(lid)) {
+        EXPECT_TRUE(frag.IsInner(nb.local));
+      }
+    }
+  }
+
+  // (7) Labels replicated onto all local copies.
+  if (g.has_vertex_labels()) {
+    for (const Fragment& frag : fg.fragments) {
+      for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+        EXPECT_EQ(frag.vertex_label(lid), g.vertex_label(frag.Gid(lid)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FragmentInvariantTest,
+    ::testing::Combine(::testing::Values("directed_rmat", "undirected_er",
+                                         "grid"),
+                       ::testing::Values("hash", "range", "metis", "ldg"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{7})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(FragmentBuilderTest, RejectsBadAssignment) {
+  auto g = GeneratePath(5);
+  ASSERT_TRUE(g.ok());
+  std::vector<FragmentId> wrong_size(3, 0);
+  EXPECT_FALSE(FragmentBuilder::Build(*g, wrong_size, 2).ok());
+  std::vector<FragmentId> out_of_range(5, 9);
+  EXPECT_FALSE(FragmentBuilder::Build(*g, out_of_range, 2).ok());
+  std::vector<FragmentId> ok_assign(5, 0);
+  EXPECT_FALSE(FragmentBuilder::Build(*g, ok_assign, 0).ok());
+}
+
+TEST(FragmentBuilderTest, EmptyFragmentsAllowed) {
+  auto g = GeneratePath(4);
+  ASSERT_TRUE(g.ok());
+  // All vertices on fragment 0 of 3: fragments 1 and 2 are empty.
+  std::vector<FragmentId> assignment(4, 0);
+  auto fg = FragmentBuilder::Build(*g, assignment, 3);
+  ASSERT_TRUE(fg.ok());
+  EXPECT_EQ(fg->fragments[1].num_inner(), 0u);
+  EXPECT_EQ(fg->fragments[1].num_local(), 0u);
+  EXPECT_EQ(fg->fragments[0].num_border(), 0u);
+}
+
+TEST(FragmentBuilderTest, LinearChainAcrossTwoFragments) {
+  // 0 -> 1 -> 2 -> 3 with {0,1} on f0 and {2,3} on f1.
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto fg = FragmentBuilder::Build(*g, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(fg.ok());
+
+  const Fragment& f0 = fg->fragments[0];
+  const Fragment& f1 = fg->fragments[1];
+  EXPECT_EQ(f0.num_inner(), 2u);
+  EXPECT_EQ(f0.num_outer(), 1u);  // mirror of 2
+  EXPECT_EQ(f1.num_outer(), 1u);  // mirror of 1
+  EXPECT_TRUE(f0.IsBorder(f0.Lid(1)));
+  EXPECT_FALSE(f0.IsBorder(f0.Lid(0)));
+  EXPECT_TRUE(f1.IsBorder(f1.Lid(2)));
+  EXPECT_FALSE(f1.IsBorder(f1.Lid(3)));
+
+  // Mirror routing: vertex 1 (owned by f0) is mirrored at f1.
+  auto mirrors = f0.MirrorFragments(f0.Lid(1));
+  ASSERT_EQ(mirrors.size(), 1u);
+  EXPECT_EQ(mirrors[0], 1u);
+}
+
+}  // namespace
+}  // namespace grape

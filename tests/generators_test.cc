@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace grape {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiShape) {
+  auto g = GenerateErdosRenyi(100, 500, /*directed=*/true, /*seed=*/1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 100u);
+  EXPECT_EQ(g->num_edges(), 500u);
+  // No self loops.
+  for (VertexId v = 0; v < 100; ++v) {
+    for (const Neighbor& nb : g->OutNeighbors(v)) {
+      EXPECT_NE(nb.vertex, v);
+    }
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  auto a = GenerateErdosRenyi(50, 200, true, 7);
+  auto b = GenerateErdosRenyi(50, 200, true, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToEdgeList().size(), b->ToEdgeList().size());
+  auto ea = a->ToEdgeList();
+  auto eb = b->ToEdgeList();
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+}
+
+TEST(GeneratorsTest, ErdosRenyiRejectsImpossibleDensity) {
+  auto g = GenerateErdosRenyi(3, 100, false, 1);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GeneratorsTest, RMatShapeAndSkew) {
+  RMatOptions opts;
+  opts.scale = 10;
+  opts.edge_factor = 8;
+  opts.seed = 3;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1024u);
+  EXPECT_EQ(g->num_edges(), 8192u);
+  // Power-law-ish: max degree far above average (8).
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g->OutDegree(v));
+  }
+  EXPECT_GT(max_deg, 40u);
+}
+
+TEST(GeneratorsTest, RMatValidatesOptions) {
+  RMatOptions opts;
+  opts.scale = 0;
+  EXPECT_FALSE(GenerateRMat(opts).ok());
+  opts.scale = 10;
+  opts.a = 1.5;
+  EXPECT_FALSE(GenerateRMat(opts).ok());
+}
+
+TEST(GeneratorsTest, GridRoadStructure) {
+  auto g = GenerateGridRoad(10, 20, /*seed=*/5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 200u);
+  // Interior vertex degree 4 (both directions per segment).
+  // Vertex (5, 10) = 5*20+10.
+  EXPECT_EQ(g->OutDegree(5 * 20 + 10), 4u);
+  // Corner degree 2.
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  // Each segment is bidirectional: in-degree == out-degree.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(g->OutDegree(v), g->InDegree(v));
+  }
+}
+
+TEST(GeneratorsTest, GridRoadShortcuts) {
+  auto base = GenerateGridRoad(10, 10, 5, 10.0, 0.0);
+  auto with = GenerateGridRoad(10, 10, 5, 10.0, 0.5);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_GT(with->num_edges(), base->num_edges());
+}
+
+TEST(GeneratorsTest, SmallDeterministicGraphs) {
+  auto path = GeneratePath(5);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->num_vertices(), 5u);
+  EXPECT_EQ(path->num_edges(), 8u);  // undirected arcs
+
+  auto cycle = GenerateCycle(6);
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_EQ(cycle->num_edges(), 6u);
+
+  auto star = GenerateStar(4);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->num_vertices(), 5u);
+  EXPECT_EQ(star->OutDegree(0), 4u);
+
+  auto complete = GenerateComplete(5, /*directed=*/true);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->num_edges(), 20u);
+}
+
+TEST(GeneratorsTest, RandomTreeConnected) {
+  auto g = GenerateRandomTree(100, 11);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 198u);  // (n-1) undirected arcs
+  // A tree is connected: BFS reaches everything.
+  std::vector<bool> seen(100, false);
+  std::vector<VertexId> stack = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (const Neighbor& nb : g->OutNeighbors(v)) {
+      if (!seen[nb.vertex]) {
+        seen[nb.vertex] = true;
+        ++visited;
+        stack.push_back(nb.vertex);
+      }
+    }
+  }
+  EXPECT_EQ(visited, 100u);
+}
+
+TEST(GeneratorsTest, BipartiteRatings) {
+  BipartiteOptions opts;
+  opts.num_users = 100;
+  opts.num_items = 20;
+  opts.ratings_per_user = 5;
+  auto g = GenerateBipartiteRatings(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 120u);
+  EXPECT_EQ(g->num_edges(), 2u * 100 * 5);
+  // Strictly bipartite with ratings in [1, 5].
+  for (VertexId u = 0; u < 100; ++u) {
+    EXPECT_EQ(g->vertex_label(u), kPersonLabel);
+    for (const Neighbor& nb : g->OutNeighbors(u)) {
+      EXPECT_GE(nb.vertex, 100u);
+      EXPECT_GE(nb.weight, 1.0);
+      EXPECT_LE(nb.weight, 5.0);
+    }
+  }
+  for (VertexId i = 100; i < 120; ++i) {
+    EXPECT_EQ(g->vertex_label(i), kItemLabel);
+  }
+}
+
+TEST(GeneratorsTest, BipartiteValidation) {
+  BipartiteOptions opts;
+  opts.num_items = 3;
+  opts.ratings_per_user = 10;
+  EXPECT_FALSE(GenerateBipartiteRatings(opts).ok());
+}
+
+TEST(GeneratorsTest, LabeledGraphLabelRange) {
+  LabeledGraphOptions opts;
+  opts.scale = 8;
+  opts.num_vertex_labels = 4;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->has_vertex_labels());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_LT(g->vertex_label(v), 4u);
+  }
+}
+
+TEST(GeneratorsTest, SocialGraphHasPlantedCustomers) {
+  SocialGraphOptions opts;
+  opts.num_persons = 2000;
+  opts.num_items = 10;
+  opts.seed = 21;
+  auto g = GenerateSocialGraph(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 2010u);
+
+  // Count persons whose followees >= 80% recommend item 0 with no bad rater.
+  const VertexId item0 = 2000;
+  auto flags = [&](VertexId p) {
+    int f = 0;
+    for (const Neighbor& nb : g->OutNeighbors(p)) {
+      if (nb.vertex == item0 && nb.label == kRecommendsLabel) f |= 1;
+      if (nb.vertex == item0 && nb.label == kRatesBadLabel) f |= 2;
+    }
+    return f;
+  };
+  size_t candidates = 0;
+  for (VertexId p = 0; p < 2000; ++p) {
+    size_t follows = 0;
+    size_t recommending = 0;
+    bool bad = false;
+    for (const Neighbor& nb : g->OutNeighbors(p)) {
+      if (nb.label != kFollowsLabel) continue;
+      ++follows;
+      int fl = flags(nb.vertex);
+      if (fl & 1) ++recommending;
+      if (fl & 2) bad = true;
+    }
+    if (!bad && follows >= 3 &&
+        static_cast<double>(recommending) / follows >= 0.8) {
+      ++candidates;
+    }
+  }
+  EXPECT_GT(candidates, 0u);
+}
+
+}  // namespace
+}  // namespace grape

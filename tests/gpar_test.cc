@@ -1,0 +1,153 @@
+#include <algorithm>
+#include <map>
+
+#include "apps/gpar.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+/// Brute-force evaluation of the demo GPAR over the whole graph.
+std::vector<GparCandidate> BruteForceGpar(const Graph& g,
+                                          const GparQuery& query) {
+  std::vector<GparCandidate> out;
+  auto flags = [&](VertexId p) {
+    uint8_t f = 0;
+    for (const Neighbor& nb : g.OutNeighbors(p)) {
+      if (nb.vertex != query.item) continue;
+      if (nb.label == kRecommendsLabel) f |= GparApp::kRecommendsBit;
+      if (nb.label == kRatesBadLabel) f |= GparApp::kRatesBadBit;
+    }
+    return f;
+  };
+  for (VertexId p = 0; p < g.num_vertices(); ++p) {
+    if (g.vertex_label(p) != kPersonLabel) continue;
+    uint32_t followees = 0;
+    uint32_t recommending = 0;
+    bool bad = false;
+    for (const Neighbor& nb : g.OutNeighbors(p)) {
+      if (nb.label != kFollowsLabel) continue;
+      ++followees;
+      uint8_t f = flags(nb.vertex);
+      if (f & GparApp::kRecommendsBit) ++recommending;
+      if (f & GparApp::kRatesBadBit) bad = true;
+    }
+    if (bad || followees < query.min_followees) continue;
+    double confidence = static_cast<double>(recommending) / followees;
+    if (confidence < query.support) continue;
+    out.push_back({p, confidence, followees, recommending});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GparCandidate& a, const GparCandidate& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.person < b.person;
+            });
+  return out;
+}
+
+class GparMatrixTest : public ::testing::TestWithParam<FragmentId> {};
+
+TEST_P(GparMatrixTest, MatchesBruteForce) {
+  SocialGraphOptions opts;
+  opts.num_persons = 3000;
+  opts.num_items = 8;
+  opts.seed = 601;
+  auto g = GenerateSocialGraph(opts);
+  ASSERT_TRUE(g.ok());
+
+  GparQuery query;
+  query.item = 3000;  // item 0's gid
+  query.support = 0.8;
+  query.min_followees = 3;
+  std::vector<GparCandidate> expected = BruteForceGpar(*g, query);
+
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", GetParam());
+  GrapeEngine<GparApp> engine(fg, GparApp{});
+  auto out = engine.Run(query);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->candidates.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out->candidates[i].person, expected[i].person);
+    EXPECT_DOUBLE_EQ(out->candidates[i].confidence, expected[i].confidence);
+    EXPECT_EQ(out->candidates[i].followees, expected[i].followees);
+    EXPECT_EQ(out->candidates[i].recommending, expected[i].recommending);
+  }
+  EXPECT_FALSE(out->candidates.empty()) << "planted customers not found";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, GparMatrixTest,
+                         ::testing::Values(FragmentId{1}, FragmentId{4},
+                                           FragmentId{8}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(GparTest, TerminatesInTwoOrThreeSupersteps) {
+  SocialGraphOptions opts;
+  opts.num_persons = 1000;
+  opts.num_items = 4;
+  opts.seed = 607;
+  auto g = GenerateSocialGraph(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 6);
+  GparQuery query;
+  query.item = 1000;
+  GrapeEngine<GparApp> engine(fg, GparApp{});
+  ASSERT_TRUE(engine.Run(query).ok());
+  // PEval + one mirror-refresh IncEval (+ a possible drain round).
+  EXPECT_LE(engine.metrics().supersteps, 3u);
+}
+
+TEST(GparTest, SupportThresholdFilters) {
+  SocialGraphOptions opts;
+  opts.num_persons = 2000;
+  opts.num_items = 4;
+  opts.seed = 613;
+  auto g = GenerateSocialGraph(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "metis", 4);
+
+  auto count_at = [&](double support) {
+    GparQuery query;
+    query.item = 2000;
+    query.support = support;
+    GrapeEngine<GparApp> engine(fg, GparApp{});
+    auto out = engine.Run(query);
+    EXPECT_TRUE(out.ok());
+    for (const GparCandidate& c : out->candidates) {
+      EXPECT_GE(c.confidence, support);
+    }
+    return out->candidates.size();
+  };
+  size_t strict = count_at(0.9);
+  size_t loose = count_at(0.5);
+  EXPECT_LE(strict, loose);
+  EXPECT_GT(loose, 0u);
+}
+
+TEST(GparTest, RankedByConfidence) {
+  SocialGraphOptions opts;
+  opts.num_persons = 1500;
+  opts.seed = 617;
+  auto g = GenerateSocialGraph(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  GparQuery query;
+  query.item = 1500;
+  query.support = 0.5;
+  GrapeEngine<GparApp> engine(fg, GparApp{});
+  auto out = engine.Run(query);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 1; i < out->candidates.size(); ++i) {
+    EXPECT_GE(out->candidates[i - 1].confidence,
+              out->candidates[i].confidence);
+  }
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,140 @@
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "graph/id_indexer.h"
+#include "gtest/gtest.h"
+
+namespace grape {
+namespace {
+
+TEST(GraphBuilderTest, DirectedCsr) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(0, 2, 3.0);
+  builder.AddEdge(2, 1, 1.0);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_TRUE(g->is_directed());
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->OutDegree(1), 0u);
+  EXPECT_EQ(g->InDegree(1), 2u);
+  auto out0 = g->OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0].vertex, 1u);  // sorted by target
+  EXPECT_EQ(out0[1].vertex, 2u);
+  EXPECT_DOUBLE_EQ(out0[0].weight, 2.0);
+}
+
+TEST(GraphBuilderTest, UndirectedMirrorsEdges) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->is_directed());
+  EXPECT_EQ(g->num_edges(), 4u);  // stored arcs
+  EXPECT_EQ(g->OutDegree(1), 2u);
+  EXPECT_EQ(g->InNeighbors(1).size(), 2u);  // aliases OutNeighbors
+}
+
+TEST(GraphBuilderTest, IsolatedVertices) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);
+  builder.AddVertex(5);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 6u);
+  EXPECT_EQ(g->OutDegree(5), 0u);
+}
+
+TEST(GraphBuilderTest, ExplicitVertexCountValidated) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 9);
+  auto g = std::move(builder).Build(5);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, ExplicitVertexCountPadsIsolated) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);
+  auto g = std::move(builder).Build(10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 10u);
+}
+
+TEST(GraphBuilderTest, VertexLabels) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);
+  builder.SetVertexLabel(1, 42);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->has_vertex_labels());
+  EXPECT_EQ(g->vertex_label(0), 0u);
+  EXPECT_EQ(g->vertex_label(1), 42u);
+}
+
+TEST(GraphBuilderTest, EdgeLabels) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1, 1.0, 7);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->OutNeighbors(0)[0].label, 7u);
+}
+
+TEST(GraphTest, ToEdgeListDirected) {
+  GraphBuilder builder(true);
+  builder.AddEdge(1, 0, 5.0, 2);
+  builder.AddEdge(0, 1, 3.0, 1);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto edges = g->ToEdgeList();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 1, 3.0, 1}));
+  EXPECT_EQ(edges[1], (Edge{1, 0, 5.0, 2}));
+}
+
+TEST(GraphTest, ToEdgeListUndirectedEmitsOnce) {
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 1);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto edges = g->ToEdgeList();
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(GraphTest, TotalEdgeWeight) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 0, 3.0);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->TotalEdgeWeight(), 5.0);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder builder(true);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(IdIndexerTest, InsertAndLookup) {
+  IdIndexer idx;
+  EXPECT_EQ(idx.GetOrInsert(100), 0u);
+  EXPECT_EQ(idx.GetOrInsert(50), 1u);
+  EXPECT_EQ(idx.GetOrInsert(100), 0u);  // idempotent
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.Find(50), 1u);
+  EXPECT_EQ(idx.Find(999), kInvalidLocal);
+  EXPECT_EQ(idx.GidOf(0), 100u);
+  EXPECT_TRUE(idx.Contains(50));
+  EXPECT_FALSE(idx.Contains(51));
+}
+
+}  // namespace
+}  // namespace grape

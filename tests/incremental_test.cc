@@ -1,0 +1,142 @@
+#include <algorithm>
+
+#include "apps/cc.h"
+#include "apps/seq/seq_algorithms.h"
+#include "apps/sssp.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+/// Rebuilds a graph with extra edges appended.
+Graph WithInsertedEdges(const Graph& g, const std::vector<Edge>& inserted) {
+  GraphBuilder builder(g.is_directed());
+  for (const Edge& e : g.ToEdgeList()) builder.AddEdge(e);
+  for (const Edge& e : inserted) builder.AddEdge(e);
+  auto out = std::move(builder).Build(g.num_vertices());
+  EXPECT_TRUE(out.ok());
+  return std::move(out).value();
+}
+
+uint64_t TotalUpdates(const EngineMetrics& m) {
+  uint64_t total = 0;
+  for (const RoundMetrics& r : m.rounds) total += r.updated_params;
+  return total;
+}
+
+TEST(IncrementalTest, SsspAfterEdgeInsertions) {
+  auto g = GenerateGridRoad(30, 30, 1101);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg_old = testing::MakeFragments(*g, "hash", 4);
+  GrapeEngine<SsspApp> before(fg_old, SsspApp{});
+  ASSERT_TRUE(before.Run(SsspQuery{0}).ok());
+
+  // Insert a few shortcuts (both directions, as road segments).
+  std::vector<Edge> inserted = {{5, 850, 1.0, 0},  {850, 5, 1.0, 0},
+                                {12, 600, 0.5, 0}, {600, 12, 0.5, 0}};
+  Graph updated = WithInsertedEdges(*g, inserted);
+  std::vector<double> expected = SeqDijkstra(updated, 0);
+
+  // Hash assignment depends only on ids, so the partition is unchanged and
+  // the previous run's parameters carry over 1:1.
+  FragmentedGraph fg_new = testing::MakeFragments(updated, "hash", 4);
+  GrapeEngine<SsspApp> after(fg_new, SsspApp{});
+  std::vector<VertexId> touched;
+  for (const Edge& e : inserted) {
+    touched.push_back(e.src);
+    touched.push_back(e.dst);
+  }
+  auto out = after.RunIncremental(SsspQuery{0}, before, touched);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->dist.size(), updated.num_vertices());
+  for (VertexId v = 0; v < updated.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(out->dist[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(IncrementalTest, WorkIsBoundedByAffectedRegion) {
+  // A long-range shortcut changes only a neighbourhood of distances; the
+  // incremental run must update far fewer parameters than recomputing.
+  auto g = GenerateGridRoad(40, 40, 1103);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg_old = testing::MakeFragments(*g, "grid2d", 4);
+  GrapeEngine<SsspApp> before(fg_old, SsspApp{});
+  ASSERT_TRUE(before.Run(SsspQuery{0}).ok());
+  uint64_t full_updates = TotalUpdates(before.metrics());
+
+  // A mild shortcut near the far corner (small affected region).
+  VertexId far_corner = 40 * 40 - 1;
+  std::vector<Edge> inserted = {{far_corner - 2, far_corner, 0.5, 0},
+                                {far_corner, far_corner - 2, 0.5, 0}};
+  Graph updated = WithInsertedEdges(*g, inserted);
+  FragmentedGraph fg_new = testing::MakeFragments(updated, "grid2d", 4);
+  GrapeEngine<SsspApp> after(fg_new, SsspApp{});
+  auto out = after.RunIncremental(
+      SsspQuery{0}, before, {far_corner - 2, far_corner});
+  ASSERT_TRUE(out.ok());
+  std::vector<double> expected = SeqDijkstra(updated, 0);
+  for (VertexId v = 0; v < updated.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(out->dist[v], expected[v]);
+  }
+  // |ΔO| for a tiny local change is orders below the initial evaluation.
+  EXPECT_LT(TotalUpdates(after.metrics()), full_updates / 10 + 10);
+  EXPECT_LE(after.metrics().supersteps, before.metrics().supersteps + 1);
+}
+
+TEST(IncrementalTest, NoChangeConvergesImmediately) {
+  auto g = GenerateGridRoad(20, 20, 1109);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  GrapeEngine<SsspApp> before(fg, SsspApp{});
+  ASSERT_TRUE(before.Run(SsspQuery{0}).ok());
+
+  // "Update" that changes nothing: re-inserting an existing edge weight.
+  GrapeEngine<SsspApp> after(fg, SsspApp{});
+  auto out = after.RunIncremental(SsspQuery{0}, before, {0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(after.metrics().supersteps, 2u);
+  std::vector<double> expected = SeqDijkstra(*g, 0);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(out->dist[v], expected[v]);
+  }
+}
+
+TEST(IncrementalTest, CcAfterComponentMerge) {
+  // Two islands; an inserted bridge merges them. Incremental CC must
+  // relabel only the island with the larger minimum.
+  GraphBuilder builder(false);
+  auto a = GenerateRandomTree(40, 1117, false);
+  ASSERT_TRUE(a.ok());
+  for (const Edge& e : a->ToEdgeList()) builder.AddEdge(e);
+  auto b = GenerateRandomTree(30, 1123, false);
+  ASSERT_TRUE(b.ok());
+  for (const Edge& e : b->ToEdgeList()) {
+    builder.AddEdge(e.src + 40, e.dst + 40, e.weight);
+  }
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+
+  FragmentedGraph fg_old = testing::MakeFragments(*g, "hash", 3);
+  GrapeEngine<CcApp> before(fg_old, CcApp{});
+  auto before_out = before.Run(CcQuery{});
+  ASSERT_TRUE(before_out.ok());
+  EXPECT_EQ(before_out->label[45], 40u);  // second island's min id
+
+  std::vector<Edge> bridge = {{10, 55, 1.0, 0}};
+  Graph updated = WithInsertedEdges(*g, bridge);
+  FragmentedGraph fg_new = testing::MakeFragments(updated, "hash", 3);
+  GrapeEngine<CcApp> after(fg_new, CcApp{});
+  auto out = after.RunIncremental(CcQuery{}, before, {10, 55});
+  ASSERT_TRUE(out.ok());
+  std::vector<VertexId> expected = SeqConnectedComponents(updated);
+  for (VertexId v = 0; v < updated.num_vertices(); ++v) {
+    EXPECT_EQ(out->label[v], expected[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(out->label[55], 0u);
+}
+
+}  // namespace
+}  // namespace grape

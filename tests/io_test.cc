@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "gtest/gtest.h"
+
+namespace grape {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/grape_io_" + name;
+  }
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  auto g = GenerateErdosRenyi(50, 200, /*directed=*/true, /*seed=*/3);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(SaveEdgeListFile(*g, path).ok());
+
+  EdgeListFormat format;
+  format.directed = true;
+  format.has_weight = true;
+  format.has_label = true;
+  auto loaded = LoadEdgeListFile(path, format);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  auto ea = g->ToEdgeList();
+  auto eb = loaded->ToEdgeList();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListCommentsAndBlanks) {
+  std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n\n0 1\n  \n2 3\n";
+  }
+  EdgeListFormat format;
+  auto g = LoadEdgeListFile(path, format);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListMalformedLine) {
+  std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot an edge\n";
+  }
+  EdgeListFormat format;
+  auto g = LoadEdgeListFile(path, format);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListMissingWeightColumn) {
+  std::string path = TempPath("noweight.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  EdgeListFormat format;
+  format.has_weight = true;
+  EXPECT_FALSE(LoadEdgeListFile(path, format).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MissingFileIsIOError) {
+  EdgeListFormat format;
+  auto g = LoadEdgeListFile("/nonexistent/grape/file.txt", format);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(IoTest, BinaryRoundTripWithLabels) {
+  LabeledGraphOptions opts;
+  opts.scale = 7;
+  opts.edge_factor = 4;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(SaveBinary(*g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  EXPECT_EQ(loaded->is_directed(), g->is_directed());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(loaded->vertex_label(v), g->vertex_label(v));
+  }
+  // Parallel edges (same endpoints, different weight) have no guaranteed
+  // relative order in the CSR, so compare as sorted multisets.
+  auto ea = g->ToEdgeList();
+  auto eb = loaded->ToEdgeList();
+  ASSERT_EQ(ea.size(), eb.size());
+  auto full_order = [](const Edge& x, const Edge& y) {
+    return std::tie(x.src, x.dst, x.weight, x.label) <
+           std::tie(y.src, y.dst, y.weight, y.label);
+  };
+  std::sort(ea.begin(), ea.end(), full_order);
+  std::sort(eb.begin(), eb.end(), full_order);
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::string path = TempPath("bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a grape binary graph";
+  }
+  auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  auto g = GenerateErdosRenyi(20, 50, true, 9);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveBinary(*g, path).ok());
+  // Truncate the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "apps/kcore.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+TEST(SeqKCoreTest, KnownDecompositions) {
+  // A 4-clique: every vertex has coreness 3.
+  auto k4 = GenerateComplete(4, /*directed=*/false);
+  ASSERT_TRUE(k4.ok());
+  for (uint32_t c : SeqKCore(*k4)) EXPECT_EQ(c, 3u);
+
+  // A path: coreness 1 everywhere.
+  auto path = GeneratePath(10);
+  ASSERT_TRUE(path.ok());
+  for (uint32_t c : SeqKCore(*path)) EXPECT_EQ(c, 1u);
+
+  // A star: hub and leaves all peel at 1.
+  auto star = GenerateStar(6);
+  ASSERT_TRUE(star.ok());
+  for (uint32_t c : SeqKCore(*star)) EXPECT_EQ(c, 1u);
+
+  // Clique with a pendant tail: clique stays at 3, tail at 1.
+  GraphBuilder builder(false);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) builder.AddEdge(u, v);
+  }
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto core = SeqKCore(*g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(SeqKCoreTest, CorenessIsAtMostDegree) {
+  auto g = GenerateErdosRenyi(300, 1500, false, 1401);
+  ASSERT_TRUE(g.ok());
+  auto core = SeqKCore(*g);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_LE(core[v], g->OutDegree(v));
+  }
+}
+
+using KCoreParam = std::tuple<std::string, FragmentId>;
+
+class KCoreMatrixTest : public ::testing::TestWithParam<KCoreParam> {};
+
+TEST_P(KCoreMatrixTest, MatchesPeeling) {
+  const auto& [strategy, nfrag] = GetParam();
+  auto g = GenerateErdosRenyi(400, 3000, /*directed=*/false, 1409);
+  ASSERT_TRUE(g.ok());
+  auto expected = SeqKCore(*g);
+
+  FragmentedGraph fg = testing::MakeFragments(*g, strategy, nfrag);
+  GrapeEngine<KCoreApp> engine(fg, KCoreApp{});
+  auto out = engine.Run(KCoreQuery{});
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->coreness.size(), g->num_vertices());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(out->coreness[v], expected[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KCoreMatrixTest,
+    ::testing::Combine(::testing::Values("hash", "metis", "ldg"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{8})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(KCoreTest, DirectedUsesUndirectedView) {
+  RMatOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 6;
+  opts.seed = 1423;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  auto expected = SeqKCore(*g);
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 5);
+  GrapeEngine<KCoreApp> engine(fg, KCoreApp{});
+  auto out = engine.Run(KCoreQuery{});
+  ASSERT_TRUE(out.ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(out->coreness[v], expected[v]);
+  }
+}
+
+TEST(KCoreTest, BoundsDecreaseMonotonically) {
+  auto g = GenerateErdosRenyi(300, 2500, false, 1427);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 6);
+  EngineOptions opts;
+  opts.check_monotonicity = true;
+  GrapeEngine<KCoreApp> engine(fg, KCoreApp{}, opts);
+  ASSERT_TRUE(engine.Run(KCoreQuery{}).ok());
+  EXPECT_EQ(engine.metrics().monotonicity_violations, 0u);
+}
+
+TEST(KCoreTest, AblationAgreesWithIncremental) {
+  auto g = GenerateErdosRenyi(250, 1800, false, 1429);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  GrapeEngine<KCoreApp> inc(fg, KCoreApp{});
+  auto inc_out = inc.Run(KCoreQuery{});
+  ASSERT_TRUE(inc_out.ok());
+  EngineOptions opts;
+  opts.incremental = false;
+  GrapeEngine<KCoreApp> full(fg, KCoreApp{}, opts);
+  auto full_out = full.Run(KCoreQuery{});
+  ASSERT_TRUE(full_out.ok());
+  EXPECT_EQ(inc_out->coreness, full_out->coreness);
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <cmath>
+
+#include "apps/cf.h"
+#include "apps/keyword.h"
+#include "apps/seq/seq_algorithms.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+class KeywordMatrixTest : public ::testing::TestWithParam<FragmentId> {};
+
+TEST_P(KeywordMatrixTest, MatchesSequentialDistances) {
+  LabeledGraphOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 6;
+  opts.num_vertex_labels = 5;
+  opts.seed = 501;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+
+  KeywordQuery query;
+  query.keywords = {1, 3};
+  query.radius = 6.0;
+
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", GetParam());
+  GrapeEngine<KeywordApp> engine(fg, KeywordApp{});
+  auto out = engine.Run(query);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  // Ground truth: per-keyword multi-source Dijkstra over the whole graph.
+  std::vector<std::vector<double>> truth;
+  for (Label k : query.keywords) truth.push_back(SeqKeywordDistance(*g, k));
+
+  std::vector<bool> in_output(g->num_vertices(), false);
+  for (const KeywordMatch& m : out->matches) {
+    ASSERT_LT(m.vertex, g->num_vertices());
+    in_output[m.vertex] = true;
+    ASSERT_EQ(m.dist.size(), query.keywords.size());
+    double score = 0;
+    for (size_t k = 0; k < query.keywords.size(); ++k) {
+      EXPECT_DOUBLE_EQ(m.dist[k], truth[k][m.vertex]);
+      score = std::max(score, m.dist[k]);
+    }
+    EXPECT_DOUBLE_EQ(m.score, score);
+    EXPECT_LE(m.score, query.radius);
+  }
+  // Completeness: every vertex within radius of all keywords is reported.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    bool qualifies = true;
+    for (size_t k = 0; k < query.keywords.size(); ++k) {
+      qualifies &= truth[k][v] <= query.radius;
+    }
+    EXPECT_EQ(in_output[v], qualifies) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, KeywordMatrixTest,
+                         ::testing::Values(FragmentId{1}, FragmentId{4},
+                                           FragmentId{8}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(KeywordTest, SortedByScore) {
+  LabeledGraphOptions opts;
+  opts.scale = 7;
+  opts.num_vertex_labels = 3;
+  opts.seed = 503;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "ldg", 4);
+  KeywordQuery query;
+  query.keywords = {0, 1, 2};
+  query.radius = 8.0;
+  GrapeEngine<KeywordApp> engine(fg, KeywordApp{});
+  auto out = engine.Run(query);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 1; i < out->matches.size(); ++i) {
+    EXPECT_LE(out->matches[i - 1].score, out->matches[i].score);
+  }
+}
+
+TEST(KeywordTest, EmptyWhenRadiusTiny) {
+  LabeledGraphOptions opts;
+  opts.scale = 7;
+  opts.num_vertex_labels = 8;
+  opts.seed = 509;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  KeywordQuery query;
+  query.keywords = {0, 1, 2, 3};
+  query.radius = 0.0;  // must carry all four labels at distance 0
+  GrapeEngine<KeywordApp> engine(fg, KeywordApp{});
+  auto out = engine.Run(query);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->matches.empty());
+}
+
+class CfMatrixTest : public ::testing::TestWithParam<FragmentId> {};
+
+TEST_P(CfMatrixTest, TrainsToReasonableRmse) {
+  BipartiteOptions gopts;
+  gopts.num_users = 300;
+  gopts.num_items = 40;
+  gopts.ratings_per_user = 15;
+  gopts.seed = 521;
+  auto g = GenerateBipartiteRatings(gopts);
+  ASSERT_TRUE(g.ok());
+
+  CfQuery query;
+  query.rank = 8;
+  query.epochs = 15;
+  query.learning_rate = 0.02;
+
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", GetParam());
+  GrapeEngine<CfApp> engine(fg, CfApp{});
+  auto out = engine.Run(query);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Ratings live in [1,5]; a fitted factorization should beat the trivial
+  // all-3 predictor (RMSE ~1.3) comfortably.
+  EXPECT_LT(out->train_rmse, 1.0);
+  EXPECT_GT(out->train_rmse, 0.0);
+  // Factors must exist for every vertex and be finite.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    ASSERT_EQ(out->factors[v].size(), query.rank);
+    for (float f : out->factors[v]) EXPECT_TRUE(std::isfinite(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CfMatrixTest,
+                         ::testing::Values(FragmentId{1}, FragmentId{4}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(CfTest, MoreEpochsDoNotHurtTraining) {
+  BipartiteOptions gopts;
+  gopts.num_users = 200;
+  gopts.num_items = 30;
+  gopts.ratings_per_user = 10;
+  gopts.seed = 523;
+  auto g = GenerateBipartiteRatings(gopts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+
+  auto run = [&](uint32_t epochs) {
+    CfQuery query;
+    query.rank = 6;
+    query.epochs = epochs;
+    GrapeEngine<CfApp> engine(fg, CfApp{});
+    auto out = engine.Run(query);
+    EXPECT_TRUE(out.ok());
+    return out->train_rmse;
+  };
+  double rmse2 = run(2);
+  double rmse20 = run(20);
+  EXPECT_LT(rmse20, rmse2 * 1.05);
+}
+
+TEST(CfTest, DeterministicAcrossRuns) {
+  BipartiteOptions gopts;
+  gopts.num_users = 100;
+  gopts.num_items = 20;
+  gopts.ratings_per_user = 8;
+  gopts.seed = 541;
+  auto g = GenerateBipartiteRatings(gopts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 3);
+  CfQuery query;
+  query.rank = 4;
+  query.epochs = 5;
+  GrapeEngine<CfApp> a(fg, CfApp{});
+  GrapeEngine<CfApp> b(fg, CfApp{});
+  auto ra = a.Run(query);
+  auto rb = b.Run(query);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_DOUBLE_EQ(ra->train_rmse, rb->train_rmse);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(ra->factors[v], rb->factors[v]);
+  }
+}
+
+TEST(CfTest, EpochCountControlsSupersteps) {
+  BipartiteOptions gopts;
+  gopts.num_users = 100;
+  gopts.num_items = 20;
+  gopts.ratings_per_user = 8;
+  gopts.seed = 547;
+  auto g = GenerateBipartiteRatings(gopts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  CfQuery query;
+  query.rank = 4;
+  query.epochs = 7;
+  GrapeEngine<CfApp> engine(fg, CfApp{});
+  ASSERT_TRUE(engine.Run(query).ok());
+  // PEval runs epoch 1; six more IncEval epochs; plus <=2 drain rounds.
+  EXPECT_GE(engine.metrics().supersteps, 7u);
+  EXPECT_LE(engine.metrics().supersteps, 9u);
+}
+
+}  // namespace
+}  // namespace grape

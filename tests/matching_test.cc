@@ -1,0 +1,245 @@
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "apps/pattern.h"
+#include "apps/seq/seq_matching.h"
+#include "apps/sim.h"
+#include "apps/subiso.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+Graph LabeledData(uint32_t scale, uint32_t labels, uint64_t seed) {
+  LabeledGraphOptions opts;
+  opts.scale = scale;
+  opts.edge_factor = 6;
+  opts.num_vertex_labels = labels;
+  opts.seed = seed;
+  auto g = GenerateLabeledGraph(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+Pattern MakePattern(const std::string& name) {
+  Result<Pattern> p = Status::Internal("unset");
+  if (name == "edge") {
+    p = Pattern::Create({0, 1}, {{0, 1, 0}});
+  } else if (name == "path3") {
+    p = Pattern::Create({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  } else if (name == "triangle") {
+    p = Pattern::Create({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  } else if (name == "diamond") {
+    p = Pattern::Create({0, 1, 1, 2},
+                        {{0, 1, 0}, {0, 2, 0}, {1, 3, 0}, {2, 3, 0}});
+  } else if (name == "star") {
+    p = Pattern::Create({0, 1, 2, 3}, {{0, 1, 0}, {0, 2, 0}, {0, 3, 0}});
+  }
+  EXPECT_TRUE(p.ok()) << name;
+  return std::move(p).value();
+}
+
+TEST(PatternTest, CreateValidates) {
+  EXPECT_FALSE(Pattern::Create({}, {}).ok());
+  EXPECT_FALSE(Pattern::Create({0, 1}, {{0, 5, 0}}).ok());
+  EXPECT_FALSE(Pattern::Create(std::vector<Label>(65, 0), {}).ok());
+  auto p = Pattern::Create({1, 2}, {{0, 1, 3}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_vertices(), 2u);
+  EXPECT_EQ(p->Out(0).size(), 1u);
+  EXPECT_EQ(p->In(1).size(), 1u);
+  EXPECT_TRUE(p->IsConnected());
+}
+
+TEST(PatternTest, DisconnectedDetected) {
+  auto p = Pattern::Create({0, 1, 2}, {{0, 1, 0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->IsConnected());
+}
+
+TEST(MatchingOrderTest, EveryVertexHasEarlierNeighbor) {
+  for (const std::string& name :
+       {"edge", "path3", "triangle", "diamond", "star"}) {
+    Pattern p = MakePattern(name);
+    std::vector<uint32_t> order = BuildMatchingOrder(p);
+    ASSERT_EQ(order.size(), p.num_vertices());
+    std::vector<bool> placed(p.num_vertices(), false);
+    placed[order[0]] = true;
+    for (size_t d = 1; d < order.size(); ++d) {
+      uint32_t u = order[d];
+      bool connected = false;
+      for (const auto& [v, l] : p.Out(u)) connected |= placed[v];
+      for (const auto& [v, l] : p.In(u)) connected |= placed[v];
+      EXPECT_TRUE(connected) << name << " position " << d;
+      placed[u] = true;
+    }
+  }
+}
+
+using MatchParam = std::tuple<std::string, std::string, FragmentId>;
+
+class SimMatrixTest : public ::testing::TestWithParam<MatchParam> {};
+
+TEST_P(SimMatrixTest, MatchesSequentialSimulation) {
+  const auto& [pattern_name, strategy, nfrag] = GetParam();
+  Graph g = LabeledData(8, 3, 401);
+  Pattern pattern = MakePattern(pattern_name);
+  auto expected = SeqSimulation(g, pattern);
+
+  FragmentedGraph fg = testing::MakeFragments(g, strategy, nfrag);
+  GrapeEngine<SimApp> engine(fg, SimApp{});
+  auto out = engine.Run(SimQuery{pattern});
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->sim.size(), pattern.num_vertices());
+  for (uint32_t u = 0; u < pattern.num_vertices(); ++u) {
+    EXPECT_EQ(out->sim[u], expected[u]) << "pattern vertex " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SimMatrixTest,
+    ::testing::Combine(::testing::Values("edge", "path3", "triangle",
+                                         "diamond"),
+                       ::testing::Values("hash", "metis"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{7})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SimTest, MonotonicallyShrinks) {
+  Graph g = LabeledData(8, 2, 409);
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+  EngineOptions opts;
+  opts.check_monotonicity = true;
+  GrapeEngine<SimApp> engine(fg, SimApp{}, opts);
+  auto out = engine.Run(SimQuery{MakePattern("path3")});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(engine.metrics().monotonicity_violations, 0u);
+}
+
+TEST(SimTest, NoMatchesForAbsentLabel) {
+  Graph g = LabeledData(7, 2, 419);  // labels in {0,1}
+  auto pattern = Pattern::Create({9, 9}, {{0, 1, 0}});
+  ASSERT_TRUE(pattern.ok());
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 3);
+  GrapeEngine<SimApp> engine(fg, SimApp{});
+  auto out = engine.Run(SimQuery{*pattern});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->sim[0].empty());
+  EXPECT_TRUE(out->sim[1].empty());
+}
+
+class SubIsoMatrixTest : public ::testing::TestWithParam<MatchParam> {};
+
+TEST_P(SubIsoMatrixTest, MatchesSequentialEnumeration) {
+  const auto& [pattern_name, strategy, nfrag] = GetParam();
+  Graph g = LabeledData(7, 4, 421);  // small + many labels: tractable
+  Pattern pattern = MakePattern(pattern_name);
+  auto expected = SeqSubgraphIsomorphism(g, pattern);
+
+  FragmentedGraph fg = testing::MakeFragments(g, strategy, nfrag);
+  GrapeEngine<SubIsoApp> engine(fg, SubIsoApp{});
+  auto out = engine.Run(SubIsoQuery{pattern, 0});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->embeddings.size(), expected.size());
+  EXPECT_EQ(out->embeddings, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SubIsoMatrixTest,
+    ::testing::Combine(::testing::Values("edge", "path3", "triangle",
+                                         "diamond", "star"),
+                       ::testing::Values("hash", "metis"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{7})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SubIsoTest, InjectivityEnforced) {
+  // Triangle data graph; pattern = 3-path with identical labels. Every
+  // embedding must use 3 distinct vertices.
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.SetVertexLabel(0, 0);
+  builder.SetVertexLabel(1, 0);
+  builder.SetVertexLabel(2, 0);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto pattern = Pattern::Create({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}});
+  ASSERT_TRUE(pattern.ok());
+
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 3);
+  GrapeEngine<SubIsoApp> engine(fg, SubIsoApp{});
+  auto out = engine.Run(SubIsoQuery{*pattern, 0});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->embeddings.size(), 3u);  // 0-1-2, 1-2-0, 2-0-1
+  for (const Embedding& e : out->embeddings) {
+    EXPECT_NE(e[0], e[1]);
+    EXPECT_NE(e[1], e[2]);
+    EXPECT_NE(e[0], e[2]);
+  }
+}
+
+TEST(SubIsoTest, EdgeLabelsRespected) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1, 1.0, /*label=*/5);
+  builder.AddEdge(0, 2, 1.0, /*label=*/6);
+  builder.SetVertexLabel(0, 1);
+  builder.SetVertexLabel(1, 2);
+  builder.SetVertexLabel(2, 2);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto pattern = Pattern::Create({1, 2}, {{0, 1, 5}});
+  ASSERT_TRUE(pattern.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 2);
+  GrapeEngine<SubIsoApp> engine(fg, SubIsoApp{});
+  auto out = engine.Run(SubIsoQuery{*pattern, 0});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->embeddings.size(), 1u);
+  EXPECT_EQ(out->embeddings[0][1], 1u);  // only the label-5 edge matches
+}
+
+TEST(SubIsoTest, SingleVertexPattern) {
+  Graph g = LabeledData(6, 3, 431);
+  auto pattern = Pattern::Create({1}, {});
+  ASSERT_TRUE(pattern.ok());
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+  GrapeEngine<SubIsoApp> engine(fg, SubIsoApp{});
+  auto out = engine.Run(SubIsoQuery{*pattern, 0});
+  ASSERT_TRUE(out.ok());
+  size_t expected = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex_label(v) == 1) ++expected;
+  }
+  EXPECT_EQ(out->embeddings.size(), expected);
+}
+
+TEST(SubIsoTest, SequentialEnumeratorOnKnownGraph) {
+  // Square 0->1->2->3->0: exactly 4 directed 3-paths, 0 triangles.
+  GraphBuilder builder(true);
+  for (VertexId v = 0; v < 4; ++v) {
+    builder.AddEdge(v, (v + 1) % 4);
+    builder.SetVertexLabel(v, 0);
+  }
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto path3 = Pattern::Create({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}});
+  auto tri = Pattern::Create({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  ASSERT_TRUE(path3.ok());
+  ASSERT_TRUE(tri.ok());
+  EXPECT_EQ(SeqSubgraphIsomorphism(*g, *path3).size(), 4u);
+  EXPECT_TRUE(SeqSubgraphIsomorphism(*g, *tri).empty());
+}
+
+}  // namespace
+}  // namespace grape

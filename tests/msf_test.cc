@@ -1,0 +1,156 @@
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "apps/msf.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+/// Forest validity: acyclic (|edges| = n - #components) and every edge
+/// exists in the graph with the right weight.
+void CheckForest(const Graph& g, const MsfOutput& msf) {
+  EXPECT_EQ(msf.edges.size(),
+            g.num_vertices() - msf.num_components);
+  for (const Edge& e : msf.edges) {
+    bool found = false;
+    for (const Neighbor& nb : g.OutNeighbors(e.src)) {
+      if (nb.vertex == e.dst && nb.weight == e.weight) found = true;
+    }
+    for (const Neighbor& nb : g.OutNeighbors(e.dst)) {
+      if (nb.vertex == e.src && nb.weight == e.weight) found = true;
+    }
+    if (g.is_directed()) {
+      for (const Neighbor& nb : g.InNeighbors(e.src)) {
+        if (nb.vertex == e.dst && nb.weight == e.weight) found = true;
+      }
+    }
+    EXPECT_TRUE(found) << e.src << "-" << e.dst;
+  }
+}
+
+TEST(SeqKruskalTest, HandComputedMst) {
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1, 4);
+  builder.AddEdge(0, 2, 3);
+  builder.AddEdge(1, 2, 1);
+  builder.AddEdge(1, 3, 2);
+  builder.AddEdge(2, 3, 4);
+  builder.AddEdge(3, 4, 2);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  MsfOutput mst = SeqKruskal(*g);
+  EXPECT_EQ(mst.num_components, 1u);
+  EXPECT_EQ(mst.edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 1 + 2 + 2 + 3);
+}
+
+TEST(SeqKruskalTest, ForestOnDisconnectedInput) {
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1, 5);
+  builder.AddEdge(2, 3, 7);
+  builder.AddVertex(9);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  MsfOutput msf = SeqKruskal(*g);
+  EXPECT_EQ(msf.num_components, 3u + 5u);  // two pairs, 9, and ids 4..8
+  EXPECT_EQ(msf.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(msf.total_weight, 12.0);
+}
+
+using MsfParam = std::tuple<std::string, FragmentId>;
+
+class MsfMatrixTest : public ::testing::TestWithParam<MsfParam> {};
+
+TEST_P(MsfMatrixTest, MatchesKruskalWeight) {
+  const auto& [strategy, nfrag] = GetParam();
+  auto g = GenerateErdosRenyi(400, 2400, /*directed=*/false, 1501);
+  ASSERT_TRUE(g.ok());
+  MsfOutput expected = SeqKruskal(*g);
+
+  FragmentedGraph fg = testing::MakeFragments(*g, strategy, nfrag);
+  auto msf = MsfSolver::Solve(fg);
+  ASSERT_TRUE(msf.ok()) << msf.status();
+  EXPECT_EQ(msf->num_components, expected.num_components);
+  EXPECT_EQ(msf->edges.size(), expected.edges.size());
+  EXPECT_NEAR(msf->total_weight, expected.total_weight, 1e-9);
+  CheckForest(*g, *msf);
+  EXPECT_GE(msf->phases, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MsfMatrixTest,
+    ::testing::Combine(::testing::Values("hash", "metis", "ldg"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{8})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MsfTest, RoadNetworkMst) {
+  auto g = GenerateGridRoad(25, 25, 1511);
+  ASSERT_TRUE(g.ok());
+  MsfOutput expected = SeqKruskal(*g);
+  FragmentedGraph fg = testing::MakeFragments(*g, "grid2d", 4);
+  auto msf = MsfSolver::Solve(fg);
+  ASSERT_TRUE(msf.ok());
+  EXPECT_EQ(msf->num_components, 1u);
+  EXPECT_EQ(msf->edges.size(), g->num_vertices() - 1u);
+  EXPECT_NEAR(msf->total_weight, expected.total_weight, 1e-9);
+  CheckForest(*g, *msf);
+}
+
+TEST(MsfTest, DisconnectedForest) {
+  // Two islands plus isolated vertices.
+  GraphBuilder builder(false);
+  auto a = GenerateRandomTree(30, 1523, false);
+  ASSERT_TRUE(a.ok());
+  for (const Edge& e : a->ToEdgeList()) builder.AddEdge(e);
+  auto b = GenerateRandomTree(20, 1531, false);
+  ASSERT_TRUE(b.ok());
+  for (const Edge& e : b->ToEdgeList()) {
+    builder.AddEdge(e.src + 30, e.dst + 30, e.weight);
+  }
+  builder.AddVertex(55);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 3);
+  auto msf = MsfSolver::Solve(fg);
+  ASSERT_TRUE(msf.ok());
+  MsfOutput expected = SeqKruskal(*g);
+  EXPECT_EQ(msf->num_components, expected.num_components);
+  EXPECT_NEAR(msf->total_weight, expected.total_weight, 1e-9);
+}
+
+TEST(MsfTest, PhaseCountIsLogarithmic) {
+  auto g = GenerateErdosRenyi(1000, 6000, false, 1543);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  auto msf = MsfSolver::Solve(fg);
+  ASSERT_TRUE(msf.ok());
+  // Borůvka halves components per phase: log2(1000) ~ 10.
+  EXPECT_LE(msf->phases, 12u);
+}
+
+TEST(MsfTest, DirectedInputUsesUndirectedView) {
+  RMatOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 5;
+  opts.seed = 1549;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  MsfOutput expected = SeqKruskal(*g);
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 4);
+  auto msf = MsfSolver::Solve(fg);
+  ASSERT_TRUE(msf.ok());
+  EXPECT_EQ(msf->num_components, expected.num_components);
+  EXPECT_NEAR(msf->total_weight, expected.total_weight, 1e-9);
+}
+
+}  // namespace
+}  // namespace grape

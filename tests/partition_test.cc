@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "partition/basic_partitioners.h"
+#include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
+#include "partition/quality.h"
+#include "partition/streaming_partitioners.h"
+
+namespace grape {
+namespace {
+
+/// Property suite over every built-in strategy: full coverage, valid
+/// fragment ids and sane balance on representative graphs.
+class PartitionerPropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PartitionerPropertyTest, CoversAllVerticesOnPowerLaw) {
+  RMatOptions opts;
+  opts.scale = 10;
+  opts.edge_factor = 8;
+  opts.seed = 17;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+
+  auto partitioner = MakePartitioner(GetParam());
+  ASSERT_TRUE(partitioner.ok());
+  auto assignment = (*partitioner)->Partition(*g, 8);
+  ASSERT_TRUE(assignment.ok());
+  ASSERT_EQ(assignment->size(), g->num_vertices());
+  std::vector<size_t> counts(8, 0);
+  for (FragmentId f : *assignment) {
+    ASSERT_LT(f, 8u);
+    counts[f]++;
+  }
+  for (size_t c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST_P(PartitionerPropertyTest, BalanceWithinTolerance) {
+  auto g = GenerateGridRoad(40, 40, 23);
+  ASSERT_TRUE(g.ok());
+  auto partitioner = MakePartitioner(GetParam());
+  ASSERT_TRUE(partitioner.ok());
+  auto assignment = (*partitioner)->Partition(*g, 4);
+  ASSERT_TRUE(assignment.ok());
+  PartitionQuality q = EvaluatePartition(*g, *assignment, 4);
+  // Even streaming heuristics should stay within 2x of perfect balance on a
+  // uniform lattice.
+  EXPECT_LT(q.vertex_balance, 2.0);
+  EXPECT_EQ(q.num_fragments, 4u);
+  EXPECT_GT(q.total_edges, 0u);
+}
+
+TEST_P(PartitionerPropertyTest, SingleFragmentHasNoCut) {
+  auto g = GenerateErdosRenyi(200, 1000, true, 29);
+  ASSERT_TRUE(g.ok());
+  auto partitioner = MakePartitioner(GetParam());
+  ASSERT_TRUE(partitioner.ok());
+  auto assignment = (*partitioner)->Partition(*g, 1);
+  ASSERT_TRUE(assignment.ok());
+  PartitionQuality q = EvaluatePartition(*g, *assignment, 1);
+  EXPECT_EQ(q.cut_edges, 0u);
+  EXPECT_EQ(q.replication, 0u);
+}
+
+TEST_P(PartitionerPropertyTest, RejectsZeroFragments) {
+  auto g = GeneratePath(4);
+  ASSERT_TRUE(g.ok());
+  auto partitioner = MakePartitioner(GetParam());
+  ASSERT_TRUE(partitioner.ok());
+  EXPECT_FALSE((*partitioner)->Partition(*g, 0).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionerPropertyTest,
+                         ::testing::ValuesIn(BuiltinPartitionerNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(PartitionerRegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(MakePartitioner("no-such-strategy").ok());
+}
+
+TEST(PartitionerRegistryTest, NamesMatchInstances) {
+  for (const std::string& name : BuiltinPartitionerNames()) {
+    auto p = MakePartitioner(name);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ((*p)->name(), name);
+  }
+}
+
+TEST(HashPartitionerTest, DeterministicAssignment) {
+  auto g = GenerateErdosRenyi(100, 300, true, 31);
+  ASSERT_TRUE(g.ok());
+  HashPartitioner p;
+  auto a = p.Partition(*g, 4);
+  auto b = p.Partition(*g, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RangePartitionerTest, ContiguousRanges) {
+  auto g = GeneratePath(100);
+  ASSERT_TRUE(g.ok());
+  RangePartitioner p;
+  auto a = p.Partition(*g, 4);
+  ASSERT_TRUE(a.ok());
+  // Assignment must be monotone non-decreasing over ids.
+  for (size_t v = 1; v < a->size(); ++v) {
+    EXPECT_GE((*a)[v], (*a)[v - 1]);
+  }
+  // A contiguous range over a path cuts at most n_fragments - 1 edges
+  // (per direction).
+  PartitionQuality q = EvaluatePartition(*g, *a, 4);
+  EXPECT_LE(q.cut_edges, 6u);
+}
+
+TEST(Grid2DPartitionerTest, LowCutOnLattice) {
+  auto g = GenerateGridRoad(32, 32, 37);
+  ASSERT_TRUE(g.ok());
+  Grid2DPartitioner grid;
+  HashPartitioner hash;
+  auto ga = grid.Partition(*g, 4);
+  auto ha = hash.Partition(*g, 4);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(ha.ok());
+  PartitionQuality gq = EvaluatePartition(*g, *ga, 4);
+  PartitionQuality hq = EvaluatePartition(*g, *ha, 4);
+  // Spatial tiling cuts a tiny fraction of a lattice; hashing cuts ~75%.
+  EXPECT_LT(gq.cut_fraction, 0.2);
+  EXPECT_LT(gq.cut_fraction, hq.cut_fraction / 3.0);
+}
+
+TEST(LdgPartitionerTest, BeatsHashOnCommunityGraph) {
+  RMatOptions opts;
+  opts.scale = 11;
+  opts.edge_factor = 8;
+  opts.seed = 41;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  LdgPartitioner ldg;
+  HashPartitioner hash;
+  auto la = ldg.Partition(*g, 8);
+  auto ha = hash.Partition(*g, 8);
+  ASSERT_TRUE(la.ok());
+  ASSERT_TRUE(ha.ok());
+  PartitionQuality lq = EvaluatePartition(*g, *la, 8);
+  PartitionQuality hq = EvaluatePartition(*g, *ha, 8);
+  EXPECT_LT(lq.cut_edges, hq.cut_edges);
+}
+
+TEST(FennelPartitionerTest, RespectsBalanceSlack) {
+  RMatOptions opts;
+  opts.scale = 10;
+  opts.seed = 43;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  FennelPartitioner fennel(1.5, 1.1);
+  auto a = fennel.Partition(*g, 8);
+  ASSERT_TRUE(a.ok());
+  PartitionQuality q = EvaluatePartition(*g, *a, 8);
+  EXPECT_LT(q.vertex_balance, 1.25);
+}
+
+TEST(MetisPartitionerTest, LowCutOnGrid) {
+  auto g = GenerateGridRoad(48, 48, 47);
+  ASSERT_TRUE(g.ok());
+  MetisPartitioner metis;
+  HashPartitioner hash;
+  auto ma = metis.Partition(*g, 8);
+  auto ha = hash.Partition(*g, 8);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(ha.ok());
+  PartitionQuality mq = EvaluatePartition(*g, *ma, 8);
+  PartitionQuality hq = EvaluatePartition(*g, *ha, 8);
+  // The multilevel partitioner must dramatically beat hashing on a lattice.
+  EXPECT_LT(mq.cut_fraction, hq.cut_fraction / 4.0);
+  EXPECT_LT(mq.vertex_balance, 1.4);
+}
+
+TEST(MetisPartitionerTest, BeatsLdgOnPowerLaw) {
+  RMatOptions opts;
+  opts.scale = 11;
+  opts.edge_factor = 8;
+  opts.seed = 53;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  MetisPartitioner metis;
+  LdgPartitioner ldg;
+  HashPartitioner hash;
+  auto ma = metis.Partition(*g, 8);
+  auto la = ldg.Partition(*g, 8);
+  auto ha = hash.Partition(*g, 8);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(la.ok());
+  ASSERT_TRUE(ha.ok());
+  PartitionQuality mq = EvaluatePartition(*g, *ma, 8);
+  PartitionQuality lq = EvaluatePartition(*g, *la, 8);
+  PartitionQuality hq = EvaluatePartition(*g, *ha, 8);
+  // Power-law graphs are inherently hard to cut; offline multilevel must be
+  // at least competitive with streaming greedy (within 10%) and both must
+  // clearly beat locality-oblivious hashing.
+  EXPECT_LE(mq.cut_edges, lq.cut_edges * 11 / 10);
+  EXPECT_LT(mq.cut_edges, hq.cut_edges);
+  EXPECT_LT(lq.cut_edges, hq.cut_edges);
+}
+
+TEST(MetisPartitionerTest, SingleFragmentShortCircuit) {
+  auto g = GeneratePath(10);
+  ASSERT_TRUE(g.ok());
+  MetisPartitioner metis;
+  auto a = metis.Partition(*g, 1);
+  ASSERT_TRUE(a.ok());
+  for (FragmentId f : *a) EXPECT_EQ(f, 0u);
+}
+
+TEST(QualityTest, HandDraftedPartition) {
+  // 0-1-2  3-4-5 with one bridge 2-3, split in the middle.
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  std::vector<FragmentId> assignment = {0, 0, 0, 1, 1, 1};
+  PartitionQuality q = EvaluatePartition(*g, assignment, 2);
+  EXPECT_EQ(q.cut_edges, 2u);  // both arc directions of the bridge
+  EXPECT_EQ(q.replication, 2u);  // 2 mirrored at frag 1, 3 mirrored at 0
+  EXPECT_DOUBLE_EQ(q.vertex_balance, 1.0);
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,0 +1,133 @@
+#include <string>
+
+#include "apps/register_apps.h"
+#include "core/app_registry.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { RegisterBuiltinApps(); }
+};
+
+TEST_F(RegistryTest, AllBuiltinsRegistered) {
+  auto names = AppRegistry::Global().Names();
+  for (const char* expected :
+       {"sssp", "bfs", "cc", "pagerank", "sim", "dualsim", "subiso",
+        "keyword", "cf", "gpar", "triangle", "kcore"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST_F(RegistryTest, UnknownAppFails) {
+  EXPECT_FALSE(AppRegistry::Global().Get("nope").ok());
+}
+
+TEST_F(RegistryTest, RegistrationIsIdempotent) {
+  size_t before = AppRegistry::Global().Names().size();
+  RegisterBuiltinApps();
+  EXPECT_EQ(AppRegistry::Global().Names().size(), before);
+}
+
+// "Plug and play": run every registered query class end-to-end on a graph
+// it can digest, through the type-erased registry interface — the
+// integration path a demo user exercises.
+TEST_F(RegistryTest, PlayEveryQueryClass) {
+  LabeledGraphOptions lopts;
+  lopts.scale = 7;
+  lopts.edge_factor = 5;
+  lopts.num_vertex_labels = 3;
+  lopts.seed = 801;
+  auto labeled = GenerateLabeledGraph(lopts);
+  ASSERT_TRUE(labeled.ok());
+  FragmentedGraph labeled_fg = testing::MakeFragments(*labeled, "hash", 4);
+
+  EngineOptions opts;
+  for (const std::string& name : {"sssp", "bfs", "cc", "pagerank", "sim",
+                                  "dualsim", "keyword", "triangle",
+                                  "kcore"}) {
+    auto app = AppRegistry::Global().Get(name);
+    ASSERT_TRUE(app.ok()) << name;
+    EngineMetrics metrics;
+    auto result = app->run(labeled_fg, ParseQueryArgs({"source=0"}), opts,
+                           &metrics);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status();
+    EXPECT_FALSE(result->empty()) << name;
+    EXPECT_GE(metrics.supersteps, 1u) << name;
+  }
+
+  // subiso with a label-constrained pattern on the same graph.
+  {
+    auto app = AppRegistry::Global().Get("subiso");
+    ASSERT_TRUE(app.ok());
+    auto result = app->run(labeled_fg,
+                           ParseQueryArgs({"pattern=path3", "l0=0", "l1=1",
+                                           "l2=2", "limit=1000"}),
+                           opts, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+
+  // cf on a bipartite rating graph.
+  {
+    BipartiteOptions bopts;
+    bopts.num_users = 150;
+    bopts.num_items = 25;
+    bopts.ratings_per_user = 8;
+    auto ratings = GenerateBipartiteRatings(bopts);
+    ASSERT_TRUE(ratings.ok());
+    FragmentedGraph fg = testing::MakeFragments(*ratings, "hash", 4);
+    auto app = AppRegistry::Global().Get("cf");
+    ASSERT_TRUE(app.ok());
+    auto result = app->run(fg, ParseQueryArgs({"epochs=3"}), opts, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+
+  // gpar on a social graph.
+  {
+    SocialGraphOptions sopts;
+    sopts.num_persons = 500;
+    sopts.num_items = 4;
+    auto social = GenerateSocialGraph(sopts);
+    ASSERT_TRUE(social.ok());
+    FragmentedGraph fg = testing::MakeFragments(*social, "hash", 4);
+    auto app = AppRegistry::Global().Get("gpar");
+    ASSERT_TRUE(app.ok());
+    auto result = app->run(fg, ParseQueryArgs({"item=500"}), opts, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+}
+
+TEST_F(RegistryTest, CustomAppCanBePluggedIn) {
+  // Plugging a user-defined strategy mirrors the demo's developer flow.
+  RegisteredApp custom;
+  custom.name = "answer";
+  custom.description = "returns 42";
+  custom.run = [](const FragmentedGraph&, const QueryArgs&,
+                  const EngineOptions&, EngineMetrics*) {
+    return Result<std::string>(std::string("42"));
+  };
+  AppRegistry::Global().Register(custom);
+  auto app = AppRegistry::Global().Get("answer");
+  ASSERT_TRUE(app.ok());
+  auto g = GeneratePath(4);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 2);
+  auto result = app->run(fg, {}, EngineOptions{}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "42");
+}
+
+TEST(QueryArgsTest, ParsesKeyValuePairs) {
+  QueryArgs args = ParseQueryArgs({"a=1", "flag", "b=x=y"});
+  EXPECT_EQ(args.at("a"), "1");
+  EXPECT_EQ(args.at("flag"), "true");
+  EXPECT_EQ(args.at("b"), "x=y");
+}
+
+}  // namespace
+}  // namespace grape

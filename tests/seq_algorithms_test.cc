@@ -1,0 +1,171 @@
+#include <algorithm>
+#include <numeric>
+
+#include "apps/seq/seq_algorithms.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace grape {
+namespace {
+
+TEST(SeqDijkstraTest, HandComputedDistances) {
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1, 7);
+  builder.AddEdge(0, 2, 9);
+  builder.AddEdge(0, 5, 14);
+  builder.AddEdge(1, 2, 10);
+  builder.AddEdge(1, 3, 15);
+  builder.AddEdge(2, 3, 11);
+  builder.AddEdge(2, 5, 2);
+  builder.AddEdge(3, 4, 6);
+  builder.AddEdge(5, 4, 9);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto dist = SeqDijkstra(*g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0);
+  EXPECT_DOUBLE_EQ(dist[1], 7);
+  EXPECT_DOUBLE_EQ(dist[2], 9);
+  EXPECT_DOUBLE_EQ(dist[3], 20);
+  EXPECT_DOUBLE_EQ(dist[4], 20);
+  EXPECT_DOUBLE_EQ(dist[5], 11);
+}
+
+TEST(SeqDijkstraTest, TriangleInequalityProperty) {
+  auto g = GenerateErdosRenyi(200, 1500, true, 1201);
+  ASSERT_TRUE(g.ok());
+  auto dist = SeqDijkstra(*g, 0);
+  // Relaxed edges cannot violate the triangle inequality at a fixed point.
+  for (VertexId u = 0; u < g->num_vertices(); ++u) {
+    if (dist[u] == kInfDistance) continue;
+    for (const Neighbor& nb : g->OutNeighbors(u)) {
+      EXPECT_LE(dist[nb.vertex], dist[u] + nb.weight + 1e-12);
+    }
+  }
+}
+
+TEST(SeqDijkstraTest, InvalidSourceUnreachable) {
+  auto g = GeneratePath(5);
+  ASSERT_TRUE(g.ok());
+  auto dist = SeqDijkstra(*g, 99);
+  for (double d : dist) EXPECT_EQ(d, kInfDistance);
+}
+
+TEST(SeqBfsTest, MatchesDijkstraOnUnitWeights) {
+  GraphBuilder builder(true);
+  auto base = GenerateErdosRenyi(150, 900, true, 1213);
+  ASSERT_TRUE(base.ok());
+  for (const Edge& e : base->ToEdgeList()) {
+    builder.AddEdge(e.src, e.dst, 1.0);
+  }
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto depth = SeqBfs(*g, 3);
+  auto dist = SeqDijkstra(*g, 3);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (depth[v] == UINT32_MAX) {
+      EXPECT_EQ(dist[v], kInfDistance);
+    } else {
+      EXPECT_DOUBLE_EQ(static_cast<double>(depth[v]), dist[v]);
+    }
+  }
+}
+
+TEST(SeqCcTest, LabelsAreComponentMinima) {
+  auto g = GenerateErdosRenyi(300, 400, false, 1217);  // sparse => many CCs
+  ASSERT_TRUE(g.ok());
+  auto label = SeqConnectedComponents(*g);
+  // Every vertex's label is <= its id and is a fixed point of relabeling.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_LE(label[v], v);
+    EXPECT_EQ(label[label[v]], label[v]);
+    for (const Neighbor& nb : g->OutNeighbors(v)) {
+      EXPECT_EQ(label[v], label[nb.vertex]);
+    }
+  }
+}
+
+TEST(SeqPageRankTest, UniformOnCycle) {
+  auto g = GenerateCycle(10, true);
+  ASSERT_TRUE(g.ok());
+  PageRankConfig config;
+  auto rank = SeqPageRank(*g, config);
+  for (double r : rank) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+TEST(SeqPageRankTest, MassBoundedByOne) {
+  RMatOptions opts;
+  opts.scale = 9;
+  opts.seed = 1223;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  PageRankConfig config;
+  config.max_iterations = 60;
+  auto rank = SeqPageRank(*g, config);
+  double mass = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_LE(mass, 1.0 + 1e-9);
+  for (double r : rank) EXPECT_GT(r, 0.0);
+}
+
+TEST(SeqPageRankTest, DampingZeroIsUniform) {
+  auto g = GenerateStar(5, true);
+  ASSERT_TRUE(g.ok());
+  PageRankConfig config;
+  config.damping = 0.0;
+  auto rank = SeqPageRank(*g, config);
+  for (double r : rank) EXPECT_NEAR(r, 1.0 / 6, 1e-12);
+}
+
+TEST(SeqKeywordTest, ZeroOnKeywordVertices) {
+  LabeledGraphOptions opts;
+  opts.scale = 8;
+  opts.num_vertex_labels = 4;
+  opts.seed = 1229;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  auto dist = SeqKeywordDistance(*g, 2);
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (g->vertex_label(v) == 2) {
+      EXPECT_DOUBLE_EQ(dist[v], 0.0);
+    } else {
+      EXPECT_GT(dist[v], 0.0);
+    }
+  }
+}
+
+TEST(SeqKeywordTest, AbsentKeywordUnreachable) {
+  LabeledGraphOptions opts;
+  opts.scale = 7;
+  opts.num_vertex_labels = 2;
+  opts.seed = 1231;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  auto dist = SeqKeywordDistance(*g, 77);
+  for (double d : dist) EXPECT_EQ(d, kInfDistance);
+}
+
+TEST(SeqIncrementalSsspTest, EquivalentToRecomputation) {
+  auto g = GenerateErdosRenyi(250, 2000, true, 1237);
+  ASSERT_TRUE(g.ok());
+  auto dist = SeqDijkstra(*g, 0);
+  // Simulate an improvement at several vertices and propagate.
+  std::vector<double> hacked = dist;
+  std::vector<VertexId> seeds;
+  for (VertexId v : {17u, 99u, 200u}) {
+    if (hacked[v] > 1.0 && hacked[v] < kInfDistance) {
+      hacked[v] -= 1.0;
+      seeds.push_back(v);
+    }
+  }
+  ASSERT_FALSE(seeds.empty());
+  SeqIncrementalSssp(*g, hacked, seeds);
+  // Fixed point: no edge can relax further.
+  for (VertexId u = 0; u < g->num_vertices(); ++u) {
+    if (hacked[u] == kInfDistance) continue;
+    for (const Neighbor& nb : g->OutNeighbors(u)) {
+      EXPECT_LE(hacked[nb.vertex], hacked[u] + nb.weight + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grape

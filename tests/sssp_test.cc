@@ -1,0 +1,188 @@
+#include <string>
+#include <tuple>
+
+#include "apps/seq/seq_algorithms.h"
+#include "apps/sssp.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+Graph SsspTestGraph(const std::string& kind) {
+  if (kind == "grid") {
+    auto g = GenerateGridRoad(20, 25, 101);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+  if (kind == "rmat") {
+    RMatOptions opts;
+    opts.scale = 9;
+    opts.edge_factor = 6;
+    opts.seed = 103;
+    auto g = GenerateRMat(opts);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+  if (kind == "disconnected") {
+    // Two ER islands with no bridge.
+    GraphBuilder builder(true);
+    auto a = GenerateErdosRenyi(60, 200, true, 107);
+    EXPECT_TRUE(a.ok());
+    for (const Edge& e : a->ToEdgeList()) builder.AddEdge(e);
+    auto b = GenerateErdosRenyi(40, 120, true, 109);
+    EXPECT_TRUE(b.ok());
+    for (const Edge& e : b->ToEdgeList()) {
+      builder.AddEdge(e.src + 60, e.dst + 60, e.weight, e.label);
+    }
+    auto g = std::move(builder).Build();
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+  auto g = GenerateRandomTree(150, 113, /*directed=*/false);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+using SsspParam = std::tuple<std::string, std::string, FragmentId>;
+
+class SsspMatrixTest : public ::testing::TestWithParam<SsspParam> {};
+
+TEST_P(SsspMatrixTest, MatchesSequentialDijkstra) {
+  const auto& [kind, strategy, nfrag] = GetParam();
+  Graph g = SsspTestGraph(kind);
+  FragmentedGraph fg = testing::MakeFragments(g, strategy, nfrag);
+
+  std::vector<double> expected = SeqDijkstra(g, 0);
+
+  GrapeEngine<SsspApp> engine(fg, SsspApp{});
+  auto out = engine.Run(SsspQuery{0});
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->dist.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(out->dist[v], expected[v]) << "vertex " << v;
+  }
+  EXPECT_GE(engine.metrics().supersteps, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SsspMatrixTest,
+    ::testing::Combine(::testing::Values("grid", "rmat", "disconnected",
+                                         "tree"),
+                       ::testing::Values("hash", "metis", "ldg", "grid2d"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{9})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SsspTest, NonZeroSource) {
+  Graph g = SsspTestGraph("grid");
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+  const VertexId source = 123;
+  std::vector<double> expected = SeqDijkstra(g, source);
+  GrapeEngine<SsspApp> engine(fg, SsspApp{});
+  auto out = engine.Run(SsspQuery{source});
+  ASSERT_TRUE(out.ok());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(out->dist[v], expected[v]);
+  }
+}
+
+TEST(SsspTest, RecomputeAblationAgreesWithIncremental) {
+  Graph g = SsspTestGraph("rmat");
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+
+  GrapeEngine<SsspApp> inc(fg, SsspApp{});
+  auto inc_out = inc.Run(SsspQuery{0});
+  ASSERT_TRUE(inc_out.ok());
+
+  EngineOptions opts;
+  opts.incremental = false;
+  GrapeEngine<SsspApp> full(fg, SsspApp{}, opts);
+  auto full_out = full.Run(SsspQuery{0});
+  ASSERT_TRUE(full_out.ok());
+
+  ASSERT_EQ(inc_out->dist.size(), full_out->dist.size());
+  for (size_t v = 0; v < inc_out->dist.size(); ++v) {
+    EXPECT_DOUBLE_EQ(inc_out->dist[v], full_out->dist[v]);
+  }
+}
+
+TEST(SsspTest, MonotonicityHolds) {
+  Graph g = SsspTestGraph("grid");
+  FragmentedGraph fg = testing::MakeFragments(g, "metis", 4);
+  EngineOptions opts;
+  opts.check_monotonicity = true;
+  GrapeEngine<SsspApp> engine(fg, SsspApp{}, opts);
+  auto out = engine.Run(SsspQuery{0});
+  ASSERT_TRUE(out.ok());
+  // The Assurance Theorem's side condition: parameters only decrease.
+  EXPECT_EQ(engine.metrics().monotonicity_violations, 0u);
+}
+
+TEST(SsspTest, QueryReuseOnSameEngine) {
+  // The demo's "play" mode issues several queries against one deployment.
+  Graph g = SsspTestGraph("tree");
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+  GrapeEngine<SsspApp> engine(fg, SsspApp{});
+  for (VertexId source : {0u, 7u, 149u}) {
+    std::vector<double> expected = SeqDijkstra(g, source);
+    auto out = engine.Run(SsspQuery{source});
+    ASSERT_TRUE(out.ok());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(out->dist[v], expected[v]);
+    }
+  }
+}
+
+TEST(SsspTest, CommunicationIsBorderBounded) {
+  // Messages carry only border-vertex parameters: on a grid with a spatial
+  // partition, bytes shipped must be far below what per-edge messaging
+  // would need.
+  auto g = GenerateGridRoad(40, 40, 127);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "grid2d", 4);
+  GrapeEngine<SsspApp> engine(fg, SsspApp{});
+  auto out = engine.Run(SsspQuery{0});
+  ASSERT_TRUE(out.ok());
+  // Upper bound: every vertex re-shipped once per superstep would be
+  // n * supersteps * entry size; border-bounded traffic is much smaller.
+  uint64_t loose_bound = static_cast<uint64_t>(g->num_vertices()) *
+                         engine.metrics().supersteps * 12;
+  EXPECT_LT(engine.metrics().bytes, loose_bound / 4);
+}
+
+TEST(SsspTest, MetricsAreConsistent) {
+  Graph g = SsspTestGraph("rmat");
+  FragmentedGraph fg = testing::MakeFragments(g, "hash", 4);
+  GrapeEngine<SsspApp> engine(fg, SsspApp{});
+  ASSERT_TRUE(engine.Run(SsspQuery{0}).ok());
+  const EngineMetrics& m = engine.metrics();
+  EXPECT_EQ(m.rounds.size(), m.supersteps);
+  uint64_t sum_msgs = 0;
+  for (const RoundMetrics& r : m.rounds) sum_msgs += r.messages;
+  EXPECT_EQ(sum_msgs, m.messages);
+  EXPECT_GT(m.total_seconds, 0.0);
+}
+
+TEST(SeqIncrementalSsspTest, PropagatesDecreases) {
+  auto g = GenerateGridRoad(10, 10, 131);
+  ASSERT_TRUE(g.ok());
+  std::vector<double> dist = SeqDijkstra(*g, 0);
+  // Lower the distance of vertex 55 artificially and propagate.
+  std::vector<double> hacked = dist;
+  hacked[55] = 0.0;
+  SeqIncrementalSssp(*g, hacked, {55});
+  // Result must equal a two-source shortest path.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    std::vector<double> from55 = SeqDijkstra(*g, 55);
+    EXPECT_DOUBLE_EQ(hacked[v], std::min(dist[v], from55[v]));
+  }
+}
+
+}  // namespace
+}  // namespace grape

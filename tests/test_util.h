@@ -1,0 +1,42 @@
+#ifndef GRAPE_TESTS_TEST_UTIL_H_
+#define GRAPE_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+
+namespace grape {
+namespace testing {
+
+/// Partitions `graph` with the named strategy and builds fragments,
+/// failing the test on any error.
+inline FragmentedGraph MakeFragments(const Graph& graph,
+                                     const std::string& strategy,
+                                     FragmentId num_fragments) {
+  auto partitioner = MakePartitioner(strategy);
+  EXPECT_TRUE(partitioner.ok()) << partitioner.status();
+  auto assignment = (*partitioner)->Partition(graph, num_fragments);
+  EXPECT_TRUE(assignment.ok()) << assignment.status();
+  auto fg = FragmentBuilder::Build(graph, *assignment, num_fragments);
+  EXPECT_TRUE(fg.ok()) << fg.status();
+  return std::move(fg).value();
+}
+
+#define ASSERT_OK(expr)                             \
+  do {                                              \
+    auto _s = (expr);                               \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();          \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)             \
+  auto _res_##__LINE__ = (expr);                    \
+  ASSERT_TRUE(_res_##__LINE__.ok())                 \
+      << _res_##__LINE__.status().ToString();       \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace testing
+}  // namespace grape
+
+#endif  // GRAPE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "baseline/transport.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = GeneratePath(8, /*directed=*/true);
+    ASSERT_TRUE(g.ok());
+    fg_ = testing::MakeFragments(*g, "range", 2);
+    world_ = std::make_unique<CommWorld>(2);
+  }
+
+  FragmentedGraph fg_;
+  std::unique_ptr<CommWorld> world_;
+};
+
+TEST_F(TransportTest, RoutesToOwner) {
+  VertexMessageBus<double> bus(world_.get(), &fg_, /*self=*/0);
+  // Vertex 6 is owned by fragment 1 under the range partition of a path.
+  FragmentId owner6 = (*fg_.owner)[6];
+  bus.Send(6, 3.5);
+  ASSERT_TRUE(bus.Flush().ok());
+
+  std::unordered_map<LocalId, std::vector<double>> inbox;
+  VertexMessageBus<double> receiver(world_.get(), &fg_, owner6);
+  auto count = receiver.Receive(fg_.fragments[owner6], &inbox);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  LocalId lid = fg_.fragments[owner6].Lid(6);
+  ASSERT_EQ(inbox.count(lid), 1u);
+  EXPECT_DOUBLE_EQ(inbox[lid][0], 3.5);
+}
+
+TEST_F(TransportTest, CombinerMergesPerVertex) {
+  VertexMessageBus<double> bus(world_.get(), &fg_, 0);
+  auto min_combine = [](double a, double b) { return std::min(a, b); };
+  bus.SendCombined(6, 9.0, min_combine);
+  bus.SendCombined(6, 4.0, min_combine);
+  bus.SendCombined(6, 7.0, min_combine);
+  bus.SendCombined(7, 1.0, min_combine);
+  EXPECT_EQ(bus.logical_sent(), 2u);  // one slot per destination vertex
+  ASSERT_TRUE(bus.Flush().ok());
+
+  FragmentId dst = (*fg_.owner)[6];
+  std::unordered_map<LocalId, std::vector<double>> inbox;
+  VertexMessageBus<double> receiver(world_.get(), &fg_, dst);
+  auto count = receiver.Receive(fg_.fragments[dst], &inbox);
+  ASSERT_TRUE(count.ok());
+  LocalId lid6 = fg_.fragments[dst].Lid(6);
+  ASSERT_EQ(inbox[lid6].size(), 1u);
+  EXPECT_DOUBLE_EQ(inbox[lid6][0], 4.0);  // combined minimum
+}
+
+TEST_F(TransportTest, UncombinedKeepsEveryMessage) {
+  VertexMessageBus<double> bus(world_.get(), &fg_, 0);
+  bus.Send(6, 1.0);
+  bus.Send(6, 2.0);
+  EXPECT_EQ(bus.logical_sent(), 2u);
+  ASSERT_TRUE(bus.Flush().ok());
+  FragmentId dst = (*fg_.owner)[6];
+  std::unordered_map<LocalId, std::vector<double>> inbox;
+  VertexMessageBus<double> receiver(world_.get(), &fg_, dst);
+  ASSERT_TRUE(receiver.Receive(fg_.fragments[dst], &inbox).ok());
+  EXPECT_EQ(inbox[fg_.fragments[dst].Lid(6)].size(), 2u);
+}
+
+TEST_F(TransportTest, MessageForForeignVertexIsAnError) {
+  VertexMessageBus<double> bus(world_.get(), &fg_, 0);
+  bus.Send(1, 1.0);  // vertex 1 is owned by fragment 0
+  ASSERT_TRUE(bus.Flush().ok());
+  // Deliver fragment 0's message to fragment 1's receiver: wrong owner.
+  auto msg = world_->TryRecv(0, kTagVertexMessage);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_TRUE(world_->Send(0, 1, kTagVertexMessage, msg->payload).ok());
+  std::unordered_map<LocalId, std::vector<double>> inbox;
+  VertexMessageBus<double> receiver(world_.get(), &fg_, 1);
+  auto count = receiver.Receive(fg_.fragments[1], &inbox);
+  EXPECT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsInternal());
+}
+
+TEST_F(TransportTest, FlushIsIdempotentWhenEmpty) {
+  VertexMessageBus<double> bus(world_.get(), &fg_, 0);
+  ASSERT_TRUE(bus.Flush().ok());
+  ASSERT_TRUE(bus.Flush().ok());
+  EXPECT_EQ(world_->PendingCount(0), 0u);
+  EXPECT_EQ(world_->PendingCount(1), 0u);
+}
+
+TEST_F(TransportTest, BatchesPerDestinationWorker) {
+  VertexMessageBus<double> bus(world_.get(), &fg_, 0);
+  // 4 messages to fragment-1 vertices => exactly one wire message.
+  bus.Send(4, 1.0);
+  bus.Send(5, 1.0);
+  bus.Send(6, 1.0);
+  bus.Send(7, 1.0);
+  ASSERT_TRUE(bus.Flush().ok());
+  EXPECT_EQ(world_->PendingCount(1), 1u);
+}
+
+}  // namespace
+}  // namespace grape

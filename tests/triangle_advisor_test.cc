@@ -1,0 +1,211 @@
+#include <string>
+#include <tuple>
+
+#include "apps/seq/seq_algorithms.h"
+#include "apps/triangle.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "partition/advisor.h"
+#include "partition/label_index.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+TEST(SeqTriangleTest, KnownCounts) {
+  // A 4-clique (undirected) has C(4,3) = 4 triangles.
+  auto k4 = GenerateComplete(4, /*directed=*/false);
+  ASSERT_TRUE(k4.ok());
+  EXPECT_EQ(SeqTriangleCount(*k4), 4u);
+
+  // A cycle of length 5 has none.
+  auto c5 = GenerateCycle(5, /*directed=*/true);
+  ASSERT_TRUE(c5.ok());
+  EXPECT_EQ(SeqTriangleCount(*c5), 0u);
+
+  // Directed triangle counts once in the undirected view.
+  GraphBuilder builder(true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  auto tri = std::move(builder).Build();
+  ASSERT_TRUE(tri.ok());
+  EXPECT_EQ(SeqTriangleCount(*tri), 1u);
+}
+
+using TriangleParam = std::tuple<std::string, FragmentId>;
+
+class TriangleMatrixTest : public ::testing::TestWithParam<TriangleParam> {};
+
+TEST_P(TriangleMatrixTest, MatchesSequentialCount) {
+  const auto& [strategy, nfrag] = GetParam();
+  auto g = GenerateErdosRenyi(300, 2500, /*directed=*/false, 901);
+  ASSERT_TRUE(g.ok());
+  uint64_t expected = SeqTriangleCount(*g);
+  ASSERT_GT(expected, 0u);
+
+  FragmentedGraph fg = testing::MakeFragments(*g, strategy, nfrag);
+  GrapeEngine<TriangleApp> engine(fg, TriangleApp{});
+  auto out = engine.Run(TriangleQuery{});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->triangles, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TriangleMatrixTest,
+    ::testing::Combine(::testing::Values("hash", "metis", "ldg"),
+                       ::testing::Values(FragmentId{1}, FragmentId{4},
+                                         FragmentId{7})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(TriangleTest, DirectedGraphUsesUndirectedView) {
+  RMatOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 8;
+  opts.seed = 911;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  uint64_t expected = SeqTriangleCount(*g);
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 5);
+  GrapeEngine<TriangleApp> engine(fg, TriangleApp{});
+  auto out = engine.Run(TriangleQuery{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->triangles, expected);
+}
+
+TEST(TriangleTest, ConvergesInFewSupersteps) {
+  auto g = GenerateErdosRenyi(200, 1500, false, 919);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 6);
+  GrapeEngine<TriangleApp> engine(fg, TriangleApp{});
+  ASSERT_TRUE(engine.Run(TriangleQuery{}).ok());
+  EXPECT_LE(engine.metrics().supersteps, 3u);
+}
+
+TEST(LabelIndexTest, IndexesInnerVerticesByLabel) {
+  LabeledGraphOptions opts;
+  opts.scale = 7;
+  opts.num_vertex_labels = 4;
+  opts.seed = 929;
+  auto g = GenerateLabeledGraph(opts);
+  ASSERT_TRUE(g.ok());
+  FragmentedGraph fg = testing::MakeFragments(*g, "hash", 3);
+  for (const Fragment& frag : fg.fragments) {
+    LabelIndex index(frag);
+    size_t indexed = 0;
+    for (Label label = 0; label < 4; ++label) {
+      for (LocalId lid : index.InnerWithLabel(label)) {
+        EXPECT_TRUE(frag.IsInner(lid));
+        EXPECT_EQ(frag.vertex_label(lid), label);
+        ++indexed;
+      }
+    }
+    EXPECT_EQ(indexed, frag.num_inner());
+    EXPECT_TRUE(index.InnerWithLabel(999).empty());
+  }
+}
+
+TEST(AdvisorTest, ProfileOfLattice) {
+  auto g = GenerateGridRoad(64, 64, 937);
+  ASSERT_TRUE(g.ok());
+  GraphProfile p = ProfileGraph(*g);
+  EXPECT_EQ(p.num_vertices, 4096u);
+  EXPECT_LT(p.degree_cv, 0.5);
+  EXPECT_GT(p.id_locality, 0.8);
+  EXPECT_EQ(AdvisePartitioner(p).strategy, "grid2d");
+}
+
+TEST(AdvisorTest, PowerLawGetsStreaming) {
+  RMatOptions opts;
+  opts.scale = 13;
+  opts.edge_factor = 8;
+  opts.seed = 941;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  GraphProfile p = ProfileGraph(*g);
+  EXPECT_GT(p.degree_cv, 1.5);
+  EXPECT_EQ(AdvisePartitioner(p).strategy, "ldg");
+}
+
+TEST(AdvisorTest, CommunityGraphGetsMetis) {
+  CommunityGraphOptions opts;
+  opts.num_vertices = 1 << 13;
+  opts.seed = 947;
+  auto g = GenerateCommunityGraph(opts);
+  ASSERT_TRUE(g.ok());
+  PartitionAdvice advice = AdvisePartitioner(*g);
+  EXPECT_EQ(advice.strategy, "metis");
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(AdvisorTest, SmallGraphGetsHash) {
+  auto g = GeneratePath(100);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(AdvisePartitioner(*g).strategy, "hash");
+}
+
+TEST(CommunityGraphTest, StructureAndDeterminism) {
+  CommunityGraphOptions opts;
+  opts.num_vertices = 4096;
+  opts.avg_degree = 10;
+  opts.num_communities = 16;
+  opts.intra_fraction = 0.9;
+  opts.seed = 953;
+  auto a = GenerateCommunityGraph(opts);
+  auto b = GenerateCommunityGraph(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_vertices(), 4096u);
+  EXPECT_GT(a->num_edges(), 4096u * 4);
+  auto ea = a->ToEdgeList();
+  auto eb = b->ToEdgeList();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+}
+
+TEST(CommunityGraphTest, Validation) {
+  CommunityGraphOptions opts;
+  opts.num_vertices = 1;
+  EXPECT_FALSE(GenerateCommunityGraph(opts).ok());
+  opts.num_vertices = 100;
+  opts.intra_fraction = 1.5;
+  EXPECT_FALSE(GenerateCommunityGraph(opts).ok());
+}
+
+TEST(VoronoiPartitionerTest, CoversAndBalances) {
+  auto g = GenerateGridRoad(40, 40, 967);
+  ASSERT_TRUE(g.ok());
+  auto p = MakePartitioner("voronoi");
+  ASSERT_TRUE(p.ok());
+  auto assignment = (*p)->Partition(*g, 8);
+  ASSERT_TRUE(assignment.ok());
+  std::vector<size_t> counts(8, 0);
+  for (FragmentId f : *assignment) {
+    ASSERT_LT(f, 8u);
+    counts[f]++;
+  }
+  for (size_t c : counts) EXPECT_GT(c, 0u);
+  // Greedy cell packing keeps balance within 2x.
+  size_t max_c = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LT(max_c, 2u * g->num_vertices() / 8);
+}
+
+TEST(VoronoiPartitionerTest, CoversDisconnectedGraphs) {
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  builder.AddVertex(10);  // isolated
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  auto p = MakePartitioner("voronoi");
+  auto assignment = (*p)->Partition(*g, 2);
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment->size(), g->num_vertices());
+}
+
+}  // namespace
+}  // namespace grape
