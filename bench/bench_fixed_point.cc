@@ -4,7 +4,8 @@
 // evaluation, then geometrically decaying incremental work until the
 // simultaneous fixed point — the mechanism behind GRAPE's low traffic.
 //
-// Flags: --rows/--cols (road), --scale (RMAT), --workers.
+// Flags: --rows/--cols (road), --scale (RMAT), --workers,
+//        --json <path> (one summary row per traced run).
 
 #include "apps/cc.h"
 #include "apps/seq/seq_algorithms.h"
@@ -25,7 +26,8 @@ VertexId BusiestVertex(const Graph& g) {
 
 template <typename App, typename Query>
 void Trace(const Graph& g, const std::string& title, const Query& query,
-           FragmentId workers, const std::string& strategy) {
+           FragmentId workers, const std::string& strategy,
+           const std::string& label, Report* report) {
   PrintHeader(title);
   FragmentedGraph fg = Fragmentize(g, strategy, workers);
   GrapeEngine<App> engine(fg, App{});
@@ -45,6 +47,9 @@ void Trace(const Graph& g, const std::string& title, const Query& query,
   std::printf("fixed point after %u supersteps, total %s shipped\n",
               engine.metrics().supersteps,
               HumanBytes(engine.metrics().bytes).c_str());
+
+  report->Add(MetricsRow(label, "fixed-point trace (" + strategy + ")",
+                         engine.metrics()));
 }
 
 int Run(int argc, char** argv) {
@@ -63,12 +68,15 @@ int Run(int argc, char** argv) {
   auto rmat = GenerateRMat(ropts);
   GRAPE_CHECK(rmat.ok());
 
+  Report report("fixed_point");
   Trace<SsspApp>(*road, "Fixed point trace: SSSP on road network",
-                 SsspQuery{0}, workers, "grid2d");
+                 SsspQuery{0}, workers, "grid2d", "SSSP/road", &report);
   Trace<SsspApp>(*rmat, "Fixed point trace: SSSP on power-law graph",
-                 SsspQuery{BusiestVertex(*rmat)}, workers, "metis");
+                 SsspQuery{BusiestVertex(*rmat)}, workers, "metis",
+                 "SSSP/power-law", &report);
   Trace<CcApp>(*rmat, "Fixed point trace: CC on power-law graph", CcQuery{},
-               workers, "hash");
+               workers, "hash", "CC/power-law", &report);
+  MaybeWriteJson(flags, report);
   return 0;
 }
 

@@ -5,7 +5,8 @@
 // paper's claim that "the more workers are used, the faster it finds
 // potential customers".
 //
-// Flags: --persons --items --max_workers --support.
+// Flags: --persons --items --max_workers --support,
+//        --json <path> (strong- and weak-scaling rows).
 
 #include "apps/gpar.h"
 #include "bench/bench_util.h"
@@ -38,6 +39,7 @@ int Run(int argc, char** argv) {
               std::to_string(opts.num_persons) + " persons (support >= " +
               std::to_string(query.support) + ", no bad rating)");
 
+  Report report("gpar");
   std::printf("%8s %10s %12s %8s %12s\n", "Workers", "Time(s)", "Comm",
               "Steps", "Candidates");
   double t1 = 0;
@@ -59,6 +61,8 @@ int Run(int argc, char** argv) {
                 HumanBytes(engine.metrics().bytes).c_str(),
                 engine.metrics().supersteps, out->candidates.size(),
                 t1 / engine.metrics().total_seconds);
+    report.Add(MetricsRow("GRAPE workers=" + std::to_string(n),
+                          "gpar strong scaling", engine.metrics()));
     last = std::move(*out);
   }
 
@@ -95,7 +99,11 @@ int Run(int argc, char** argv) {
                 engine.metrics().total_seconds,
                 HumanBytes(engine.metrics().bytes).c_str(),
                 engine.metrics().total_seconds * 1e6 / wopts.num_persons);
+    report.Add(MetricsRow("GRAPE workers=" + std::to_string(n) +
+                              " persons=" + std::to_string(wopts.num_persons),
+                          "gpar weak scaling", engine.metrics()));
   }
+  MaybeWriteJson(flags, report);
   return 0;
 }
 

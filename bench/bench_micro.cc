@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "apps/sssp.h"
 #include "core/engine.h"
 #include "graph/generators.h"
@@ -116,4 +119,34 @@ BENCHMARK(BM_GrapeSsspEndToEnd);
 }  // namespace
 }  // namespace grape
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so this bench honors the repo-wide
+// `--json <path>` convention: it is rewritten into google-benchmark's
+// native --benchmark_out=<path>/--benchmark_out_format=json pair.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    if (arg == "--json" && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    }
+    if (path.empty()) {
+      args.push_back(arg);
+    } else {
+      args.push_back("--benchmark_out=" + path);
+      args.push_back("--benchmark_out_format=json");
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

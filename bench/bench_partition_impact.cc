@@ -8,7 +8,8 @@
 // offline multilevel partitioner ships the fewest updates and runs fastest;
 // streaming (LDG) is in between; hash is worst.
 //
-// Flags: --scale --edge_factor --workers.
+// Flags: --scale --edge_factor --workers,
+//        --json <path> (one row per partition strategy).
 
 #include "apps/seq/seq_algorithms.h"
 #include "bench/bench_util.h"
@@ -49,7 +50,8 @@ int Run(int argc, char** argv) {
     uint64_t updates;
   };
   std::vector<Row> rows;
-  for (const std::string& strategy : {"metis", "ldg", "fennel", "hash"}) {
+  Report report("partition_impact");
+  for (const std::string strategy : {"metis", "ldg", "fennel", "hash"}) {
     auto partitioner = MakePartitioner(strategy);
     GRAPE_CHECK(partitioner.ok());
     WallTimer part_timer;
@@ -77,6 +79,11 @@ int Run(int argc, char** argv) {
                 quality.cut_edges, quality.cut_fraction * 100.0,
                 part_seconds);
     rows.push_back({strategy, engine.metrics().total_seconds, updates});
+
+    ReportRow json_row =
+        MetricsRow(strategy, "partition strategy", engine.metrics());
+    json_row.messages = updates;
+    report.Add(json_row);
   }
 
   std::printf("\nShape checks (paper: METIS 18.3s/7.5M vs stream 30s/40M "
@@ -87,6 +94,7 @@ int Run(int argc, char** argv) {
               static_cast<double>(rows[3].updates) / rows[0].updates);
   std::printf("  time    ratio hash/metis = %6.2fx\n",
               rows[3].seconds / rows[0].seconds);
+  MaybeWriteJson(flags, report);
   return 0;
 }
 

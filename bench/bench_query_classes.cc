@@ -6,7 +6,8 @@
 // and classes like Sim/SubIso/CF — painful to express vertex-centrically —
 // run unchanged as plugged-in sequential algorithms.
 //
-// Flags: --workers --scale.
+// Flags: --workers --scale,
+//        --json <path> (one row per query class + the cross-model table).
 
 #include "apps/register_apps.h"
 #include "apps/seq/seq_algorithms.h"
@@ -19,16 +20,20 @@ namespace bench {
 namespace {
 
 void RunClass(const std::string& name, const FragmentedGraph& fg,
-              const QueryArgs& args) {
+              const QueryArgs& args, Report* report) {
   auto app = AppRegistry::Global().Get(name);
   GRAPE_CHECK(app.ok()) << app.status();
   EngineMetrics metrics;
   WallTimer timer;
   auto result = app->run(fg, args, EngineOptions{}, &metrics);
   GRAPE_CHECK(result.ok()) << result.status();
-  std::printf("%-9s %10.3f %12s %8u   %s\n", name.c_str(),
-              timer.ElapsedSeconds(), HumanBytes(metrics.bytes).c_str(),
-              metrics.supersteps, result->c_str());
+  const double seconds = timer.ElapsedSeconds();
+  std::printf("%-9s %10.3f %12s %8u   %s\n", name.c_str(), seconds,
+              HumanBytes(metrics.bytes).c_str(), metrics.supersteps,
+              result->c_str());
+  ReportRow row = MetricsRow(name, "query class (registry)", metrics);
+  row.time_s = seconds;
+  report->Add(row);
 }
 
 int Run(int argc, char** argv) {
@@ -37,6 +42,7 @@ int Run(int argc, char** argv) {
   const auto workers = static_cast<FragmentId>(flags.GetInt("workers", 8));
   const auto scale = static_cast<uint32_t>(flags.GetInt("scale", 13));
   RegisterBuiltinApps();
+  Report report("query_classes");
 
   LabeledGraphOptions lopts;
   lopts.scale = scale;
@@ -66,20 +72,20 @@ int Run(int argc, char** argv) {
               std::to_string(workers) + " workers)");
   std::printf("%-9s %10s %12s %8s   %s\n", "Class", "Time(s)", "Comm",
               "Steps", "Answer summary");
-  RunClass("sssp", labeled_fg, ParseQueryArgs({"source=0"}));
-  RunClass("bfs", labeled_fg, ParseQueryArgs({"source=0"}));
-  RunClass("cc", labeled_fg, {});
-  RunClass("pagerank", labeled_fg, ParseQueryArgs({"iters=20"}));
+  RunClass("sssp", labeled_fg, ParseQueryArgs({"source=0"}), &report);
+  RunClass("bfs", labeled_fg, ParseQueryArgs({"source=0"}), &report);
+  RunClass("cc", labeled_fg, {}, &report);
+  RunClass("pagerank", labeled_fg, ParseQueryArgs({"iters=20"}), &report);
   RunClass("sim", labeled_fg,
-           ParseQueryArgs({"pattern=path3", "l0=1", "l1=2", "l2=3"}));
+           ParseQueryArgs({"pattern=path3", "l0=1", "l1=2", "l2=3"}), &report);
   RunClass("subiso", labeled_fg,
            ParseQueryArgs({"pattern=path3", "l0=1", "l1=2", "l2=3",
-                           "limit=200000"}));
+                           "limit=200000"}), &report);
   RunClass("keyword", labeled_fg,
-           ParseQueryArgs({"k0=1", "k1=2", "radius=4"}));
-  RunClass("cf", ratings_fg, ParseQueryArgs({"rank=8", "epochs=8"}));
-  RunClass("gpar", social_fg, ParseQueryArgs({"item=30000"}));
-  RunClass("triangle", labeled_fg, {});
+           ParseQueryArgs({"k0=1", "k1=2", "radius=4"}), &report);
+  RunClass("cf", ratings_fg, ParseQueryArgs({"rank=8", "epochs=8"}), &report);
+  RunClass("gpar", social_fg, ParseQueryArgs({"item=30000"}), &report);
+  RunClass("triangle", labeled_fg, {}, &report);
 
   // Cross-model comparison on the classes the baselines implement.
   PrintHeader("SSSP across execution models (power-law graph)");
@@ -92,6 +98,8 @@ int Run(int argc, char** argv) {
   table.push_back(
       RunGrapeSssp(labeled_fg, 0, expected, EngineOptions{}, "GRAPE"));
   PrintSystemTable(table);
+  AddSystemTable(table, &report);
+  MaybeWriteJson(flags, report);
   return 0;
 }
 

@@ -1,0 +1,379 @@
+#ifndef GRAPE_BENCH_BENCH_REPORT_H_
+#define GRAPE_BENCH_BENCH_REPORT_H_
+
+// Machine-readable benchmark reporting. Every bench can serialize its
+// measurements as a JSON document so the perf trajectory can be tracked
+// across commits (GBBS-style reproducible measurement discipline):
+//
+//   {
+//     "bench": "table1_sssp",
+//     "rows": [
+//       {"system": "GRAPE", "category": "auto-parallelization",
+//        "time_s": 0.0125, "comm_mb": 0.05, "rounds": 11,
+//        "messages": 120, "correct": true},
+//       ...
+//     ]
+//   }
+//
+// Row order is preserved: benches that reproduce a paper table emit rows
+// in the table's order, so downstream tooling can check shape claims
+// (e.g. Table 1: GRAPE < block-centric < vertex-centric runtime) by index.
+//
+// The header is deliberately free of engine/graph dependencies so tests
+// and external tooling can use it standalone.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace grape {
+namespace bench {
+
+/// One measurement row of a bench report.
+struct ReportRow {
+  std::string system;    // what was measured ("GRAPE", "metis", ...)
+  std::string category;  // execution model / experiment axis
+  double time_s = 0;     // wall-clock seconds
+  double comm_mb = 0;    // bytes shipped, in MiB
+  uint64_t rounds = 0;   // supersteps / rounds to fixed point
+  uint64_t messages = 0; // routed messages or parameter updates
+  bool correct = true;   // answer matched the sequential reference
+
+  friend bool operator==(const ReportRow& a, const ReportRow& b) {
+    return a.system == b.system && a.category == b.category &&
+           a.time_s == b.time_s && a.comm_mb == b.comm_mb &&
+           a.rounds == b.rounds && a.messages == b.messages &&
+           a.correct == b.correct;
+  }
+};
+
+namespace internal {
+
+inline void AppendJsonString(const std::string& in, std::string* out) {
+  out->push_back('"');
+  for (char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline void AppendJsonDouble(double v, std::string* out) {
+  if (!std::isfinite(v)) v = 0;  // JSON has no NaN/Inf
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+/// Minimal recursive-descent JSON reader covering the subset Report emits
+/// (objects, arrays, strings, numbers, booleans, null). Unknown keys are
+/// skipped so the schema can grow without breaking old consumers.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Status Error(const std::string& msg) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Status ReadString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += h - '0';
+            else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+            else return Error("bad \\u escape");
+          }
+          // Only the control-character range Report itself emits.
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ReadDouble(double* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    try {
+      *out = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Error("malformed number");
+    }
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* out) {
+    SkipSpace();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return Status::OK();
+    }
+    return Error("expected boolean");
+  }
+
+  /// Skips any well-formed value (for unknown keys).
+  Status SkipValue() {
+    char c = Peek();
+    if (c == '"') {
+      std::string ignored;
+      return ReadString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = (c == '{') ? '}' : ']';
+      Consume(open);
+      int depth = 1;
+      bool in_string = false;
+      while (pos_ < text_.size() && depth > 0) {
+        char d = text_[pos_++];
+        if (in_string) {
+          if (d == '\\') ++pos_;
+          else if (d == '"') in_string = false;
+        } else if (d == '"') {
+          in_string = true;
+        } else if (d == open) {
+          ++depth;
+        } else if (d == close) {
+          --depth;
+        }
+      }
+      return depth == 0 ? Status::OK() : Error("unterminated value");
+    }
+    if (c == 't' || c == 'f') {
+      bool ignored;
+      return ReadBool(&ignored);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Status::OK();
+    }
+    double ignored;
+    return ReadDouble(&ignored);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal
+
+/// An ordered collection of ReportRows with a bench name, serializable to
+/// (and parseable back from) JSON.
+class Report {
+ public:
+  explicit Report(std::string bench) : bench_(std::move(bench)) {}
+
+  const std::string& bench() const { return bench_; }
+  const std::vector<ReportRow>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  void Add(ReportRow row) { rows_.push_back(std::move(row)); }
+
+  std::string ToJson() const {
+    std::string out;
+    out += "{\n  \"bench\": ";
+    internal::AppendJsonString(bench_, &out);
+    out += ",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const ReportRow& r = rows_[i];
+      out += (i == 0) ? "\n" : ",\n";
+      out += "    {\"system\": ";
+      internal::AppendJsonString(r.system, &out);
+      out += ", \"category\": ";
+      internal::AppendJsonString(r.category, &out);
+      out += ", \"time_s\": ";
+      internal::AppendJsonDouble(r.time_s, &out);
+      out += ", \"comm_mb\": ";
+      internal::AppendJsonDouble(r.comm_mb, &out);
+      out += ", \"rounds\": " + std::to_string(r.rounds);
+      out += ", \"messages\": " + std::to_string(r.messages);
+      out += ", \"correct\": ";
+      out += r.correct ? "true" : "false";
+      out += "}";
+    }
+    out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+  Status WriteFile(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + path + " for writing");
+    out << ToJson();
+    out.flush();
+    if (!out) return Status::IOError("short write to " + path);
+    return Status::OK();
+  }
+
+  /// Parses a document produced by ToJson() (unknown keys are skipped).
+  static Result<Report> FromJson(const std::string& text) {
+    internal::JsonReader reader(text);
+    Report report("");
+    if (!reader.Consume('{')) return reader.Error("expected top-level object");
+    if (reader.Peek() != '}') {
+      do {
+        std::string key;
+        Status key_status = reader.ReadString(&key);
+        if (!key_status.ok()) return key_status;
+        if (!reader.Consume(':')) return reader.Error("expected ':'");
+        if (key == "bench") {
+          Status s = reader.ReadString(&report.bench_);
+          if (!s.ok()) return s;
+        } else if (key == "rows") {
+          Status s = ParseRows(&reader, &report.rows_);
+          if (!s.ok()) return s;
+        } else {
+          Status s = reader.SkipValue();
+          if (!s.ok()) return s;
+        }
+      } while (reader.Consume(','));
+    }
+    if (!reader.Consume('}')) return reader.Error("expected '}'");
+    if (!reader.AtEnd()) return reader.Error("trailing content");
+    return report;
+  }
+
+ private:
+  static Status ParseRows(internal::JsonReader* reader,
+                          std::vector<ReportRow>* rows) {
+    if (!reader->Consume('[')) return reader->Error("expected rows array");
+    if (reader->Peek() == ']') {
+      reader->Consume(']');
+      return Status::OK();
+    }
+    do {
+      if (!reader->Consume('{')) return reader->Error("expected row object");
+      ReportRow row;
+      if (reader->Peek() != '}') {
+        do {
+          std::string key;
+          Status s = reader->ReadString(&key);
+          if (!s.ok()) return s;
+          if (!reader->Consume(':')) return reader->Error("expected ':'");
+          double num = 0;
+          if (key == "system") {
+            s = reader->ReadString(&row.system);
+          } else if (key == "category") {
+            s = reader->ReadString(&row.category);
+          } else if (key == "time_s") {
+            s = reader->ReadDouble(&row.time_s);
+          } else if (key == "comm_mb") {
+            s = reader->ReadDouble(&row.comm_mb);
+          } else if (key == "rounds") {
+            s = reader->ReadDouble(&num);
+            row.rounds = static_cast<uint64_t>(num);
+          } else if (key == "messages") {
+            s = reader->ReadDouble(&num);
+            row.messages = static_cast<uint64_t>(num);
+          } else if (key == "correct") {
+            s = reader->ReadBool(&row.correct);
+          } else {
+            s = reader->SkipValue();
+          }
+          if (!s.ok()) return s;
+        } while (reader->Consume(','));
+      }
+      if (!reader->Consume('}')) return reader->Error("expected '}'");
+      rows->push_back(std::move(row));
+    } while (reader->Consume(','));
+    if (!reader->Consume(']')) return reader->Error("expected ']'");
+    return Status::OK();
+  }
+
+  std::string bench_;
+  std::vector<ReportRow> rows_;
+};
+
+}  // namespace bench
+}  // namespace grape
+
+#endif  // GRAPE_BENCH_BENCH_REPORT_H_

@@ -4,7 +4,8 @@
 // workers are added (until fragments get small), communication rises
 // gently, and PEval dominates IncEval for monotonic queries.
 //
-// Flags: --scale (RMAT), --rows/--cols (road), --max_workers.
+// Flags: --scale (RMAT), --rows/--cols (road), --max_workers,
+//        --json <path> (one row per sweep point).
 
 #include "apps/cc.h"
 #include "apps/pagerank.h"
@@ -27,7 +28,8 @@ VertexId BusiestVertex(const Graph& g) {
 
 template <typename App, typename Query>
 void Sweep(const Graph& g, const std::string& title, const Query& query,
-           FragmentId max_workers, const std::string& strategy) {
+           FragmentId max_workers, const std::string& strategy,
+           const std::string& label, Report* report) {
   PrintHeader(title);
   std::printf("%8s %10s %10s %10s %10s %12s %12s %8s\n", "Workers",
               "Time(s)", "PEval(s)", "IncEval(s)", "Coord(s)", "Comm",
@@ -53,6 +55,11 @@ void Sweep(const Graph& g, const std::string& title, const Query& query,
                 HumanCount(updates).c_str(), m.supersteps,
                 t1 / m.total_seconds,
                 peval1 / std::max(1e-9, m.peval_seconds));
+
+    ReportRow row = MetricsRow(label + " workers=" + std::to_string(n),
+                               "scalability sweep (" + strategy + ")", m);
+    row.messages = updates;
+    report->Add(row);
   }
 }
 
@@ -76,21 +83,24 @@ int Run(int argc, char** argv) {
   GRAPE_CHECK(road.ok());
   const VertexId social_src = BusiestVertex(*social);
 
+  Report report("scalability");
   Sweep<SsspApp>(*road,
                  "Fig 3(4)a: SSSP scalability on road network (grid2d)",
-                 SsspQuery{0}, max_workers, "grid2d");
+                 SsspQuery{0}, max_workers, "grid2d", "SSSP/road", &report);
   Sweep<SsspApp>(*social,
                  "Fig 3(4)b: SSSP scalability on social graph (metis)",
-                 SsspQuery{social_src}, max_workers, "metis");
+                 SsspQuery{social_src}, max_workers, "metis", "SSSP/social",
+                 &report);
   Sweep<CcApp>(*social,
                "Fig 3(4)c: CC scalability on social graph (hash)", CcQuery{},
-               max_workers, "hash");
+               max_workers, "hash", "CC/social", &report);
   PageRankQuery pr;
   pr.max_iterations = 20;
   pr.epsilon = 0.0;
   Sweep<PageRankApp>(*social,
                      "Fig 3(4)d: PageRank (20 iters) on social graph (metis)",
-                     pr, max_workers, "metis");
+                     pr, max_workers, "metis", "PageRank/social", &report);
+  MaybeWriteJson(flags, report);
   return 0;
 }
 

@@ -13,7 +13,8 @@
 // block-centric beats vertex-centric in time, and GRAPE's communication is
 // orders of magnitude below per-vertex messaging.
 //
-// Flags: --rows --cols (grid size), --workers, --source.
+// Flags: --rows --cols (grid size), --workers, --source,
+//        --json <path> (machine-readable report, rows in table order).
 
 #include "apps/seq/seq_algorithms.h"
 #include "bench/bench_util.h"
@@ -73,6 +74,10 @@ int Run(int argc, char** argv) {
               static_cast<double>(table[0].bytes) / grape.bytes);
   std::printf("  comm  ratio Block/GRAPE  = %8.1fx   (paper: ~5.6e4x)\n",
               static_cast<double>(table[2].bytes) / grape.bytes);
+
+  Report report("table1_sssp");
+  AddSystemTable(table, &report);
+  MaybeWriteJson(flags, report);
   return 0;
 }
 

@@ -12,10 +12,12 @@
 #include "baseline/gas_engine.h"
 #include "baseline/vc_apps.h"
 #include "baseline/vc_engine.h"
+#include "bench/bench_report.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -46,6 +48,53 @@ inline void PrintSystemTable(const std::vector<SystemRow>& rows) {
                 HumanCount(r.messages).c_str(), r.supersteps,
                 r.correct ? "yes" : "NO");
   }
+}
+
+inline ReportRow ToReportRow(const SystemRow& r) {
+  ReportRow row;
+  row.system = r.system;
+  row.category = r.category;
+  row.time_s = r.seconds;
+  row.comm_mb = static_cast<double>(r.bytes) / (1024.0 * 1024.0);
+  row.rounds = r.supersteps;
+  row.messages = r.messages;
+  row.correct = r.correct;
+  return row;
+}
+
+inline void AddSystemTable(const std::vector<SystemRow>& rows,
+                           Report* report) {
+  for (const SystemRow& r : rows) report->Add(ToReportRow(r));
+}
+
+/// Builds a report row from an engine run; callers override fields that
+/// deviate (e.g. inceval-only time, routed-update message counts).
+inline ReportRow MetricsRow(const std::string& system,
+                            const std::string& category,
+                            const EngineMetrics& m) {
+  ReportRow row;
+  row.system = system;
+  row.category = category;
+  row.time_s = m.total_seconds;
+  row.comm_mb = static_cast<double>(m.bytes) / (1024.0 * 1024.0);
+  row.rounds = m.supersteps;
+  row.messages = m.messages;
+  return row;
+}
+
+/// Honors the bench-wide `--json <path>` flag: writes `report` there when
+/// given, aborting (bench-grade handling) if the file cannot be written.
+inline void MaybeWriteJson(const FlagParser& flags, const Report& report) {
+  const std::string path = flags.GetString("json", "");
+  if (path.empty()) return;
+  // FlagParser turns a valueless `--json` into the string "true"; writing
+  // a report to a file literally named "true" is never what was meant.
+  GRAPE_CHECK(path != "true")
+      << "--json requires a path (e.g. --json out.json)";
+  Status s = report.WriteFile(path);
+  GRAPE_CHECK(s.ok()) << s;
+  std::printf("\nwrote JSON report (%zu rows) to %s\n", report.rows().size(),
+              path.c_str());
 }
 
 /// Partitions + fragments, aborting on error (bench-grade handling).

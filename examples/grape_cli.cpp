@@ -1,7 +1,7 @@
 // grape_cli — the demo's plug/play console as a command-line tool.
 //
-//   grape_cli --graph=<kind> [--scale=N|--rows=R --cols=C] \
-//             [--partitioner=<name>|auto] --workers=N \
+//   grape_cli --graph=<kind> [--scale=N|--rows=R --cols=C]
+//             [--partitioner=<name>|auto] --workers=N
 //             <app> [k=v ...]
 //
 // Graph kinds: rmat, grid, er, community, labeled, social, ratings, or a

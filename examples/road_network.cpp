@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n%-10s %10s %10s %12s %8s %10s\n", "Strategy", "Cut%",
               "Time(s)", "Comm", "Steps", "Correct");
-  for (const std::string& strategy :
+  for (const std::string strategy :
        {"hash", "range", "grid2d", "metis", "voronoi"}) {
     auto partitioner = MakePartitioner(strategy);
     auto assignment = (*partitioner)->Partition(*graph, workers);

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs every bench on small default inputs and drops BENCH_<name>.json at
+# the repo root, seeding the perf trajectory. Invoked by the `bench-all`
+# CMake target (which exports GRAPE_BENCH_BIN_DIR), or directly:
+#
+#   GRAPE_BENCH_BIN_DIR=build scripts/bench_all.sh
+#
+# Inputs are deliberately small so the whole suite finishes in a couple of
+# minutes; absolute numbers only need to be comparable across commits on
+# the same machine, the paper-shape checks inside each bench do the rest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN_DIR="${GRAPE_BENCH_BIN_DIR:-build}"
+
+if [[ ! -x "${BIN_DIR}/bench_table1_sssp" ]]; then
+  echo "error: ${BIN_DIR}/bench_table1_sssp not found." >&2
+  echo "Build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+run() {
+  local name="$1"
+  shift
+  echo "--- bench_${name} -> BENCH_${name}.json"
+  "${BIN_DIR}/bench_${name}" "$@" --json "BENCH_${name}.json"
+}
+
+run table1_sssp --rows 96 --cols 96 --workers 4
+run fixed_point --rows 80 --cols 80 --scale 12 --workers 4
+run partition_impact --scale 13 --workers 8
+run scalability --rows 160 --cols 160 --scale 13 --max_workers 4
+run query_classes --scale 11 --workers 4
+run inceval_bounded --workers 4
+run gpar --persons 40000 --max_workers 4
+
+if [[ -x "${BIN_DIR}/bench_micro" ]]; then
+  echo "--- bench_micro -> BENCH_micro.json (google-benchmark schema)"
+  "${BIN_DIR}/bench_micro" --benchmark_min_time=0.05 \
+    --json BENCH_micro.json
+else
+  echo "--- bench_micro not built (google-benchmark missing); skipping"
+fi
+
+echo
+echo "wrote:"
+ls -l BENCH_*.json

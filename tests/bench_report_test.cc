@@ -1,0 +1,155 @@
+#include "bench/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/result.h"
+
+namespace grape {
+namespace bench {
+namespace {
+
+Report MakeSampleReport() {
+  Report report("table1_sssp");
+  ReportRow vc;
+  vc.system = "Giraph-like (VC)";
+  vc.category = "vertex-centric";
+  vc.time_s = 1.25;
+  vc.comm_mb = 102.5;
+  vc.rounds = 580;
+  vc.messages = 7500000;
+  vc.correct = true;
+  report.Add(vc);
+  ReportRow grape;
+  grape.system = "GRAPE";
+  grape.category = "auto-parallelization";
+  grape.time_s = 0.0125;
+  grape.comm_mb = 0.05;
+  grape.rounds = 11;
+  grape.messages = 120;
+  grape.correct = true;
+  report.Add(grape);
+  return report;
+}
+
+TEST(BenchReportTest, JsonContainsAllExpectedKeys) {
+  const std::string json = MakeSampleReport().ToJson();
+  for (const std::string key :
+       {"bench", "rows", "system", "category", "time_s", "comm_mb", "rounds",
+        "messages", "correct"}) {
+    EXPECT_NE(json.find("\"" + key + "\""), std::string::npos)
+        << "missing key '" << key << "' in:\n" << json;
+  }
+}
+
+TEST(BenchReportTest, RoundTripsThroughJson) {
+  const Report report = MakeSampleReport();
+  auto parsed = Report::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench(), report.bench());
+  ASSERT_EQ(parsed->rows().size(), report.rows().size());
+  for (size_t i = 0; i < report.rows().size(); ++i) {
+    EXPECT_TRUE(parsed->rows()[i] == report.rows()[i]) << "row " << i;
+  }
+}
+
+TEST(BenchReportTest, RowOrderIsPreserved) {
+  const Report report = MakeSampleReport();
+  auto parsed = Report::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows()[0].system, "Giraph-like (VC)");
+  EXPECT_EQ(parsed->rows()[1].system, "GRAPE");
+}
+
+TEST(BenchReportTest, EscapesSpecialCharacters) {
+  Report report("edge \"cases\"\n");
+  ReportRow row;
+  row.system = "back\\slash\ttab";
+  row.category = "quote \" newline \n";
+  report.Add(row);
+  const std::string json = report.ToJson();
+  // The raw control characters must not survive unescaped inside strings.
+  EXPECT_EQ(json.find("quote \" newline \n\""), std::string::npos);
+  auto parsed = Report::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench(), "edge \"cases\"\n");
+  EXPECT_EQ(parsed->rows()[0].system, "back\\slash\ttab");
+  EXPECT_EQ(parsed->rows()[0].category, "quote \" newline \n");
+}
+
+TEST(BenchReportTest, EmptyReportIsValidJson) {
+  Report report("empty");
+  auto parsed = Report::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench(), "empty");
+  EXPECT_TRUE(parsed->rows().empty());
+}
+
+TEST(BenchReportTest, NonFiniteTimesSerializeAsZero) {
+  Report report("nan");
+  ReportRow row;
+  row.time_s = std::nan("");
+  row.comm_mb = std::numeric_limits<double>::infinity();
+  report.Add(row);
+  auto parsed = Report::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->rows()[0].time_s, 0.0);
+  EXPECT_EQ(parsed->rows()[0].comm_mb, 0.0);
+}
+
+TEST(BenchReportTest, UnknownKeysAreSkipped) {
+  const std::string json =
+      "{\"bench\": \"x\", \"schema_version\": 2, \"extra\": {\"a\": [1, 2]},"
+      " \"rows\": [{\"system\": \"s\", \"future_field\": null,"
+      " \"time_s\": 3.5}]}";
+  auto parsed = Report::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench(), "x");
+  ASSERT_EQ(parsed->rows().size(), 1u);
+  EXPECT_EQ(parsed->rows()[0].system, "s");
+  EXPECT_EQ(parsed->rows()[0].time_s, 3.5);
+}
+
+TEST(BenchReportTest, RejectsMalformedJson) {
+  EXPECT_FALSE(Report::FromJson("").ok());
+  EXPECT_FALSE(Report::FromJson("{\"bench\": \"x\"").ok());
+  EXPECT_FALSE(Report::FromJson("{\"rows\": [{]}").ok());
+  EXPECT_FALSE(Report::FromJson("{} trailing").ok());
+}
+
+TEST(BenchReportTest, WriteFileRoundTrips) {
+  const Report report = MakeSampleReport();
+  const std::string path =
+      ::testing::TempDir() + "/bench_report_test_out.json";
+  Status s = report.WriteFile(path);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.ToJson());
+  auto parsed = Report::FromJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->rows().size(), 2u);
+  std::remove(path.c_str());
+}
+
+// Regression for the ASSERT_OK_AND_ASSIGN __LINE__-pasting fix: two uses
+// in one test body must not collide on the temporary's name.
+TEST(TestUtilMacroTest, AssertOkAndAssignTwiceInOneBody) {
+  int first = 0;
+  int second = 0;
+  ASSERT_OK_AND_ASSIGN(first, Result<int>(41));
+  ASSERT_OK_AND_ASSIGN(second, Result<int>(first + 1));
+  EXPECT_EQ(second, 42);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace grape

@@ -62,7 +62,7 @@ TEST(PatternTest, DisconnectedDetected) {
 }
 
 TEST(MatchingOrderTest, EveryVertexHasEarlierNeighbor) {
-  for (const std::string& name :
+  for (const std::string name :
        {"edge", "path3", "triangle", "diamond", "star"}) {
     Pattern p = MakePattern(name);
     std::vector<uint32_t> order = BuildMatchingOrder(p);

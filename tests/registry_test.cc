@@ -48,7 +48,7 @@ TEST_F(RegistryTest, PlayEveryQueryClass) {
   FragmentedGraph labeled_fg = testing::MakeFragments(*labeled, "hash", 4);
 
   EngineOptions opts;
-  for (const std::string& name : {"sssp", "bfs", "cc", "pagerank", "sim",
+  for (const std::string name : {"sssp", "bfs", "cc", "pagerank", "sim",
                                   "dualsim", "keyword", "triangle",
                                   "kcore"}) {
     auto app = AppRegistry::Global().Get(name);

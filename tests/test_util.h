@@ -30,11 +30,20 @@ inline FragmentedGraph MakeFragments(const Graph& graph,
     ASSERT_TRUE(_s.ok()) << _s.ToString();          \
   } while (false)
 
+// Two-level concatenation so __LINE__ expands before pasting; pasting
+// `_res_##__LINE__` directly yields the literal token `_res___LINE__`,
+// which collides when the macro is used twice in one test body.
+#define GRAPE_TEST_CONCAT_INNER_(a, b) a##b
+#define GRAPE_TEST_CONCAT_(a, b) GRAPE_TEST_CONCAT_INNER_(a, b)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
+
 #define ASSERT_OK_AND_ASSIGN(lhs, expr)             \
-  auto _res_##__LINE__ = (expr);                    \
-  ASSERT_TRUE(_res_##__LINE__.ok())                 \
-      << _res_##__LINE__.status().ToString();       \
-  lhs = std::move(_res_##__LINE__).value()
+  ASSERT_OK_AND_ASSIGN_IMPL_(                       \
+      GRAPE_TEST_CONCAT_(_res_, __LINE__), lhs, expr)
 
 }  // namespace testing
 }  // namespace grape
