@@ -60,6 +60,11 @@ int Run(int argc, char** argv) {
       RunBlockSssp(voronoi_fg, source, expected, "Blogel-like (block)"));
   table.push_back(RunGrapeSssp(grid_fg, source, expected, EngineOptions{},
                                "GRAPE"));
+  // Same engine on the vertex-centric systems' hash partition: the
+  // worst-case cut maximizes border traffic, so this row is the one that
+  // exercises (and tracks) the flush -> route -> apply message path.
+  table.push_back(RunGrapeSssp(hash_fg, source, expected, EngineOptions{},
+                               "GRAPE (hash)"));
   PrintSystemTable(table);
 
   const SystemRow& grape = table[3];

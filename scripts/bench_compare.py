@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff two bench-all JSON runs and flag time regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE NEW [--threshold 0.15] [--strict]
+
+BASELINE and NEW are either directories holding BENCH_*.json files (as
+emitted by `cmake --build build --target bench-all`) or two individual
+JSON files. Both report schemas are understood:
+
+  * the repo's bench_report.h schema:  {"bench": ..., "rows": [...]}
+    — each row keyed by (system, category), compared on time_s;
+  * google-benchmark's schema:         {"benchmarks": [...]}
+    — each entry keyed by name, compared on real_time.
+
+A row regresses when its time grows by more than --threshold (default 15%)
+relative to the baseline. The exit code is 0 unless --strict is given and
+at least one regression was found: bench numbers are per-machine snapshots,
+so CI uses the tool as a warn-only gate against the committed baseline in
+bench/baseline/ while local runs comparing two runs from the same machine
+can afford --strict.
+
+Absolute-time noise floor: rows faster than --min-seconds (default 1 ms)
+in the baseline are reported but never flagged, since at that scale the
+variance between two runs of the *same* binary exceeds the threshold.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+RESET = "\033[0m"
+RED = "\033[31m"
+GREEN = "\033[32m"
+YELLOW = "\033[33m"
+
+
+def load_rows(path):
+    """Returns {key: seconds} for one report file, any known schema."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    if "rows" in doc:
+        for row in doc["rows"]:
+            key = "{}/{}".format(row.get("system", "?"),
+                                 row.get("category", "?"))
+            rows[key] = float(row["time_s"])
+    elif "benchmarks" in doc:
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            unit = entry.get("time_unit", "ns")
+            scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+            rows[entry["name"]] = float(entry["real_time"]) * scale
+    else:
+        raise ValueError(f"{path}: unrecognized bench JSON schema")
+    return rows
+
+
+def collect(path):
+    """Returns {report_name: {key: seconds}} for a file or directory."""
+    if os.path.isdir(path):
+        out = {}
+        for name in sorted(os.listdir(path)):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                out[name] = load_rows(os.path.join(path, name))
+        if not out:
+            raise ValueError(f"{path}: no BENCH_*.json files found")
+        return out
+    return {os.path.basename(path): load_rows(path)}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench-all JSON runs and flag regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.15 = +15%%)")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="baseline rows faster than this are never "
+                             "flagged (noise floor, default 1ms)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when regressions were found")
+    parser.add_argument("--no-color", action="store_true")
+    args = parser.parse_args()
+
+    def paint(color, text):
+        if args.no_color or not sys.stdout.isatty():
+            return text
+        return f"{color}{text}{RESET}"
+
+    baseline = collect(args.baseline)
+    new = collect(args.new)
+    if os.path.isfile(args.baseline) and os.path.isfile(args.new):
+        # Two explicit files are always the same report, whatever their
+        # basenames; key them identically so they actually get compared.
+        baseline = {"(file)": next(iter(baseline.values()))}
+        new = {"(file)": next(iter(new.values()))}
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for report in sorted(set(baseline) & set(new)):
+        printed_header = False
+        for key in sorted(set(baseline[report]) & set(new[report])):
+            old_s, new_s = baseline[report][key], new[report][key]
+            if old_s <= 0:
+                continue
+            compared += 1
+            delta = (new_s - old_s) / old_s
+            flagged = (delta > args.threshold and old_s >= args.min_seconds)
+            noisy = old_s < args.min_seconds
+            if flagged:
+                regressions.append((report, key, old_s, new_s, delta))
+            elif delta < -args.threshold:
+                improvements += 1
+            if not (flagged or abs(delta) > args.threshold):
+                continue  # print only rows that moved
+            if not printed_header:
+                print(f"\n{report}")
+                printed_header = True
+            tag = ("REGRESSION" if flagged else
+                   "noise?" if (noisy and delta > args.threshold) else
+                   "improved")
+            color = RED if flagged else YELLOW if tag == "noise?" else GREEN
+            print("  {:<55} {:>12.6f}s -> {:>12.6f}s  {:+7.1%}  {}".format(
+                key, old_s, new_s, delta, paint(color, tag)))
+
+    missing = sorted(set(baseline) - set(new))
+    extra = sorted(set(new) - set(baseline))
+    for name in missing:
+        print(paint(YELLOW, f"only in baseline: {name}"))
+    for name in extra:
+        print(paint(YELLOW, f"only in new run:  {name}"))
+
+    print(f"\ncompared {compared} rows across "
+          f"{len(set(baseline) & set(new))} reports: "
+          f"{len(regressions)} regression(s) beyond "
+          f"{args.threshold:.0%}, {improvements} improvement(s)")
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

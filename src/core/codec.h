@@ -1,6 +1,7 @@
 #ifndef GRAPE_CORE_CODEC_H_
 #define GRAPE_CORE_CODEC_H_
 
+#include <cstdint>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -56,6 +57,15 @@ void EncodeValue(Encoder& enc, const T& value) {
   }
 }
 
+/// True when EncodeValue writes exactly the value's object representation
+/// (sizeof(T) raw little-endian bytes, via WritePod) — i.e. when a block of
+/// values can be shipped with one memcpy without changing a single wire
+/// byte. SelfCodable types may use varints or skip fields, so they are
+/// excluded even when trivially copyable.
+template <typename T>
+inline constexpr bool kHasPodWireFormat =
+    !SelfCodable<T> && (std::is_arithmetic_v<T> || std::is_enum_v<T>);
+
 template <typename T>
 Status DecodeValue(Decoder& dec, T* out) {
   if constexpr (SelfCodable<T>) {
@@ -81,6 +91,112 @@ Status DecodeValue(Decoder& dec, T* out) {
   } else {
     static_assert(SelfCodable<T>,
                   "type lacks EncodeTo/DecodeFrom and no built-in codec");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record-block batch codec: the engine's message unit is a run of
+// (dst_lid, value) records for one destination fragment. Values with a POD
+// wire format are staged by value in structure-of-arrays form and encoded as
+// two memcpy blocks (all lids, then all values); other values are staged by
+// pointer and encoded per record through EncodeValue. Both layouts write
+// exactly varint(count) + count * (4 + wire_size(value)) bytes, i.e. the
+// same byte count as the seed's interleaved (gid, value) format, which keeps
+// the CommStats byte counters comparable across the refactor.
+// ---------------------------------------------------------------------------
+
+/// Outgoing staging buffer for one destination fragment. Reused across
+/// supersteps: clear() keeps capacity, so the steady state appends into
+/// already-allocated storage.
+template <typename V>
+struct RecordBlock {
+  static constexpr bool kPod = kHasPodWireFormat<V>;
+  using Slot = std::conditional_t<kPod, V, const V*>;
+
+  std::vector<uint32_t> lids;
+  std::vector<Slot> values;
+
+  size_t size() const { return lids.size(); }
+  bool empty() const { return lids.empty(); }
+  void clear() {
+    lids.clear();
+    values.clear();
+  }
+  void Append(uint32_t dst_lid, const V& value) {
+    lids.push_back(dst_lid);
+    if constexpr (kPod) {
+      values.push_back(value);
+    } else {
+      values.push_back(&value);
+    }
+  }
+};
+
+template <typename V>
+void EncodeRecordBlock(Encoder& enc, const RecordBlock<V>& block) {
+  enc.WriteVarint(block.size());
+  if constexpr (RecordBlock<V>::kPod) {
+    enc.WritePodSpan(block.lids.data(), block.lids.size());
+    enc.WritePodSpan(block.values.data(), block.values.size());
+  } else {
+    for (size_t k = 0; k < block.size(); ++k) {
+      enc.WriteU32(block.lids[k]);
+      EncodeValue(enc, *block.values[k]);
+    }
+  }
+}
+
+/// Same wire format, but over owned values (the coordinator's aggregated
+/// batches own their merged values rather than pointing into a store).
+template <typename V>
+void EncodeOwnedRecords(Encoder& enc, const std::vector<uint32_t>& lids,
+                        const std::vector<V>& values) {
+  enc.WriteVarint(lids.size());
+  if constexpr (kHasPodWireFormat<V>) {
+    enc.WritePodSpan(lids.data(), lids.size());
+    enc.WritePodSpan(values.data(), values.size());
+  } else {
+    for (size_t k = 0; k < lids.size(); ++k) {
+      enc.WriteU32(lids[k]);
+      EncodeValue(enc, values[k]);
+    }
+  }
+}
+
+/// Decodes one record block into reusable scratch vectors (resized, not
+/// reallocated once capacities stabilize). Always produces owned values.
+template <typename V>
+Status DecodeRecordBlock(Decoder& dec, std::vector<uint32_t>* lids,
+                         std::vector<V>* values) {
+  uint64_t count = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadVarint(&count));
+  if constexpr (kHasPodWireFormat<V>) {
+    if (count > dec.Remaining() / (sizeof(uint32_t) + sizeof(V))) {
+      return Status::Corruption("record block extends past end of buffer");
+    }
+    lids->resize(count);
+    values->resize(count);
+    GRAPE_RETURN_NOT_OK(dec.ReadPodSpan(lids->data(), count));
+    return dec.ReadPodSpan(values->data(), count);
+  } else {
+    // Every record carries at least its 4-byte lid, so a count beyond
+    // Remaining()/4 is corrupt; check before reserve() can throw.
+    if (count > dec.Remaining() / sizeof(uint32_t)) {
+      return Status::Corruption("record block extends past end of buffer");
+    }
+    lids->clear();
+    values->clear();
+    lids->reserve(count);
+    values->reserve(count);
+    for (uint64_t k = 0; k < count; ++k) {
+      uint32_t lid = 0;
+      V value{};
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&lid));
+      GRAPE_RETURN_NOT_OK(DecodeValue(dec, &value));
+      lids->push_back(lid);
+      values->push_back(std::move(value));
+    }
+    return Status::OK();
   }
 }
 

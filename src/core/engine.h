@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/codec.h"
@@ -99,6 +99,20 @@ class GrapeEngine {
     flush_dirty_.assign(n, 0);
     pending_sends_.resize(n);
     if (options_.check_monotonicity) prev_flushed_.resize(n);
+
+    // Dense message-path state, all sized once and reused every superstep.
+    changed_scratch_.resize(n);
+    reset_scratch_.resize(n);
+    staging_.resize(n);
+    staged_dsts_.resize(n);
+    for (FragmentId i = 0; i < n; ++i) staging_[i].resize(n);
+    apply_lids_.resize(n);
+    apply_values_.resize(n);
+    coord_batches_.resize(n);
+    for (FragmentId i = 0; i < n; ++i) {
+      coord_batches_[i].slot_round.assign(fg_.fragments[i].num_local(), 0);
+      coord_batches_[i].slot_pos.resize(fg_.fragments[i].num_local());
+    }
   }
 
   GrapeEngine(const GrapeEngine&) = delete;
@@ -109,6 +123,8 @@ class GrapeEngine {
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
     world_.ResetStats();
+    recorded_messages_ = 0;
+    recorded_bytes_ = 0;
     const FragmentId n = fg_.num_fragments();
 
     for (FragmentId i = 0; i < n; ++i) {
@@ -133,7 +149,8 @@ class GrapeEngine {
       metrics_.supersteps = 1;
     }
     GRAPE_RETURN_NOT_OK(CheckPhase());
-    uint64_t direct = DispatchSends();
+    uint64_t direct = 0;
+    GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
     RecordRound(0.0);
     uint64_t dirty = TotalDirty();
 
@@ -179,7 +196,7 @@ class GrapeEngine {
       }
       metrics_.supersteps++;
       GRAPE_RETURN_NOT_OK(CheckPhase());
-      direct = DispatchSends();
+      GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
       RecordRound(round_timer.ElapsedSeconds());
       dirty = TotalDirty();
       if (options_.verbose) {
@@ -225,6 +242,8 @@ class GrapeEngine {
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
     world_.ResetStats();
+    recorded_messages_ = 0;
+    recorded_bytes_ = 0;
     const FragmentId n = fg_.num_fragments();
 
     // Warm start: every local copy adopts the owner's converged value from
@@ -265,7 +284,8 @@ class GrapeEngine {
       metrics_.supersteps = 1;
     }
     GRAPE_RETURN_NOT_OK(CheckPhase());
-    uint64_t direct = DispatchSends();
+    uint64_t direct = 0;
+    GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
     RecordRound(0.0);
     uint64_t dirty = TotalDirty();
 
@@ -295,7 +315,7 @@ class GrapeEngine {
       }
       metrics_.supersteps++;
       GRAPE_RETURN_NOT_OK(CheckPhase());
-      direct = DispatchSends();
+      GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
       RecordRound(round_timer.ElapsedSeconds());
       dirty = TotalDirty();
     }
@@ -340,18 +360,16 @@ class GrapeEngine {
   }
 
   void RecordRound(double seconds) {
+    // Running totals, not a re-sum of all prior rounds (which made this
+    // O(rounds^2) over a long fixed point).
     CommStats cs = world_.stats();
     RoundMetrics rm;
     rm.round = metrics_.supersteps;
     rm.seconds = seconds;
-    uint64_t prev_msgs = 0;
-    uint64_t prev_bytes = 0;
-    for (const RoundMetrics& r : metrics_.rounds) {
-      prev_msgs += r.messages;
-      prev_bytes += r.bytes;
-    }
-    rm.messages = cs.messages - prev_msgs;
-    rm.bytes = cs.bytes - prev_bytes;
+    rm.messages = cs.messages - recorded_messages_;
+    rm.bytes = cs.bytes - recorded_bytes_;
+    recorded_messages_ = cs.messages;
+    recorded_bytes_ = cs.bytes;
     uint64_t updated = 0;
     for (const auto& u : updated_) updated += u.size();
     rm.updated_params = updated;
@@ -369,31 +387,39 @@ class GrapeEngine {
   void FlushWorker(FragmentId i) {
     const Fragment& frag = fg_.fragments[i];
     ParamStore<Value>& store = stores_[i];
-    std::vector<LocalId> changed = store.TakeChanged();
+    std::vector<LocalId>& changed = changed_scratch_[i];
+    store.TakeChangedInto(&changed);
     std::vector<std::pair<VertexId, Value>> remote = store.TakeRemote();
     flush_dirty_[i] = changed.size() + remote.size();
     if (changed.empty() && remote.empty()) return;
 
-    // Destination fragment -> flat list of (gid, value) updates.
-    struct Outgoing {
-      VertexId gid;
-      const Value* value;
+    // Dense staging: one reusable (dst_lid, value) block per destination
+    // fragment, addressed by the routing plan precomputed at
+    // FragmentBuilder time — the hot path never hashes a gid.
+    std::vector<RecordBlock<Value>>& staging = staging_[i];
+    std::vector<FragmentId>& dsts = staged_dsts_[i];
+    auto stage = [&staging, &dsts](FragmentId dst, LocalId dst_lid,
+                                   const Value& value) {
+      RecordBlock<Value>& block = staging[dst];
+      if (block.empty()) dsts.push_back(dst);
+      block.Append(dst_lid, value);
     };
-    std::unordered_map<FragmentId, std::vector<Outgoing>> by_dst;
-    std::vector<LocalId> reset_list;
+
+    std::vector<LocalId>& reset_list = reset_scratch_[i];
     for (LocalId lid : changed) {
       const bool to_owner =
           App::kScope != MessageScope::kToMirrors && frag.IsOuter(lid);
       const bool to_mirrors =
           App::kScope != MessageScope::kToOwner && frag.IsBorder(lid);
-      const VertexId gid = frag.Gid(lid);
       if (to_owner) {
-        by_dst[frag.OwnerOf(gid)].push_back({gid, &store.Get(lid)});
+        stage(frag.OuterOwner(lid), frag.OuterOwnerLid(lid), store.Get(lid));
         if (App::kResetAfterFlush) reset_list.push_back(lid);
       }
       if (to_mirrors) {
-        for (FragmentId dst : frag.MirrorFragments(lid)) {
-          by_dst[dst].push_back({gid, &store.Get(lid)});
+        auto mirror_frags = frag.MirrorFragments(lid);
+        auto mirror_lids = frag.MirrorDstLids(lid);
+        for (size_t k = 0; k < mirror_frags.size(); ++k) {
+          stage(mirror_frags[k], mirror_lids[k], store.Get(lid));
         }
       }
       if (options_.check_monotonicity && Agg::kMonotonic &&
@@ -405,48 +431,45 @@ class GrapeEngine {
       }
     }
     for (const auto& [gid, value] : remote) {
-      by_dst[frag.OwnerOf(gid)].push_back({gid, &value});
+      stage(frag.OwnerOf(gid), frag.LidAtOwner(gid), value);
     }
 
     // Deterministic destination order. Mirror refreshes have a single
     // writer (the owner), so they need no conflict resolution and travel
     // directly worker-to-worker; owner-bound values carry potential
     // conflicts and go through the coordinator's aggregate function.
-    std::vector<FragmentId> dsts;
-    dsts.reserve(by_dst.size());
-    for (const auto& [dst, outgoing] : by_dst) dsts.push_back(dst);
     std::sort(dsts.begin(), dsts.end());
 
+    const bool direct = App::kScope == MessageScope::kToMirrors;
     for (FragmentId dst : dsts) {
-      const std::vector<Outgoing>& outgoing = by_dst[dst];
-      const bool direct = App::kScope == MessageScope::kToMirrors;
-      Encoder enc;
+      RecordBlock<Value>& block = staging[dst];
+      Encoder enc(world_.buffer_pool().Acquire());
       if (!direct) enc.WriteU32(dst);
-      enc.WriteVarint(outgoing.size());
-      for (const Outgoing& o : outgoing) {
-        enc.WriteU32(o.gid);
-        EncodeValue(enc, *o.value);
-      }
+      EncodeRecordBlock(enc, block);
       pending_sends_[i].push_back(
           PendingSend{direct ? RankOf(dst) : kCoordinatorRank,
-                      direct ? outgoing.size() : 0, enc.TakeBuffer()});
+                      direct ? block.size() : 0, enc.TakeBuffer()});
+      block.clear();
     }
+    dsts.clear();
     for (LocalId lid : reset_list) {
       store.UntrackedRef(lid) = apps_[i].InitValue();
     }
+    reset_list.clear();
+    store.RecycleRemote(std::move(remote));
   }
 
   /// Ships every staged buffer (runs between parallel phases); returns the
   /// number of directly-sent updates (coordinator-bound updates are counted
-  /// when routed).
-  uint64_t DispatchSends() {
+  /// when routed). A failed Send surfaces as a Status like every other
+  /// engine phase rather than aborting the process.
+  Result<uint64_t> DispatchSends() {
     uint64_t direct = 0;
     for (FragmentId i = 0; i < fg_.num_fragments(); ++i) {
       for (PendingSend& p : pending_sends_[i]) {
         direct += p.direct_updates;
-        Status s = world_.Send(RankOf(i), p.rank, kTagParamUpdate,
-                               std::move(p.payload));
-        GRAPE_CHECK(s.ok()) << s.ToString();
+        GRAPE_RETURN_NOT_OK(world_.Send(RankOf(i), p.rank, kTagParamUpdate,
+                                        std::move(p.payload)));
       }
       pending_sends_[i].clear();
     }
@@ -467,48 +490,59 @@ class GrapeEngine {
                        return a.from < b.from;
                      });
 
-    struct DstBatch {
-      std::vector<ParamUpdate<Value>> updates;
-      std::unordered_map<VertexId, size_t> index;
-    };
-    std::unordered_map<FragmentId, DstBatch> batches;
-
-    for (const RtMessage& msg : inbox) {
+    // Dense aggregation: one persistent slot array per destination,
+    // indexed by dst_lid. Round tags take the place of clearing — a slot
+    // holding an older round number is vacant this round — so the O(|F_i|)
+    // arrays are never re-initialized. First-seen append order plus the
+    // sender sort above reproduces the seed path's merge order exactly.
+    ++coord_round_;
+    coord_touched_.clear();
+    for (RtMessage& msg : inbox) {
       Decoder dec(msg.payload);
       uint32_t dst = 0;
-      uint64_t count = 0;
       GRAPE_RETURN_NOT_OK(dec.ReadU32(&dst));
-      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&count));
-      DstBatch& batch = batches[dst];
-      for (uint64_t k = 0; k < count; ++k) {
-        VertexId gid = 0;
-        Value value{};
-        GRAPE_RETURN_NOT_OK(dec.ReadU32(&gid));
-        GRAPE_RETURN_NOT_OK(DecodeValue(dec, &value));
-        auto [it, inserted] =
-            batch.index.try_emplace(gid, batch.updates.size());
-        if (inserted) {
-          batch.updates.push_back(ParamUpdate<Value>{gid, std::move(value)});
+      if (dst >= coord_batches_.size()) {
+        return Status::Corruption("routed batch for unknown fragment " +
+                                  std::to_string(dst));
+      }
+      GRAPE_RETURN_NOT_OK(
+          DecodeRecordBlock(dec, &route_lids_, &route_values_));
+      CoordBatch& batch = coord_batches_[dst];
+      if (batch.round != coord_round_) {
+        batch.round = coord_round_;
+        batch.lids.clear();
+        batch.values.clear();
+        coord_touched_.push_back(dst);
+      }
+      for (size_t k = 0; k < route_lids_.size(); ++k) {
+        const LocalId lid = route_lids_[k];
+        if (lid >= batch.slot_round.size()) {
+          return Status::Corruption("routed update addresses lid " +
+                                    std::to_string(lid) +
+                                    " outside fragment " +
+                                    std::to_string(dst));
+        }
+        if (batch.slot_round[lid] != coord_round_) {
+          batch.slot_round[lid] = coord_round_;
+          batch.slot_pos[lid] = static_cast<uint32_t>(batch.lids.size());
+          batch.lids.push_back(lid);
+          batch.values.push_back(std::move(route_values_[k]));
         } else {
-          Agg::Aggregate(batch.updates[it->second].value, value);
+          Agg::Aggregate(batch.values[batch.slot_pos[lid]],
+                         route_values_[k]);
         }
       }
+      world_.buffer_pool().Release(std::move(msg.payload));
     }
 
-    std::vector<FragmentId> dsts;
-    for (const auto& [dst, batch] : batches) dsts.push_back(dst);
-    std::sort(dsts.begin(), dsts.end());
+    std::sort(coord_touched_.begin(), coord_touched_.end());
 
     uint64_t routed = 0;
-    for (FragmentId dst : dsts) {
-      DstBatch& batch = batches[dst];
-      Encoder enc;
-      enc.WriteVarint(batch.updates.size());
-      for (const ParamUpdate<Value>& u : batch.updates) {
-        enc.WriteU32(u.gid);
-        EncodeValue(enc, u.value);
-      }
-      routed += batch.updates.size();
+    for (FragmentId dst : coord_touched_) {
+      CoordBatch& batch = coord_batches_[dst];
+      Encoder enc(world_.buffer_pool().Acquire());
+      EncodeOwnedRecords(enc, batch.lids, batch.values);
+      routed += batch.lids.size();
       GRAPE_RETURN_NOT_OK(world_.Send(kCoordinatorRank, RankOf(dst),
                                       kTagParamUpdate, enc.TakeBuffer()));
     }
@@ -520,28 +554,28 @@ class GrapeEngine {
   /// set handed to IncEval.
   Status ApplyMessages(FragmentId i) {
     updated_[i].clear();
-    const Fragment& frag = fg_.fragments[i];
     ParamStore<Value>& store = stores_[i];
+    std::vector<uint32_t>& lids = apply_lids_[i];
+    std::vector<Value>& values = apply_values_[i];
     while (auto msg = world_.TryRecv(RankOf(i), kTagParamUpdate)) {
       Decoder dec(msg->payload);
-      uint64_t count = 0;
-      GRAPE_RETURN_NOT_OK(dec.ReadVarint(&count));
-      for (uint64_t k = 0; k < count; ++k) {
-        VertexId gid = 0;
-        Value value{};
-        GRAPE_RETURN_NOT_OK(dec.ReadU32(&gid));
-        GRAPE_RETURN_NOT_OK(DecodeValue(dec, &value));
-        LocalId lid = frag.Lid(gid);
-        if (lid == kInvalidLocal) {
-          return Status::Internal("routed update for unknown vertex " +
-                                  std::to_string(gid));
+      // Messages carry destination-local ids straight off the routing
+      // plan, so application is a direct array index — no gid hash.
+      GRAPE_RETURN_NOT_OK(DecodeRecordBlock(dec, &lids, &values));
+      for (size_t k = 0; k < lids.size(); ++k) {
+        const LocalId lid = lids[k];
+        if (lid >= static_cast<LocalId>(store.size())) {
+          return Status::Internal("routed update addresses lid " +
+                                  std::to_string(lid) +
+                                  " outside fragment " + std::to_string(i));
         }
         // No dirty-marking here: message application is not a local change
         // to re-broadcast; only IncEval's own writes are.
-        if (Agg::Aggregate(store.UntrackedRef(lid), value)) {
+        if (Agg::Aggregate(store.UntrackedRef(lid), values[k])) {
           updated_[i].push_back(lid);
         }
       }
+      world_.buffer_pool().Release(std::move(msg->payload));
     }
     std::sort(updated_[i].begin(), updated_[i].end());
     updated_[i].erase(std::unique(updated_[i].begin(), updated_[i].end()),
@@ -568,6 +602,36 @@ class GrapeEngine {
   std::vector<std::vector<PendingSend>> pending_sends_;
   std::vector<std::vector<Value>> prev_flushed_;  // monotonicity tracking
   EngineMetrics metrics_;
+
+  // --- Dense message-path state (allocated once, reused every superstep).
+
+  // Flush: per-worker scratch and per-(worker, destination) staging blocks.
+  std::vector<std::vector<LocalId>> changed_scratch_;
+  std::vector<std::vector<LocalId>> reset_scratch_;
+  std::vector<std::vector<RecordBlock<Value>>> staging_;
+  std::vector<std::vector<FragmentId>> staged_dsts_;
+
+  // Apply: per-worker decode scratch.
+  std::vector<std::vector<uint32_t>> apply_lids_;
+  std::vector<std::vector<Value>> apply_values_;
+
+  // Coordinator: per-destination aggregation with round-tagged slots.
+  struct CoordBatch {
+    std::vector<uint32_t> lids;    // first-seen order, the merge order
+    std::vector<Value> values;     // parallel to lids
+    std::vector<uint32_t> slot_round;  // by dst_lid: last round seen
+    std::vector<uint32_t> slot_pos;    // by dst_lid: index into lids/values
+    uint32_t round = 0;
+  };
+  std::vector<CoordBatch> coord_batches_;
+  std::vector<FragmentId> coord_touched_;
+  std::vector<uint32_t> route_lids_;   // coordinator decode scratch
+  std::vector<Value> route_values_;
+  uint32_t coord_round_ = 0;
+
+  // Per-round communication totals already attributed to a RoundMetrics.
+  uint64_t recorded_messages_ = 0;
+  uint64_t recorded_bytes_ = 0;
 };
 
 }  // namespace grape

@@ -60,10 +60,17 @@ class ParamStore {
   /// Snapshots and clears the dirty set (engine flush).
   std::vector<LocalId> TakeChanged() {
     std::vector<LocalId> out;
-    changed_.ForEach(
-        [&out](size_t lid) { out.push_back(static_cast<LocalId>(lid)); });
-    changed_.Clear();
+    TakeChangedInto(&out);
     return out;
+  }
+
+  /// Allocation-free variant: fills a caller-owned scratch vector whose
+  /// capacity survives across supersteps.
+  void TakeChangedInto(std::vector<LocalId>* out) {
+    out->clear();
+    changed_.ForEach(
+        [out](size_t lid) { out->push_back(static_cast<LocalId>(lid)); });
+    changed_.Clear();
   }
 
   /// Posts an update addressed to an arbitrary *global* vertex; the engine
@@ -77,6 +84,14 @@ class ParamStore {
 
   std::vector<std::pair<VertexId, V>> TakeRemote() {
     return std::move(remote_);
+  }
+
+  /// Hands a drained TakeRemote() vector back so PostRemote can reuse its
+  /// capacity instead of growing a fresh allocation every superstep.
+  void RecycleRemote(std::vector<std::pair<VertexId, V>>&& storage) {
+    if (!remote_.empty()) return;  // posts raced in; keep them
+    storage.clear();
+    remote_ = std::move(storage);
   }
 
   const std::vector<V>& values() const { return values_; }

@@ -30,6 +30,17 @@ Result<FragmentedGraph> FragmentBuilder::Build(
   std::vector<std::vector<VertexId>> inner(num_fragments);
   for (VertexId v = 0; v < n; ++v) inner[assignment[v]].push_back(v);
 
+  // Routing plan, part 1: every vertex's local id at its owner. Inner local
+  // ids are positions in the (ascending) inner list, so this is known
+  // before any fragment is materialized.
+  auto owner_lid = std::make_shared<std::vector<LocalId>>(n, kInvalidLocal);
+  for (FragmentId f = 0; f < num_fragments; ++f) {
+    for (size_t i = 0; i < inner[f].size(); ++i) {
+      (*owner_lid)[inner[f][i]] = static_cast<LocalId>(i);
+    }
+  }
+  out.owner_lid = owner_lid;
+
   // Outer vertex sets per fragment + mirror lists per gid.
   std::vector<std::unordered_set<VertexId>> outer(num_fragments);
   std::vector<uint8_t> is_border(n, 0);
@@ -61,6 +72,7 @@ Result<FragmentedGraph> FragmentBuilder::Build(
     frag.total_vertices_ = n;
     frag.directed_ = graph.is_directed();
     frag.owner_ = out.owner;
+    frag.owner_lid_ = out.owner_lid;
 
     frag.num_inner_ = static_cast<LocalId>(inner[f].size());
     frag.gids_ = inner[f];
@@ -197,6 +209,33 @@ Result<FragmentedGraph> FragmentBuilder::Build(
       std::copy(mirrors_by_gid[frag.gids_[i]].begin(),
                 mirrors_by_gid[frag.gids_[i]].end(),
                 frag.mirror_frags_.begin() + frag.mirror_offsets_[i]);
+    }
+
+    // Routing plan, part 2: owner routes of this fragment's outer vertices.
+    // The owner tables are global, so this needs no other fragment.
+    frag.outer_owner_frag_.resize(frag.num_outer());
+    frag.outer_owner_lid_.resize(frag.num_outer());
+    for (LocalId i = ni; i < num_local; ++i) {
+      VertexId gid = frag.gids_[i];
+      frag.outer_owner_frag_[i - ni] = assignment[gid];
+      frag.outer_owner_lid_[i - ni] = (*owner_lid)[gid];
+    }
+  }
+
+  // Routing plan, part 3: destination-local ids of mirror copies. A mirror
+  // of gid inside fragment m sits in m's (sorted) outer block, so its local
+  // id there is only known once every fragment's vertex list exists —
+  // resolved here, once, so the per-superstep flush never hashes.
+  for (FragmentId f = 0; f < num_fragments; ++f) {
+    Fragment& frag = out.fragments[f];
+    frag.mirror_dst_lids_.resize(frag.mirror_frags_.size());
+    size_t k = 0;
+    for (LocalId i = 0; i < frag.num_inner_; ++i) {
+      VertexId gid = frag.gids_[i];
+      for (; k < frag.mirror_offsets_[i + 1]; ++k) {
+        const Fragment& dst = out.fragments[frag.mirror_frags_[k]];
+        frag.mirror_dst_lids_[k] = dst.indexer_.Find(gid);
+      }
     }
   }
   return out;

@@ -104,8 +104,31 @@ class Fragment {
             mirror_offsets_[lid + 1] - mirror_offsets_[lid]};
   }
 
+  /// Destination-local ids paired with MirrorFragments(lid): entry k is the
+  /// local id of this vertex *inside* fragment MirrorFragments(lid)[k].
+  /// Precomputed at build time so owner-to-mirror flushes never hash a gid.
+  std::span<const LocalId> MirrorDstLids(LocalId lid) const {
+    return {mirror_dst_lids_.data() + mirror_offsets_[lid],
+            mirror_offsets_[lid + 1] - mirror_offsets_[lid]};
+  }
+
   /// Owner fragment of an arbitrary global vertex (shared routing table).
   FragmentId OwnerOf(VertexId gid) const { return (*owner_)[gid]; }
+
+  /// Local id of `gid` inside its *owner* fragment (shared routing table,
+  /// one entry per global vertex). This is the dst_lid of every owner-bound
+  /// message, so the receiving fragment indexes its parameter store
+  /// directly instead of hashing the gid back to a local id.
+  LocalId LidAtOwner(VertexId gid) const { return (*owner_lid_)[gid]; }
+
+  /// Owner-route of an *outer* local vertex: destination fragment and the
+  /// vertex's local id there. Dense per-outer arrays (no gid involved).
+  FragmentId OuterOwner(LocalId lid) const {
+    return outer_owner_frag_[lid - num_inner_];
+  }
+  LocalId OuterOwnerLid(LocalId lid) const {
+    return outer_owner_lid_[lid - num_inner_];
+  }
 
   const std::vector<VertexId>& gids() const { return gids_; }
 
@@ -131,9 +154,16 @@ class Fragment {
   std::vector<uint8_t> border_;          // by inner lid
   std::vector<size_t> mirror_offsets_;   // by inner lid
   std::vector<FragmentId> mirror_frags_;
+  std::vector<LocalId> mirror_dst_lids_;  // parallel to mirror_frags_
+
+  // Owner routes of outer vertices, indexed by (lid - num_inner_).
+  std::vector<FragmentId> outer_owner_frag_;
+  std::vector<LocalId> outer_owner_lid_;
 
   /// Shared (immutable) owner table, one entry per global vertex.
   std::shared_ptr<const std::vector<FragmentId>> owner_;
+  /// Shared (immutable) gid -> local id at the owner fragment.
+  std::shared_ptr<const std::vector<LocalId>> owner_lid_;
 };
 
 /// A fragmented graph: all fragments plus the global routing tables the
@@ -142,6 +172,10 @@ struct FragmentedGraph {
   std::vector<Fragment> fragments;
   /// owner[gid] = fragment owning gid.
   std::shared_ptr<const std::vector<FragmentId>> owner;
+  /// owner_lid[gid] = local id of gid inside fragments[owner[gid]]. The
+  /// second half of the dense routing plan: (owner, owner_lid) addresses
+  /// any global vertex's authoritative parameter slot without hashing.
+  std::shared_ptr<const std::vector<LocalId>> owner_lid;
   bool directed = true;
   VertexId total_vertices = 0;
 

@@ -63,6 +63,12 @@ class CommWorld {
   CommStats stats() const;
   void ResetStats();
 
+  /// Payload recycling shared by every rank: encode into Acquire()d
+  /// buffers, Release() consumed payloads. Using the pool is optional —
+  /// Send accepts any vector — but the engine's message path routes every
+  /// payload through it so steady-state supersteps allocate nothing.
+  BufferPool& buffer_pool() { return pool_; }
+
  private:
   struct Mailbox {
     mutable std::mutex mu;
@@ -72,6 +78,7 @@ class CommWorld {
 
   uint32_t size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  BufferPool pool_;
   std::atomic<uint64_t> total_messages_{0};
   std::atomic<uint64_t> total_bytes_{0};
 };

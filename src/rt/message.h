@@ -2,6 +2,8 @@
 #define GRAPE_RT_MESSAGE_H_
 
 #include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
@@ -27,6 +29,41 @@ enum MessageTag : uint32_t {
   kTagControl = 2,
   kTagVertexMessage = 3,
   kTagPartialResult = 4,
+};
+
+/// Free list of payload buffers. Senders acquire a buffer, encode into it,
+/// and ship it; receivers release consumed payloads back. Because vectors
+/// keep their capacity across the acquire/release cycle, steady-state
+/// supersteps encode and decode without touching the heap. Thread-safe: the
+/// engine's workers flush and apply concurrently.
+class BufferPool {
+ public:
+  std::vector<uint8_t> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  void Release(std::vector<uint8_t>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() >= kMaxPooled) return;  // let oversupply die
+    free_.push_back(std::move(buf));
+  }
+
+  size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  /// Bounds pool growth after bursty rounds (e.g. PEval's first flush).
+  static constexpr size_t kMaxPooled = 1024;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> free_;
 };
 
 }  // namespace grape

@@ -18,6 +18,13 @@ class Encoder {
  public:
   Encoder() = default;
 
+  /// Adopts a recycled buffer (e.g. from a BufferPool): the encoder starts
+  /// logically empty but keeps the vector's capacity, so steady-state reuse
+  /// encodes without heap allocation.
+  explicit Encoder(std::vector<uint8_t>&& recycled) : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
+
   void WriteU8(uint8_t v) { buf_.push_back(v); }
 
   /// Little-endian fixed-width integers.
@@ -57,6 +64,14 @@ class Encoder {
     static_assert(std::is_trivially_copyable_v<T>);
     WriteVarint(v.size());
     AppendRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Unprefixed block of trivially-copyable elements: one memcpy, no
+  /// per-element dispatch. The caller owns the framing (element count).
+  template <typename T>
+  void WritePodSpan(const T* data, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    AppendRaw(data, n * sizeof(T));
   }
 
   const std::vector<uint8_t>& buffer() const { return buf_; }
@@ -131,6 +146,17 @@ class Decoder {
   Status ReadPod(T* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     return ReadRaw(out, sizeof(*out));
+  }
+
+  /// Counterpart of WritePodSpan: fills `n` elements starting at `out` with
+  /// one bounds-checked memcpy.
+  template <typename T>
+  Status ReadPodSpan(T* out, size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (n > Remaining() / sizeof(T)) {
+      return Status::Corruption("pod span extends past end of buffer");
+    }
+    return ReadRaw(out, n * sizeof(T));
   }
 
   template <typename T>

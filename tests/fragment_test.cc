@@ -143,6 +143,38 @@ TEST_P(FragmentInvariantTest, StructuralInvariants) {
       }
     }
   }
+
+  // (8) Routing plans agree with the hash-based resolution they replace:
+  // every precomputed dst_lid is exactly what Lid()/OwnerOf() would find.
+  ASSERT_NE(fg.owner_lid, nullptr);
+  for (const Fragment& frag : fg.fragments) {
+    // owner_lid table: gid's slot at its owner.
+    for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
+      VertexId gid = frag.Gid(lid);
+      const Fragment& owner = fg.fragments[frag.OwnerOf(gid)];
+      EXPECT_EQ(frag.LidAtOwner(gid), owner.Lid(gid)) << "gid " << gid;
+    }
+    // Outer owner routes.
+    for (LocalId lid = frag.num_inner(); lid < frag.num_local(); ++lid) {
+      VertexId gid = frag.Gid(lid);
+      EXPECT_EQ(frag.OuterOwner(lid), frag.OwnerOf(gid));
+      const Fragment& owner = fg.fragments[frag.OwnerOf(gid)];
+      EXPECT_EQ(frag.OuterOwnerLid(lid), owner.Lid(gid));
+      EXPECT_LT(frag.OuterOwnerLid(lid), owner.num_inner());
+    }
+    // Mirror dst_lids pair with MirrorFragments and land on outer copies.
+    for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+      auto mirror_frags = frag.MirrorFragments(lid);
+      auto mirror_lids = frag.MirrorDstLids(lid);
+      ASSERT_EQ(mirror_frags.size(), mirror_lids.size());
+      for (size_t k = 0; k < mirror_frags.size(); ++k) {
+        const Fragment& dst = fg.fragments[mirror_frags[k]];
+        EXPECT_EQ(mirror_lids[k], dst.Lid(frag.Gid(lid)));
+        EXPECT_TRUE(dst.IsOuter(mirror_lids[k]));
+        EXPECT_EQ(dst.Gid(mirror_lids[k]), frag.Gid(lid));
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -156,6 +188,49 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
              std::to_string(std::get<2>(info.param));
     });
+
+TEST(FragmentBuilderTest, RoutingPlansOnRandomAssignments) {
+  // Adversarial partitions no real partitioner would emit: uniformly random
+  // vertex->fragment maps, including empty fragments. The dst_lid tables
+  // must still agree with hash resolution everywhere.
+  RMatOptions opts;
+  opts.scale = 7;
+  opts.edge_factor = 5;
+  opts.seed = 83;
+  auto g = GenerateRMat(opts);
+  ASSERT_TRUE(g.ok());
+  uint64_t state = 0x243f6a8885a308d3ULL;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int trial = 0; trial < 5; ++trial) {
+    FragmentId nfrag = static_cast<FragmentId>(2 + next() % 9);
+    std::vector<FragmentId> assignment(g->num_vertices());
+    for (auto& a : assignment) {
+      a = static_cast<FragmentId>(next() % nfrag);
+    }
+    auto fg = FragmentBuilder::Build(*g, assignment, nfrag);
+    ASSERT_TRUE(fg.ok());
+    for (const Fragment& frag : fg->fragments) {
+      for (LocalId lid = frag.num_inner(); lid < frag.num_local(); ++lid) {
+        VertexId gid = frag.Gid(lid);
+        const Fragment& owner = fg->fragments[frag.OwnerOf(gid)];
+        ASSERT_EQ(frag.OuterOwner(lid), frag.OwnerOf(gid));
+        ASSERT_EQ(frag.OuterOwnerLid(lid), owner.Lid(gid));
+      }
+      for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+        auto mirror_frags = frag.MirrorFragments(lid);
+        auto mirror_lids = frag.MirrorDstLids(lid);
+        ASSERT_EQ(mirror_frags.size(), mirror_lids.size());
+        for (size_t k = 0; k < mirror_frags.size(); ++k) {
+          ASSERT_EQ(mirror_lids[k],
+                    fg->fragments[mirror_frags[k]].Lid(frag.Gid(lid)));
+        }
+      }
+    }
+  }
+}
 
 TEST(FragmentBuilderTest, RejectsBadAssignment) {
   auto g = GeneratePath(5);

@@ -1,0 +1,78 @@
+// Differential guard for the dense zero-hash message path: the golden rows
+// below were captured from the seed (hash-map) flush/route/apply at commit
+// ec95ff1, running the scenarios in tests/message_path_scenarios.h. The
+// dense path must reproduce them exactly — same message count, same byte
+// count (the wire format was redesigned to be byte-count-preserving), same
+// superstep count, and bit-identical outputs. A mismatch means routing
+// semantics changed, which is a correctness bug, not a perf trade-off.
+
+#include <map>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/message_path_scenarios.h"
+
+namespace grape {
+namespace {
+
+struct GoldenRow {
+  const char* name;
+  uint64_t messages;
+  uint64_t bytes;
+  uint32_t supersteps;
+  uint64_t output_hash;
+};
+
+// Captured from the seed engine; see file comment.
+const GoldenRow kGolden[] = {
+    {"sssp_grid_hash4", 447ull, 485123ull, 31u, 0xc5bc6ee7b40deb61ull},
+    {"sssp_grid_metis4", 20ull, 4108ull, 4u, 0xc5bc6ee7b40deb61ull},
+    {"sssp_rmat_hash5", 85ull, 16365ull, 6u, 0x34f7a4ad403aaa9ull},
+    {"sssp_rmat_metis7", 92ull, 11636ull, 5u, 0x34f7a4ad403aaa9ull},
+    {"cc_er_hash6", 51ull, 13699ull, 3u, 0xcd7c9ef3fc5a729full},
+    {"cc_er_metis6", 57ull, 13141ull, 3u, 0xcd7c9ef3fc5a729full},
+    {"pagerank_rmat_hash4", 372ull, 142428ull, 31u, 0x4414656a78cc731full},
+    {"pagerank_rmat_metis5", 434ull, 113566ull, 31u, 0x4414656a78cc731full},
+};
+
+class MessagePathGoldenTest
+    : public ::testing::TestWithParam<testing::MessagePathScenario> {};
+
+TEST_P(MessagePathGoldenTest, MatchesSeedSemantics) {
+  const auto& s = GetParam();
+  const GoldenRow* golden = nullptr;
+  for (const GoldenRow& row : kGolden) {
+    if (std::string(row.name) == s.name) golden = &row;
+  }
+  ASSERT_NE(golden, nullptr) << "no golden row for scenario " << s.name;
+
+  testing::MessagePathObservation obs =
+      testing::RunMessagePathScenario(s.app, s.graph, s.strategy, s.workers);
+  EXPECT_EQ(obs.messages, golden->messages) << s.name;
+  EXPECT_EQ(obs.bytes, golden->bytes) << s.name;
+  EXPECT_EQ(obs.supersteps, golden->supersteps) << s.name;
+  EXPECT_EQ(obs.output_hash, golden->output_hash)
+      << s.name << ": output is not bit-identical to the seed path";
+}
+
+// Determinism of the path itself: two runs of the same scenario must agree
+// on every observable (the golden rows above are only meaningful if so).
+TEST(MessagePathGoldenTest, RunsAreDeterministic) {
+  for (const auto& s : testing::AllMessagePathScenarios()) {
+    auto a = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
+                                             s.workers);
+    auto b = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
+                                             s.workers);
+    EXPECT_EQ(a.messages, b.messages) << s.name;
+    EXPECT_EQ(a.bytes, b.bytes) << s.name;
+    EXPECT_EQ(a.output_hash, b.output_hash) << s.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MessagePathGoldenTest,
+    ::testing::ValuesIn(testing::AllMessagePathScenarios()),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace grape
