@@ -19,6 +19,8 @@
 #include "graph/generators.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "rt/transport.h"
+#include "util/logging.h"
 #include "util/serializer.h"
 
 namespace grape {
@@ -412,6 +414,45 @@ void BM_ApplyDenseShape(benchmark::State& state) {
                           2048);
 }
 BENCHMARK(BM_ApplyDenseShape);
+
+// Transport substrate pair: one superstep-shaped exchange — a batch of
+// Sends, the Flush delivery barrier, then a drain — on each backend. The
+// inproc row is the mailbox-move floor; the socket row adds two process
+// hops (sender -> endpoint child -> receiver thread) per message, so the
+// pair prices the multi-process substrate per superstep.
+void BM_TransportSendRecv(benchmark::State& state,
+                          const std::string& backend) {
+  auto t = MakeTransport(backend, 2);
+  GRAPE_CHECK(t.ok()) << t.status();
+  Transport& world = **t;
+  const size_t payload_bytes = static_cast<size_t>(state.range(0));
+  const int kBatch = 16;  // messages per barrier, a typical flush fan-out
+  for (auto _ : state) {
+    for (int k = 0; k < kBatch; ++k) {
+      std::vector<uint8_t> buf = world.buffer_pool().Acquire();
+      buf.clear();
+      buf.resize(payload_bytes, static_cast<uint8_t>(k));
+      benchmark::DoNotOptimize(
+          world.Send(0, 1, kTagParamUpdate, std::move(buf)));
+    }
+    benchmark::DoNotOptimize(world.Flush());
+    int received = 0;
+    while (auto msg = world.TryRecv(1)) {
+      ++received;
+      world.buffer_pool().Release(std::move(msg->payload));
+    }
+    if (received != kBatch) state.SkipWithError("lost messages");
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBatch *
+                          static_cast<int64_t>(payload_bytes));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK_CAPTURE(BM_TransportSendRecv, inproc, "inproc")
+    ->Arg(256)
+    ->Arg(65536);
+BENCHMARK_CAPTURE(BM_TransportSendRecv, socket, "socket")
+    ->Arg(256)
+    ->Arg(65536);
 
 void BM_GrapeSsspEndToEnd(benchmark::State& state) {
   auto g = GenerateGridRoad(64, 64, 6);

@@ -14,10 +14,20 @@
 // orders of magnitude below per-vertex messaging.
 //
 // Flags: --rows --cols (grid size), --workers, --source,
+//        --transport inproc|socket (substrate for the GRAPE rows),
 //        --json <path> (machine-readable report, rows in table order).
+//
+// Besides the four-system table, the bench always appends an
+// inproc-vs-socket GRAPE pair on the same partition, tracking what the
+// multi-process substrate (forked endpoints + AF_UNIX frames + Flush
+// barriers) costs per superstep relative to in-memory mailboxes.
+
+#include <memory>
+#include <string>
 
 #include "apps/seq/seq_algorithms.h"
 #include "bench/bench_util.h"
+#include "rt/transport.h"
 #include "util/flags.h"
 
 namespace grape {
@@ -32,6 +42,18 @@ int Run(int argc, char** argv) {
   const FragmentId workers =
       static_cast<FragmentId>(flags.GetInt("workers", 8));
   const VertexId source = static_cast<VertexId>(flags.GetInt("source", 0));
+  const std::string transport = flags.GetString("transport", "inproc");
+
+  auto make_world = [&](const std::string& backend) {
+    auto t = MakeTransport(backend, workers + 1);
+    GRAPE_CHECK(t.ok()) << t.status();
+    return std::move(t).value();
+  };
+  auto with_transport = [](Transport* t) {
+    EngineOptions options;
+    options.transport = t;
+    return options;
+  };
 
   auto g = GenerateGridRoad(rows, cols, /*seed=*/1701);
   GRAPE_CHECK(g.ok()) << g.status();
@@ -39,7 +61,8 @@ int Run(int argc, char** argv) {
 
   PrintHeader("Table 1: graph traversal (SSSP) on a " +
               std::to_string(rows) + "x" + std::to_string(cols) +
-              " road network, " + std::to_string(workers) + " workers");
+              " road network, " + std::to_string(workers) + " workers, " +
+              transport + " transport");
 
   // Each system runs with its native partitioning: vertex-centric systems
   // hash by default, the block-centric system builds Voronoi (GVD) blocks
@@ -58,13 +81,33 @@ int Run(int argc, char** argv) {
       RunGasSssp(hash_fg, source, expected, "GraphLab-like (GAS)"));
   table.push_back(
       RunBlockSssp(voronoi_fg, source, expected, "Blogel-like (block)"));
-  table.push_back(RunGrapeSssp(grid_fg, source, expected, EngineOptions{},
-                               "GRAPE"));
+  std::unique_ptr<Transport> grape_world = make_world(transport);
+  table.push_back(RunGrapeSssp(grid_fg, source, expected,
+                               with_transport(grape_world.get()), "GRAPE"));
   // Same engine on the vertex-centric systems' hash partition: the
   // worst-case cut maximizes border traffic, so this row is the one that
   // exercises (and tracks) the flush -> route -> apply message path.
-  table.push_back(RunGrapeSssp(hash_fg, source, expected, EngineOptions{},
+  std::unique_ptr<Transport> hash_world = make_world(transport);
+  table.push_back(RunGrapeSssp(hash_fg, source, expected,
+                               with_transport(hash_world.get()),
                                "GRAPE (hash)"));
+  // The substrate pair: identical engine, partition, and query — only the
+  // transport differs, so the row delta is pure substrate cost. The
+  // backend already measured for the "GRAPE" row is reused (relabeled)
+  // instead of re-run.
+  auto pair_row = [&](const std::string& backend) {
+    if (backend == transport) {
+      SystemRow row = table[3];
+      row.system = "GRAPE (" + backend + ")";
+      return row;
+    }
+    std::unique_ptr<Transport> world = make_world(backend);
+    return RunGrapeSssp(grid_fg, source, expected,
+                        with_transport(world.get()),
+                        "GRAPE (" + backend + ")");
+  };
+  table.push_back(pair_row("inproc"));
+  table.push_back(pair_row("socket"));
   PrintSystemTable(table);
 
   const SystemRow& grape = table[3];
@@ -79,6 +122,15 @@ int Run(int argc, char** argv) {
               static_cast<double>(table[0].bytes) / grape.bytes);
   std::printf("  comm  ratio Block/GRAPE  = %8.1fx   (paper: ~5.6e4x)\n",
               static_cast<double>(table[2].bytes) / grape.bytes);
+
+  const SystemRow& inproc_row = table[5];
+  const SystemRow& socket_row = table[6];
+  std::printf("\nTransport pair (same engine/partition/query):\n");
+  std::printf("  time  ratio socket/inproc = %7.2fx  comm delta = %lld B "
+              "(must be 0)\n",
+              socket_row.seconds / inproc_row.seconds,
+              static_cast<long long>(socket_row.bytes) -
+                  static_cast<long long>(inproc_row.bytes));
 
   Report report("table1_sssp");
   AddSystemTable(table, &report);

@@ -26,6 +26,7 @@
 #include "partition/advisor.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "rt/transport.h"
 #include "partition/quality.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -101,6 +102,7 @@ int Run(int argc, char** argv) {
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "usage: grape_cli --graph=<kind> [--workers=N] "
+                         "[--transport=inproc|socket] "
                          "<app> [k=v ...]\nregistered apps:");
     for (const std::string& name : AppRegistry::Global().Names()) {
       std::fprintf(stderr, " %s", name.c_str());
@@ -154,10 +156,21 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
     return 1;
   }
-  std::printf("running '%s' (%s) on %u workers...\n", app->name.c_str(),
-              app->description.c_str(), workers);
+  const std::string transport = flags.GetString("transport", "inproc");
+  auto world = MakeTransport(transport, workers + 1);
+  if (!world.ok()) {
+    std::fprintf(stderr, "transport: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions options;
+  options.transport = world->get();
+
+  std::printf("running '%s' (%s) on %u workers over %s...\n",
+              app->name.c_str(), app->description.c_str(), workers,
+              transport.c_str());
   EngineMetrics metrics;
-  auto answer = app->run(*fg, args, EngineOptions{}, &metrics);
+  auto answer = app->run(*fg, args, options, &metrics);
   if (!answer.ok()) {
     std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
     return 1;

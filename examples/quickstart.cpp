@@ -7,7 +7,12 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart [--transport=inproc|socket]
+//
+// --transport picks the message-passing substrate: "inproc" (default)
+// keeps every rank in this process; "socket" forks one endpoint process
+// per rank and ships the same payloads over local sockets — same answer,
+// same communication counters, real process boundaries.
 
 #include <cstdio>
 
@@ -16,9 +21,18 @@
 #include "graph/graph.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "rt/transport.h"
+#include "util/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace grape;
+
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "flags: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  const std::string transport = flags.GetString("transport", "inproc");
 
   // A tiny weighted road map: 8 intersections, bidirectional streets.
   GraphBuilder builder(/*directed=*/true);
@@ -49,10 +63,20 @@ int main() {
     return 1;
   }
 
+  // The substrate: 3 workers + coordinator P0 = 4 ranks.
+  auto world = MakeTransport(transport, 4);
+  if (!world.ok()) {
+    std::fprintf(stderr, "transport: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions options;
+  options.transport = world->get();
+
   // "Plug": SsspApp wraps sequential Dijkstra (PEval) and incremental
   // shortest paths (IncEval) with a min aggregate — nothing else.
   // "Play": run the fixed-point computation for a query.
-  GrapeEngine<SsspApp> engine(*fragments, SsspApp{});
+  GrapeEngine<SsspApp> engine(*fragments, SsspApp{}, options);
   auto result = engine.Run(SsspQuery{0});
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
@@ -64,7 +88,8 @@ int main() {
   for (VertexId v = 0; v < result->dist.size(); ++v) {
     std::printf("  0 -> %u : %.1f\n", v, result->dist[v]);
   }
-  std::printf("\nengine: %s\n", engine.metrics().ToString().c_str());
+  std::printf("\ntransport: %s\n", (*world)->name().c_str());
+  std::printf("engine: %s\n", engine.metrics().ToString().c_str());
   std::printf("rounds: PEval + %u IncEval supersteps to the fixed point\n",
               engine.metrics().supersteps - 1);
   return 0;

@@ -6,7 +6,7 @@
 
 #include "core/codec.h"
 #include "partition/fragment.h"
-#include "rt/comm_world.h"
+#include "rt/transport.h"
 
 namespace grape {
 
@@ -18,7 +18,7 @@ namespace grape {
 template <typename Msg>
 class VertexMessageBus {
  public:
-  VertexMessageBus(CommWorld* world, const FragmentedGraph* fg, uint32_t self)
+  VertexMessageBus(Transport* world, const FragmentedGraph* fg, uint32_t self)
       : world_(world), fg_(fg), self_(self) {}
 
   /// Buffers a message for the owner of `dst`.
@@ -91,7 +91,7 @@ class VertexMessageBus {
   uint64_t logical_sent() const { return logical_sent_; }
 
  private:
-  CommWorld* world_;
+  Transport* world_;
   const FragmentedGraph* fg_;
   uint32_t self_;
   std::unordered_map<uint32_t, std::vector<std::pair<VertexId, Msg>>>

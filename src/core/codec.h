@@ -95,6 +95,68 @@ Status DecodeValue(Decoder& dec, T* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Frame header: the envelope that carries one message payload across a
+// process boundary (the socket transport's length-prefixed frames). Exactly
+// 16 bytes on the wire — four little-endian u32 fields: from, to, tag,
+// payload length — matching the 16-byte envelope CommStats has always
+// charged per message, so socket wire bytes equal the counted bytes.
+// ---------------------------------------------------------------------------
+
+struct FrameHeader {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint32_t tag = 0;
+  uint32_t payload_len = 0;
+};
+
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Hard ceiling on a single frame's payload. Real batches are far smaller;
+/// the bound exists so a corrupt length field surfaces as a Status instead
+/// of a gigantic allocation in the receiver.
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+/// Serializes `h` into exactly kFrameHeaderBytes at `out`.
+inline void EncodeFrameHeader(const FrameHeader& h,
+                              uint8_t out[kFrameHeaderBytes]) {
+  auto put = [&out](size_t at, uint32_t v) {
+    out[at + 0] = static_cast<uint8_t>(v);
+    out[at + 1] = static_cast<uint8_t>(v >> 8);
+    out[at + 2] = static_cast<uint8_t>(v >> 16);
+    out[at + 3] = static_cast<uint8_t>(v >> 24);
+  };
+  put(0, h.from);
+  put(4, h.to);
+  put(8, h.tag);
+  put(12, h.payload_len);
+}
+
+/// Parses a header from `data` (which must hold at least `n` bytes),
+/// validating length and payload bound.
+inline Status DecodeFrameHeader(const uint8_t* data, size_t n,
+                                FrameHeader* out) {
+  if (n < kFrameHeaderBytes) {
+    return Status::Corruption("frame header truncated");
+  }
+  auto get = [data](size_t at) {
+    return static_cast<uint32_t>(data[at]) |
+           static_cast<uint32_t>(data[at + 1]) << 8 |
+           static_cast<uint32_t>(data[at + 2]) << 16 |
+           static_cast<uint32_t>(data[at + 3]) << 24;
+  };
+  out->from = get(0);
+  out->to = get(4);
+  out->tag = get(8);
+  out->payload_len = get(12);
+  if (out->payload_len > kMaxFramePayloadBytes) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(out->payload_len) +
+                              " exceeds the frame bound");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Record-block batch codec: the engine's message unit is a run of
 // (dst_lid, value) records for one destination fragment. Values with a POD
 // wire format are staged by value in structure-of-arrays form and encoded as

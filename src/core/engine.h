@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/codec.h"
 #include "core/pie.h"
 #include "rt/comm_world.h"
+#include "rt/transport.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -31,6 +33,12 @@ struct EngineOptions {
   /// (the Assurance Theorem's side condition).
   bool check_monotonicity = false;
   bool verbose = false;
+  /// Message-passing substrate. When null the engine owns a private
+  /// in-process CommWorld (the historical behaviour); otherwise it runs
+  /// over the supplied backend — e.g. a SocketTransport from
+  /// MakeTransport("socket", n+1) — which must be sized num_fragments()+1
+  /// and outlive the engine. Not owned.
+  Transport* transport = nullptr;
 };
 
 /// Per-superstep observability (drives the Fig. 3(4)-style analytics).
@@ -88,10 +96,16 @@ class GrapeEngine {
               EngineOptions options = {})
       : fg_(fg),
         options_(options),
-        world_(fg.num_fragments() + 1),
+        owned_world_(options.transport ? nullptr
+                                       : std::make_unique<CommWorld>(
+                                             fg.num_fragments() + 1)),
+        world_(options.transport ? options.transport : owned_world_.get()),
         pool_(options.num_threads == 0 ? fg.num_fragments()
                                        : options.num_threads) {
     const FragmentId n = fg_.num_fragments();
+    GRAPE_CHECK(world_->size() == n + 1)
+        << "transport sized " << world_->size() << " for " << n
+        << " fragments (need num_fragments()+1 ranks)";
     apps_.assign(n, prototype);
     stores_.resize(n);
     updated_.resize(n);
@@ -122,7 +136,7 @@ class GrapeEngine {
   Result<Output> Run(const Query& query) {
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
-    world_.ResetStats();
+    world_->ResetStats();
     recorded_messages_ = 0;
     recorded_bytes_ = 0;
     const FragmentId n = fg_.num_fragments();
@@ -217,7 +231,7 @@ class GrapeEngine {
       output = App::Assemble(query, std::move(partials));
     }
 
-    CommStats cs = world_.stats();
+    CommStats cs = world_->stats();
     metrics_.messages = cs.messages;
     metrics_.bytes = cs.bytes;
     metrics_.total_seconds = total_timer.ElapsedSeconds();
@@ -241,7 +255,7 @@ class GrapeEngine {
                                 const std::vector<VertexId>& touched) {
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
-    world_.ResetStats();
+    world_->ResetStats();
     recorded_messages_ = 0;
     recorded_bytes_ = 0;
     const FragmentId n = fg_.num_fragments();
@@ -330,7 +344,7 @@ class GrapeEngine {
       });
       output = App::Assemble(query, std::move(partials));
     }
-    CommStats cs = world_.stats();
+    CommStats cs = world_->stats();
     metrics_.messages = cs.messages;
     metrics_.bytes = cs.bytes;
     metrics_.total_seconds = total_timer.ElapsedSeconds();
@@ -362,7 +376,7 @@ class GrapeEngine {
   void RecordRound(double seconds) {
     // Running totals, not a re-sum of all prior rounds (which made this
     // O(rounds^2) over a long fixed point).
-    CommStats cs = world_.stats();
+    CommStats cs = world_->stats();
     RoundMetrics rm;
     rm.round = metrics_.supersteps;
     rm.seconds = seconds;
@@ -443,7 +457,7 @@ class GrapeEngine {
     const bool direct = App::kScope == MessageScope::kToMirrors;
     for (FragmentId dst : dsts) {
       RecordBlock<Value>& block = staging[dst];
-      Encoder enc(world_.buffer_pool().Acquire());
+      Encoder enc(world_->buffer_pool().Acquire());
       if (!direct) enc.WriteU32(dst);
       EncodeRecordBlock(enc, block);
       pending_sends_[i].push_back(
@@ -462,17 +476,21 @@ class GrapeEngine {
   /// Ships every staged buffer (runs between parallel phases); returns the
   /// number of directly-sent updates (coordinator-bound updates are counted
   /// when routed). A failed Send surfaces as a Status like every other
-  /// engine phase rather than aborting the process.
+  /// engine phase rather than aborting the process. The trailing Flush is
+  /// the BSP delivery barrier: on asynchronous backends (socket) it blocks
+  /// until every frame is visible at its destination, so the next phase
+  /// observes exactly what an in-process mailbox would.
   Result<uint64_t> DispatchSends() {
     uint64_t direct = 0;
     for (FragmentId i = 0; i < fg_.num_fragments(); ++i) {
       for (PendingSend& p : pending_sends_[i]) {
         direct += p.direct_updates;
-        GRAPE_RETURN_NOT_OK(world_.Send(RankOf(i), p.rank, kTagParamUpdate,
+        GRAPE_RETURN_NOT_OK(world_->Send(RankOf(i), p.rank, kTagParamUpdate,
                                         std::move(p.payload)));
       }
       pending_sends_[i].clear();
     }
+    GRAPE_RETURN_NOT_OK(world_->Flush());
     return direct;
   }
 
@@ -481,7 +499,7 @@ class GrapeEngine {
   /// and forwards one consolidated buffer to each destination worker.
   /// Returns the number of routed updates (0 signals the fixed point).
   Result<uint64_t> CoordinatorRoute() {
-    std::vector<RtMessage> inbox = world_.DrainAll(kCoordinatorRank);
+    std::vector<RtMessage> inbox = world_->DrainAll(kCoordinatorRank);
     if (inbox.empty()) return uint64_t{0};
     // Mailbox order is FIFO per sender; sort by sender for a deterministic
     // merge independent of thread scheduling.
@@ -532,7 +550,7 @@ class GrapeEngine {
                          route_values_[k]);
         }
       }
-      world_.buffer_pool().Release(std::move(msg.payload));
+      world_->buffer_pool().Release(std::move(msg.payload));
     }
 
     std::sort(coord_touched_.begin(), coord_touched_.end());
@@ -540,12 +558,15 @@ class GrapeEngine {
     uint64_t routed = 0;
     for (FragmentId dst : coord_touched_) {
       CoordBatch& batch = coord_batches_[dst];
-      Encoder enc(world_.buffer_pool().Acquire());
+      Encoder enc(world_->buffer_pool().Acquire());
       EncodeOwnedRecords(enc, batch.lids, batch.values);
       routed += batch.lids.size();
-      GRAPE_RETURN_NOT_OK(world_.Send(kCoordinatorRank, RankOf(dst),
+      GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(dst),
                                       kTagParamUpdate, enc.TakeBuffer()));
     }
+    // Delivery barrier: consolidated batches must reach the workers before
+    // the ApplyMessages phase starts polling its mailboxes.
+    GRAPE_RETURN_NOT_OK(world_->Flush());
     return routed;
   }
 
@@ -557,7 +578,7 @@ class GrapeEngine {
     ParamStore<Value>& store = stores_[i];
     std::vector<uint32_t>& lids = apply_lids_[i];
     std::vector<Value>& values = apply_values_[i];
-    while (auto msg = world_.TryRecv(RankOf(i), kTagParamUpdate)) {
+    while (auto msg = world_->TryRecv(RankOf(i), kTagParamUpdate)) {
       Decoder dec(msg->payload);
       // Messages carry destination-local ids straight off the routing
       // plan, so application is a direct array index — no gid hash.
@@ -575,7 +596,7 @@ class GrapeEngine {
           updated_[i].push_back(lid);
         }
       }
-      world_.buffer_pool().Release(std::move(msg->payload));
+      world_->buffer_pool().Release(std::move(msg->payload));
     }
     std::sort(updated_[i].begin(), updated_[i].end());
     updated_[i].erase(std::unique(updated_[i].begin(), updated_[i].end()),
@@ -585,7 +606,8 @@ class GrapeEngine {
 
   const FragmentedGraph& fg_;
   EngineOptions options_;
-  CommWorld world_;
+  std::unique_ptr<Transport> owned_world_;  // only when no external substrate
+  Transport* world_;                        // the substrate actually used
   ThreadPool pool_;
 
   std::vector<App> apps_;                    // one instance per worker

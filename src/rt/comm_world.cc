@@ -1,100 +1,16 @@
 #include "rt/comm_world.h"
 
-#include <cstdio>
-#include <memory>
-
-#include "util/string_util.h"
-
 namespace grape {
-
-std::string CommStats::ToString() const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "messages=%llu bytes=%s",
-                static_cast<unsigned long long>(messages),
-                HumanBytes(bytes).c_str());
-  return buf;
-}
-
-CommWorld::CommWorld(uint32_t size) : size_(size) {
-  mailboxes_.reserve(size);
-  for (uint32_t i = 0; i < size; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  }
-}
 
 Status CommWorld::Send(uint32_t from, uint32_t to, uint32_t tag,
                        std::vector<uint8_t> payload) {
-  if (from >= size_ || to >= size_) {
+  if (from >= size() || to >= size()) {
     return Status::InvalidArgument("rank out of range");
   }
-  total_messages_.fetch_add(1, std::memory_order_relaxed);
-  // Envelope overhead approximates an MPI header: from/to/tag + length.
-  total_bytes_.fetch_add(payload.size() + 16, std::memory_order_relaxed);
-  Mailbox& box = *mailboxes_[to];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(RtMessage{from, to, tag, std::move(payload)});
-  }
-  box.cv.notify_one();
+  if (closed()) return Status::Cancelled("transport closed");
+  CountSend(payload.size());
+  Deliver(RtMessage{from, to, tag, std::move(payload)});
   return Status::OK();
-}
-
-std::optional<RtMessage> CommWorld::TryRecv(uint32_t rank) {
-  Mailbox& box = *mailboxes_[rank];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (box.queue.empty()) return std::nullopt;
-  RtMessage msg = std::move(box.queue.front());
-  box.queue.pop_front();
-  return msg;
-}
-
-std::optional<RtMessage> CommWorld::TryRecv(uint32_t rank, uint32_t tag) {
-  Mailbox& box = *mailboxes_[rank];
-  std::lock_guard<std::mutex> lock(box.mu);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (it->tag == tag) {
-      RtMessage msg = std::move(*it);
-      box.queue.erase(it);
-      return msg;
-    }
-  }
-  return std::nullopt;
-}
-
-RtMessage CommWorld::Recv(uint32_t rank) {
-  Mailbox& box = *mailboxes_[rank];
-  std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait(lock, [&box] { return !box.queue.empty(); });
-  RtMessage msg = std::move(box.queue.front());
-  box.queue.pop_front();
-  return msg;
-}
-
-std::vector<RtMessage> CommWorld::DrainAll(uint32_t rank) {
-  Mailbox& box = *mailboxes_[rank];
-  std::lock_guard<std::mutex> lock(box.mu);
-  std::vector<RtMessage> out(std::make_move_iterator(box.queue.begin()),
-                             std::make_move_iterator(box.queue.end()));
-  box.queue.clear();
-  return out;
-}
-
-size_t CommWorld::PendingCount(uint32_t rank) const {
-  const Mailbox& box = *mailboxes_[rank];
-  std::lock_guard<std::mutex> lock(box.mu);
-  return box.queue.size();
-}
-
-CommStats CommWorld::stats() const {
-  CommStats s;
-  s.messages = total_messages_.load(std::memory_order_relaxed);
-  s.bytes = total_bytes_.load(std::memory_order_relaxed);
-  return s;
-}
-
-void CommWorld::ResetStats() {
-  total_messages_.store(0);
-  total_bytes_.store(0);
 }
 
 }  // namespace grape

@@ -1,86 +1,42 @@
 #ifndef GRAPE_RT_COMM_WORLD_H_
 #define GRAPE_RT_COMM_WORLD_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "rt/message.h"
+#include "rt/transport.h"
 #include "util/status.h"
 
 namespace grape {
 
-/// Aggregate communication counters. Every byte crossing a rank boundary is
-/// counted here; benchmark "Comm." columns read these.
-struct CommStats {
-  uint64_t messages = 0;
-  uint64_t bytes = 0;
-
-  double megabytes() const { return static_cast<double>(bytes) / (1 << 20); }
-  std::string ToString() const;
-};
-
-/// In-process substitute for the paper's MPI Controller (MPICH2): a world of
-/// `size` ranks with reliable, FIFO, thread-safe point-to-point mailboxes.
-/// Rank 0 is conventionally the coordinator P0. Payloads are serialized
+/// In-process Transport backend, the substitute for the paper's MPI
+/// Controller (MPICH2) when every rank lives in one process: Send moves
+/// the payload straight into the destination mailbox, so delivery is
+/// synchronous and Flush is a no-op. Payloads are still fully serialized
 /// bytes, so traffic volume is measured exactly as a network transport
 /// would see it; only latency/bandwidth differ from a real cluster, which
 /// affects absolute times, not the relative shapes the paper reports.
-class CommWorld {
+class CommWorld final : public MailboxTransport {
  public:
-  explicit CommWorld(uint32_t size);
+  explicit CommWorld(uint32_t size) : MailboxTransport(size) {}
 
   CommWorld(const CommWorld&) = delete;
   CommWorld& operator=(const CommWorld&) = delete;
 
-  uint32_t size() const { return size_; }
+  std::string name() const override { return "inproc"; }
 
-  /// Delivers `payload` to `to`'s mailbox. Thread-safe.
+  /// Delivers `payload` to `to`'s mailbox before returning. Thread-safe.
   Status Send(uint32_t from, uint32_t to, uint32_t tag,
-              std::vector<uint8_t> payload);
+              std::vector<uint8_t> payload) override;
 
-  /// Non-blocking receive: pops the oldest pending message for `rank`
-  /// (optionally filtered by tag); std::nullopt if the mailbox is empty.
-  std::optional<RtMessage> TryRecv(uint32_t rank);
-  std::optional<RtMessage> TryRecv(uint32_t rank, uint32_t tag);
+  /// Delivery is synchronous, so the barrier only has to report shutdown.
+  Status Flush() override {
+    if (closed()) return Status::Cancelled("transport closed");
+    return Status::OK();
+  }
 
-  /// Blocking receive with no timeout; used by tests exercising the
-  /// channel's cross-thread semantics.
-  RtMessage Recv(uint32_t rank);
-
-  /// Drains every pending message for `rank`.
-  std::vector<RtMessage> DrainAll(uint32_t rank);
-
-  size_t PendingCount(uint32_t rank) const;
-
-  /// Global counters since construction or the last ResetStats().
-  CommStats stats() const;
-  void ResetStats();
-
-  /// Payload recycling shared by every rank: encode into Acquire()d
-  /// buffers, Release() consumed payloads. Using the pool is optional —
-  /// Send accepts any vector — but the engine's message path routes every
-  /// payload through it so steady-state supersteps allocate nothing.
-  BufferPool& buffer_pool() { return pool_; }
-
- private:
-  struct Mailbox {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::deque<RtMessage> queue;
-  };
-
-  uint32_t size_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  BufferPool pool_;
-  std::atomic<uint64_t> total_messages_{0};
-  std::atomic<uint64_t> total_bytes_{0};
+  void Close() override { MarkClosed(); }
 };
 
 }  // namespace grape

@@ -1,0 +1,131 @@
+#ifndef GRAPE_RT_FLAKY_TRANSPORT_H_
+#define GRAPE_RT_FLAKY_TRANSPORT_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rt/transport.h"
+#include "util/random.h"
+
+namespace grape {
+
+/// Fault plan for FlakyTransport. Rates are per-message probabilities
+/// drawn from a seeded Rng, so a given (plan, seed, workload) misbehaves
+/// reproducibly.
+struct FlakyOptions {
+  double drop_rate = 0.0;   // message vanishes; the inner transport and
+                            // its stats never see it
+  double dup_rate = 0.0;    // message is delivered twice
+  double delay_rate = 0.0;  // message is held back one Flush epoch
+  uint64_t seed = 42;
+  /// When non-zero, Send starts failing with Unavailable after this many
+  /// accepted sends — the hard-fault knob for error-propagation tests.
+  uint64_t fail_send_after = 0;
+};
+
+/// Fault-injection decorator over any Transport: drops, duplicates, and
+/// delays messages by seed, and can turn Send into a hard failure. Used by
+/// tests/transport_fault_test.cc to prove the engine surfaces Status
+/// errors (through DispatchSends/CoordinatorRoute) instead of hanging on a
+/// misbehaving substrate.
+///
+/// Delay semantics: a delayed message is withheld from the inner transport
+/// until the *next* Flush call (one barrier epoch late — exactly the
+/// reordering a congested network produces between supersteps). Note that
+/// this deliberately violates the Transport Flush contract, so a delayed
+/// message can still be in flight when the engine's fixpoint check fires;
+/// tests assert liveness and monotone degradation, not exact results.
+/// Messages still held at Close are dropped.
+class FlakyTransport final : public Transport {
+ public:
+  FlakyTransport(Transport* inner, FlakyOptions options)
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  uint32_t size() const override { return inner_->size(); }
+  std::string name() const override { return "flaky+" + inner_->name(); }
+
+  Status Send(uint32_t from, uint32_t to, uint32_t tag,
+              std::vector<uint8_t> payload) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.fail_send_after != 0 &&
+        accepted_ >= options_.fail_send_after) {
+      return Status::Unavailable("injected send failure after " +
+                                 std::to_string(accepted_) + " sends");
+    }
+    ++accepted_;
+    const double roll = rng_.NextDouble();
+    if (roll < options_.drop_rate) {
+      ++dropped_;
+      return Status::OK();
+    }
+    if (roll < options_.drop_rate + options_.dup_rate) {
+      ++duplicated_;
+      std::vector<uint8_t> copy = payload;
+      GRAPE_RETURN_NOT_OK(inner_->Send(from, to, tag, std::move(copy)));
+      return inner_->Send(from, to, tag, std::move(payload));
+    }
+    if (roll < options_.drop_rate + options_.dup_rate + options_.delay_rate) {
+      ++delayed_;
+      pending_.push_back(RtMessage{from, to, tag, std::move(payload)});
+      return Status::OK();
+    }
+    return inner_->Send(from, to, tag, std::move(payload));
+  }
+
+  /// Releases messages delayed before the previous Flush, then holds this
+  /// epoch's batch for the next one.
+  Status Flush() override {
+    std::vector<RtMessage> due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      due.swap(held_);
+      held_.swap(pending_);
+    }
+    for (RtMessage& msg : due) {
+      GRAPE_RETURN_NOT_OK(
+          inner_->Send(msg.from, msg.to, msg.tag, std::move(msg.payload)));
+    }
+    return inner_->Flush();
+  }
+
+  std::optional<RtMessage> TryRecv(uint32_t rank) override {
+    return inner_->TryRecv(rank);
+  }
+  std::optional<RtMessage> TryRecv(uint32_t rank, uint32_t tag) override {
+    return inner_->TryRecv(rank, tag);
+  }
+  Result<RtMessage> Recv(uint32_t rank) override { return inner_->Recv(rank); }
+  std::vector<RtMessage> DrainAll(uint32_t rank) override {
+    return inner_->DrainAll(rank);
+  }
+  size_t PendingCount(uint32_t rank) const override {
+    return inner_->PendingCount(rank);
+  }
+  void Close() override { inner_->Close(); }
+  CommStats stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+  BufferPool& buffer_pool() override { return inner_->buffer_pool(); }
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t delayed() const { return delayed_; }
+
+ private:
+  Transport* inner_;  // not owned; must outlive this decorator
+  FlakyOptions options_;
+  std::mutex mu_;
+  Rng rng_;
+  uint64_t accepted_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t delayed_ = 0;
+  std::vector<RtMessage> pending_;  // delayed in the current epoch
+  std::vector<RtMessage> held_;     // due at the next Flush
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_RT_FLAKY_TRANSPORT_H_

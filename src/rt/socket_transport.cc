@@ -1,0 +1,424 @@
+#include "rt/socket_transport.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/codec.h"
+
+namespace grape {
+namespace {
+
+// Parent-side fds of every live SocketTransport in this process. A forked
+// endpoint child must close ALL of them — not just its own transport's —
+// or a child of transport B keeps an inherited dup of transport A's
+// channel write ends alive, A's children never see EOF, and A's
+// destructor blocks forever on its receiver threads. The mutex is held
+// across the whole Init (snapshot + forks + registration), serializing
+// concurrent Creates so a fork can never miss a just-created fd.
+std::mutex& FdRegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<int>& FdRegistry() {
+  static std::set<int> fds;
+  return fds;
+}
+
+void UnregisterFds(const std::vector<int>& fds) {
+  std::lock_guard<std::mutex> lock(FdRegistryMutex());
+  for (int fd : fds) FdRegistry().erase(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint child. Forked from a (possibly multi-threaded) parent, so it may
+// only run async-signal-safe code: raw syscalls over memory preallocated
+// before fork. No malloc, no stdio, no locks.
+// ---------------------------------------------------------------------------
+
+/// Everything a child needs, sized and allocated before fork.
+struct ChildPlan {
+  std::vector<int> in_fds;        // read ends of channels (*, rank)
+  std::vector<struct pollfd> pfds;
+  std::vector<int> pfd_idx;       // pfds position -> in_fds index
+  std::vector<uint8_t> buf;       // payload relay chunks
+  std::vector<int> close_fds;     // inherited fds this child must drop
+  int uplink = -1;                // write end toward the parent receiver
+};
+
+/// Reads exactly `n` bytes. Returns 1 on success, 0 on clean EOF before the
+/// first byte, -1 on error or EOF mid-record.
+int ReadFullFd(int fd, uint8_t* p, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t k = read(fd, p + got, n - got);
+    if (k == 0) return got == 0 ? 0 : -1;
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(k);
+  }
+  return 1;
+}
+
+bool WriteFullFd(int fd, const uint8_t* p, size_t n) {
+  size_t put = 0;
+  while (put < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    ssize_t k = send(fd, p + put, n - put, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<size_t>(k);
+  }
+  return true;
+}
+
+/// Streams `n` payload bytes from `in` to `out` through `buf` without
+/// buffering the whole frame.
+bool RelayPayload(int in, int out, uint8_t* buf, size_t buf_size, size_t n) {
+  while (n > 0) {
+    size_t want = n < buf_size ? n : buf_size;
+    ssize_t k = read(in, buf, want);
+    if (k <= 0) {
+      if (k < 0 && errno == EINTR) continue;
+      return false;  // EOF mid-frame is a protocol violation
+    }
+    if (!WriteFullFd(out, buf, static_cast<size_t>(k))) return false;
+    n -= static_cast<size_t>(k);
+  }
+  return true;
+}
+
+/// The endpoint process: relays complete frames from the rank's per-peer
+/// channels onto its uplink, preserving per-channel order, until every
+/// channel reaches EOF (the parent closed its write ends).
+[[noreturn]] void ChildMain(ChildPlan& plan) {
+  for (int fd : plan.close_fds) close(fd);
+  for (;;) {
+    nfds_t live = 0;
+    for (size_t i = 0; i < plan.in_fds.size(); ++i) {
+      if (plan.in_fds[i] < 0) continue;
+      plan.pfds[live] = {plan.in_fds[i], POLLIN, 0};
+      plan.pfd_idx[live] = static_cast<int>(i);
+      ++live;
+    }
+    if (live == 0) _exit(0);
+    int rc = poll(plan.pfds.data(), live, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      _exit(1);
+    }
+    for (nfds_t j = 0; j < live; ++j) {
+      if (plan.pfds[j].revents == 0) continue;
+      const int i = plan.pfd_idx[j];
+      const int fd = plan.in_fds[i];
+      uint8_t header[kFrameHeaderBytes];
+      int h = ReadFullFd(fd, header, sizeof(header));
+      if (h == 0) {  // clean channel shutdown
+        close(fd);
+        plan.in_fds[i] = -1;
+        continue;
+      }
+      if (h < 0) _exit(1);
+      const uint32_t len = static_cast<uint32_t>(header[12]) |
+                           static_cast<uint32_t>(header[13]) << 8 |
+                           static_cast<uint32_t>(header[14]) << 16 |
+                           static_cast<uint32_t>(header[15]) << 24;
+      if (len > kMaxFramePayloadBytes) _exit(1);
+      if (!WriteFullFd(plan.uplink, header, sizeof(header))) _exit(1);
+      if (!RelayPayload(fd, plan.uplink, plan.buf.data(), plan.buf.size(),
+                        len)) {
+        _exit(1);
+      }
+    }
+  }
+}
+
+constexpr size_t kRelayChunkBytes = 64 * 1024;
+
+}  // namespace
+
+SocketTransport::SocketTransport(uint32_t size)
+    : MailboxTransport(size) {
+  channels_.reserve(static_cast<size_t>(size) * size);
+  for (size_t i = 0; i < static_cast<size_t>(size) * size; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  uplink_read_fds_.assign(size, -1);
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Create(
+    uint32_t size) {
+  if (size == 0) {
+    return Status::InvalidArgument("transport size must be positive");
+  }
+  std::unique_ptr<SocketTransport> t(new SocketTransport(size));
+  GRAPE_RETURN_NOT_OK(t->Init());
+  return t;
+}
+
+Status SocketTransport::Init() {
+  const uint32_t n = size();
+  // Held for the whole setup: other transports' registered fds are closed
+  // by our children, and our fds are registered before anyone else forks.
+  std::lock_guard<std::mutex> registry_lock(FdRegistryMutex());
+  std::vector<int> chan_read(static_cast<size_t>(n) * n, -1);
+  std::vector<int> chan_write(static_cast<size_t>(n) * n, -1);
+  std::vector<int> up_read(n, -1);
+  std::vector<int> up_write(n, -1);
+
+  auto cleanup = [&](const std::string& what) {
+    for (int fd : chan_read) {
+      if (fd >= 0) close(fd);
+    }
+    for (int fd : chan_write) {
+      if (fd >= 0) close(fd);
+    }
+    for (int fd : up_read) {
+      if (fd >= 0) close(fd);
+    }
+    for (int fd : up_write) {
+      if (fd >= 0) close(fd);
+    }
+    for (pid_t pid : children_) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+    children_.clear();
+    return Status::IOError("socket transport setup failed: " + what + ": " +
+                           std::strerror(errno));
+  };
+
+  for (size_t c = 0; c < chan_read.size(); ++c) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      return cleanup("socketpair(channel)");
+    }
+    chan_read[c] = sv[0];
+    chan_write[c] = sv[1];
+  }
+  for (uint32_t r = 0; r < n; ++r) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      return cleanup("socketpair(uplink)");
+    }
+    up_read[r] = sv[0];
+    up_write[r] = sv[1];
+  }
+
+  // Everything a child must NOT keep: computed per rank before its fork so
+  // the child only closes fds, never allocates.
+  std::vector<ChildPlan> plans(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    ChildPlan& plan = plans[r];
+    plan.in_fds.resize(n);
+    plan.pfds.resize(n);
+    plan.pfd_idx.resize(n);
+    plan.buf.resize(kRelayChunkBytes);
+    plan.uplink = up_write[r];
+    for (uint32_t s = 0; s < n; ++s) {
+      plan.in_fds[s] = chan_read[static_cast<size_t>(s) * n + r];
+    }
+    plan.close_fds.reserve(chan_read.size() + chan_write.size() + 2 * n +
+                           FdRegistry().size());
+    for (int fd : FdRegistry()) plan.close_fds.push_back(fd);
+    for (size_t c = 0; c < chan_read.size(); ++c) {
+      if (c % n != r) plan.close_fds.push_back(chan_read[c]);
+      plan.close_fds.push_back(chan_write[c]);
+    }
+    for (uint32_t u = 0; u < n; ++u) {
+      plan.close_fds.push_back(up_read[u]);
+      if (u != r) plan.close_fds.push_back(up_write[u]);
+    }
+  }
+
+  for (uint32_t r = 0; r < n; ++r) {
+    pid_t pid = fork();
+    if (pid < 0) return cleanup("fork(endpoint)");
+    if (pid == 0) ChildMain(plans[r]);  // never returns
+    children_.push_back(pid);
+  }
+
+  // Parent keeps only the channel write ends and the uplink read ends;
+  // register them so later-created transports' children close them too.
+  for (size_t c = 0; c < chan_read.size(); ++c) {
+    close(chan_read[c]);
+    channels_[c]->fd = chan_write[c];
+    FdRegistry().insert(chan_write[c]);
+  }
+  for (uint32_t r = 0; r < n; ++r) {
+    close(up_write[r]);
+    uplink_read_fds_[r] = up_read[r];
+    FdRegistry().insert(up_read[r]);
+  }
+
+  receivers_.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    receivers_.emplace_back([this, r] { ReceiverLoop(r); });
+  }
+  return Status::OK();
+}
+
+SocketTransport::~SocketTransport() {
+  Close();
+  for (std::thread& t : receivers_) {
+    if (t.joinable()) t.join();
+  }
+  std::vector<int> closed;
+  for (int& fd : uplink_read_fds_) {
+    if (fd >= 0) {
+      close(fd);
+      closed.push_back(fd);
+      fd = -1;
+    }
+  }
+  UnregisterFds(closed);
+  ReapChildren();
+}
+
+Status SocketTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
+                             std::vector<uint8_t> payload) {
+  if (from >= size() || to >= size()) {
+    return Status::InvalidArgument("rank out of range");
+  }
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("payload exceeds the frame bound");
+  }
+  if (closed()) return Status::Cancelled("transport closed");
+  if (broken_.load(std::memory_order_acquire)) {
+    return Status::IOError("socket transport endpoint died");
+  }
+
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(
+      FrameHeader{from, to, tag, static_cast<uint32_t>(payload.size())},
+      header);
+  Channel& ch = *channels_[static_cast<size_t>(from) * size() + to];
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (ch.fd < 0) return Status::Cancelled("transport closed");
+    // Count the frame as sent BEFORE it hits the wire: a concurrently
+    // delivered frame must never let Flush observe delivered >= sent
+    // while a Send that already returned is still in flight. A failed
+    // write leaves sent permanently ahead of delivered, which is fine —
+    // broken_ short-circuits the Flush predicate.
+    frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+    if (!WriteFullFd(ch.fd, header, sizeof(header)) ||
+        !WriteFullFd(ch.fd, payload.data(), payload.size())) {
+      broken_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> flush_lock(flush_mu_);
+      }
+      flush_cv_.notify_all();  // wake any Flush blocked on this frame
+      return Status::IOError("socket transport write failed");
+    }
+  }
+  CountSend(payload.size());
+  // The frame is on the wire; the payload buffer can cycle immediately.
+  buffer_pool().Release(std::move(payload));
+  return Status::OK();
+}
+
+void SocketTransport::ReceiverLoop(uint32_t rank) {
+  const int fd = uplink_read_fds_[rank];
+  uint8_t header[kFrameHeaderBytes];
+  bool clean = true;
+  for (;;) {
+    int h = ReadFullFd(fd, header, sizeof(header));
+    if (h == 0) break;  // uplink EOF: endpoint exited after Close
+    if (h < 0) {
+      clean = false;
+      break;
+    }
+    FrameHeader fh;
+    if (!DecodeFrameHeader(header, sizeof(header), &fh).ok() ||
+        fh.to != rank) {
+      clean = false;
+      break;
+    }
+    std::vector<uint8_t> payload = buffer_pool().Acquire();
+    payload.resize(fh.payload_len);
+    if (fh.payload_len > 0 &&
+        ReadFullFd(fd, payload.data(), fh.payload_len) != 1) {
+      clean = false;
+      break;
+    }
+    Deliver(RtMessage{fh.from, fh.to, fh.tag, std::move(payload)});
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      frames_delivered_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    flush_cv_.notify_all();
+  }
+  if (!clean) {
+    broken_.store(true, std::memory_order_release);
+    MarkClosed();  // a broken substrate must not leave Recv blocked
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+  }
+  flush_cv_.notify_all();
+}
+
+Status SocketTransport::Flush() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [this] {
+    return broken_.load(std::memory_order_acquire) || closed() ||
+           frames_delivered_.load(std::memory_order_acquire) >=
+               frames_sent_.load(std::memory_order_acquire);
+  });
+  if (broken_.load(std::memory_order_acquire)) {
+    return Status::IOError("socket transport endpoint died in flight");
+  }
+  if (closed()) return Status::Cancelled("transport closed");
+  return Status::OK();
+}
+
+void SocketTransport::Close() {
+  std::call_once(close_once_, [this] {
+    MarkClosed();
+    CloseSendSide();
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+    }
+    flush_cv_.notify_all();
+  });
+}
+
+void SocketTransport::CloseSendSide() {
+  // Deregister in the same step as the close: a later Create could be
+  // handed the same fd number by the kernel, and a stale registry entry
+  // would make that transport's children close their own channel.
+  std::vector<int> closed;
+  for (auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    if (ch->fd >= 0) {
+      close(ch->fd);
+      closed.push_back(ch->fd);
+      ch->fd = -1;
+    }
+  }
+  UnregisterFds(closed);
+}
+
+void SocketTransport::ReapChildren() {
+  for (pid_t pid : children_) {
+    waitpid(pid, nullptr, 0);
+  }
+  children_.clear();
+}
+
+}  // namespace grape

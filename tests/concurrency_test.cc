@@ -134,8 +134,9 @@ TEST(CommWorldTest, CrossThreadBlockingRecv) {
   std::thread sender([&world] {
     world.Send(0, 1, kTagControl, {42});
   });
-  RtMessage msg = world.Recv(1);
-  EXPECT_EQ(msg.payload[0], 42);
+  Result<RtMessage> msg = world.Recv(1);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload[0], 42);
   sender.join();
 }
 

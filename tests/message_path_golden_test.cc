@@ -1,15 +1,18 @@
-// Differential guard for the dense zero-hash message path: the golden rows
-// below were captured from the seed (hash-map) flush/route/apply at commit
-// ec95ff1, running the scenarios in tests/message_path_scenarios.h. The
-// dense path must reproduce them exactly — same message count, same byte
-// count (the wire format was redesigned to be byte-count-preserving), same
-// superstep count, and bit-identical outputs. A mismatch means routing
-// semantics changed, which is a correctness bug, not a perf trade-off.
+// Differential guard for the engine's message path: the golden rows below
+// were captured from the seed (hash-map) flush/route/apply at commit
+// ec95ff1, running the scenarios in tests/message_path_scenarios.h. Every
+// (scenario, transport backend) combination must reproduce them exactly —
+// same message count, same byte count (the wire format is byte-count
+// preserving and the socket frame envelope equals the counted 16-byte
+// header), same superstep count, and bit-identical outputs. A mismatch
+// means routing semantics changed — or the substrate leaked into the
+// computation — which is a correctness bug, not a perf trade-off.
 
 #include <map>
 #include <string>
 
 #include "gtest/gtest.h"
+#include "rt/transport.h"
 #include "tests/message_path_scenarios.h"
 
 namespace grape {
@@ -35,44 +38,68 @@ const GoldenRow kGolden[] = {
     {"pagerank_rmat_metis5", 434ull, 113566ull, 31u, 0x4414656a78cc731full},
 };
 
-class MessagePathGoldenTest
-    : public ::testing::TestWithParam<testing::MessagePathScenario> {};
+/// One (scenario, backend) cell of the differential matrix.
+struct GoldenCase {
+  testing::MessagePathScenario scenario;
+  std::string transport;
+};
+
+std::vector<GoldenCase> AllGoldenCases() {
+  std::vector<GoldenCase> cases;
+  for (const auto& s : testing::AllMessagePathScenarios()) {
+    for (const std::string& t : TransportNames()) {
+      cases.push_back(GoldenCase{s, t});
+    }
+  }
+  return cases;
+}
+
+class MessagePathGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
 
 TEST_P(MessagePathGoldenTest, MatchesSeedSemantics) {
-  const auto& s = GetParam();
+  const auto& s = GetParam().scenario;
+  const std::string& transport = GetParam().transport;
   const GoldenRow* golden = nullptr;
   for (const GoldenRow& row : kGolden) {
     if (std::string(row.name) == s.name) golden = &row;
   }
   ASSERT_NE(golden, nullptr) << "no golden row for scenario " << s.name;
 
-  testing::MessagePathObservation obs =
-      testing::RunMessagePathScenario(s.app, s.graph, s.strategy, s.workers);
-  EXPECT_EQ(obs.messages, golden->messages) << s.name;
-  EXPECT_EQ(obs.bytes, golden->bytes) << s.name;
-  EXPECT_EQ(obs.supersteps, golden->supersteps) << s.name;
+  testing::MessagePathObservation obs = testing::RunMessagePathScenario(
+      s.app, s.graph, s.strategy, s.workers, transport);
+  EXPECT_EQ(obs.messages, golden->messages) << s.name << " on " << transport;
+  EXPECT_EQ(obs.bytes, golden->bytes) << s.name << " on " << transport;
+  EXPECT_EQ(obs.supersteps, golden->supersteps)
+      << s.name << " on " << transport;
   EXPECT_EQ(obs.output_hash, golden->output_hash)
-      << s.name << ": output is not bit-identical to the seed path";
+      << s.name << " on " << transport
+      << ": output is not bit-identical to the seed path";
 }
 
 // Determinism of the path itself: two runs of the same scenario must agree
 // on every observable (the golden rows above are only meaningful if so).
+// Runs once per backend, so socket-transport scheduling nondeterminism
+// (poll order across senders) is shown not to leak into observables.
 TEST(MessagePathGoldenTest, RunsAreDeterministic) {
-  for (const auto& s : testing::AllMessagePathScenarios()) {
-    auto a = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
-                                             s.workers);
-    auto b = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
-                                             s.workers);
-    EXPECT_EQ(a.messages, b.messages) << s.name;
-    EXPECT_EQ(a.bytes, b.bytes) << s.name;
-    EXPECT_EQ(a.output_hash, b.output_hash) << s.name;
+  for (const std::string& transport : TransportNames()) {
+    for (const auto& s : testing::AllMessagePathScenarios()) {
+      auto a = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
+                                               s.workers, transport);
+      auto b = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
+                                               s.workers, transport);
+      EXPECT_EQ(a.messages, b.messages) << s.name << " on " << transport;
+      EXPECT_EQ(a.bytes, b.bytes) << s.name << " on " << transport;
+      EXPECT_EQ(a.output_hash, b.output_hash) << s.name << " on " << transport;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Matrix, MessagePathGoldenTest,
-    ::testing::ValuesIn(testing::AllMessagePathScenarios()),
-    [](const auto& info) { return std::string(info.param.name); });
+INSTANTIATE_TEST_SUITE_P(Matrix, MessagePathGoldenTest,
+                         ::testing::ValuesIn(AllGoldenCases()),
+                         [](const auto& info) {
+                           return std::string(info.param.scenario.name) + "_" +
+                                  info.param.transport;
+                         });
 
 }  // namespace
 }  // namespace grape

@@ -22,6 +22,7 @@
 #include "graph/generators.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "rt/transport.h"
 
 namespace grape {
 namespace testing {
@@ -78,29 +79,37 @@ inline Graph ScenarioGraph(const std::string& kind) {
   return std::move(g).value();
 }
 
-/// app is one of "sssp", "cc", "pagerank".
+/// app is one of "sssp", "cc", "pagerank"; transport is a MakeTransport
+/// backend name ("inproc" reproduces the engine's historical private
+/// CommWorld; "socket" runs the same scenario over forked endpoint
+/// processes — observables must not change).
 inline MessagePathObservation RunMessagePathScenario(
     const std::string& app, const std::string& graph_kind,
-    const std::string& strategy, FragmentId workers) {
+    const std::string& strategy, FragmentId workers,
+    const std::string& transport = "inproc") {
   Graph g = ScenarioGraph(graph_kind);
   FragmentedGraph fg = ScenarioFragments(g, strategy, workers);
+  auto world = MakeTransport(transport, workers + 1);
+  GRAPE_CHECK(world.ok()) << world.status();
+  EngineOptions options;
+  options.transport = world->get();
   MessagePathObservation obs;
   if (app == "sssp") {
-    GrapeEngine<SsspApp> engine(fg, SsspApp{});
+    GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
     auto out = engine.Run(SsspQuery{3});
     obs.output_hash = HashVector(out->dist);
     obs.messages = engine.metrics().messages;
     obs.bytes = engine.metrics().bytes;
     obs.supersteps = engine.metrics().supersteps;
   } else if (app == "cc") {
-    GrapeEngine<CcApp> engine(fg, CcApp{});
+    GrapeEngine<CcApp> engine(fg, CcApp{}, options);
     auto out = engine.Run(CcQuery{});
     obs.output_hash = HashVector(out->label);
     obs.messages = engine.metrics().messages;
     obs.bytes = engine.metrics().bytes;
     obs.supersteps = engine.metrics().supersteps;
   } else {
-    GrapeEngine<PageRankApp> engine(fg, PageRankApp{});
+    GrapeEngine<PageRankApp> engine(fg, PageRankApp{}, options);
     PageRankQuery query;
     query.max_iterations = 30;
     auto out = engine.Run(query);

@@ -1,0 +1,158 @@
+// Fault injection against the engine's message path: a FlakyTransport
+// decorator drops, duplicates, delays, or hard-fails traffic between the
+// engine and its substrate. The engine's contract under faults: hard
+// failures surface as Status through DispatchSends/CoordinatorRoute (PR 2's
+// error propagation) to the Run() caller; soft faults (drop/dup/delay) may
+// change results but must never hang the fixed point.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/sssp.h"
+#include "gtest/gtest.h"
+#include "rt/comm_world.h"
+#include "rt/flaky_transport.h"
+#include "tests/message_path_scenarios.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+struct SsspFixture {
+  Graph graph;
+  FragmentedGraph fg;
+
+  static SsspFixture Make() {
+    Graph g = testing::ScenarioGraph("grid");
+    FragmentedGraph fg = testing::ScenarioFragments(g, "hash", 4);
+    return SsspFixture{std::move(g), std::move(fg)};
+  }
+
+  Result<SsspOutput> Run(Transport* transport,
+                         EngineMetrics* metrics = nullptr) {
+    EngineOptions options;
+    options.transport = transport;
+    // A flaky substrate must terminate via the engine's fixpoint/termination
+    // logic, not by us waiting forever; cap the rounds defensively.
+    options.max_supersteps = 2000;
+    GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
+    auto out = engine.Run(SsspQuery{3});
+    if (metrics != nullptr) *metrics = engine.metrics();
+    return out;
+  }
+};
+
+TEST(TransportFaultTest, InjectedSendFailureReachesRunCaller) {
+  SsspFixture f = SsspFixture::Make();
+  CommWorld inner(5);
+  FlakyOptions fo;
+  fo.fail_send_after = 3;  // fails inside the very first DispatchSends
+  FlakyTransport flaky(&inner, fo);
+  auto out = f.Run(&flaky);
+  ASSERT_FALSE(out.ok()) << "engine swallowed an injected Send failure";
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+TEST(TransportFaultTest, LateSendFailureHitsCoordinatorPathToo) {
+  SsspFixture f = SsspFixture::Make();
+  // First find how many sends a clean run issues, then fail somewhere in
+  // the middle so the failing Send is a coordinator consolidated batch or
+  // a later-superstep flush — the propagation paths differ.
+  CommWorld clean(5);
+  ASSERT_TRUE(f.Run(&clean).ok());
+  const uint64_t total = clean.stats().messages;
+  ASSERT_GT(total, 20u);
+
+  CommWorld inner(5);
+  FlakyOptions fo;
+  fo.fail_send_after = total / 2;
+  FlakyTransport flaky(&inner, fo);
+  auto out = f.Run(&flaky);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+TEST(TransportFaultTest, DroppedMessagesNeverHangTheEngine) {
+  SsspFixture f = SsspFixture::Make();
+  for (uint64_t seed : {1ull, 7ull, 1234ull}) {
+    CommWorld inner(5);
+    FlakyOptions fo;
+    fo.drop_rate = 0.2;
+    fo.seed = seed;
+    FlakyTransport flaky(&inner, fo);
+    EngineMetrics metrics;
+    auto out = f.Run(&flaky, &metrics);
+    // Dropping update parameters can only under-inform workers: results
+    // may be wrong, but the fixed point still terminates and Run returns.
+    ASSERT_TRUE(out.ok()) << out.status();
+    EXPECT_GT(flaky.dropped(), 0u) << "fault plan injected nothing";
+    EXPECT_LT(metrics.supersteps, 2000u) << "hit the defensive cap";
+  }
+}
+
+TEST(TransportFaultTest, DuplicatesAreAbsorbedByIdempotentAggregation) {
+  SsspFixture f = SsspFixture::Make();
+  CommWorld clean_world(5);
+  auto clean = f.Run(&clean_world);
+  ASSERT_TRUE(clean.ok());
+
+  CommWorld inner(5);
+  FlakyOptions fo;
+  fo.dup_rate = 0.3;
+  fo.seed = 99;
+  FlakyTransport flaky(&inner, fo);
+  auto out = f.Run(&flaky);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(flaky.duplicated(), 0u) << "fault plan injected nothing";
+  // min is idempotent: delivering an update twice must not change the
+  // converged distances.
+  EXPECT_EQ(out->dist, clean->dist);
+}
+
+TEST(TransportFaultTest, DelayedDeliveryNeverHangsAndOnlyOverEstimates) {
+  SsspFixture f = SsspFixture::Make();
+  CommWorld clean_world(5);
+  auto clean = f.Run(&clean_world);
+  ASSERT_TRUE(clean.ok());
+
+  for (uint64_t seed : {7ull, 21ull, 77ull}) {
+    CommWorld inner(5);
+    FlakyOptions fo;
+    fo.delay_rate = 0.25;
+    fo.seed = seed;
+    FlakyTransport flaky(&inner, fo);
+    EngineMetrics metrics;
+    auto out = f.Run(&flaky, &metrics);
+    // Delay deliberately violates the Flush barrier contract, so a batch
+    // released after the fixpoint check can be stranded — the engine's BSP
+    // termination is only sound over a conforming substrate. The hard
+    // guarantees under a non-conforming one: Run returns (no hang), and a
+    // monotonic app only ever *over*-estimates, because every update that
+    // does arrive carries a real path length.
+    ASSERT_TRUE(out.ok()) << out.status();
+    EXPECT_GT(flaky.delayed(), 0u) << "fault plan injected nothing";
+    EXPECT_LT(metrics.supersteps, 2000u) << "hit the defensive cap";
+    ASSERT_EQ(out->dist.size(), clean->dist.size());
+    for (size_t v = 0; v < out->dist.size(); ++v) {
+      EXPECT_GE(out->dist[v], clean->dist[v])
+          << "vertex " << v << " under-estimated under delay (seed " << seed
+          << ")";
+    }
+  }
+}
+
+TEST(TransportFaultTest, FlakyOverSocketBackendPropagatesToo) {
+  SsspFixture f = SsspFixture::Make();
+  auto inner = MakeTransport("socket", 5);
+  ASSERT_TRUE(inner.ok()) << inner.status();
+  FlakyOptions fo;
+  fo.fail_send_after = 10;
+  FlakyTransport flaky(inner->get(), fo);
+  auto out = f.Run(&flaky);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+}  // namespace
+}  // namespace grape
