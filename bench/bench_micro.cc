@@ -453,6 +453,9 @@ BENCHMARK_CAPTURE(BM_TransportSendRecv, inproc, "inproc")
 BENCHMARK_CAPTURE(BM_TransportSendRecv, socket, "socket")
     ->Arg(256)
     ->Arg(65536);
+BENCHMARK_CAPTURE(BM_TransportSendRecv, tcp, "tcp")
+    ->Arg(256)
+    ->Arg(65536);
 
 void BM_GrapeSsspEndToEnd(benchmark::State& state) {
   auto g = GenerateGridRoad(64, 64, 6);

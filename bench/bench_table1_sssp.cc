@@ -14,19 +14,22 @@
 // orders of magnitude below per-vertex messaging.
 //
 // Flags: --rows --cols (grid size), --workers, --source,
-//        --transport inproc|socket (substrate for the GRAPE rows),
+//        --transport inproc|socket|tcp (substrate for the GRAPE rows),
+//        --rank N --hosts a:p,... (tcp cluster mode; rank>0 = endpoint),
 //        --json <path> (machine-readable report, rows in table order).
 //
-// Besides the four-system table, the bench always appends an
-// inproc-vs-socket GRAPE pair on the same partition, tracking what the
-// multi-process substrate (forked endpoints + AF_UNIX frames + Flush
-// barriers) costs per superstep relative to in-memory mailboxes.
+// Besides the four-system table, the bench always appends a GRAPE row per
+// transport backend (inproc, socket, tcp) on the same partition, tracking
+// what each multi-process substrate (forked endpoints + AF_UNIX frames,
+// or TCP-meshed endpoints + the same frames) costs per superstep relative
+// to in-memory mailboxes.
 
 #include <memory>
 #include <string>
 
 #include "apps/seq/seq_algorithms.h"
 #include "bench/bench_util.h"
+#include "rt/cluster.h"
 #include "rt/transport.h"
 #include "util/flags.h"
 
@@ -44,8 +47,25 @@ int Run(int argc, char** argv) {
   const VertexId source = static_cast<VertexId>(flags.GetInt("source", 0));
   const std::string transport = flags.GetString("transport", "inproc");
 
+  auto cluster = ClusterSpec::FromFlags(flags);
+  GRAPE_CHECK(cluster.ok()) << cluster.status();
+  // Cluster endpoint mode (--rank > 0): serve this rank's place in the
+  // tcp mesh for the rank-0 bench process, then exit.
+  int endpoint_exit = 0;
+  if (RanAsClusterEndpoint(*cluster, transport, &endpoint_exit)) {
+    return endpoint_exit;
+  }
+
+  // In cluster mode the remote endpoints serve exactly one world and then
+  // exit, so only the FIRST world of the chosen substrate (the headline
+  // GRAPE row) gets the --hosts roster; every other row — including the
+  // same backend's later rows — runs on a local auto-spawn world.
+  bool cluster_world_used = cluster->single_host();
   auto make_world = [&](const std::string& backend) {
-    auto t = MakeTransport(backend, workers + 1);
+    auto t = (backend == transport && !cluster_world_used)
+                 ? MakeClusterTransport(backend, workers + 1, *cluster)
+                 : MakeTransport(backend, workers + 1);
+    if (backend == transport) cluster_world_used = true;
     GRAPE_CHECK(t.ok()) << t.status();
     return std::move(t).value();
   };
@@ -106,8 +126,10 @@ int Run(int argc, char** argv) {
                         with_transport(world.get()),
                         "GRAPE (" + backend + ")");
   };
-  table.push_back(pair_row("inproc"));
-  table.push_back(pair_row("socket"));
+  const size_t pair_base = table.size();
+  for (const std::string& backend : TransportNames()) {
+    table.push_back(pair_row(backend));
+  }
   PrintSystemTable(table);
 
   const SystemRow& grape = table[3];
@@ -123,14 +145,17 @@ int Run(int argc, char** argv) {
   std::printf("  comm  ratio Block/GRAPE  = %8.1fx   (paper: ~5.6e4x)\n",
               static_cast<double>(table[2].bytes) / grape.bytes);
 
-  const SystemRow& inproc_row = table[5];
-  const SystemRow& socket_row = table[6];
-  std::printf("\nTransport pair (same engine/partition/query):\n");
-  std::printf("  time  ratio socket/inproc = %7.2fx  comm delta = %lld B "
-              "(must be 0)\n",
-              socket_row.seconds / inproc_row.seconds,
-              static_cast<long long>(socket_row.bytes) -
-                  static_cast<long long>(inproc_row.bytes));
+  const SystemRow& inproc_row = table[pair_base];
+  std::printf("\nTransport rows (same engine/partition/query):\n");
+  for (size_t i = pair_base + 1; i < table.size(); ++i) {
+    const SystemRow& row = table[i];
+    std::printf(
+        "  time  ratio %s/inproc = %7.2fx  comm delta = %lld B (must be 0)\n",
+        TransportNames()[i - pair_base].c_str(),
+        row.seconds / inproc_row.seconds,
+        static_cast<long long>(row.bytes) -
+            static_cast<long long>(inproc_row.bytes));
+  }
 
   Report report("table1_sssp");
   AddSystemTable(table, &report);

@@ -26,6 +26,7 @@
 #include "partition/advisor.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "rt/cluster.h"
 #include "rt/transport.h"
 #include "partition/quality.h"
 #include "util/flags.h"
@@ -100,9 +101,24 @@ int Run(int argc, char** argv) {
   }
   RegisterBuiltinApps();
 
+  auto cluster = ClusterSpec::FromFlags(flags);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 cluster.status().ToString().c_str());
+    return 2;
+  }
+  // A non-zero rank is a pure tcp endpoint process: no graph, no app —
+  // it joins the mesh at hosts[0] and relays frames until rank 0 is done.
+  int endpoint_exit = 0;
+  if (RanAsClusterEndpoint(*cluster, flags.GetString("transport", "inproc"),
+                           &endpoint_exit)) {
+    return endpoint_exit;
+  }
+
   if (flags.positional().empty()) {
     std::fprintf(stderr, "usage: grape_cli --graph=<kind> [--workers=N] "
-                         "[--transport=inproc|socket] "
+                         "[--transport=inproc|socket|tcp] "
+                         "[--rank=N --hosts=a:p,b:p,...] "
                          "<app> [k=v ...]\nregistered apps:");
     for (const std::string& name : AppRegistry::Global().Names()) {
       std::fprintf(stderr, " %s", name.c_str());
@@ -157,7 +173,7 @@ int Run(int argc, char** argv) {
     return 1;
   }
   const std::string transport = flags.GetString("transport", "inproc");
-  auto world = MakeTransport(transport, workers + 1);
+  auto world = MakeClusterTransport(transport, workers + 1, *cluster);
   if (!world.ok()) {
     std::fprintf(stderr, "transport: %s\n",
                  world.status().ToString().c_str());

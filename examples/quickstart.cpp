@@ -7,12 +7,22 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/quickstart [--transport=inproc|socket]
+//   ./build/quickstart [--transport=inproc|socket|tcp]
 //
 // --transport picks the message-passing substrate: "inproc" (default)
 // keeps every rank in this process; "socket" forks one endpoint process
-// per rank and ships the same payloads over local sockets — same answer,
-// same communication counters, real process boundaries.
+// per rank and ships the same payloads over local sockets; "tcp" meshes
+// endpoint processes over TCP — same answer, same communication
+// counters, real process boundaries.
+//
+// Multi-machine tcp (the world here is 4 ranks: 3 workers + P0):
+//   machine0$ ./build/quickstart --transport=tcp --rank=0
+//                --hosts=machine0:9000,machine1:0,machine2:0,machine3:0
+//   machineN$ ./build/quickstart --transport=tcp --rank=N --hosts=...same...
+// Rank 0 runs the engine and the rendezvous listener at hosts[0]; every
+// other rank is a pure endpoint process that joins, relays frames, and
+// exits when rank 0 finishes. Without --hosts, tcp auto-spawns all
+// endpoints locally on loopback.
 
 #include <cstdio>
 
@@ -21,6 +31,7 @@
 #include "graph/graph.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
+#include "rt/cluster.h"
 #include "rt/transport.h"
 #include "util/flags.h"
 
@@ -33,6 +44,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string transport = flags.GetString("transport", "inproc");
+  auto cluster = ClusterSpec::FromFlags(flags);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 cluster.status().ToString().c_str());
+    return 2;
+  }
+  // With --rank > 0 this process is a cluster endpoint, not the engine:
+  // it serves its rank's place in the tcp mesh until rank 0 finishes.
+  int endpoint_exit = 0;
+  if (RanAsClusterEndpoint(*cluster, transport, &endpoint_exit)) {
+    return endpoint_exit;
+  }
 
   // A tiny weighted road map: 8 intersections, bidirectional streets.
   GraphBuilder builder(/*directed=*/true);
@@ -64,7 +87,7 @@ int main(int argc, char** argv) {
   }
 
   // The substrate: 3 workers + coordinator P0 = 4 ranks.
-  auto world = MakeTransport(transport, 4);
+  auto world = MakeClusterTransport(transport, 4, *cluster);
   if (!world.ok()) {
     std::fprintf(stderr, "transport: %s\n",
                  world.status().ToString().c_str());

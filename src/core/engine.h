@@ -35,9 +35,15 @@ struct EngineOptions {
   bool verbose = false;
   /// Message-passing substrate. When null the engine owns a private
   /// in-process CommWorld (the historical behaviour); otherwise it runs
-  /// over the supplied backend — e.g. a SocketTransport from
-  /// MakeTransport("socket", n+1) — which must be sized num_fragments()+1
-  /// and outlive the engine. Not owned.
+  /// over the supplied backend — a SocketTransport from
+  /// MakeTransport("socket", n+1), a TcpTransport from
+  /// MakeTransport("tcp", n+1) (auto-spawned loopback endpoints), or a
+  /// multi-machine tcp world from rt/cluster.h's MakeClusterTransport —
+  /// which must be sized num_fragments()+1 and outlive the engine. Not
+  /// owned. The engine is substrate-agnostic: it only ever Sends, Flushes
+  /// between supersteps, and drains mailboxes, so any backend passing
+  /// tests/transport_conformance_test.cc slots in with bit-identical
+  /// results (tests/message_path_golden_test.cc).
   Transport* transport = nullptr;
 };
 

@@ -1,0 +1,27 @@
+#include "rt/fd_registry.h"
+
+#include <unistd.h>
+
+namespace grape {
+namespace rt_internal {
+
+std::mutex& FdRegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<int>& FdRegistry() {
+  static std::set<int> fds;
+  return fds;
+}
+
+void CloseAndUnregisterFds(const std::vector<int>& fds) {
+  std::lock_guard<std::mutex> lock(FdRegistryMutex());
+  for (int fd : fds) {
+    close(fd);
+    FdRegistry().erase(fd);
+  }
+}
+
+}  // namespace rt_internal
+}  // namespace grape

@@ -24,6 +24,11 @@ struct FlakyOptions {
   /// When non-zero, Send starts failing with Unavailable after this many
   /// accepted sends — the hard-fault knob for error-propagation tests.
   uint64_t fail_send_after = 0;
+  /// When non-zero, Flush starts failing with Unavailable after this many
+  /// successful barriers — models an endpoint dying between supersteps
+  /// (what a killed tcp/socket endpoint process looks like from the
+  /// engine), so the barrier propagation path gets its own coverage.
+  uint64_t fail_flush_after = 0;
 };
 
 /// Fault-injection decorator over any Transport: drops, duplicates, and
@@ -81,6 +86,12 @@ class FlakyTransport final : public Transport {
     std::vector<RtMessage> due;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (options_.fail_flush_after != 0 &&
+          flushed_ >= options_.fail_flush_after) {
+        return Status::Unavailable("injected flush failure after " +
+                                   std::to_string(flushed_) + " barriers");
+      }
+      ++flushed_;
       due.swap(held_);
       held_.swap(pending_);
     }
@@ -119,6 +130,7 @@ class FlakyTransport final : public Transport {
   std::mutex mu_;
   Rng rng_;
   uint64_t accepted_ = 0;
+  uint64_t flushed_ = 0;
   uint64_t dropped_ = 0;
   uint64_t duplicated_ = 0;
   uint64_t delayed_ = 0;

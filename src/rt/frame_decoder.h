@@ -1,0 +1,119 @@
+#ifndef GRAPE_RT_FRAME_DECODER_H_
+#define GRAPE_RT_FRAME_DECODER_H_
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/codec.h"
+#include "rt/message.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// Incremental reassembly of FrameHeader-prefixed frames from a byte
+/// stream that arrives in arbitrary chunks — split headers, coalesced
+/// frames, one byte at a time. This is the receive half of the tcp
+/// transport's framing: a receiver thread feeds whatever read() returned
+/// and pops complete frames; the decoder never blocks, never over-reads
+/// past the length a header declares (trailing bytes stay buffered as the
+/// start of the next frame), and surfaces a corrupt header as a sticky
+/// Status instead of a giant allocation. Contract frozen by
+/// tests/tcp_framing_test.cc.
+///
+/// Not thread-safe; each stream gets its own decoder.
+class FrameDecoder {
+ public:
+  /// When `pool` is non-null, payload buffers are acquired from it, so a
+  /// steady-state receive loop recycles instead of allocating.
+  explicit FrameDecoder(BufferPool* pool = nullptr) : pool_(pool) {}
+
+  /// Consumes `n` bytes of stream. Completed frames queue up for Next().
+  /// Returns the decoder's (sticky) status: once a header is corrupt the
+  /// stream has lost sync and every later Feed fails too.
+  Status Feed(const uint8_t* data, size_t n) {
+    if (!status_.ok()) return status_;
+    while (n > 0) {
+      if (header_filled_ < kFrameHeaderBytes) {
+        const size_t take = std::min(n, kFrameHeaderBytes - header_filled_);
+        std::memcpy(header_ + header_filled_, data, take);
+        header_filled_ += take;
+        data += take;
+        n -= take;
+        if (header_filled_ < kFrameHeaderBytes) break;
+        status_ = DecodeFrameHeader(header_, kFrameHeaderBytes, &fh_);
+        if (!status_.ok()) return status_;
+        payload_ = pool_ ? pool_->Acquire() : std::vector<uint8_t>{};
+        payload_.resize(fh_.payload_len);
+        payload_filled_ = 0;
+      }
+      const size_t want = fh_.payload_len - payload_filled_;
+      const size_t take = std::min(n, want);
+      if (take > 0) {
+        std::memcpy(payload_.data() + payload_filled_, data, take);
+        payload_filled_ += take;
+        data += take;
+        n -= take;
+      }
+      if (payload_filled_ == fh_.payload_len) {
+        ready_.push_back(
+            RtMessage{fh_.from, fh_.to, fh_.tag, std::move(payload_)});
+        payload_ = {};
+        header_filled_ = 0;
+        payload_filled_ = 0;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pops the oldest completed frame; std::nullopt when more bytes are
+  /// needed first.
+  std::optional<RtMessage> Next() {
+    if (ready_.empty()) return std::nullopt;
+    RtMessage msg = std::move(ready_.front());
+    ready_.pop_front();
+    return msg;
+  }
+
+  /// True while bytes of an incomplete frame are buffered — i.e. EOF now
+  /// would cut a frame in half.
+  bool mid_frame() const { return header_filled_ > 0; }
+
+  /// Verdict for end-of-stream: OK at a frame boundary, a Status if the
+  /// stream died mid-frame or lost sync earlier.
+  Status Finish() const {
+    if (!status_.ok()) return status_;
+    if (mid_frame()) {
+      return Status::Unavailable("stream ended mid-frame (" +
+                                 std::to_string(header_filled_) +
+                                 " header bytes, " +
+                                 std::to_string(payload_filled_) +
+                                 " payload bytes in)");
+    }
+    return Status::OK();
+  }
+
+  /// Sticky decode status (corrupt header => not ok).
+  const Status& status() const { return status_; }
+
+  /// Completed frames waiting in Next() order.
+  size_t ready_count() const { return ready_.size(); }
+
+ private:
+  BufferPool* pool_;
+  uint8_t header_[kFrameHeaderBytes];
+  size_t header_filled_ = 0;
+  FrameHeader fh_;
+  std::vector<uint8_t> payload_;
+  size_t payload_filled_ = 0;
+  std::deque<RtMessage> ready_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_RT_FRAME_DECODER_H_

@@ -8,36 +8,22 @@
 
 #include <cerrno>
 #include <cstring>
-#include <set>
 #include <string>
 #include <utility>
 
 #include "core/codec.h"
+#include "rt/fd_registry.h"
+#include "rt/net_util.h"
 
 namespace grape {
 namespace {
 
-// Parent-side fds of every live SocketTransport in this process. A forked
-// endpoint child must close ALL of them — not just its own transport's —
-// or a child of transport B keeps an inherited dup of transport A's
-// channel write ends alive, A's children never see EOF, and A's
-// destructor blocks forever on its receiver threads. The mutex is held
-// across the whole Init (snapshot + forks + registration), serializing
-// concurrent Creates so a fork can never miss a just-created fd.
-std::mutex& FdRegistryMutex() {
-  static std::mutex mu;
-  return mu;
-}
-
-std::set<int>& FdRegistry() {
-  static std::set<int> fds;
-  return fds;
-}
-
-void UnregisterFds(const std::vector<int>& fds) {
-  std::lock_guard<std::mutex> lock(FdRegistryMutex());
-  for (int fd : fds) FdRegistry().erase(fd);
-}
+using net::ReadFullFd;
+using net::RelayPayload;
+using net::WriteFullFd;
+using rt_internal::FdRegistry;
+using rt_internal::FdRegistryMutex;
+using rt_internal::CloseAndUnregisterFds;
 
 // ---------------------------------------------------------------------------
 // Endpoint child. Forked from a (possibly multi-threaded) parent, so it may
@@ -54,53 +40,6 @@ struct ChildPlan {
   std::vector<int> close_fds;     // inherited fds this child must drop
   int uplink = -1;                // write end toward the parent receiver
 };
-
-/// Reads exactly `n` bytes. Returns 1 on success, 0 on clean EOF before the
-/// first byte, -1 on error or EOF mid-record.
-int ReadFullFd(int fd, uint8_t* p, size_t n) {
-  size_t got = 0;
-  while (got < n) {
-    ssize_t k = read(fd, p + got, n - got);
-    if (k == 0) return got == 0 ? 0 : -1;
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    got += static_cast<size_t>(k);
-  }
-  return 1;
-}
-
-bool WriteFullFd(int fd, const uint8_t* p, size_t n) {
-  size_t put = 0;
-  while (put < n) {
-    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
-    // process with SIGPIPE.
-    ssize_t k = send(fd, p + put, n - put, MSG_NOSIGNAL);
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    put += static_cast<size_t>(k);
-  }
-  return true;
-}
-
-/// Streams `n` payload bytes from `in` to `out` through `buf` without
-/// buffering the whole frame.
-bool RelayPayload(int in, int out, uint8_t* buf, size_t buf_size, size_t n) {
-  while (n > 0) {
-    size_t want = n < buf_size ? n : buf_size;
-    ssize_t k = read(in, buf, want);
-    if (k <= 0) {
-      if (k < 0 && errno == EINTR) continue;
-      return false;  // EOF mid-frame is a protocol violation
-    }
-    if (!WriteFullFd(out, buf, static_cast<size_t>(k))) return false;
-    n -= static_cast<size_t>(k);
-  }
-  return true;
-}
 
 /// The endpoint process: relays complete frames from the rank's per-peer
 /// channels onto its uplink, preserving per-channel order, until every
@@ -280,12 +219,11 @@ SocketTransport::~SocketTransport() {
   std::vector<int> closed;
   for (int& fd : uplink_read_fds_) {
     if (fd >= 0) {
-      close(fd);
       closed.push_back(fd);
       fd = -1;
     }
   }
-  UnregisterFds(closed);
+  CloseAndUnregisterFds(closed);
   ReapChildren();
 }
 
@@ -338,7 +276,14 @@ void SocketTransport::ReceiverLoop(uint32_t rank) {
   bool clean = true;
   for (;;) {
     int h = ReadFullFd(fd, header, sizeof(header));
-    if (h == 0) break;  // uplink EOF: endpoint exited after Close
+    if (h == 0) {
+      // EOF is clean only after Close(): an endpoint never closes its
+      // uplink while the world is live, so a premature EOF — even on a
+      // frame boundary (e.g. the endpoint was SIGKILLed between frames)
+      // — means delivery stopped and Flush must fail, not hang.
+      clean = closed();
+      break;
+    }
     if (h < 0) {
       clean = false;
       break;
@@ -399,19 +344,20 @@ void SocketTransport::Close() {
 }
 
 void SocketTransport::CloseSendSide() {
-  // Deregister in the same step as the close: a later Create could be
-  // handed the same fd number by the kernel, and a stale registry entry
-  // would make that transport's children close their own channel.
+  // Deregister in the same registry-locked step as the close: a later
+  // Create could be handed the same fd number by the kernel the moment
+  // it closes, and a stale registry entry (or a late erase hitting the
+  // new owner's registration) would make some transport's children
+  // mishandle a channel that is not theirs.
   std::vector<int> closed;
   for (auto& ch : channels_) {
     std::lock_guard<std::mutex> lock(ch->mu);
     if (ch->fd >= 0) {
-      close(ch->fd);
       closed.push_back(ch->fd);
       ch->fd = -1;
     }
   }
-  UnregisterFds(closed);
+  CloseAndUnregisterFds(closed);
 }
 
 void SocketTransport::ReapChildren() {

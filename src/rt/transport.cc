@@ -4,6 +4,7 @@
 
 #include "rt/comm_world.h"
 #include "rt/socket_transport.h"
+#include "rt/tcp_transport.h"
 #include "util/string_util.h"
 
 namespace grape {
@@ -116,12 +117,17 @@ Result<std::unique_ptr<Transport>> MakeTransport(const std::string& name,
     GRAPE_RETURN_NOT_OK(t.status());
     return std::unique_ptr<Transport>(std::move(t).value());
   }
+  if (name == "tcp") {
+    auto t = TcpTransport::Create(size);
+    GRAPE_RETURN_NOT_OK(t.status());
+    return std::unique_ptr<Transport>(std::move(t).value());
+  }
   return Status::InvalidArgument("unknown transport '" + name +
-                                 "' (expected inproc|socket)");
+                                 "' (expected inproc|socket|tcp)");
 }
 
 const std::vector<std::string>& TransportNames() {
-  static const std::vector<std::string> kNames = {"inproc", "socket"};
+  static const std::vector<std::string> kNames = {"inproc", "socket", "tcp"};
   return kNames;
 }
 

@@ -159,9 +159,11 @@ class MailboxTransport : public Transport {
 };
 
 /// Builds a transport backend by name: "inproc" (CommWorld, the default
-/// single-process world) or "socket" (forked relay processes exchanging
-/// length-prefixed frames over local sockets). This is what
-/// `--transport=inproc|socket` on the benches and examples resolves
+/// single-process world), "socket" (forked relay processes exchanging
+/// length-prefixed frames over local sockets), or "tcp" (auto-spawned
+/// endpoint processes meshed over loopback TCP; for a multi-machine
+/// roster use rt/cluster.h's MakeClusterTransport). This is what
+/// `--transport=inproc|socket|tcp` on the benches and examples resolves
 /// through.
 Result<std::unique_ptr<Transport>> MakeTransport(const std::string& name,
                                                  uint32_t size);

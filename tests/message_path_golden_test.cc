@@ -1,15 +1,18 @@
 // Differential guard for the engine's message path: the golden rows below
 // were captured from the seed (hash-map) flush/route/apply at commit
 // ec95ff1, running the scenarios in tests/message_path_scenarios.h. Every
-// (scenario, transport backend) combination must reproduce them exactly —
-// same message count, same byte count (the wire format is byte-count
-// preserving and the socket frame envelope equals the counted 16-byte
-// header), same superstep count, and bit-identical outputs. A mismatch
+// (scenario, transport backend) combination — inproc, socket, and tcp —
+// must reproduce them exactly: same message count, same byte count (the
+// wire format is byte-count preserving and the socket/tcp frame envelope
+// equals the counted 16-byte header), same superstep count, and
+// bit-identical outputs. A mismatch
 // means routing semantics changed — or the substrate leaked into the
 // computation — which is a correctness bug, not a perf trade-off.
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "rt/transport.h"
@@ -90,6 +93,39 @@ TEST(MessagePathGoldenTest, RunsAreDeterministic) {
       EXPECT_EQ(a.messages, b.messages) << s.name << " on " << transport;
       EXPECT_EQ(a.bytes, b.bytes) << s.name << " on " << transport;
       EXPECT_EQ(a.output_hash, b.output_hash) << s.name << " on " << transport;
+    }
+  }
+}
+
+// The three-backend differential in one place: for every scenario, run
+// inproc, socket, and tcp side by side and compare the full observation
+// structs pairwise — output hash AND CommStats (messages, bytes,
+// supersteps). The matrix above already pins each cell to the seed
+// goldens; this test additionally proves the backends agree with EACH
+// OTHER, so it keeps discriminating even for scenarios added without
+// golden rows. This is the merge gate the tcp backend rides in on: the
+// substrate may change how bytes travel, never what is computed or
+// counted.
+TEST(MessagePathGoldenTest, ThreeBackendsAgreeBitForBit) {
+  ASSERT_GE(TransportNames().size(), 3u);
+  for (const auto& s : testing::AllMessagePathScenarios()) {
+    std::vector<std::pair<std::string, testing::MessagePathObservation>> runs;
+    for (const std::string& transport : TransportNames()) {
+      runs.emplace_back(transport,
+                        testing::RunMessagePathScenario(
+                            s.app, s.graph, s.strategy, s.workers, transport));
+    }
+    const auto& base = runs.front();
+    for (size_t i = 1; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i].second.messages, base.second.messages)
+          << s.name << ": " << runs[i].first << " vs " << base.first;
+      EXPECT_EQ(runs[i].second.bytes, base.second.bytes)
+          << s.name << ": " << runs[i].first << " vs " << base.first;
+      EXPECT_EQ(runs[i].second.supersteps, base.second.supersteps)
+          << s.name << ": " << runs[i].first << " vs " << base.first;
+      EXPECT_EQ(runs[i].second.output_hash, base.second.output_hash)
+          << s.name << ": " << runs[i].first << " computed different bits "
+          << "than " << base.first;
     }
   }
 }

@@ -1,16 +1,21 @@
 // Differential conformance suite for Transport backends: every test runs
-// against both "inproc" (CommWorld) and "socket" (SocketTransport, forked
-// endpoint processes + AF_UNIX frames). The suite IS the Transport
+// against all three — "inproc" (CommWorld), "socket" (SocketTransport,
+// forked endpoint processes + AF_UNIX frames), and "tcp" (TcpTransport,
+// endpoint processes full-meshed over TCP). The suite IS the Transport
 // contract — FIFO per channel, tag filtering, concurrent senders, large
-// and empty payloads, drain semantics, the Flush delivery barrier,
-// Close-wakes-receivers, and backend-identical CommStats. A backend that
-// passes here is safe to plug under the engine; the end-to-end guarantee
-// (bit-identical outputs and counters) is frozen separately by
-// tests/message_path_golden_test.cc.
+// and empty payloads, drain semantics, the Flush delivery barrier
+// (including barriers interleaved across ranks and racing Close),
+// TryRecv liveness under saturation, Close-wakes-receivers, and
+// backend-identical CommStats. A backend that passes here is safe to
+// plug under the engine; the end-to-end guarantee (bit-identical outputs
+// and counters) is frozen separately by tests/message_path_golden_test.cc.
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
@@ -288,6 +293,183 @@ TEST_P(TransportConformanceTest, ManySmallMessagesAcrossAllRanks) {
   }
   EXPECT_EQ(received, sent);
   EXPECT_EQ(t->stats().messages, sent);
+}
+
+// Several ranks flushing concurrently: Flush is one global barrier, so a
+// rank's Flush may also wait out other ranks' traffic — but when it
+// returns OK, that rank's own previously-returned Sends must all be
+// visible, every round, regardless of how the barriers interleave.
+TEST_P(TransportConformanceTest, InterleavedFlushBarriersFromMultipleRanks) {
+  constexpr uint32_t kRanks = 4;
+  constexpr uint32_t kRounds = 8;
+  constexpr uint32_t kPerRound = 25;
+  auto t = Make(kRanks);
+  std::vector<std::thread> ranks;
+  for (uint32_t s = 0; s < kRanks; ++s) {
+    ranks.emplace_back([&t, s] {
+      // Only rank s targets mailbox s, so visibility is exactly countable.
+      const uint32_t from = (s + 1) % kRanks;
+      for (uint32_t round = 0; round < kRounds; ++round) {
+        for (uint32_t i = 0; i < kPerRound; ++i) {
+          const uint32_t seq = round * kPerRound + i;
+          ASSERT_TRUE(t->Send(from, s, kTagParamUpdate,
+                              {static_cast<uint8_t>(seq),
+                               static_cast<uint8_t>(seq >> 8)})
+                          .ok());
+        }
+        ASSERT_TRUE(t->Flush().ok()) << "rank " << s << " round " << round;
+        EXPECT_EQ(t->PendingCount(s), (round + 1) * kPerRound)
+            << "rank " << s << "'s barrier returned before its own sends "
+            << "were visible (round " << round << ")";
+      }
+    });
+  }
+  for (auto& th : ranks) th.join();
+  for (uint32_t s = 0; s < kRanks; ++s) {
+    uint32_t expect = 0;
+    while (auto msg = t->TryRecv(s)) {
+      const uint32_t seq = msg->payload[0] | (msg->payload[1] << 8);
+      EXPECT_EQ(seq, expect++) << "rank " << s << " reordered";
+    }
+    EXPECT_EQ(expect, kRounds * kPerRound);
+  }
+}
+
+// A peer saturating one channel must not starve anything: the flooded
+// mailbox's TryRecv keeps yielding in FIFO order, a tag-filtered receive
+// still finds its message behind the flood, and an idle rank's TryRecv
+// stays non-blocking throughout.
+TEST_P(TransportConformanceTest, TryRecvStarvationUnderSaturatedPeer) {
+  constexpr uint32_t kFlood = 2000;
+  auto t = Make(4);
+  std::thread flooder([&t] {
+    for (uint32_t i = 0; i < kFlood; ++i) {
+      ASSERT_TRUE(t->Send(0, 1, kTagParamUpdate,
+                          {static_cast<uint8_t>(i),
+                           static_cast<uint8_t>(i >> 8)})
+                      .ok());
+    }
+    ASSERT_TRUE(t->Flush().ok());
+  });
+  ASSERT_TRUE(t->Send(2, 1, kTagControl, {0xee}).ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  // The control message must surface through the flood by tag.
+  for (;;) {
+    if (auto ctl = t->TryRecv(1, kTagControl)) {
+      EXPECT_EQ(ctl->payload[0], 0xee);
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "tag-filtered TryRecv starved by a saturated channel";
+    std::this_thread::yield();
+  }
+  // Consume the flood concurrently with its production; FIFO must hold.
+  uint32_t got = 0;
+  while (got < kFlood) {
+    auto msg = t->TryRecv(1);
+    if (!msg.has_value()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "TryRecv starved: " << got << " of " << kFlood << " received";
+      std::this_thread::yield();
+      continue;
+    }
+    const uint32_t seq = msg->payload[0] | (msg->payload[1] << 8);
+    EXPECT_EQ(seq, got) << "flooded channel reordered";
+    ++got;
+    // An idle rank's TryRecv stays non-blocking and empty under load.
+    EXPECT_FALSE(t->TryRecv(3).has_value());
+  }
+  flooder.join();
+}
+
+// Two ranks exchanging far more than a socket buffer of data in BOTH
+// directions before any barrier. A substrate that relays with blocking
+// peer-to-peer writes and no read servicing deadlocks here: each side's
+// outbound fills the other's unread receive window (the classic
+// full-duplex pipe deadlock), so this case is the liveness gate for
+// mesh-topology backends.
+TEST_P(TransportConformanceTest, BidirectionalBulkExchangeDoesNotDeadlock) {
+  constexpr size_t kMsgBytes = 256 * 1024;
+  constexpr uint32_t kEach = 24;  // ~6MB per direction
+  auto t = Make(3);
+  auto exchanged = std::async(std::launch::async, [&t] {
+    std::thread ab([&t] {
+      for (uint32_t i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(t->Send(1, 2, kTagParamUpdate,
+                            std::vector<uint8_t>(kMsgBytes,
+                                                 static_cast<uint8_t>(i)))
+                        .ok());
+      }
+    });
+    std::thread ba([&t] {
+      for (uint32_t i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(t->Send(2, 1, kTagParamUpdate,
+                            std::vector<uint8_t>(kMsgBytes,
+                                                 static_cast<uint8_t>(i)))
+                        .ok());
+      }
+    });
+    ab.join();
+    ba.join();
+    return t->Flush();
+  });
+  if (exchanged.wait_for(std::chrono::seconds(120)) !=
+      std::future_status::ready) {
+    // The workers are wedged and cannot be joined (the future's
+    // destructor would block forever) — fail fast and loudly instead of
+    // sitting out the ctest timeout.
+    ADD_FAILURE() << "bidirectional bulk exchange deadlocked the substrate";
+    std::fflush(nullptr);
+    std::abort();
+  }
+  ASSERT_TRUE(exchanged.get().ok());
+  for (uint32_t rank : {1u, 2u}) {
+    uint32_t next = 0;
+    while (auto msg = t->TryRecv(rank)) {
+      ASSERT_EQ(msg->payload.size(), kMsgBytes);
+      EXPECT_EQ(msg->payload[0], static_cast<uint8_t>(next++))
+          << "rank " << rank;
+    }
+    EXPECT_EQ(next, kEach) << "rank " << rank << " lost messages";
+  }
+}
+
+// Close racing a Flush with traffic in flight: the barrier must return —
+// OK or a Status, never a hang — and the transport must be cleanly
+// closed afterwards.
+TEST_P(TransportConformanceTest, CloseWhileFlushInFlight) {
+  for (int round = 0; round < 5; ++round) {
+    auto t = Make(2);
+    // Enough bytes that asynchronous backends genuinely have frames in
+    // flight when Close lands.
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(
+          t->Send(0, 1, kTagParamUpdate, std::vector<uint8_t>(64 * 1024))
+              .ok());
+    }
+    auto flushed = std::async(std::launch::async, [&t] { return t->Flush(); });
+    t->Close();
+    if (flushed.wait_for(std::chrono::seconds(60)) !=
+        std::future_status::ready) {
+      // See BidirectionalBulkExchangeDoesNotDeadlock: a wedged Flush
+      // cannot be joined, so fail fast instead of wedging the binary.
+      ADD_FAILURE() << "Flush hung across a concurrent Close";
+      std::fflush(nullptr);
+      std::abort();
+    }
+    const Status st = flushed.get();
+    EXPECT_TRUE(st.ok() || st.IsCancelled()) << st;
+    EXPECT_TRUE(t->Send(0, 1, kTagControl, {1}).IsCancelled());
+    // Whatever was delivered before the race resolved stays drainable,
+    // in order, with intact payloads.
+    size_t delivered = 0;
+    for (auto& msg : t->DrainAll(1)) {
+      EXPECT_EQ(msg.payload.size(), 64u * 1024u);
+      ++delivered;
+    }
+    EXPECT_LE(delivered, 64u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,

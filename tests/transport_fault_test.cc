@@ -1,18 +1,32 @@
 // Fault injection against the engine's message path: a FlakyTransport
 // decorator drops, duplicates, delays, or hard-fails traffic between the
-// engine and its substrate. The engine's contract under faults: hard
-// failures surface as Status through DispatchSends/CoordinatorRoute (PR 2's
-// error propagation) to the Run() caller; soft faults (drop/dup/delay) may
-// change results but must never hang the fixed point.
+// engine and its substrate (wrapping any backend — inproc, socket, tcp),
+// and real endpoint processes of the multi-process backends get SIGKILLed
+// under a live world. The engine's contract under faults: hard failures
+// surface as Status through DispatchSends/CoordinatorRoute/the Flush
+// barrier (PR 2's error propagation) to the Run() caller within a bounded
+// time; soft faults (drop/dup/delay) may change results but must never
+// hang the fixed point.
 
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/sssp.h"
 #include "gtest/gtest.h"
 #include "rt/comm_world.h"
 #include "rt/flaky_transport.h"
+#include "rt/socket_transport.h"
+#include "rt/tcp_transport.h"
 #include "tests/message_path_scenarios.h"
 #include "tests/test_util.h"
 
@@ -152,6 +166,126 @@ TEST(TransportFaultTest, FlakyOverSocketBackendPropagatesToo) {
   auto out = f.Run(&flaky);
   ASSERT_FALSE(out.ok());
   EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+TEST(TransportFaultTest, FlakyOverTcpBackendPropagatesToo) {
+  SsspFixture f = SsspFixture::Make();
+  auto inner = MakeTransport("tcp", 5);
+  ASSERT_TRUE(inner.ok()) << inner.status();
+  FlakyOptions fo;
+  fo.fail_send_after = 10;
+  FlakyTransport flaky(inner->get(), fo);
+  auto out = f.Run(&flaky);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+TEST(TransportFaultTest, FlushFailureSurfacesThroughDispatchSends) {
+  // The barrier path gets its own hard fault: DispatchSends ends every
+  // superstep's flush with a Flush() call, and a failure there must reach
+  // the Run() caller like a Send failure does. This is the in-process
+  // stand-in for an endpoint dying between supersteps, so it covers the
+  // propagation route on every backend without process games.
+  SsspFixture f = SsspFixture::Make();
+  CommWorld inner(5);
+  FlakyOptions fo;
+  fo.fail_flush_after = 2;
+  FlakyTransport flaky(&inner, fo);
+  auto out = f.Run(&flaky);
+  ASSERT_FALSE(out.ok()) << "engine swallowed an injected Flush failure";
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+/// Kills one real endpoint process of `backend`, runs the engine over the
+/// half-dead substrate, and requires a Status (through DispatchSends /
+/// CoordinatorRoute / the Flush barrier) within a bounded time — never a
+/// hang, never a crash. Process-backed backends only; inproc's equivalent
+/// is the injected hard fault above.
+void RunKilledEndpointScenario(const std::string& backend) {
+  SsspFixture f = SsspFixture::Make();
+  auto made = MakeTransport(backend, 5);
+  ASSERT_TRUE(made.ok()) << made.status();
+  Transport* transport = made->get();
+
+  std::vector<pid_t> pids;
+  if (auto* st = dynamic_cast<SocketTransport*>(transport)) {
+    pids = st->endpoint_pids();
+  } else if (auto* tt = dynamic_cast<TcpTransport*>(transport)) {
+    pids = tt->endpoint_pids();
+  }
+  ASSERT_EQ(pids.size(), 5u) << backend << " did not fork real endpoints";
+
+  // A healthy barrier first, so the kill verifiably lands mid-world, then
+  // SIGKILL a worker endpoint — no shutdown handshake, exactly like an
+  // OOM-killed or power-cycled machine.
+  ASSERT_TRUE(transport->Send(1, 2, kTagControl, {1}).ok());
+  ASSERT_TRUE(transport->Flush().ok());
+  ASSERT_EQ(kill(pids[3], SIGKILL), 0);
+  ASSERT_EQ(waitpid(pids[3], nullptr, 0), pids[3]);
+  // Wait until the transport itself has seen the death (its receiver hits
+  // EOF and fails the barrier); otherwise a small engine run could race
+  // the kernel and finish before the corpse is noticed.
+  const auto seen_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (transport->Flush().ok()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), seen_by)
+        << backend << " never noticed its killed endpoint";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  auto out = std::async(std::launch::async, [&f, transport] {
+    return f.Run(transport);
+  });
+  if (out.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+    // A wedged engine thread cannot be joined (the future's destructor
+    // would block forever): fail fast and loudly instead of sitting out
+    // the ctest timeout.
+    ADD_FAILURE() << backend << ": engine hung on a killed endpoint "
+                  << "instead of surfacing a Status";
+    std::fflush(nullptr);
+    std::abort();
+  }
+  auto result = out.get();
+  ASSERT_FALSE(result.ok())
+      << backend << ": engine computed a result over a dead endpoint";
+  const Status& st = result.status();
+  EXPECT_TRUE(st.IsUnavailable() || st.IsCancelled() || st.IsIOError()) << st;
+}
+
+TEST(TransportFaultTest, KilledSocketEndpointSurfacesStatusWithinDeadline) {
+  RunKilledEndpointScenario("socket");
+}
+
+TEST(TransportFaultTest, KilledTcpEndpointSurfacesStatusWithinDeadline) {
+  RunKilledEndpointScenario("tcp");
+}
+
+TEST(TransportFaultTest, KilledTcpEndpointFailsDirectTransportOpsToo) {
+  // Below the engine: the raw transport contract under a killed endpoint.
+  // Flush must return (not hang) with a Status once the death is seen,
+  // and Sends routed at the dead rank must start failing within a bounded
+  // time instead of silently buffering forever.
+  auto made = MakeTransport("tcp", 3);
+  ASSERT_TRUE(made.ok()) << made.status();
+  auto* tt = dynamic_cast<TcpTransport*>(made->get());
+  ASSERT_NE(tt, nullptr);
+  ASSERT_TRUE(tt->Send(0, 1, kTagControl, {1}).ok());
+  ASSERT_TRUE(tt->Flush().ok());
+  ASSERT_EQ(kill(tt->endpoint_pids()[1], SIGKILL), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    Status send_st = tt->Send(0, 1, kTagParamUpdate,
+                              std::vector<uint8_t>(4096));
+    Status flush_st = send_st.ok() ? tt->Flush() : Status::OK();
+    if (!send_st.ok() || !flush_st.ok()) {
+      break;  // the death surfaced as a Status — the contract held
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "killed endpoint never surfaced through Send/Flush";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 }  // namespace
