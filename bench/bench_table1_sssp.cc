@@ -15,6 +15,7 @@
 //
 // Flags: --rows --cols (grid size), --workers, --source,
 //        --transport inproc|socket|tcp (substrate for the GRAPE rows),
+//        --compute local|remote (where PEval/IncEval execute),
 //        --rank N --hosts a:p,... (tcp cluster mode; rank>0 = endpoint),
 //        --json <path> (machine-readable report, rows in table order).
 //
@@ -22,11 +23,14 @@
 // transport backend (inproc, socket, tcp) on the same partition, tracking
 // what each multi-process substrate (forked endpoints + AF_UNIX frames,
 // or TCP-meshed endpoints + the same frames) costs per superstep relative
-// to in-memory mailboxes.
+// to in-memory mailboxes — plus a local-vs-remote compute pair on the
+// chosen transport, tracking what moving PEval/IncEval into the endpoint
+// processes costs (comm must be identical; only time may move).
 
 #include <memory>
 #include <string>
 
+#include "apps/register_apps.h"
 #include "apps/seq/seq_algorithms.h"
 #include "bench/bench_util.h"
 #include "rt/cluster.h"
@@ -46,6 +50,13 @@ int Run(int argc, char** argv) {
       static_cast<FragmentId>(flags.GetInt("workers", 8));
   const VertexId source = static_cast<VertexId>(flags.GetInt("source", 0));
   const std::string transport = flags.GetString("transport", "inproc");
+  const std::string compute = flags.GetString("compute", "local");
+  GRAPE_CHECK(compute == "local" || compute == "remote")
+      << "--compute must be local or remote";
+
+  // Endpoint processes (forked at transport creation) resolve remote
+  // apps by name from a registry snapshot taken at fork: populate first.
+  RegisterBuiltinWorkerApps();
 
   auto cluster = ClusterSpec::FromFlags(flags);
   GRAPE_CHECK(cluster.ok()) << cluster.status();
@@ -69,9 +80,10 @@ int Run(int argc, char** argv) {
     GRAPE_CHECK(t.ok()) << t.status();
     return std::move(t).value();
   };
-  auto with_transport = [](Transport* t) {
+  auto with_transport = [&compute](Transport* t) {
     EngineOptions options;
     options.transport = t;
+    if (compute == "remote") options.remote_app = "sssp";
     return options;
   };
 
@@ -130,6 +142,22 @@ int Run(int argc, char** argv) {
   for (const std::string& backend : TransportNames()) {
     table.push_back(pair_row(backend));
   }
+  // The compute-placement pair: identical engine, partition, query, and
+  // transport — only WHERE PEval/IncEval execute differs (inline in the
+  // rank-0 process vs inside each rank's worker host), so the row delta
+  // is pure placement cost. Comm must be identical: the worker protocol's
+  // control frames are invisible to the counters by design.
+  auto compute_row = [&](const std::string& mode) {
+    std::unique_ptr<Transport> world = make_world(transport);
+    EngineOptions options;
+    options.transport = world.get();
+    if (mode == "remote") options.remote_app = "sssp";
+    return RunGrapeSssp(grid_fg, source, expected, options,
+                        "GRAPE (" + mode + " compute)");
+  };
+  const size_t compute_base = table.size();
+  table.push_back(compute_row("local"));
+  table.push_back(compute_row("remote"));
   PrintSystemTable(table);
 
   const SystemRow& grape = table[3];
@@ -147,7 +175,7 @@ int Run(int argc, char** argv) {
 
   const SystemRow& inproc_row = table[pair_base];
   std::printf("\nTransport rows (same engine/partition/query):\n");
-  for (size_t i = pair_base + 1; i < table.size(); ++i) {
+  for (size_t i = pair_base + 1; i < compute_base; ++i) {
     const SystemRow& row = table[i];
     std::printf(
         "  time  ratio %s/inproc = %7.2fx  comm delta = %lld B (must be 0)\n",
@@ -156,6 +184,19 @@ int Run(int argc, char** argv) {
         static_cast<long long>(row.bytes) -
             static_cast<long long>(inproc_row.bytes));
   }
+
+  const SystemRow& local_row = table[compute_base];
+  const SystemRow& remote_row = table[compute_base + 1];
+  std::printf("\nCompute rows (%s transport, same partition/query):\n",
+              transport.c_str());
+  std::printf(
+      "  time  ratio remote/local = %7.2fx  comm delta = %lld B (must be 0)"
+      "  rounds delta = %d (must be 0)\n",
+      remote_row.seconds / local_row.seconds,
+      static_cast<long long>(remote_row.bytes) -
+          static_cast<long long>(local_row.bytes),
+      static_cast<int>(remote_row.supersteps) -
+          static_cast<int>(local_row.supersteps));
 
   Report report("table1_sssp");
   AddSystemTable(table, &report);

@@ -8,12 +8,20 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/quickstart [--transport=inproc|socket|tcp]
+//                      [--compute=local|remote]
 //
 // --transport picks the message-passing substrate: "inproc" (default)
 // keeps every rank in this process; "socket" forks one endpoint process
 // per rank and ships the same payloads over local sockets; "tcp" meshes
 // endpoint processes over TCP — same answer, same communication
 // counters, real process boundaries.
+//
+// --compute picks where PEval/IncEval execute: "local" (default) runs
+// them inline in this (rank-0) process; "remote" serializes each
+// fragment to its rank's worker host — the endpoint process on
+// socket/tcp, an in-process worker thread on inproc — which computes and
+// ships back messages and a final partial. Same answer, same counters,
+// real compute placement.
 //
 // Multi-machine tcp (the world here is 4 ranks: 3 workers + P0):
 //   machine0$ ./build/quickstart --transport=tcp --rank=0
@@ -26,6 +34,7 @@
 
 #include <cstdio>
 
+#include "apps/register_apps.h"
 #include "apps/sssp.h"
 #include "core/engine.h"
 #include "graph/graph.h"
@@ -44,14 +53,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string transport = flags.GetString("transport", "inproc");
+  const std::string compute = flags.GetString("compute", "local");
+  if (compute != "local" && compute != "remote") {
+    std::fprintf(stderr, "--compute must be local or remote\n");
+    return 2;
+  }
   auto cluster = ClusterSpec::FromFlags(flags);
   if (!cluster.ok()) {
     std::fprintf(stderr, "cluster: %s\n",
                  cluster.status().ToString().c_str());
     return 2;
   }
+  // Worker hosts (endpoint processes, incl. the ones forked at transport
+  // creation) resolve PIE programs by name: register before anything can
+  // fork or serve. Idempotent and cheap, so done unconditionally.
+  RegisterBuiltinWorkerApps();
   // With --rank > 0 this process is a cluster endpoint, not the engine:
-  // it serves its rank's place in the tcp mesh until rank 0 finishes.
+  // it serves its rank's place in the tcp mesh until rank 0 finishes —
+  // and, under --compute=remote, runs its rank's PEval/IncEval.
   int endpoint_exit = 0;
   if (RanAsClusterEndpoint(*cluster, transport, &endpoint_exit)) {
     return endpoint_exit;
@@ -95,6 +114,7 @@ int main(int argc, char** argv) {
   }
   EngineOptions options;
   options.transport = world->get();
+  if (compute == "remote") options.remote_app = "sssp";
 
   // "Plug": SsspApp wraps sequential Dijkstra (PEval) and incremental
   // shortest paths (IncEval) with a min aggregate — nothing else.
@@ -111,7 +131,8 @@ int main(int argc, char** argv) {
   for (VertexId v = 0; v < result->dist.size(); ++v) {
     std::printf("  0 -> %u : %.1f\n", v, result->dist[v]);
   }
-  std::printf("\ntransport: %s\n", (*world)->name().c_str());
+  std::printf("\ntransport: %s, compute: %s\n", (*world)->name().c_str(),
+              compute.c_str());
   std::printf("engine: %s\n", engine.metrics().ToString().c_str());
   std::printf("rounds: PEval + %u IncEval supersteps to the fixed point\n",
               engine.metrics().supersteps - 1);

@@ -6,12 +6,19 @@
 #include <vector>
 
 #include "core/aggregators.h"
+#include "core/codec.h"
 #include "core/pie.h"
 
 namespace grape {
 
 struct BfsQuery {
   VertexId source = 0;
+
+  // Wire codec: lets the query ship to remote worker hosts.
+  void EncodeTo(Encoder& enc) const { enc.WriteU32(source); }
+  static Status DecodeFrom(Decoder& dec, BfsQuery* out) {
+    return dec.ReadU32(&out->source);
+  }
 };
 
 struct BfsOutput {

@@ -5,11 +5,21 @@
 #include <vector>
 
 #include "core/aggregators.h"
+#include "core/codec.h"
 #include "core/pie.h"
 
 namespace grape {
 
-struct CcQuery {};
+struct CcQuery {
+  // Wire codec: CC takes no query parameters, but remote worker hosts
+  // still round-trip the (empty) query.
+  void EncodeTo(Encoder& enc) const { (void)enc; }
+  static Status DecodeFrom(Decoder& dec, CcQuery* out) {
+    (void)dec;
+    (void)out;
+    return Status::OK();
+  }
+};
 
 struct CcOutput {
   /// label[gid] = smallest vertex id in gid's (weakly) connected component.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/aggregators.h"
+#include "core/codec.h"
 #include "core/pie.h"
 
 namespace grape {
@@ -14,6 +15,19 @@ struct PageRankQuery {
   uint32_t max_iterations = 50;
   /// Stop once the global L1 delta of the rank vector drops below epsilon.
   double epsilon = 1e-9;
+
+  // Wire codec: lets the query ship to remote worker hosts (whose
+  // ShouldTerminate hook reads max_iterations/epsilon).
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteDouble(damping);
+    enc.WriteU32(max_iterations);
+    enc.WriteDouble(epsilon);
+  }
+  static Status DecodeFrom(Decoder& dec, PageRankQuery* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadDouble(&out->damping));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->max_iterations));
+    return dec.ReadDouble(&out->epsilon);
+  }
 };
 
 struct PageRankOutput {

@@ -16,6 +16,7 @@
 #include "apps/triangle.h"
 #include "core/app_registry.h"
 #include "core/engine.h"
+#include "rt/remote_worker.h"
 #include "util/string_util.h"
 
 namespace grape {
@@ -82,7 +83,18 @@ RegisteredApp MakeEntry(std::string name, std::string description,
 
 }  // namespace
 
+void RegisterBuiltinWorkerApps() {
+  // The wire-codable subset: apps whose Query/Partial/Value types cross
+  // process boundaries, so their PEval/IncEval can execute inside an
+  // endpoint process (EngineOptions::remote_app).
+  RegisterRemoteWorker<SsspApp>("sssp");
+  RegisterRemoteWorker<BfsApp>("bfs");
+  RegisterRemoteWorker<CcApp>("cc");
+  RegisterRemoteWorker<PageRankApp>("pagerank");
+}
+
 void RegisterBuiltinApps() {
+  RegisterBuiltinWorkerApps();
   AppRegistry& registry = AppRegistry::Global();
 
   registry.Register(MakeEntry<SsspApp>(

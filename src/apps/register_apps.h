@@ -6,8 +6,18 @@ namespace grape {
 /// Registers every built-in PIE program (sssp, bfs, cc, pagerank, sim,
 /// subiso, keyword, cf, gpar) in AppRegistry::Global(). Idempotent.
 /// Examples and benches call this once at startup — the programmatic
-/// equivalent of the demo's pre-populated GRAPE library.
+/// equivalent of the demo's pre-populated GRAPE library. Also registers
+/// the remote worker factories (RegisterBuiltinWorkerApps below).
 void RegisterBuiltinApps();
+
+/// Registers the wire-codable subset (sssp, bfs, cc, pagerank) in
+/// WorkerAppRegistry::Global() so endpoint processes can instantiate them
+/// by name for remote compute. Idempotent. IMPORTANT: the multi-process
+/// transports fork their endpoints at Create time and a fork snapshots
+/// the registry — call this BEFORE building the transport in any process
+/// that should host remote workers (engine processes cover their own app
+/// for the in-thread inproc case automatically).
+void RegisterBuiltinWorkerApps();
 
 }  // namespace grape
 

@@ -5,12 +5,19 @@
 #include <vector>
 
 #include "core/aggregators.h"
+#include "core/codec.h"
 #include "core/pie.h"
 
 namespace grape {
 
 struct SsspQuery {
   VertexId source = 0;
+
+  // Wire codec: lets the query ship to remote worker hosts.
+  void EncodeTo(Encoder& enc) const { enc.WriteU32(source); }
+  static Status DecodeFrom(Decoder& dec, SsspQuery* out) {
+    return dec.ReadU32(&out->source);
+  }
 };
 
 struct SsspOutput {

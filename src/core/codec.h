@@ -57,6 +57,30 @@ void EncodeValue(Encoder& enc, const T& value) {
   }
 }
 
+namespace codec_internal {
+
+template <typename T>
+struct IsWireCodable
+    : std::bool_constant<SelfCodable<T> || std::is_arithmetic_v<T> ||
+                         std::is_enum_v<T> || std::is_same_v<T, std::string>> {
+};
+template <typename A, typename B>
+struct IsWireCodable<std::pair<A, B>>
+    : std::bool_constant<IsWireCodable<A>::value && IsWireCodable<B>::value> {
+};
+template <typename T>
+struct IsWireCodable<std::vector<T>> : IsWireCodable<T> {};
+
+}  // namespace codec_internal
+
+/// True when EncodeValue/DecodeValue handle T — i.e. T can cross a process
+/// boundary. A compile-time mirror of EncodeValue's dispatch (which
+/// static_asserts instead of SFINAE-failing), so remote-compute support
+/// can be gated per app: an app whose Query/Partial types are not wire
+/// codable simply cannot be executed in an endpoint process.
+template <typename T>
+concept WireCodable = codec_internal::IsWireCodable<T>::value;
+
 /// True when EncodeValue writes exactly the value's object representation
 /// (sizeof(T) raw little-endian bytes, via WritePod) — i.e. when a block of
 /// values can be shipped with one memcpy without changing a single wire

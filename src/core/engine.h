@@ -2,17 +2,22 @@
 #define GRAPE_CORE_ENGINE_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/codec.h"
 #include "core/pie.h"
+#include "core/worker_core.h"
 #include "rt/comm_world.h"
+#include "rt/remote_worker.h"
 #include "rt/transport.h"
+#include "rt/worker_protocol.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -45,6 +50,22 @@ struct EngineOptions {
   /// tests/transport_conformance_test.cc slots in with bit-identical
   /// results (tests/message_path_golden_test.cc).
   Transport* transport = nullptr;
+  /// Remote compute: when non-empty, PEval/IncEval/GetPartial do NOT run
+  /// inline in this (rank-0) process. Each fragment is serialized and
+  /// shipped to its rank's worker host — the endpoint process on
+  /// socket/tcp backends, an in-process worker thread on inproc — which
+  /// executes the phases against its own store and ships back messages,
+  /// per-phase counters, and a final remote partial (rt/worker_protocol.h).
+  /// The value names the PIE program in WorkerAppRegistry ("sssp", ...);
+  /// endpoint processes must have registered it before the transport
+  /// forked them (apps/register_apps.h RegisterBuiltinWorkerApps).
+  /// Results, CommStats, and superstep counts are bit-identical to local
+  /// compute — frozen by tests/message_path_golden_test.cc.
+  std::string remote_app;
+  /// Per-phase budget for remote workers to answer before the engine
+  /// gives up with Unavailable (a dead endpoint usually surfaces faster
+  /// through the transport's health tracking).
+  int remote_timeout_ms = 120000;
 };
 
 /// Per-superstep observability (drives the Fig. 3(4)-style analytics).
@@ -70,6 +91,15 @@ struct EngineMetrics {
   uint64_t monotonicity_violations = 0;
   std::vector<RoundMetrics> rounds;
 
+  /// Remote-compute observability (empty after a local-compute run): the
+  /// OS process id each worker's phases executed in, and how many
+  /// PEval/IncEval invocations each worker acknowledged. The pids are the
+  /// proof of placement — on socket/tcp backends they are endpoint
+  /// processes, not the engine's pid (asserted by tests/cluster_test.cc).
+  std::vector<uint64_t> remote_worker_pids;
+  std::vector<uint32_t> remote_peval_runs;
+  std::vector<uint32_t> remote_inceval_runs;
+
   std::string ToString() const {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -89,6 +119,17 @@ struct EngineMetrics {
 /// extracts changed update parameters, serializes them, routes them through
 /// the coordinator (which resolves conflicts with the app's aggregate
 /// function), and terminates when no parameter changes anywhere.
+///
+/// Two execution modes share the superstep loop and the coordinator:
+///
+///  * local compute (default): each worker is a WorkerCore driven inline
+///    by this process's thread pool — the historical single-process mode.
+///  * remote compute (EngineOptions::remote_app): each worker is the same
+///    WorkerCore, but executing inside its rank's worker host — the
+///    endpoint OS process on socket/tcp, an in-process thread on inproc —
+///    driven through the control frames of rt/worker_protocol.h. The
+///    engine keeps only the coordinator role: route, aggregate, decide
+///    termination, assemble.
 template <PIEProgram App>
 class GrapeEngine {
  public:
@@ -112,22 +153,13 @@ class GrapeEngine {
     GRAPE_CHECK(world_->size() == n + 1)
         << "transport sized " << world_->size() << " for " << n
         << " fragments (need num_fragments()+1 ranks)";
-    apps_.assign(n, prototype);
-    stores_.resize(n);
-    updated_.resize(n);
+    cores_.reserve(n);
+    for (FragmentId i = 0; i < n; ++i) {
+      cores_.emplace_back(fg_.fragments[i], prototype);
+    }
     phase_status_.assign(n, Status::OK());
-    flush_dirty_.assign(n, 0);
     pending_sends_.resize(n);
-    if (options_.check_monotonicity) prev_flushed_.resize(n);
 
-    // Dense message-path state, all sized once and reused every superstep.
-    changed_scratch_.resize(n);
-    reset_scratch_.resize(n);
-    staging_.resize(n);
-    staged_dsts_.resize(n);
-    for (FragmentId i = 0; i < n; ++i) staging_[i].resize(n);
-    apply_lids_.resize(n);
-    apply_values_.resize(n);
     coord_batches_.resize(n);
     for (FragmentId i = 0; i < n; ++i) {
       coord_batches_[i].slot_round.assign(fg_.fragments[i].num_local(), 0);
@@ -140,20 +172,26 @@ class GrapeEngine {
 
   /// Runs the full PEval → IncEval* → Assemble pipeline for one query.
   Result<Output> Run(const Query& query) {
+    if (!options_.remote_app.empty()) {
+      if constexpr (RemoteCompatibleApp<App>) {
+        return RunRemote(query);
+      } else {
+        return Status::InvalidArgument(
+            "remote compute requires wire-codable Query/Partial/Value "
+            "types; this app must run locally");
+      }
+    }
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
     world_->ResetStats();
     recorded_messages_ = 0;
     recorded_bytes_ = 0;
+    extra_messages_ = 0;
+    extra_bytes_ = 0;
     const FragmentId n = fg_.num_fragments();
 
     for (FragmentId i = 0; i < n; ++i) {
-      stores_[i].Init(fg_.fragments[i].num_local(), apps_[i].InitValue());
-      updated_[i].clear();
-      if (options_.check_monotonicity) {
-        prev_flushed_[i].assign(fg_.fragments[i].num_local(),
-                                apps_[i].InitValue());
-      }
+      cores_[i].Reset(options_.check_monotonicity);
     }
 
     // Superstep 1: partial evaluation on every fragment in parallel.
@@ -163,15 +201,15 @@ class GrapeEngine {
     {
       ScopedTimer t(&metrics_.peval_seconds);
       pool_.ParallelFor(0, n, [&](size_t i) {
-        apps_[i].PEval(query, fg_.fragments[i], stores_[i]);
-        FlushWorker(static_cast<FragmentId>(i));
+        cores_[i].PEval(query);
+        cores_[i].Flush(world_->buffer_pool(), &pending_sends_[i]);
       });
       metrics_.supersteps = 1;
     }
     GRAPE_RETURN_NOT_OK(CheckPhase());
     uint64_t direct = 0;
     GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
-    RecordRound(0.0);
+    RecordRound(0.0, TotalUpdated());
     uint64_t dirty = TotalDirty();
 
     // Supersteps 2..: coordinator routes, workers incrementally evaluate.
@@ -181,9 +219,9 @@ class GrapeEngine {
     // (dirty) remain.
     while (metrics_.supersteps < options_.max_supersteps) {
       double global = 0;
-      for (FragmentId i = 0; i < n; ++i) global += apps_[i].GlobalValue();
+      for (FragmentId i = 0; i < n; ++i) global += cores_[i].GlobalValue();
       if (!metrics_.rounds.empty()) metrics_.rounds.back().global = global;
-      if (apps_[0].ShouldTerminate(metrics_.supersteps, global)) break;
+      if (cores_[0].ShouldTerminate(metrics_.supersteps, global)) break;
 
       uint64_t routed = 0;
       {
@@ -202,22 +240,14 @@ class GrapeEngine {
             phase_status_[i] = s;
             return;
           }
-          if (!options_.incremental) {
-            // Ablation: pretend everything changed, forcing IncEval to
-            // re-evaluate the entire fragment every round.
-            updated_[i].clear();
-            for (LocalId v = 0; v < fg_.fragments[i].num_inner(); ++v) {
-              updated_[i].push_back(v);
-            }
-          }
-          apps_[i].IncEval(query, fg_.fragments[i], stores_[i], updated_[i]);
-          FlushWorker(fid);
+          cores_[i].IncEval(query, options_.incremental);
+          cores_[i].Flush(world_->buffer_pool(), &pending_sends_[i]);
         });
       }
       metrics_.supersteps++;
       GRAPE_RETURN_NOT_OK(CheckPhase());
       GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
-      RecordRound(round_timer.ElapsedSeconds());
+      RecordRound(round_timer.ElapsedSeconds(), TotalUpdated());
       dirty = TotalDirty();
       if (options_.verbose) {
         GRAPE_LOG(kInfo) << "superstep " << metrics_.supersteps << ": "
@@ -231,16 +261,12 @@ class GrapeEngine {
       ScopedTimer t(&metrics_.assemble_seconds);
       std::vector<Partial> partials(n);
       pool_.ParallelFor(0, n, [&](size_t i) {
-        partials[i] =
-            apps_[i].GetPartial(query, fg_.fragments[i], stores_[i]);
+        partials[i] = cores_[i].GetPartial(query);
       });
       output = App::Assemble(query, std::move(partials));
     }
 
-    CommStats cs = world_->stats();
-    metrics_.messages = cs.messages;
-    metrics_.bytes = cs.bytes;
-    metrics_.total_seconds = total_timer.ElapsedSeconds();
+    FinishMetrics(total_timer);
     return output;
   }
 
@@ -256,21 +282,38 @@ class GrapeEngine {
   /// parameters down the partial order (e.g. edge insertions for SSSP/CC).
   /// Updates that could move values against the order (deletions under min)
   /// require a dedicated IncEval and should fall back to Run().
+  ///
+  /// Always executes locally: the warm start reads the previous engine's
+  /// in-process stores, which a remote worker does not have.
   Result<Output> RunIncremental(const Query& query,
                                 const GrapeEngine& previous,
                                 const std::vector<VertexId>& touched) {
+    if (!options_.remote_app.empty()) {
+      return Status::InvalidArgument(
+          "RunIncremental warm-starts from in-process stores and does not "
+          "support remote compute");
+    }
+    if (!previous.metrics_.remote_worker_pids.empty()) {
+      return Status::InvalidArgument(
+          "previous engine ran with remote compute: its converged stores "
+          "live in the worker hosts, not in this process, so there is "
+          "nothing to warm-start from (re-run it locally first)");
+    }
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
     world_->ResetStats();
     recorded_messages_ = 0;
     recorded_bytes_ = 0;
+    extra_messages_ = 0;
+    extra_bytes_ = 0;
     const FragmentId n = fg_.num_fragments();
 
     // Warm start: every local copy adopts the owner's converged value from
     // the previous run (unseen vertices keep InitValue).
     for (FragmentId i = 0; i < n; ++i) {
       const Fragment& frag = fg_.fragments[i];
-      stores_[i].Init(frag.num_local(), apps_[i].InitValue());
+      cores_[i].Reset(options_.check_monotonicity);
+      ParamStore<Value>& store = cores_[i].store();
       for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
         VertexId gid = frag.Gid(lid);
         if (gid >= previous.fg_.owner->size()) continue;  // new vertex
@@ -278,19 +321,15 @@ class GrapeEngine {
         const Fragment& prev_frag = previous.fg_.fragments[prev_owner];
         LocalId prev_lid = prev_frag.Lid(gid);
         if (prev_lid == kInvalidLocal) continue;
-        stores_[i].UntrackedRef(lid) =
-            previous.stores_[prev_owner].Get(prev_lid);
-      }
-      updated_[i].clear();
-      if (options_.check_monotonicity) {
-        prev_flushed_[i].assign(frag.num_local(), apps_[i].InitValue());
+        store.UntrackedRef(lid) =
+            previous.cores_[prev_owner].store().Get(prev_lid);
       }
     }
     // Seed M: the update's touched vertices (all local copies).
     for (VertexId gid : touched) {
       for (FragmentId i = 0; i < n; ++i) {
         LocalId lid = fg_.fragments[i].Lid(gid);
-        if (lid != kInvalidLocal) updated_[i].push_back(lid);
+        if (lid != kInvalidLocal) cores_[i].updated().push_back(lid);
       }
     }
 
@@ -298,21 +337,21 @@ class GrapeEngine {
     {
       ScopedTimer t(&metrics_.inceval_seconds);
       pool_.ParallelFor(0, n, [&](size_t i) {
-        apps_[i].IncEval(query, fg_.fragments[i], stores_[i], updated_[i]);
-        FlushWorker(static_cast<FragmentId>(i));
+        cores_[i].IncEval(query, true);
+        cores_[i].Flush(world_->buffer_pool(), &pending_sends_[i]);
       });
       metrics_.supersteps = 1;
     }
     GRAPE_RETURN_NOT_OK(CheckPhase());
     uint64_t direct = 0;
     GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
-    RecordRound(0.0);
+    RecordRound(0.0, TotalUpdated());
     uint64_t dirty = TotalDirty();
 
     while (metrics_.supersteps < options_.max_supersteps) {
       double global = 0;
-      for (FragmentId i = 0; i < n; ++i) global += apps_[i].GlobalValue();
-      if (apps_[0].ShouldTerminate(metrics_.supersteps, global)) break;
+      for (FragmentId i = 0; i < n; ++i) global += cores_[i].GlobalValue();
+      if (cores_[0].ShouldTerminate(metrics_.supersteps, global)) break;
       uint64_t routed = 0;
       {
         ScopedTimer t(&metrics_.coordinator_seconds);
@@ -329,14 +368,14 @@ class GrapeEngine {
             phase_status_[i] = s;
             return;
           }
-          apps_[i].IncEval(query, fg_.fragments[i], stores_[i], updated_[i]);
-          FlushWorker(fid);
+          cores_[i].IncEval(query, true);
+          cores_[i].Flush(world_->buffer_pool(), &pending_sends_[i]);
         });
       }
       metrics_.supersteps++;
       GRAPE_RETURN_NOT_OK(CheckPhase());
       GRAPE_ASSIGN_OR_RETURN(direct, DispatchSends());
-      RecordRound(round_timer.ElapsedSeconds());
+      RecordRound(round_timer.ElapsedSeconds(), TotalUpdated());
       dirty = TotalDirty();
     }
 
@@ -345,22 +384,22 @@ class GrapeEngine {
       ScopedTimer t(&metrics_.assemble_seconds);
       std::vector<Partial> partials(n);
       pool_.ParallelFor(0, n, [&](size_t i) {
-        partials[i] =
-            apps_[i].GetPartial(query, fg_.fragments[i], stores_[i]);
+        partials[i] = cores_[i].GetPartial(query);
       });
       output = App::Assemble(query, std::move(partials));
     }
-    CommStats cs = world_->stats();
-    metrics_.messages = cs.messages;
-    metrics_.bytes = cs.bytes;
-    metrics_.total_seconds = total_timer.ElapsedSeconds();
+    FinishMetrics(total_timer);
     return output;
   }
 
   const EngineMetrics& metrics() const { return metrics_; }
 
-  /// Post-run parameter access (tests assert on converged stores).
-  const ParamStore<Value>& params(FragmentId i) const { return stores_[i]; }
+  /// Post-run parameter access (tests assert on converged stores). Only
+  /// meaningful after local compute: remote workers keep their stores in
+  /// their own processes.
+  const ParamStore<Value>& params(FragmentId i) const {
+    return cores_[i].store();
+  }
 
   FragmentId num_workers() const { return fg_.num_fragments(); }
 
@@ -379,104 +418,48 @@ class GrapeEngine {
     return Status::OK();
   }
 
-  void RecordRound(double seconds) {
+  void RecordRound(double seconds, uint64_t updated_params) {
     // Running totals, not a re-sum of all prior rounds (which made this
-    // O(rounds^2) over a long fixed point).
+    // O(rounds^2) over a long fixed point). Remote compute adds the
+    // ack-reported worker flush traffic, which never passes through a
+    // rank-0 Send on multi-process backends.
     CommStats cs = world_->stats();
     RoundMetrics rm;
     rm.round = metrics_.supersteps;
     rm.seconds = seconds;
-    rm.messages = cs.messages - recorded_messages_;
-    rm.bytes = cs.bytes - recorded_bytes_;
-    recorded_messages_ = cs.messages;
-    recorded_bytes_ = cs.bytes;
-    uint64_t updated = 0;
-    for (const auto& u : updated_) updated += u.size();
-    rm.updated_params = updated;
+    rm.messages =
+        cs.messages + extra_messages_ - recorded_messages_;
+    rm.bytes = cs.bytes + extra_bytes_ - recorded_bytes_;
+    recorded_messages_ = cs.messages + extra_messages_;
+    recorded_bytes_ = cs.bytes + extra_bytes_;
+    rm.updated_params = updated_params;
     metrics_.rounds.push_back(rm);
   }
 
-  /// Extracts changed in-scope parameters of worker i, serializes them and
-  /// ships them to the coordinator, one buffer per destination fragment.
+  void FinishMetrics(const WallTimer& total_timer) {
+    CommStats cs = world_->stats();
+    metrics_.messages = cs.messages + extra_messages_;
+    metrics_.bytes = cs.bytes + extra_bytes_;
+    uint64_t mono = 0;
+    if (metrics_.remote_worker_pids.empty()) {
+      for (const auto& core : cores_) mono += core.monotonicity_violations();
+    } else {
+      for (uint64_t v : remote_mono_) mono += v;
+    }
+    metrics_.monotonicity_violations = mono;
+    metrics_.total_seconds = total_timer.ElapsedSeconds();
+  }
+
   uint64_t TotalDirty() const {
     uint64_t total = 0;
-    for (uint64_t d : flush_dirty_) total += d;
+    for (const auto& core : cores_) total += core.flush_dirty();
     return total;
   }
 
-  void FlushWorker(FragmentId i) {
-    const Fragment& frag = fg_.fragments[i];
-    ParamStore<Value>& store = stores_[i];
-    std::vector<LocalId>& changed = changed_scratch_[i];
-    store.TakeChangedInto(&changed);
-    std::vector<std::pair<VertexId, Value>> remote = store.TakeRemote();
-    flush_dirty_[i] = changed.size() + remote.size();
-    if (changed.empty() && remote.empty()) return;
-
-    // Dense staging: one reusable (dst_lid, value) block per destination
-    // fragment, addressed by the routing plan precomputed at
-    // FragmentBuilder time — the hot path never hashes a gid.
-    std::vector<RecordBlock<Value>>& staging = staging_[i];
-    std::vector<FragmentId>& dsts = staged_dsts_[i];
-    auto stage = [&staging, &dsts](FragmentId dst, LocalId dst_lid,
-                                   const Value& value) {
-      RecordBlock<Value>& block = staging[dst];
-      if (block.empty()) dsts.push_back(dst);
-      block.Append(dst_lid, value);
-    };
-
-    std::vector<LocalId>& reset_list = reset_scratch_[i];
-    for (LocalId lid : changed) {
-      const bool to_owner =
-          App::kScope != MessageScope::kToMirrors && frag.IsOuter(lid);
-      const bool to_mirrors =
-          App::kScope != MessageScope::kToOwner && frag.IsBorder(lid);
-      if (to_owner) {
-        stage(frag.OuterOwner(lid), frag.OuterOwnerLid(lid), store.Get(lid));
-        if (App::kResetAfterFlush) reset_list.push_back(lid);
-      }
-      if (to_mirrors) {
-        auto mirror_frags = frag.MirrorFragments(lid);
-        auto mirror_lids = frag.MirrorDstLids(lid);
-        for (size_t k = 0; k < mirror_frags.size(); ++k) {
-          stage(mirror_frags[k], mirror_lids[k], store.Get(lid));
-        }
-      }
-      if (options_.check_monotonicity && Agg::kMonotonic &&
-          (to_owner || to_mirrors)) {
-        if (!Agg::InOrder(store.Get(lid), prev_flushed_[i][lid])) {
-          metrics_.monotonicity_violations++;
-        }
-        prev_flushed_[i][lid] = store.Get(lid);
-      }
-    }
-    for (const auto& [gid, value] : remote) {
-      stage(frag.OwnerOf(gid), frag.LidAtOwner(gid), value);
-    }
-
-    // Deterministic destination order. Mirror refreshes have a single
-    // writer (the owner), so they need no conflict resolution and travel
-    // directly worker-to-worker; owner-bound values carry potential
-    // conflicts and go through the coordinator's aggregate function.
-    std::sort(dsts.begin(), dsts.end());
-
-    const bool direct = App::kScope == MessageScope::kToMirrors;
-    for (FragmentId dst : dsts) {
-      RecordBlock<Value>& block = staging[dst];
-      Encoder enc(world_->buffer_pool().Acquire());
-      if (!direct) enc.WriteU32(dst);
-      EncodeRecordBlock(enc, block);
-      pending_sends_[i].push_back(
-          PendingSend{direct ? RankOf(dst) : kCoordinatorRank,
-                      direct ? block.size() : 0, enc.TakeBuffer()});
-      block.clear();
-    }
-    dsts.clear();
-    for (LocalId lid : reset_list) {
-      store.UntrackedRef(lid) = apps_[i].InitValue();
-    }
-    reset_list.clear();
-    store.RecycleRemote(std::move(remote));
+  uint64_t TotalUpdated() const {
+    uint64_t total = 0;
+    for (const auto& core : cores_) total += core.updated().size();
+    return total;
   }
 
   /// Ships every staged buffer (runs between parallel phases); returns the
@@ -489,10 +472,11 @@ class GrapeEngine {
   Result<uint64_t> DispatchSends() {
     uint64_t direct = 0;
     for (FragmentId i = 0; i < fg_.num_fragments(); ++i) {
-      for (PendingSend& p : pending_sends_[i]) {
+      for (WorkerSend& p : pending_sends_[i]) {
         direct += p.direct_updates;
-        GRAPE_RETURN_NOT_OK(world_->Send(RankOf(i), p.rank, kTagParamUpdate,
-                                        std::move(p.payload)));
+        GRAPE_RETURN_NOT_OK(world_->Send(RankOf(i), p.dst_rank,
+                                         kTagParamUpdate,
+                                         std::move(p.payload)));
       }
       pending_sends_[i].clear();
     }
@@ -506,6 +490,28 @@ class GrapeEngine {
   /// Returns the number of routed updates (0 signals the fixed point).
   Result<uint64_t> CoordinatorRoute() {
     std::vector<RtMessage> inbox = world_->DrainAll(kCoordinatorRank);
+    if (inbox.empty()) return uint64_t{0};
+    uint64_t routed = 0;
+    GRAPE_ASSIGN_OR_RETURN(
+        routed, RouteInbox(std::move(inbox), kTagParamUpdate, nullptr));
+    // Delivery barrier: consolidated batches must reach the workers before
+    // the ApplyMessages phase starts polling its mailboxes.
+    GRAPE_RETURN_NOT_OK(world_->Flush());
+    return routed;
+  }
+
+  /// The mode-independent coordinator: aggregates an inbox of owner-bound
+  /// record batches and sends one consolidated buffer per destination
+  /// worker under `send_tag` (kTagParamUpdate locally, kTagWkApply for
+  /// remote workers — the one worker-protocol frame CommStats counts,
+  /// because this Send exists identically in both modes). When
+  /// `apply_counts` is non-null it receives the number of batches sent to
+  /// each fragment — the remote round's per-worker delivery expectation.
+  Result<uint64_t> RouteInbox(std::vector<RtMessage> inbox, uint32_t send_tag,
+                              std::vector<uint32_t>* apply_counts) {
+    if (apply_counts != nullptr) {
+      apply_counts->assign(fg_.num_fragments(), 0);
+    }
     if (inbox.empty()) return uint64_t{0};
     // Mailbox order is FIFO per sender; sort by sender for a deterministic
     // merge independent of thread scheduling.
@@ -567,12 +573,10 @@ class GrapeEngine {
       Encoder enc(world_->buffer_pool().Acquire());
       EncodeOwnedRecords(enc, batch.lids, batch.values);
       routed += batch.lids.size();
+      if (apply_counts != nullptr) (*apply_counts)[dst]++;
       GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(dst),
-                                      kTagParamUpdate, enc.TakeBuffer()));
+                                       send_tag, enc.TakeBuffer()));
     }
-    // Delivery barrier: consolidated batches must reach the workers before
-    // the ApplyMessages phase starts polling its mailboxes.
-    GRAPE_RETURN_NOT_OK(world_->Flush());
     return routed;
   }
 
@@ -580,33 +584,365 @@ class GrapeEngine {
   /// function; vertices whose value actually changed form M_i, the update
   /// set handed to IncEval.
   Status ApplyMessages(FragmentId i) {
-    updated_[i].clear();
-    ParamStore<Value>& store = stores_[i];
-    std::vector<uint32_t>& lids = apply_lids_[i];
-    std::vector<Value>& values = apply_values_[i];
+    cores_[i].BeginApply();
     while (auto msg = world_->TryRecv(RankOf(i), kTagParamUpdate)) {
-      Decoder dec(msg->payload);
-      // Messages carry destination-local ids straight off the routing
-      // plan, so application is a direct array index — no gid hash.
-      GRAPE_RETURN_NOT_OK(DecodeRecordBlock(dec, &lids, &values));
-      for (size_t k = 0; k < lids.size(); ++k) {
-        const LocalId lid = lids[k];
-        if (lid >= static_cast<LocalId>(store.size())) {
-          return Status::Internal("routed update addresses lid " +
-                                  std::to_string(lid) +
-                                  " outside fragment " + std::to_string(i));
+      GRAPE_RETURN_NOT_OK(cores_[i].ApplyBatch(msg->payload));
+      world_->buffer_pool().Release(std::move(msg->payload));
+    }
+    cores_[i].FinishApply();
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------ remote compute
+
+  /// One awaited remote phase: every worker's ack folded together, with
+  /// per-fragment detail where the engine needs it.
+  struct RemoteRound {
+    uint64_t dirty = 0;
+    uint64_t direct_updates = 0;
+    uint64_t updated_count = 0;
+    uint64_t sent_messages = 0;
+    uint64_t sent_bytes = 0;
+    std::vector<double> global_by_frag;  // summed in fragment order
+    std::vector<uint64_t> mono_by_frag;  // cumulative per worker
+    /// direct_matrix[src][dst]: kTagWkDirect frames worker src shipped to
+    /// worker dst this phase — next round's delivery expectations.
+    std::vector<std::vector<uint32_t>> direct_matrix;
+
+    double GlobalSum() const {
+      // Fragment order, matching the local loop's summation order, so a
+      // borderline floating-point termination check cannot diverge.
+      double g = 0;
+      for (double v : global_by_frag) g += v;
+      return g;
+    }
+  };
+
+  Result<Output> RunRemote(const Query& query)
+    requires RemoteCompatibleApp<App>
+  {
+    WallTimer total_timer;
+    metrics_ = EngineMetrics{};
+    world_->ResetStats();
+    recorded_messages_ = 0;
+    recorded_bytes_ = 0;
+    extra_messages_ = 0;
+    extra_bytes_ = 0;
+    remote_inbox_.clear();
+    const FragmentId n = fg_.num_fragments();
+    metrics_.remote_worker_pids.assign(n, 0);
+    metrics_.remote_peval_runs.assign(n, 0);
+    metrics_.remote_inceval_runs.assign(n, 0);
+    remote_mono_.assign(n, 0);
+
+    // Cover the in-thread host path even when nobody pre-registered this
+    // app; endpoint processes snapshot the registry at fork, so for
+    // socket/tcp the registration must already have happened there.
+    if (!WorkerAppRegistry::Global().Has(options_.remote_app)) {
+      RegisterRemoteWorker<App>(options_.remote_app);
+    }
+    // A previous run on this world may have left worker-protocol frames
+    // behind (an abandoned phase after an error): drain them before any
+    // worker host can see them, so they cannot masquerade as this run's
+    // traffic. Only worker tags are touched.
+    for (uint32_t tag = kTagWkLoad; tag < kTagWkEnd_; ++tag) {
+      for (uint32_t rank = 0; rank <= n; ++rank) {
+        while (auto stale = world_->TryRecv(rank, tag)) {
+          world_->buffer_pool().Release(std::move(stale->payload));
         }
-        // No dirty-marking here: message application is not a local change
-        // to re-broadcast; only IncEval's own writes are.
-        if (Agg::Aggregate(store.UntrackedRef(lid), values[k])) {
-          updated_[i].push_back(lid);
+      }
+    }
+    InThreadWorkers in_thread(world_, n, !world_->has_remote_endpoints());
+
+    // Load: app name + flags + query + the serialized fragment (with its
+    // routing plan and the shared owner tables).
+    for (FragmentId i = 0; i < n; ++i) {
+      Encoder enc(world_->buffer_pool().Acquire());
+      enc.WriteString(options_.remote_app);
+      enc.WriteU8(options_.check_monotonicity ? kWkLoadCheckMonotonicity
+                                              : 0);
+      EncodeValue(enc, query);
+      fg_.fragments[i].EncodeTo(enc);
+      GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                       kTagWkLoad, enc.TakeBuffer()));
+    }
+    {
+      RemoteRound load;
+      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseLoad, 0, &load));
+    }
+
+    // Superstep 1: remote PEval everywhere.
+    RemoteRound round;
+    {
+      ScopedTimer t(&metrics_.peval_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkRunPEval, {}));
+      }
+      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhasePEval, 1, &round));
+      metrics_.supersteps = 1;
+    }
+    extra_messages_ += round.sent_messages;
+    extra_bytes_ += round.sent_bytes;
+    RecordRound(0.0, round.updated_count);
+    uint64_t dirty = round.dirty;
+    uint64_t direct = round.direct_updates;
+    double global = round.GlobalSum();
+
+    while (metrics_.supersteps < options_.max_supersteps) {
+      if (!metrics_.rounds.empty()) metrics_.rounds.back().global = global;
+      // apps_[0]'s termination hook lives in worker rank 1 now; one
+      // control round-trip evaluates it against the summed global.
+      bool terminate = false;
+      GRAPE_ASSIGN_OR_RETURN(
+          terminate, RemoteCheckTerminate(metrics_.supersteps, global));
+      if (terminate) break;
+
+      uint64_t routed = 0;
+      std::vector<uint32_t> apply_counts;
+      {
+        ScopedTimer t(&metrics_.coordinator_seconds);
+        std::vector<RtMessage> inbox = std::move(remote_inbox_);
+        remote_inbox_.clear();
+        GRAPE_ASSIGN_OR_RETURN(
+            routed, RouteInbox(std::move(inbox), kTagWkApply, &apply_counts));
+      }
+      if (routed + direct == 0 && dirty == 0) break;  // simultaneous fixpoint
+
+      WallTimer round_timer;
+      RemoteRound next;
+      {
+        ScopedTimer t(&metrics_.inceval_seconds);
+        for (FragmentId i = 0; i < n; ++i) {
+          IncEvalCommand cmd;
+          cmd.round = metrics_.supersteps + 1;
+          cmd.incremental = options_.incremental;
+          cmd.apply_frames = apply_counts[i];
+          for (FragmentId s = 0; s < n; ++s) {
+            const uint32_t frames = round.direct_matrix[s][i];
+            if (frames > 0) cmd.expect_direct.emplace_back(RankOf(s), frames);
+          }
+          Encoder enc(world_->buffer_pool().Acquire());
+          cmd.EncodeTo(enc);
+          GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                           kTagWkRunIncEval,
+                                           enc.TakeBuffer()));
         }
+        GRAPE_RETURN_NOT_OK(
+            AwaitPhase(kWkPhaseIncEval, metrics_.supersteps + 1, &next));
+      }
+      round = std::move(next);
+      metrics_.supersteps++;
+      extra_messages_ += round.sent_messages;
+      extra_bytes_ += round.sent_bytes;
+      RecordRound(round_timer.ElapsedSeconds(), round.updated_count);
+      dirty = round.dirty;
+      direct = round.direct_updates;
+      global = round.GlobalSum();
+      if (options_.verbose) {
+        GRAPE_LOG(kInfo) << "superstep " << metrics_.supersteps << ": "
+                         << metrics_.rounds.back().messages
+                         << " msgs (remote)";
+      }
+    }
+    remote_mono_ = round.mono_by_frag.empty() ? remote_mono_
+                                              : round.mono_by_frag;
+
+    // Termination: remote GetPartial everywhere, Assemble here.
+    Output output;
+    {
+      ScopedTimer t(&metrics_.assemble_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkGetPartial, {}));
+      }
+      std::vector<Partial> partials(n);
+      GRAPE_RETURN_NOT_OK(AwaitPartials(&partials));
+      output = App::Assemble(query, std::move(partials));
+    }
+
+    // Retire the workers (best effort: the run already succeeded; an
+    // endpoint that died here surfaces through the transport anyway).
+    for (FragmentId i = 0; i < n; ++i) {
+      (void)world_->Send(kCoordinatorRank, RankOf(i), kTagWkShutdown, {});
+    }
+
+    FinishMetrics(total_timer);
+    return output;
+  }
+
+  /// Pulls rank-0 frames until every worker acked `phase` (round-tagged
+  /// for IncEval). kTagWkData frames are buffered into remote_inbox_ —
+  /// FIFO per channel guarantees a worker's data precedes its ack, so a
+  /// complete ack set means a complete round inbox. Never blocks in Recv:
+  /// a dead endpoint or a dropped control frame must surface as a Status
+  /// within bounded time, not hang the superstep loop.
+  Status AwaitPhase(uint8_t phase, uint32_t round, RemoteRound* out) {
+    const FragmentId n = fg_.num_fragments();
+    out->global_by_frag.assign(n, 0.0);
+    out->mono_by_frag.assign(n, 0);
+    out->direct_matrix.assign(n, std::vector<uint32_t>(n, 0));
+    std::vector<uint8_t> seen(n, 0);
+    FragmentId have = 0;
+    uint32_t idle = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.remote_timeout_ms);
+    while (have < n) {
+      std::optional<RtMessage> msg = world_->TryRecv(kCoordinatorRank);
+      if (!msg) {
+        GRAPE_RETURN_NOT_OK(
+            CheckRemoteLiveness(deadline, "phase acks", &idle));
+        continue;
+      }
+      idle = 0;
+      switch (msg->tag) {
+        case kTagWkData:
+          remote_inbox_.push_back(std::move(*msg));
+          break;
+        case kTagWkError:
+          return DecodeWorkerError(msg->payload);
+        case kTagWkAck: {
+          Decoder dec(msg->payload);
+          WorkerAck ack;
+          GRAPE_RETURN_NOT_OK(WorkerAck::DecodeFrom(dec, &ack));
+          world_->buffer_pool().Release(std::move(msg->payload));
+          if (msg->from < 1 || msg->from > n) {
+            return Status::Internal("worker ack from rank " +
+                                    std::to_string(msg->from));
+          }
+          const FragmentId frag = msg->from - 1;
+          if (ack.phase != phase || ack.round != round || seen[frag]) {
+            break;  // stale or duplicated (flaky substrate); ignore
+          }
+          seen[frag] = 1;
+          have++;
+          out->dirty += ack.dirty;
+          out->direct_updates += ack.direct_updates;
+          out->updated_count += ack.updated_count;
+          out->sent_messages += ack.sent_messages;
+          out->sent_bytes += ack.sent_bytes;
+          out->global_by_frag[frag] = ack.global;
+          out->mono_by_frag[frag] = ack.mono_violations;
+          for (const auto& [dst_rank, frames] : ack.direct_frames) {
+            if (dst_rank < 1 || dst_rank > n) {
+              return Status::Internal("worker reported direct frames to "
+                                      "rank " +
+                                      std::to_string(dst_rank));
+            }
+            out->direct_matrix[frag][dst_rank - 1] += frames;
+          }
+          metrics_.remote_worker_pids[frag] = ack.worker_pid;
+          if (ack.phase == kWkPhasePEval) {
+            metrics_.remote_peval_runs[frag]++;
+          } else if (ack.phase == kWkPhaseIncEval) {
+            metrics_.remote_inceval_runs[frag]++;
+          }
+          break;
+        }
+        default:
+          // Stale vote/partial after a duplicated control frame: ignore.
+          world_->buffer_pool().Release(std::move(msg->payload));
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> RemoteCheckTerminate(uint32_t round, double global) {
+    Encoder enc(world_->buffer_pool().Acquire());
+    enc.WriteU32(round);
+    enc.WriteDouble(global);
+    GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(0),
+                                     kTagWkCheckTerm, enc.TakeBuffer()));
+    uint32_t idle = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.remote_timeout_ms);
+    for (;;) {
+      std::optional<RtMessage> msg = world_->TryRecv(kCoordinatorRank);
+      if (!msg) {
+        GRAPE_RETURN_NOT_OK(
+            CheckRemoteLiveness(deadline, "termination vote", &idle));
+        continue;
+      }
+      idle = 0;
+      if (msg->tag == kTagWkVote) {
+        Decoder dec(msg->payload);
+        uint32_t vote_round = 0;
+        bool vote = false;
+        GRAPE_RETURN_NOT_OK(dec.ReadU32(&vote_round));
+        GRAPE_RETURN_NOT_OK(dec.ReadBool(&vote));
+        world_->buffer_pool().Release(std::move(msg->payload));
+        // A duplicated CheckTerm (flaky substrate) leaves a stale vote
+        // for an earlier round behind; only this round's verdict counts.
+        if (vote_round != round) continue;
+        return vote;
+      }
+      if (msg->tag == kTagWkError) return DecodeWorkerError(msg->payload);
+      if (msg->tag == kTagWkData) {
+        remote_inbox_.push_back(std::move(*msg));
+        continue;
+      }
+      world_->buffer_pool().Release(std::move(msg->payload));  // stale
+    }
+  }
+
+  Status AwaitPartials(std::vector<Partial>* partials)
+    requires RemoteCompatibleApp<App>
+  {
+    const FragmentId n = fg_.num_fragments();
+    std::vector<uint8_t> seen(n, 0);
+    FragmentId have = 0;
+    uint32_t idle = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.remote_timeout_ms);
+    while (have < n) {
+      std::optional<RtMessage> msg = world_->TryRecv(kCoordinatorRank);
+      if (!msg) {
+        GRAPE_RETURN_NOT_OK(
+            CheckRemoteLiveness(deadline, "partials", &idle));
+        continue;
+      }
+      idle = 0;
+      if (msg->tag == kTagWkError) return DecodeWorkerError(msg->payload);
+      if (msg->tag == kTagWkPartial && msg->from >= 1 && msg->from <= n &&
+          !seen[msg->from - 1]) {
+        Decoder dec(msg->payload);
+        GRAPE_RETURN_NOT_OK(DecodeValue(dec, &(*partials)[msg->from - 1]));
+        seen[msg->from - 1] = 1;
+        have++;
       }
       world_->buffer_pool().Release(std::move(msg->payload));
     }
-    std::sort(updated_[i].begin(), updated_[i].end());
-    updated_[i].erase(std::unique(updated_[i].begin(), updated_[i].end()),
-                      updated_[i].end());
+    return Status::OK();
+  }
+
+  /// The await loops' idle step: fail fast on a dead transport (a killed
+  /// endpoint marks it unhealthy within its bounded detection time), fail
+  /// with Unavailable past the per-phase deadline (a dropped control
+  /// frame on a flaky-but-alive substrate), otherwise yield. The yield
+  /// backs off adaptively — 50µs while a phase is actively completing
+  /// (sub-millisecond inproc rounds stay snappy), 1ms once the wait is
+  /// clearly compute-bound — so a long remote PEval does not burn an
+  /// engine core on TryRecv polling. Callers reset *idle on every
+  /// received frame.
+  Status CheckRemoteLiveness(
+      const std::chrono::steady_clock::time_point& deadline,
+      const char* what, uint32_t* idle) {
+    if (!world_->healthy()) {
+      return Status::Unavailable(
+          std::string("transport died while awaiting remote ") + what);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::Unavailable(
+          std::string("timed out awaiting remote ") + what + " after " +
+          std::to_string(options_.remote_timeout_ms) + "ms");
+    }
+    if (*idle < 40) {
+      ++*idle;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     return Status::OK();
   }
 
@@ -616,32 +952,10 @@ class GrapeEngine {
   Transport* world_;                        // the substrate actually used
   ThreadPool pool_;
 
-  std::vector<App> apps_;                    // one instance per worker
-  std::vector<ParamStore<Value>> stores_;    // x̄_i per fragment
-  std::vector<std::vector<LocalId>> updated_;  // M_i per fragment
-  struct PendingSend {
-    uint32_t rank;
-    uint64_t direct_updates;  // 0 for coordinator-bound buffers
-    std::vector<uint8_t> payload;
-  };
-
+  std::vector<WorkerCore<App>> cores_;  // one worker per fragment
   std::vector<Status> phase_status_;
-  std::vector<uint64_t> flush_dirty_;  // parameters changed at last flush
-  std::vector<std::vector<PendingSend>> pending_sends_;
-  std::vector<std::vector<Value>> prev_flushed_;  // monotonicity tracking
+  std::vector<std::vector<WorkerSend>> pending_sends_;
   EngineMetrics metrics_;
-
-  // --- Dense message-path state (allocated once, reused every superstep).
-
-  // Flush: per-worker scratch and per-(worker, destination) staging blocks.
-  std::vector<std::vector<LocalId>> changed_scratch_;
-  std::vector<std::vector<LocalId>> reset_scratch_;
-  std::vector<std::vector<RecordBlock<Value>>> staging_;
-  std::vector<std::vector<FragmentId>> staged_dsts_;
-
-  // Apply: per-worker decode scratch.
-  std::vector<std::vector<uint32_t>> apply_lids_;
-  std::vector<std::vector<Value>> apply_values_;
 
   // Coordinator: per-destination aggregation with round-tagged slots.
   struct CoordBatch {
@@ -656,6 +970,14 @@ class GrapeEngine {
   std::vector<uint32_t> route_lids_;   // coordinator decode scratch
   std::vector<Value> route_values_;
   uint32_t coord_round_ = 0;
+
+  // Remote compute: buffered worker->coordinator data frames of the
+  // current round, ack-reported flush traffic (folded into CommStats
+  // views), and the last per-worker monotonicity totals.
+  std::vector<RtMessage> remote_inbox_;
+  uint64_t extra_messages_ = 0;
+  uint64_t extra_bytes_ = 0;
+  std::vector<uint64_t> remote_mono_;
 
   // Per-round communication totals already attributed to a RoundMetrics.
   uint64_t recorded_messages_ = 0;

@@ -1,0 +1,240 @@
+#ifndef GRAPE_CORE_WORKER_CORE_H_
+#define GRAPE_CORE_WORKER_CORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/pie.h"
+#include "rt/message.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// One buffer a worker wants shipped after a flush. dst_rank is a
+/// transport rank: kCoordinatorRank for owner-bound updates (the payload
+/// then starts with the destination fragment id, exactly what
+/// CoordinatorRoute decodes), or the destination worker's rank for
+/// owner-to-mirror refreshes (direct_updates > 0, payload is a bare
+/// record block).
+struct WorkerSend {
+  uint32_t dst_rank = 0;
+  uint64_t direct_updates = 0;  // 0 for coordinator-bound buffers
+  std::vector<uint8_t> payload;
+};
+
+/// The per-fragment half of the GRAPE engine (Sec. 2.2): one worker P_i's
+/// update-parameter store, its PEval/IncEval invocations, message
+/// application, and the flush that turns changed parameters into staged
+/// record blocks. Extracted from GrapeEngine so the exact same code runs
+/// in BOTH execution modes — inline in the rank-0 engine process (local
+/// compute) and inside a remote worker host in the rank's endpoint
+/// process (remote compute). Observable behaviour (payload bytes, send
+/// order, merge order, update sets) must not depend on where it runs;
+/// tests/message_path_golden_test.cc freezes that equivalence.
+template <PIEProgram App>
+class WorkerCore {
+ public:
+  using Query = typename App::QueryType;
+  using Value = typename App::ValueType;
+  using Agg = typename App::AggregatorType;
+  using Partial = typename App::PartialType;
+
+  WorkerCore(const Fragment& frag, App app)
+      : frag_(&frag), app_(std::move(app)) {
+    staging_.resize(frag.num_fragments());
+  }
+
+  /// (Re)initializes the store for a fresh run.
+  void Reset(bool track_monotonicity) {
+    store_.Init(frag_->num_local(), app_.InitValue());
+    updated_.clear();
+    track_mono_ = track_monotonicity;
+    if (track_mono_) {
+      prev_flushed_.assign(frag_->num_local(), app_.InitValue());
+    }
+    mono_violations_ = 0;
+    flush_dirty_ = 0;
+  }
+
+  void PEval(const Query& query) { app_.PEval(query, *frag_, store_); }
+
+  /// Clears M_i before a round's message application.
+  void BeginApply() { updated_.clear(); }
+
+  /// Applies one routed record block (a coordinator consolidated batch or
+  /// a peer's direct mirror refresh) via the aggregate function; vertices
+  /// whose value actually changed extend M_i.
+  Status ApplyBatch(const std::vector<uint8_t>& payload) {
+    Decoder dec(payload);
+    // Messages carry destination-local ids straight off the routing
+    // plan, so application is a direct array index — no gid hash.
+    GRAPE_RETURN_NOT_OK(DecodeRecordBlock(dec, &apply_lids_, &apply_values_));
+    for (size_t k = 0; k < apply_lids_.size(); ++k) {
+      const LocalId lid = apply_lids_[k];
+      if (lid >= static_cast<LocalId>(store_.size())) {
+        return Status::Internal("routed update addresses lid " +
+                                std::to_string(lid) + " outside fragment " +
+                                std::to_string(frag_->fid()));
+      }
+      // No dirty-marking here: message application is not a local change
+      // to re-broadcast; only IncEval's own writes are.
+      if (Agg::Aggregate(store_.UntrackedRef(lid), apply_values_[k])) {
+        updated_.push_back(lid);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Sorts and dedups M_i (multiple batches can touch a vertex).
+  void FinishApply() {
+    std::sort(updated_.begin(), updated_.end());
+    updated_.erase(std::unique(updated_.begin(), updated_.end()),
+                   updated_.end());
+  }
+
+  /// Runs IncEval on the current M_i. `incremental == false` is the
+  /// ablation: pretend everything changed, forcing IncEval to re-evaluate
+  /// the entire fragment (bench_inceval_bounded's "no IncEval" mode).
+  void IncEval(const Query& query, bool incremental) {
+    if (!incremental) {
+      updated_.clear();
+      for (LocalId v = 0; v < frag_->num_inner(); ++v) {
+        updated_.push_back(v);
+      }
+    }
+    app_.IncEval(query, *frag_, store_, updated_);
+  }
+
+  /// Extracts changed in-scope parameters, stages them into one reusable
+  /// (dst_lid, value) block per destination fragment — addressed by the
+  /// routing plan precomputed at FragmentBuilder time, so the hot path
+  /// never hashes a gid — and appends the encoded buffers to `out`.
+  /// Mirror refreshes have a single writer (the owner), so they need no
+  /// conflict resolution and travel directly worker-to-worker;
+  /// owner-bound values carry potential conflicts and go through the
+  /// coordinator's aggregate function.
+  void Flush(BufferPool& pool, std::vector<WorkerSend>* out) {
+    const Fragment& frag = *frag_;
+    std::vector<LocalId>& changed = changed_scratch_;
+    store_.TakeChangedInto(&changed);
+    std::vector<std::pair<VertexId, Value>> remote = store_.TakeRemote();
+    flush_dirty_ = changed.size() + remote.size();
+    if (changed.empty() && remote.empty()) return;
+
+    std::vector<RecordBlock<Value>>& staging = staging_;
+    std::vector<FragmentId>& dsts = staged_dsts_;
+    auto stage = [&staging, &dsts](FragmentId dst, LocalId dst_lid,
+                                   const Value& value) {
+      RecordBlock<Value>& block = staging[dst];
+      if (block.empty()) dsts.push_back(dst);
+      block.Append(dst_lid, value);
+    };
+
+    std::vector<LocalId>& reset_list = reset_scratch_;
+    for (LocalId lid : changed) {
+      const bool to_owner =
+          App::kScope != MessageScope::kToMirrors && frag.IsOuter(lid);
+      const bool to_mirrors =
+          App::kScope != MessageScope::kToOwner && frag.IsBorder(lid);
+      if (to_owner) {
+        stage(frag.OuterOwner(lid), frag.OuterOwnerLid(lid), store_.Get(lid));
+        if (App::kResetAfterFlush) reset_list.push_back(lid);
+      }
+      if (to_mirrors) {
+        auto mirror_frags = frag.MirrorFragments(lid);
+        auto mirror_lids = frag.MirrorDstLids(lid);
+        for (size_t k = 0; k < mirror_frags.size(); ++k) {
+          stage(mirror_frags[k], mirror_lids[k], store_.Get(lid));
+        }
+      }
+      if (track_mono_ && Agg::kMonotonic && (to_owner || to_mirrors)) {
+        if (!Agg::InOrder(store_.Get(lid), prev_flushed_[lid])) {
+          mono_violations_++;
+        }
+        prev_flushed_[lid] = store_.Get(lid);
+      }
+    }
+    for (const auto& [gid, value] : remote) {
+      stage(frag.OwnerOf(gid), frag.LidAtOwner(gid), value);
+    }
+
+    // Deterministic destination order.
+    std::sort(dsts.begin(), dsts.end());
+
+    const bool direct = App::kScope == MessageScope::kToMirrors;
+    for (FragmentId dst : dsts) {
+      RecordBlock<Value>& block = staging[dst];
+      Encoder enc(pool.Acquire());
+      if (!direct) enc.WriteU32(dst);
+      EncodeRecordBlock(enc, block);
+      out->push_back(WorkerSend{direct ? dst + 1 : kCoordinatorRank,
+                                direct ? block.size() : 0, enc.TakeBuffer()});
+      block.clear();
+    }
+    dsts.clear();
+    for (LocalId lid : reset_list) {
+      store_.UntrackedRef(lid) = app_.InitValue();
+    }
+    reset_list.clear();
+    store_.RecycleRemote(std::move(remote));
+  }
+
+  Partial GetPartial(const Query& query) const {
+    return app_.GetPartial(query, *frag_, store_);
+  }
+
+  double GlobalValue() const { return app_.GlobalValue(); }
+  bool ShouldTerminate(uint32_t round, double global) const {
+    return app_.ShouldTerminate(round, global);
+  }
+
+  /// Parameters changed by the last flush (this worker's share of the
+  /// engine's TotalDirty termination term).
+  uint64_t flush_dirty() const { return flush_dirty_; }
+  uint64_t monotonicity_violations() const { return mono_violations_; }
+
+  const Fragment& fragment() const { return *frag_; }
+  App& app() { return app_; }
+  const App& app() const { return app_; }
+  ParamStore<Value>& store() { return store_; }
+  const ParamStore<Value>& store() const { return store_; }
+  std::vector<LocalId>& updated() { return updated_; }
+  const std::vector<LocalId>& updated() const { return updated_; }
+
+ private:
+  const Fragment* frag_;
+  App app_;
+  ParamStore<Value> store_;     // x̄_i
+  std::vector<LocalId> updated_;  // M_i
+
+  bool track_mono_ = false;
+  std::vector<Value> prev_flushed_;  // monotonicity tracking
+  uint64_t mono_violations_ = 0;
+  uint64_t flush_dirty_ = 0;
+
+  // Dense message-path scratch, allocated once and reused every superstep.
+  std::vector<LocalId> changed_scratch_;
+  std::vector<LocalId> reset_scratch_;
+  std::vector<RecordBlock<Value>> staging_;  // one block per destination
+  std::vector<FragmentId> staged_dsts_;
+  std::vector<uint32_t> apply_lids_;
+  std::vector<Value> apply_values_;
+};
+
+/// Compile-time gate for remote execution: everything the engine must
+/// ship to (query) or pull back from (partial) an endpoint process has to
+/// be wire codable. Apps failing this still run locally; asking for
+/// remote compute yields an InvalidArgument at run time.
+template <typename App>
+concept RemoteCompatibleApp =
+    PIEProgram<App> && WireCodable<typename App::QueryType> &&
+    WireCodable<typename App::PartialType> &&
+    WireCodable<typename App::ValueType>;
+
+}  // namespace grape
+
+#endif  // GRAPE_CORE_WORKER_CORE_H_

@@ -1,9 +1,282 @@
 #include "partition/fragment.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <unordered_set>
+#include <utility>
 
 namespace grape {
+
+namespace {
+
+// Fragment wire format (see Fragment::EncodeTo). Versioned so a mixed
+// cluster fails loudly instead of misparsing.
+constexpr uint32_t kFragmentMagic = 0x47524647;  // "GFRG"
+constexpr uint32_t kFragmentVersion = 1;
+
+/// size_t CSR offsets travel as explicit u64s: the wire format must not
+/// depend on the host's size_t width.
+void EncodeOffsets(Encoder& enc, const std::vector<size_t>& offsets) {
+  enc.WriteVarint(offsets.size());
+  for (size_t v : offsets) enc.WriteU64(static_cast<uint64_t>(v));
+}
+
+Status DecodeOffsets(Decoder& dec, std::vector<size_t>* out) {
+  uint64_t n = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+  if (n > dec.Remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("offset table extends past end of buffer");
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&v));
+    out->push_back(static_cast<size_t>(v));
+  }
+  return Status::OK();
+}
+
+/// FragNeighbor has padding, so adjacency ships as three parallel pod
+/// arrays (deterministic bytes, no uninitialized padding on the wire).
+void EncodeNeighbors(Encoder& enc, const std::vector<FragNeighbor>& nbrs) {
+  enc.WriteVarint(nbrs.size());
+  for (const FragNeighbor& nb : nbrs) enc.WritePod(nb.local);
+  for (const FragNeighbor& nb : nbrs) enc.WritePod(nb.weight);
+  for (const FragNeighbor& nb : nbrs) enc.WritePod(nb.label);
+}
+
+Status DecodeNeighbors(Decoder& dec, std::vector<FragNeighbor>* out) {
+  uint64_t n = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+  constexpr size_t kWireBytes =
+      sizeof(LocalId) + sizeof(EdgeWeight) + sizeof(Label);
+  if (n > dec.Remaining() / kWireBytes) {
+    return Status::Corruption("neighbor table extends past end of buffer");
+  }
+  out->assign(n, FragNeighbor{});
+  for (uint64_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadPod(&(*out)[i].local));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadPod(&(*out)[i].weight));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadPod(&(*out)[i].label));
+  }
+  return Status::OK();
+}
+
+/// One CSR's structural invariants: offsets cover every local vertex,
+/// start at zero, never decrease, end exactly at the adjacency size, and
+/// every adjacency entry stays inside the local id space.
+Status ValidateCsr(const char* what, const std::vector<size_t>& offsets,
+                   const std::vector<FragNeighbor>& nbrs, size_t num_local) {
+  if (offsets.size() != num_local + 1) {
+    return Status::Corruption(std::string(what) + " offsets sized " +
+                              std::to_string(offsets.size()) + " for " +
+                              std::to_string(num_local) + " local vertices");
+  }
+  if (offsets.front() != 0 || offsets.back() != nbrs.size()) {
+    return Status::Corruption(std::string(what) +
+                              " offsets do not frame the adjacency");
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Corruption(std::string(what) +
+                                " offsets are not monotone");
+    }
+  }
+  for (const FragNeighbor& nb : nbrs) {
+    if (nb.local >= num_local) {
+      return Status::Corruption(std::string(what) +
+                                " adjacency references local id " +
+                                std::to_string(nb.local) + " outside " +
+                                std::to_string(num_local) + " vertices");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Fragment::EncodeTo(Encoder& enc) const {
+  enc.WriteU32(kFragmentMagic);
+  enc.WriteU32(kFragmentVersion);
+  enc.WriteU32(fid_);
+  enc.WriteU32(num_fragments_);
+  enc.WriteU32(total_vertices_);
+  enc.WriteU8(directed_ ? 1 : 0);
+  enc.WriteU32(num_inner_);
+  enc.WriteU32(num_border_);
+  enc.WritePodVector(gids_);
+  EncodeOffsets(enc, out_offsets_);
+  EncodeNeighbors(enc, out_neighbors_);
+  if (directed_) {
+    EncodeOffsets(enc, in_offsets_);
+    EncodeNeighbors(enc, in_neighbors_);
+  }
+  enc.WritePodVector(labels_);
+  enc.WritePodVector(border_);
+  EncodeOffsets(enc, mirror_offsets_);
+  enc.WritePodVector(mirror_frags_);
+  enc.WritePodVector(mirror_dst_lids_);
+  enc.WritePodVector(outer_owner_frag_);
+  enc.WritePodVector(outer_owner_lid_);
+  enc.WritePodVector(*owner_);
+  enc.WritePodVector(*owner_lid_);
+}
+
+Status Fragment::DecodeFrom(Decoder& dec, Fragment* out) {
+  uint32_t magic = 0, version = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&magic));
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&version));
+  if (magic != kFragmentMagic) {
+    return Status::Corruption("not a serialized fragment (bad magic)");
+  }
+  if (version != kFragmentVersion) {
+    return Status::Corruption("fragment wire version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kFragmentVersion) + ")");
+  }
+
+  // Decode into a scratch fragment; `out` is only assigned after every
+  // invariant holds, so a corrupt buffer can never be half-accepted.
+  Fragment f;
+  uint8_t directed = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&f.fid_));
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&f.num_fragments_));
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&f.total_vertices_));
+  GRAPE_RETURN_NOT_OK(dec.ReadU8(&directed));
+  f.directed_ = directed != 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&f.num_inner_));
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&f.num_border_));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.gids_));
+  GRAPE_RETURN_NOT_OK(DecodeOffsets(dec, &f.out_offsets_));
+  GRAPE_RETURN_NOT_OK(DecodeNeighbors(dec, &f.out_neighbors_));
+  if (f.directed_) {
+    GRAPE_RETURN_NOT_OK(DecodeOffsets(dec, &f.in_offsets_));
+    GRAPE_RETURN_NOT_OK(DecodeNeighbors(dec, &f.in_neighbors_));
+  }
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.labels_));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.border_));
+  GRAPE_RETURN_NOT_OK(DecodeOffsets(dec, &f.mirror_offsets_));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.mirror_frags_));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.mirror_dst_lids_));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.outer_owner_frag_));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&f.outer_owner_lid_));
+  auto owner = std::make_shared<std::vector<FragmentId>>();
+  auto owner_lid = std::make_shared<std::vector<LocalId>>();
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(owner.get()));
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(owner_lid.get()));
+  f.owner_ = std::move(owner);
+  f.owner_lid_ = std::move(owner_lid);
+
+  // Structural validation. A decoded fragment is fed straight to app
+  // code, so every cross-reference must be in range.
+  if (f.num_fragments_ == 0 || f.fid_ >= f.num_fragments_) {
+    return Status::Corruption("fragment id " + std::to_string(f.fid_) +
+                              " outside a world of " +
+                              std::to_string(f.num_fragments_));
+  }
+  const size_t num_local = f.gids_.size();
+  if (f.num_inner_ > num_local) {
+    return Status::Corruption("num_inner " + std::to_string(f.num_inner_) +
+                              " exceeds " + std::to_string(num_local) +
+                              " local vertices");
+  }
+  for (VertexId gid : f.gids_) {
+    if (gid >= f.total_vertices_) {
+      return Status::Corruption("fragment lists gid " + std::to_string(gid) +
+                                " outside the graph");
+    }
+  }
+  GRAPE_RETURN_NOT_OK(
+      ValidateCsr("out", f.out_offsets_, f.out_neighbors_, num_local));
+  if (f.directed_) {
+    GRAPE_RETURN_NOT_OK(
+        ValidateCsr("in", f.in_offsets_, f.in_neighbors_, num_local));
+  }
+  if (!f.labels_.empty() && f.labels_.size() != num_local) {
+    return Status::Corruption("label table sized " +
+                              std::to_string(f.labels_.size()) + " for " +
+                              std::to_string(num_local) + " vertices");
+  }
+  if (f.border_.size() != f.num_inner_) {
+    return Status::Corruption("border table sized " +
+                              std::to_string(f.border_.size()) + " for " +
+                              std::to_string(f.num_inner_) +
+                              " inner vertices");
+  }
+  LocalId border_count = 0;
+  for (uint8_t b : f.border_) {
+    if (b > 1) return Status::Corruption("border flags must be 0/1");
+    border_count += b;
+  }
+  if (border_count != f.num_border_) {
+    return Status::Corruption("num_border " + std::to_string(f.num_border_) +
+                              " disagrees with " +
+                              std::to_string(border_count) +
+                              " flagged border vertices");
+  }
+  if (f.mirror_offsets_.size() != static_cast<size_t>(f.num_inner_) + 1 ||
+      f.mirror_offsets_.front() != 0 ||
+      f.mirror_offsets_.back() != f.mirror_frags_.size() ||
+      f.mirror_frags_.size() != f.mirror_dst_lids_.size()) {
+    return Status::Corruption("mirror routing tables do not line up");
+  }
+  for (size_t i = 0; i + 1 < f.mirror_offsets_.size(); ++i) {
+    if (f.mirror_offsets_[i] > f.mirror_offsets_[i + 1]) {
+      return Status::Corruption("mirror offsets are not monotone");
+    }
+  }
+  for (FragmentId m : f.mirror_frags_) {
+    if (m >= f.num_fragments_) {
+      return Status::Corruption("mirror route names fragment " +
+                                std::to_string(m) + " outside the world");
+    }
+  }
+  const size_t num_outer = num_local - f.num_inner_;
+  if (f.outer_owner_frag_.size() != num_outer ||
+      f.outer_owner_lid_.size() != num_outer) {
+    return Status::Corruption("outer owner routes sized " +
+                              std::to_string(f.outer_owner_frag_.size()) +
+                              "/" +
+                              std::to_string(f.outer_owner_lid_.size()) +
+                              " for " + std::to_string(num_outer) +
+                              " outer vertices");
+  }
+  for (FragmentId o : f.outer_owner_frag_) {
+    if (o >= f.num_fragments_) {
+      return Status::Corruption("outer owner route names fragment " +
+                                std::to_string(o) + " outside the world");
+    }
+  }
+  if (f.owner_->size() != f.total_vertices_ ||
+      f.owner_lid_->size() != f.total_vertices_) {
+    return Status::Corruption("shared owner tables sized " +
+                              std::to_string(f.owner_->size()) + "/" +
+                              std::to_string(f.owner_lid_->size()) +
+                              " for " + std::to_string(f.total_vertices_) +
+                              " vertices");
+  }
+  for (FragmentId o : *f.owner_) {
+    if (o >= f.num_fragments_) {
+      return Status::Corruption("owner table names fragment " +
+                                std::to_string(o) + " outside the world");
+    }
+  }
+
+  // Rebuild the gid->lid indexer (insertion order == local id order).
+  for (VertexId gid : f.gids_) f.indexer_.GetOrInsert(gid);
+  if (f.indexer_.size() != f.gids_.size()) {
+    return Status::Corruption("fragment lists a duplicate gid");
+  }
+
+  *out = std::move(f);
+  return Status::OK();
+}
 
 Result<FragmentedGraph> FragmentBuilder::Build(
     const Graph& graph, const std::vector<FragmentId>& assignment,

@@ -9,6 +9,7 @@
 #include "graph/id_indexer.h"
 #include "graph/types.h"
 #include "util/result.h"
+#include "util/serializer.h"
 
 namespace grape {
 
@@ -131,6 +132,19 @@ class Fragment {
   }
 
   const std::vector<VertexId>& gids() const { return gids_; }
+
+  /// Serializes the complete fragment — topology, labels, border set, AND
+  /// the precomputed routing plan (mirror destinations, outer owner
+  /// routes, the shared owner/owner_lid tables) — so a remote worker host
+  /// can run PEval/IncEval and flush messages without ever seeing the
+  /// global graph. The gid→lid indexer is rebuilt on decode rather than
+  /// shipped. Wire format is versioned; DecodeFrom validates every
+  /// structural invariant (offset monotonicity, id ranges, table sizes)
+  /// and rejects corrupt buffers with a Corruption status before touching
+  /// `out` — a failed decode never leaves a half-written fragment
+  /// (tests/fragment_codec_test.cc).
+  void EncodeTo(Encoder& enc) const;
+  static Status DecodeFrom(Decoder& dec, Fragment* out);
 
  private:
   friend class FragmentBuilder;

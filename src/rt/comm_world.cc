@@ -8,7 +8,7 @@ Status CommWorld::Send(uint32_t from, uint32_t to, uint32_t tag,
     return Status::InvalidArgument("rank out of range");
   }
   if (closed()) return Status::Cancelled("transport closed");
-  CountSend(payload.size());
+  CountSendTagged(tag, payload.size());
   Deliver(RtMessage{from, to, tag, std::move(payload)});
   return Status::OK();
 }

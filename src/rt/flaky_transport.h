@@ -116,6 +116,10 @@ class FlakyTransport final : public Transport {
     return inner_->PendingCount(rank);
   }
   void Close() override { inner_->Close(); }
+  bool healthy() const override { return inner_->healthy(); }
+  bool has_remote_endpoints() const override {
+    return inner_->has_remote_endpoints();
+  }
   CommStats stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
   BufferPool& buffer_pool() override { return inner_->buffer_pool(); }

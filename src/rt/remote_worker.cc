@@ -1,0 +1,354 @@
+#include "rt/remote_worker.h"
+
+#include <chrono>
+
+namespace grape {
+
+// --------------------------------------------------------------- registry
+
+WorkerAppRegistry& WorkerAppRegistry::Global() {
+  // Never destroyed: endpoint children and worker threads may consult it
+  // during any teardown order.
+  static WorkerAppRegistry& registry = *new WorkerAppRegistry();
+  return registry;
+}
+
+void WorkerAppRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+bool WorkerAppRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) > 0;
+}
+
+Result<WorkerAppRegistry::Factory> WorkerAppRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no remote worker registered under '" + name +
+                            "' in this endpoint process");
+  }
+  return it->second;
+}
+
+std::vector<std::string> WorkerAppRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+// ------------------------------------------------------------ error frame
+
+void EncodeWorkerError(Encoder& enc, const Status& error) {
+  enc.WriteI32(static_cast<int32_t>(error.code()));
+  enc.WriteString(error.message());
+}
+
+Status DecodeWorkerError(const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  int32_t code = 0;
+  std::string message;
+  if (!dec.ReadI32(&code).ok() || !dec.ReadString(&message).ok()) {
+    return Status::Internal("remote worker failed (unparseable error frame)");
+  }
+  return Status(static_cast<StatusCode>(code),
+                "remote worker: " + message);
+}
+
+// ------------------------------------------------------------------- host
+
+RemoteWorkerHost::RemoteWorkerHost(uint32_t rank, Emit emit, BufferPool* pool)
+    : rank_(rank),
+      emit_(std::move(emit)),
+      pool_(pool != nullptr ? pool : &owned_pool_) {}
+
+Status RemoteWorkerHost::EmitError(const Status& error) {
+  Encoder enc(pool_->Acquire());
+  EncodeWorkerError(enc, error);
+  return emit_(kCoordinatorRank, kTagWkError, enc.TakeBuffer());
+}
+
+Status RemoteWorkerHost::EmitAck(const WorkerAck& ack) {
+  Encoder enc(pool_->Acquire());
+  ack.EncodeTo(enc);
+  return emit_(kCoordinatorRank, kTagWkAck, enc.TakeBuffer());
+}
+
+Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  std::string app_name;
+  uint8_t flags = 0;
+  Status parse = dec.ReadString(&app_name);
+  if (parse.ok()) parse = dec.ReadU8(&flags);
+  if (!parse.ok()) return EmitError(parse);
+  // A load is an implicit reload: every run begins with its own
+  // kTagWkLoad, and an engine whose previous run failed mid-phase (so no
+  // shutdown was sent) must still be able to start over on the same
+  // world. Anything buffered for the abandoned run dies with the old
+  // server. (A flaky-duplicated load frame re-loads the identical state
+  // and its second ack is ignored engine-side — harmless.)
+  server_.reset();
+  pending_.clear();
+  inc_pending_ = false;
+  auto factory = WorkerAppRegistry::Global().Get(app_name);
+  if (!factory.ok()) return EmitError(factory.status());
+  std::unique_ptr<WorkerAppServerBase> server = (*factory)();
+  check_monotonicity_ = (flags & kWkLoadCheckMonotonicity) != 0;
+  if (Status s = server->Load(dec, rank_, check_monotonicity_); !s.ok()) {
+    return EmitError(s);
+  }
+  server_ = std::move(server);
+  WorkerAck ack;
+  ack.phase = kWkPhaseLoad;
+  ack.worker_pid = static_cast<uint64_t>(getpid());
+  return EmitAck(ack);
+}
+
+Status RemoteWorkerHost::RunPhase(uint8_t phase, uint32_t round,
+                                  bool incremental) {
+  WorkerPhaseOutput out;
+  Status s = phase == kWkPhasePEval ? server_->PEval(*pool_, &out)
+                                    : server_->IncEval(incremental, *pool_,
+                                                       &out);
+  if (!s.ok()) return EmitError(s);
+
+  WorkerAck ack;
+  ack.phase = phase;
+  ack.round = round;
+  ack.dirty = out.dirty;
+  ack.direct_updates = out.direct_updates;
+  ack.updated_count = out.updated_count;
+  ack.mono_violations = out.mono_violations;
+  ack.global = out.global;
+  ack.worker_pid = static_cast<uint64_t>(getpid());
+  for (WorkerSend& send : out.sends) {
+    const bool direct = send.dst_rank != kCoordinatorRank;
+    // The engine folds these into its CommStats view with the same
+    // formula local mode's Send-side counting uses: payload + 16-byte
+    // envelope per frame.
+    ack.sent_messages++;
+    ack.sent_bytes += send.payload.size() + kFrameHeaderBytes;
+    if (direct) ack.direct_frames.emplace_back(send.dst_rank, 1u);
+    GRAPE_RETURN_NOT_OK(emit_(send.dst_rank,
+                              direct ? kTagWkDirect : kTagWkData,
+                              std::move(send.payload)));
+  }
+  // FIFO per channel makes this ack the delivery barrier for everything
+  // emitted above on the (rank, 0) channel.
+  return EmitAck(ack);
+}
+
+Status RemoteWorkerHost::MaybeRunIncEval() {
+  if (!inc_pending_ || server_ == nullptr) return Status::OK();
+
+  // Are this round's deliveries complete? Coordinator batches plus the
+  // per-sender direct-frame expectations from the command.
+  uint32_t apply_have = 0;
+  for (const PendingFrame& f : pending_) {
+    if (f.tag == kTagWkApply) apply_have++;
+  }
+  if (apply_have < cmd_.apply_frames) return Status::OK();
+  for (const auto& [from, need] : cmd_.expect_direct) {
+    uint32_t have = 0;
+    for (const PendingFrame& f : pending_) {
+      if (f.tag == kTagWkDirect && f.from == from) have++;
+    }
+    if (have < need) return Status::OK();
+  }
+
+  // Consume exactly this round's frames in arrival order (a racing
+  // peer's next-round refresh stays buffered: FIFO per channel means its
+  // first `need` frames from a sender are that sender's current-round
+  // ones), apply them, and run IncEval.
+  server_->BeginApply();
+  uint32_t apply_taken = 0;
+  std::map<uint32_t, uint32_t> direct_quota;
+  for (const auto& [from, need] : cmd_.expect_direct) {
+    direct_quota[from] += need;
+  }
+  std::vector<PendingFrame> keep;
+  Status apply_status = Status::OK();
+  for (PendingFrame& f : pending_) {
+    bool take = false;
+    if (f.tag == kTagWkApply && apply_taken < cmd_.apply_frames) {
+      take = true;
+      apply_taken++;
+    } else if (f.tag == kTagWkDirect) {
+      auto it = direct_quota.find(f.from);
+      if (it != direct_quota.end() && it->second > 0) {
+        take = true;
+        it->second--;
+      }
+    }
+    if (take && apply_status.ok()) {
+      apply_status = server_->ApplyFrame(f.payload);
+      pool_->Release(std::move(f.payload));
+    } else if (take) {
+      pool_->Release(std::move(f.payload));
+    } else {
+      keep.push_back(std::move(f));
+    }
+  }
+  pending_ = std::move(keep);
+  inc_pending_ = false;
+  if (!apply_status.ok()) return EmitError(apply_status);
+  return RunPhase(kWkPhaseIncEval, cmd_.round, cmd_.incremental);
+}
+
+Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
+                                 std::vector<uint8_t> payload) {
+  switch (tag) {
+    case kTagWkLoad: {
+      Status s = HandleLoad(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkRunPEval: {
+      pool_->Release(std::move(payload));
+      if (server_ == nullptr) {
+        return EmitError(Status::FailedPrecondition(
+            "RunPEval before a successful load"));
+      }
+      return RunPhase(kWkPhasePEval, 1, true);
+    }
+    case kTagWkApply:
+    case kTagWkDirect: {
+      if (server_ == nullptr) {
+        pool_->Release(std::move(payload));
+        return EmitError(Status::FailedPrecondition(
+            "parameter batch before a successful load"));
+      }
+      pending_.push_back(PendingFrame{from, tag, std::move(payload)});
+      return MaybeRunIncEval();
+    }
+    case kTagWkRunIncEval: {
+      if (server_ == nullptr) {
+        pool_->Release(std::move(payload));
+        return EmitError(Status::FailedPrecondition(
+            "RunIncEval before a successful load"));
+      }
+      if (inc_pending_) {
+        pool_->Release(std::move(payload));
+        return EmitError(Status::FailedPrecondition(
+            "overlapping RunIncEval commands (duplicated control frame?)"));
+      }
+      Decoder dec(payload);
+      IncEvalCommand cmd;
+      if (Status s = IncEvalCommand::DecodeFrom(dec, &cmd); !s.ok()) {
+        pool_->Release(std::move(payload));
+        return EmitError(s);
+      }
+      pool_->Release(std::move(payload));
+      cmd_ = std::move(cmd);
+      inc_pending_ = true;
+      return MaybeRunIncEval();
+    }
+    case kTagWkCheckTerm: {
+      Decoder dec(payload);
+      uint32_t round = 0;
+      double global = 0;
+      Status s = dec.ReadU32(&round);
+      if (s.ok()) s = dec.ReadDouble(&global);
+      pool_->Release(std::move(payload));
+      if (!s.ok()) return EmitError(s);
+      if (server_ == nullptr) {
+        return EmitError(Status::FailedPrecondition(
+            "CheckTerm before a successful load"));
+      }
+      Encoder enc(pool_->Acquire());
+      // Echo the round: a duplicated CheckTerm leaves a second vote in
+      // the engine's mailbox, and an untagged stale vote would answer
+      // the NEXT round's check with the previous round's verdict.
+      enc.WriteU32(round);
+      enc.WriteBool(server_->ShouldTerminate(round, global));
+      return emit_(kCoordinatorRank, kTagWkVote, enc.TakeBuffer());
+    }
+    case kTagWkGetPartial: {
+      pool_->Release(std::move(payload));
+      if (server_ == nullptr) {
+        return EmitError(Status::FailedPrecondition(
+            "GetPartial before a successful load"));
+      }
+      Encoder enc(pool_->Acquire());
+      GRAPE_RETURN_NOT_OK(server_->EncodePartial(enc));
+      return emit_(kCoordinatorRank, kTagWkPartial, enc.TakeBuffer());
+    }
+    case kTagWkShutdown: {
+      pool_->Release(std::move(payload));
+      // Retire the current worker but leave the host reloadable: engines
+      // may run several queries over one world, and each run begins with
+      // a fresh kTagWkLoad. shut_down_ only tells an in-thread host's
+      // loop to exit; endpoint relay loops keep serving.
+      server_.reset();
+      pending_.clear();
+      inc_pending_ = false;
+      shut_down_ = true;
+      return Status::OK();
+    }
+    default: {
+      pool_->Release(std::move(payload));
+      return EmitError(Status::Internal("unexpected worker-protocol tag " +
+                                        std::to_string(tag)));
+    }
+  }
+}
+
+// -------------------------------------------------------- in-thread hosts
+
+InThreadWorkers::InThreadWorkers(Transport* world, uint32_t num_workers,
+                                 bool enable) {
+  if (!enable) return;
+  threads_.reserve(num_workers);
+  for (uint32_t rank = 1; rank <= num_workers; ++rank) {
+    threads_.emplace_back([this, world, rank] { Loop(world, rank); });
+  }
+}
+
+InThreadWorkers::~InThreadWorkers() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void InThreadWorkers::Loop(Transport* world, uint32_t rank) {
+  RemoteWorkerHost host(
+      rank,
+      [world, rank](uint32_t to, uint32_t tag, std::vector<uint8_t> payload) {
+        return world->Send(rank, to, tag, std::move(payload));
+      },
+      &world->buffer_pool());
+  uint32_t idle = 0;
+  for (;;) {
+    std::optional<RtMessage> msg = world->TryRecv(rank);
+    if (!msg) {
+      // Drain-then-stop: only exit on the stop flag once the mailbox is
+      // empty, so a shutdown frame sent just before our destructor is
+      // consumed now instead of greeting (and instantly killing) the
+      // next run's worker thread.
+      if (stop_.load(std::memory_order_acquire) || !world->healthy()) break;
+      // Same adaptive backoff as the engine's await loops: snappy while
+      // traffic flows, 1ms once idle so n workers don't burn n cores.
+      if (idle < 40) {
+        ++idle;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    idle = 0;
+    if (!IsWorkerTag(msg->tag)) continue;  // stray frame; not ours
+    if (!host.OnFrame(msg->from, msg->tag, std::move(msg->payload)).ok()) {
+      break;  // the world is gone; nothing left to serve
+    }
+    if (host.shut_down()) break;
+  }
+}
+
+}  // namespace grape

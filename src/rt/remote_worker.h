@@ -1,0 +1,248 @@
+#ifndef GRAPE_RT_REMOTE_WORKER_H_
+#define GRAPE_RT_REMOTE_WORKER_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/worker_core.h"
+#include "partition/fragment.h"
+#include "rt/transport.h"
+#include "rt/worker_protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// What one worker phase (PEval or IncEval) produced: the staged outgoing
+/// buffers plus every counter the engine's metrics and termination logic
+/// need (see WorkerAck in rt/worker_protocol.h).
+struct WorkerPhaseOutput {
+  std::vector<WorkerSend> sends;
+  uint64_t dirty = 0;
+  uint64_t direct_updates = 0;
+  uint64_t updated_count = 0;
+  uint64_t mono_violations = 0;
+  double global = 0.0;
+};
+
+/// Type-erased worker for one (app, fragment) pair — the virtual seam
+/// between the generic protocol host below and the templated
+/// WorkerCore<App> compute. Instantiated by name through
+/// WorkerAppRegistry, so an endpoint process can host any registered PIE
+/// program without compile-time knowledge of the app.
+class WorkerAppServerBase {
+ public:
+  virtual ~WorkerAppServerBase() = default;
+
+  /// Decodes query + fragment (the name and flags were already consumed)
+  /// and initializes the parameter store. `rank` is this worker's
+  /// transport rank; the shipped fragment must be fragment rank-1.
+  virtual Status Load(Decoder& dec, uint32_t rank,
+                      bool check_monotonicity) = 0;
+  virtual Status PEval(BufferPool& pool, WorkerPhaseOutput* out) = 0;
+  virtual void BeginApply() = 0;
+  virtual Status ApplyFrame(const std::vector<uint8_t>& payload) = 0;
+  virtual Status IncEval(bool incremental, BufferPool& pool,
+                         WorkerPhaseOutput* out) = 0;
+  virtual Status EncodePartial(Encoder& enc) const = 0;
+  virtual bool ShouldTerminate(uint32_t round, double global) const = 0;
+  virtual uint32_t num_fragments() const = 0;
+};
+
+/// Templated worker server: WorkerCore<App> behind the virtual seam.
+template <PIEProgram App>
+  requires RemoteCompatibleApp<App>
+class WorkerServer final : public WorkerAppServerBase {
+ public:
+  using Query = typename App::QueryType;
+
+  Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity) override {
+    GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
+    GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
+    if (frag_.fid() + 1 != rank) {
+      return Status::InvalidArgument(
+          "fragment " + std::to_string(frag_.fid()) + " shipped to rank " +
+          std::to_string(rank) + " (worker rank must be fid + 1)");
+    }
+    core_.emplace(frag_, App{});
+    core_->Reset(check_monotonicity);
+    return Status::OK();
+  }
+
+  Status PEval(BufferPool& pool, WorkerPhaseOutput* out) override {
+    core_->PEval(query_);
+    return FlushInto(pool, out);
+  }
+
+  void BeginApply() override { core_->BeginApply(); }
+
+  Status ApplyFrame(const std::vector<uint8_t>& payload) override {
+    return core_->ApplyBatch(payload);
+  }
+
+  Status IncEval(bool incremental, BufferPool& pool,
+                 WorkerPhaseOutput* out) override {
+    core_->FinishApply();
+    core_->IncEval(query_, incremental);
+    return FlushInto(pool, out);
+  }
+
+  Status EncodePartial(Encoder& enc) const override {
+    EncodeValue(enc, core_->GetPartial(query_));
+    return Status::OK();
+  }
+
+  bool ShouldTerminate(uint32_t round, double global) const override {
+    return core_->ShouldTerminate(round, global);
+  }
+
+  uint32_t num_fragments() const override { return frag_.num_fragments(); }
+
+ private:
+  Status FlushInto(BufferPool& pool, WorkerPhaseOutput* out) {
+    // updated_count is read after IncEval so the ablation's expansion of
+    // M_i is visible, exactly like the engine's local RecordRound.
+    out->updated_count = core_->updated().size();
+    core_->Flush(pool, &out->sends);
+    out->dirty = core_->flush_dirty();
+    out->mono_violations = core_->monotonicity_violations();
+    out->global = core_->GlobalValue();
+    for (const WorkerSend& s : out->sends) {
+      out->direct_updates += s.direct_updates;
+    }
+    return Status::OK();
+  }
+
+  Query query_{};
+  Fragment frag_;
+  std::optional<WorkerCore<App>> core_;
+};
+
+/// Process-wide registry of remotely instantiable PIE programs: the
+/// "plug" panel an endpoint process consults when a kTagWkLoad frame
+/// names an app. Populated by RegisterBuiltinWorkerApps()
+/// (apps/register_apps.h) and by the engine for its own app type.
+/// IMPORTANT: multi-process backends fork their endpoints at transport
+/// Create time, and a fork snapshots this registry — register before
+/// building the transport in any process that should host remote workers.
+class WorkerAppRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<WorkerAppServerBase>()>;
+
+  static WorkerAppRegistry& Global();
+
+  void Register(const std::string& name, Factory factory);
+  bool Has(const std::string& name) const;
+  Result<Factory> Get(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers App under `name` (idempotent overwrite).
+template <typename App>
+  requires RemoteCompatibleApp<App>
+void RegisterRemoteWorker(const std::string& name) {
+  WorkerAppRegistry::Global().Register(
+      name, [] { return std::make_unique<WorkerServer<App>>(); });
+}
+
+/// The generic worker-protocol state machine for one rank: feed it every
+/// worker-tagged frame addressed to the rank, it emits reply frames
+/// through `emit`. Deliberately non-blocking — a frame either completes a
+/// step or is buffered against the explicit per-sender delivery
+/// expectations of the next kTagWkRunIncEval — so the same host runs
+/// single-threaded inside a socket child's relay loop, a tcp endpoint's
+/// poll loop, or an in-process worker thread.
+///
+/// Protocol violations (unknown app, corrupt frame, command out of order
+/// — e.g. a duplicated control frame injected by a flaky substrate) are
+/// answered with kTagWkError and do not kill the host; only emit failures
+/// (the world is gone) return non-OK.
+class RemoteWorkerHost {
+ public:
+  /// Ships one outbound frame (from = this rank). Must not reenter the
+  /// host except through frame delivery (see endpoint relay loops).
+  using Emit = std::function<Status(uint32_t to, uint32_t tag,
+                                    std::vector<uint8_t> payload)>;
+
+  /// `pool` recycles encode buffers; pass the transport's pool when the
+  /// host shares a process with it, nullptr for an owned pool.
+  RemoteWorkerHost(uint32_t rank, Emit emit, BufferPool* pool = nullptr);
+
+  RemoteWorkerHost(const RemoteWorkerHost&) = delete;
+  RemoteWorkerHost& operator=(const RemoteWorkerHost&) = delete;
+
+  /// Handles one worker-protocol frame. Returns non-OK only when the
+  /// host cannot continue (emit failed); the endpoint should then tear
+  /// down, mirroring any other dead-peer situation.
+  Status OnFrame(uint32_t from, uint32_t tag, std::vector<uint8_t> payload);
+
+  bool shut_down() const { return shut_down_; }
+
+ private:
+  Status HandleLoad(const std::vector<uint8_t>& payload);
+  Status MaybeRunIncEval();
+  Status RunPhase(uint8_t phase, uint32_t round, bool incremental);
+  /// Reports a worker-side failure to the engine (code + message).
+  Status EmitError(const Status& error);
+  Status EmitAck(const WorkerAck& ack);
+
+  uint32_t rank_;
+  Emit emit_;
+  BufferPool owned_pool_;
+  BufferPool* pool_;
+
+  std::unique_ptr<WorkerAppServerBase> server_;
+  bool check_monotonicity_ = false;
+  bool shut_down_ = false;
+
+  struct PendingFrame {
+    uint32_t from;
+    uint32_t tag;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<PendingFrame> pending_;  // arrival order preserved
+  bool inc_pending_ = false;
+  IncEvalCommand cmd_;
+};
+
+/// Encodes/decodes the kTagWkError payload.
+void EncodeWorkerError(Encoder& enc, const Status& error);
+Status DecodeWorkerError(const std::vector<uint8_t>& payload);
+
+/// In-process worker threads for backends without endpoint processes
+/// (inproc): rank r's worker is a thread of the engine process speaking
+/// the exact same protocol over the transport. RAII: construction spawns
+/// (when `enable`), destruction stops and joins.
+class InThreadWorkers {
+ public:
+  InThreadWorkers(Transport* world, uint32_t num_workers, bool enable);
+  ~InThreadWorkers();
+
+  InThreadWorkers(const InThreadWorkers&) = delete;
+  InThreadWorkers& operator=(const InThreadWorkers&) = delete;
+
+ private:
+  void Loop(Transport* world, uint32_t rank);
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_RT_REMOTE_WORKER_H_

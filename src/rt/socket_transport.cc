@@ -14,6 +14,8 @@
 #include "core/codec.h"
 #include "rt/fd_registry.h"
 #include "rt/net_util.h"
+#include "rt/remote_worker.h"
+#include "rt/worker_protocol.h"
 
 namespace grape {
 namespace {
@@ -26,13 +28,21 @@ using rt_internal::FdRegistryMutex;
 using rt_internal::CloseAndUnregisterFds;
 
 // ---------------------------------------------------------------------------
-// Endpoint child. Forked from a (possibly multi-threaded) parent, so it may
-// only run async-signal-safe code: raw syscalls over memory preallocated
-// before fork. No malloc, no stdio, no locks.
+// Endpoint child. Forked from a (possibly multi-threaded) parent. The
+// relay path runs only async-signal-safe code: raw syscalls over memory
+// preallocated before fork — no malloc, no stdio, no locks. The one
+// exception is remote compute: the first worker-protocol frame
+// (kTagWkLoad, sent only when the engine runs with
+// EngineOptions::remote_app) lazily constructs a full C++ worker host in
+// the child. That relies on glibc's fork handlers leaving malloc usable
+// in the child of a multi-threaded parent — the same bet every
+// fork-based worker system makes — and local-compute worlds never take
+// the branch, so the strict AS-safe guarantee is unchanged for them.
 // ---------------------------------------------------------------------------
 
 /// Everything a child needs, sized and allocated before fork.
 struct ChildPlan {
+  uint32_t rank = 0;
   std::vector<int> in_fds;        // read ends of channels (*, rank)
   std::vector<struct pollfd> pfds;
   std::vector<int> pfd_idx;       // pfds position -> in_fds index
@@ -41,11 +51,22 @@ struct ChildPlan {
   int uplink = -1;                // write end toward the parent receiver
 };
 
+/// Reads exactly `len` payload bytes into a fresh buffer (worker frames
+/// are handed to the host whole, unlike relayed frames which stream).
+bool ReadWholePayload(int fd, uint32_t len, std::vector<uint8_t>* out) {
+  out->resize(len);
+  return len == 0 || ReadFullFd(fd, out->data(), len) == 1;
+}
+
 /// The endpoint process: relays complete frames from the rank's per-peer
 /// channels onto its uplink, preserving per-channel order, until every
-/// channel reaches EOF (the parent closed its write ends).
+/// channel reaches EOF (the parent closed its write ends). Worker-protocol
+/// frames are not relayed: they drive this process's RemoteWorkerHost,
+/// whose output frames (param updates, acks, partials) go up the uplink
+/// tagged with their true destination — the parent receiver routes them.
 [[noreturn]] void ChildMain(ChildPlan& plan) {
   for (int fd : plan.close_fds) close(fd);
+  std::unique_ptr<RemoteWorkerHost> worker;
   for (;;) {
     nfds_t live = 0;
     for (size_t i = 0; i < plan.in_fds.size(); ++i) {
@@ -72,11 +93,46 @@ struct ChildPlan {
         continue;
       }
       if (h < 0) _exit(1);
+      const uint32_t from = static_cast<uint32_t>(header[0]) |
+                            static_cast<uint32_t>(header[1]) << 8 |
+                            static_cast<uint32_t>(header[2]) << 16 |
+                            static_cast<uint32_t>(header[3]) << 24;
+      const uint32_t tag = static_cast<uint32_t>(header[8]) |
+                           static_cast<uint32_t>(header[9]) << 8 |
+                           static_cast<uint32_t>(header[10]) << 16 |
+                           static_cast<uint32_t>(header[11]) << 24;
       const uint32_t len = static_cast<uint32_t>(header[12]) |
                            static_cast<uint32_t>(header[13]) << 8 |
                            static_cast<uint32_t>(header[14]) << 16 |
                            static_cast<uint32_t>(header[15]) << 24;
       if (len > kMaxFramePayloadBytes) _exit(1);
+      if (IsWorkerTag(tag) && plan.rank != 0) {
+        // Remote compute: this frame is FOR this endpoint, not a relay
+        // (rank 0's endpoint fronts the engine and never hosts a worker).
+        std::vector<uint8_t> payload;
+        if (!ReadWholePayload(fd, len, &payload)) _exit(1);
+        if (!worker) {
+          const uint32_t rank = plan.rank;
+          const int uplink = plan.uplink;
+          worker = std::make_unique<RemoteWorkerHost>(
+              rank, [rank, uplink](uint32_t to, uint32_t out_tag,
+                                   std::vector<uint8_t> out_payload) {
+                uint8_t out_header[kFrameHeaderBytes];
+                EncodeFrameHeader(
+                    FrameHeader{rank, to, out_tag,
+                                static_cast<uint32_t>(out_payload.size())},
+                    out_header);
+                if (!WriteFullFd(uplink, out_header, sizeof(out_header)) ||
+                    !WriteFullFd(uplink, out_payload.data(),
+                                 out_payload.size())) {
+                  return Status::IOError("endpoint uplink write failed");
+                }
+                return Status::OK();
+              });
+        }
+        if (!worker->OnFrame(from, tag, std::move(payload)).ok()) _exit(1);
+        continue;
+      }
       if (!WriteFullFd(plan.uplink, header, sizeof(header))) _exit(1);
       if (!RelayPayload(fd, plan.uplink, plan.buf.data(), plan.buf.size(),
                         len)) {
@@ -163,6 +219,7 @@ Status SocketTransport::Init() {
   std::vector<ChildPlan> plans(n);
   for (uint32_t r = 0; r < n; ++r) {
     ChildPlan& plan = plans[r];
+    plan.rank = r;
     plan.in_fds.resize(n);
     plan.pfds.resize(n);
     plan.pfd_idx.resize(n);
@@ -208,6 +265,7 @@ Status SocketTransport::Init() {
   for (uint32_t r = 0; r < n; ++r) {
     receivers_.emplace_back([this, r] { ReceiverLoop(r); });
   }
+  forwarder_ = std::thread([this] { ForwarderLoop(); });
   return Status::OK();
 }
 
@@ -216,6 +274,7 @@ SocketTransport::~SocketTransport() {
   for (std::thread& t : receivers_) {
     if (t.joinable()) t.join();
   }
+  if (forwarder_.joinable()) forwarder_.join();
   std::vector<int> closed;
   for (int& fd : uplink_read_fds_) {
     if (fd >= 0) {
@@ -252,8 +311,12 @@ Status SocketTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
     // delivered frame must never let Flush observe delivered >= sent
     // while a Send that already returned is still in flight. A failed
     // write leaves sent permanently ahead of delivered, which is fine —
-    // broken_ short-circuits the Flush predicate.
-    frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+    // broken_ short-circuits the Flush predicate. Worker-protocol frames
+    // are excluded: they terminate inside the endpoint (or answer from
+    // it), so they can never balance the barrier.
+    if (!IsWorkerTag(tag)) {
+      frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+    }
     if (!WriteFullFd(ch.fd, header, sizeof(header)) ||
         !WriteFullFd(ch.fd, payload.data(), payload.size())) {
       broken_.store(true, std::memory_order_release);
@@ -264,7 +327,7 @@ Status SocketTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
       return Status::IOError("socket transport write failed");
     }
   }
-  CountSend(payload.size());
+  CountSendTagged(tag, payload.size());
   // The frame is on the wire; the payload buffer can cycle immediately.
   buffer_pool().Release(std::move(payload));
   return Status::OK();
@@ -289,8 +352,19 @@ void SocketTransport::ReceiverLoop(uint32_t rank) {
       break;
     }
     FrameHeader fh;
-    if (!DecodeFrameHeader(header, sizeof(header), &fh).ok() ||
-        fh.to != rank) {
+    if (!DecodeFrameHeader(header, sizeof(header), &fh).ok()) {
+      clean = false;
+      break;
+    }
+    const bool to_self = fh.to == rank;
+    // Worker-host output leaves the endpoint through its own uplink with
+    // the true destination in the header: acks/updates for the engine
+    // (to == 0) and direct mirror refreshes for peer workers, which the
+    // parent re-injects into the (from, to) channel so the destination
+    // endpoint's worker consumes them.
+    const bool worker_origin =
+        !to_self && IsWorkerTag(fh.tag) && fh.from == rank && fh.to < size();
+    if (!to_self && !worker_origin) {
       clean = false;
       break;
     }
@@ -301,12 +375,28 @@ void SocketTransport::ReceiverLoop(uint32_t rank) {
       clean = false;
       break;
     }
-    Deliver(RtMessage{fh.from, fh.to, fh.tag, std::move(payload)});
-    {
-      std::lock_guard<std::mutex> lock(flush_mu_);
-      frames_delivered_.fetch_add(1, std::memory_order_acq_rel);
+    if (worker_origin && fh.to != kCoordinatorRank) {
+      // Hand off to the forwarder thread: the channel write can block on
+      // a full buffer, and a blocked receiver would wedge the world (see
+      // ForwardWorkerFrame). Unbounded queue, but bounded in practice by
+      // one round's direct traffic.
+      {
+        std::lock_guard<std::mutex> lock(fwd_mu_);
+        fwd_queue_.push_back(ForwardJob{fh, std::move(payload)});
+      }
+      fwd_cv_.notify_one();
+      continue;
     }
-    flush_cv_.notify_all();
+    Deliver(RtMessage{fh.from, fh.to, fh.tag, std::move(payload)});
+    if (!IsWorkerTag(fh.tag)) {
+      // Worker-protocol frames never entered the sent side of the Flush
+      // barrier, so they must not advance the delivered side either.
+      {
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        frames_delivered_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      flush_cv_.notify_all();
+    }
   }
   if (!clean) {
     broken_.store(true, std::memory_order_release);
@@ -316,6 +406,46 @@ void SocketTransport::ReceiverLoop(uint32_t rank) {
     std::lock_guard<std::mutex> lock(flush_mu_);
   }
   flush_cv_.notify_all();
+}
+
+bool SocketTransport::ForwardWorkerFrame(const FrameHeader& fh,
+                                         const std::vector<uint8_t>& payload) {
+  Channel& ch = *channels_[static_cast<size_t>(fh.from) * size() + fh.to];
+  std::lock_guard<std::mutex> lock(ch.mu);
+  if (ch.fd < 0) return false;
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(fh, header);
+  return WriteFullFd(ch.fd, header, sizeof(header)) &&
+         (payload.empty() ||
+          WriteFullFd(ch.fd, payload.data(), payload.size()));
+}
+
+void SocketTransport::ForwarderLoop() {
+  for (;;) {
+    ForwardJob job;
+    {
+      std::unique_lock<std::mutex> lock(fwd_mu_);
+      fwd_cv_.wait(lock, [this] { return fwd_stop_ || !fwd_queue_.empty(); });
+      if (fwd_queue_.empty()) return;  // stop requested and drained
+      job = std::move(fwd_queue_.front());
+      fwd_queue_.pop_front();
+    }
+    if (!ForwardWorkerFrame(job.fh, job.payload)) {
+      // Channel gone mid-world: same treatment as a dead endpoint. On a
+      // clean Close the fd check fails before any write, and closed()
+      // already shields Flush/Recv, so this only bites a live world.
+      if (!closed()) {
+        broken_.store(true, std::memory_order_release);
+        MarkClosed();
+        {
+          std::lock_guard<std::mutex> lock(flush_mu_);
+        }
+        flush_cv_.notify_all();
+      }
+      return;
+    }
+    buffer_pool().Release(std::move(job.payload));
+  }
 }
 
 Status SocketTransport::Flush() {
@@ -340,6 +470,11 @@ void SocketTransport::Close() {
       std::lock_guard<std::mutex> lock(flush_mu_);
     }
     flush_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(fwd_mu_);
+      fwd_stop_ = true;
+    }
+    fwd_cv_.notify_all();
   });
 }
 

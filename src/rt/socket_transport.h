@@ -6,12 +6,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/codec.h"
 #include "rt/transport.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -38,11 +40,13 @@ namespace grape {
 ///    relays complete frames — header first, then the payload streamed in
 ///    chunks — onto r's uplink, and exits when every channel reaches EOF.
 ///  * A per-rank receiver thread in the parent parses the uplink stream
-///    back into RtMessages. PEval/IncEval execution itself still runs in
-///    the parent (moving compute into the endpoint processes is the next
-///    step on the roadmap); what this backend makes real is the substrate:
-///    framing, kernel-buffer backpressure, asynchronous delivery, and the
-///    Flush() barrier the engine must use between supersteps.
+///    back into RtMessages — routing by the header's destination, because
+///    under remote compute (EngineOptions::remote_app) an endpoint is not
+///    just a relay: worker-protocol frames addressed to its rank drive an
+///    in-child RemoteWorkerHost running PEval/IncEval, whose output
+///    frames (acks and owner-bound updates for rank 0, direct mirror
+///    refreshes for peers, which the parent re-injects into the right
+///    channel) surface on the same uplink.
 ///
 /// Fidelity: frames carry exactly the same payload bytes as the in-process
 /// backend and the wire envelope is the same 16 bytes CommStats charges,
@@ -65,6 +69,9 @@ class SocketTransport final : public MailboxTransport {
   SocketTransport& operator=(const SocketTransport&) = delete;
 
   std::string name() const override { return "socket"; }
+
+  /// Endpoint children host remote-compute workers themselves.
+  bool has_remote_endpoints() const override { return true; }
 
   Status Send(uint32_t from, uint32_t to, uint32_t tag,
               std::vector<uint8_t> payload) override;
@@ -90,6 +97,20 @@ class SocketTransport final : public MailboxTransport {
 
   Status Init();             // sockets + forks + receiver threads
   void ReceiverLoop(uint32_t rank);
+  /// Re-injects a worker host's worker-to-worker frame (surfaced on its
+  /// endpoint's uplink) into the (from, to) channel so the destination
+  /// endpoint's worker consumes it. Returns false when the channel is
+  /// gone (world closing / broken). Runs ONLY on the forwarder thread:
+  /// the write blocks when the channel is full, and a receiver thread
+  /// blocking here would close a four-party circular wait (receiver r
+  /// stops draining uplink r -> child r wedges writing it -> child r
+  /// stops reading its channels -> the peer receiver's forward into
+  /// those channels never completes, and symmetrically). With receivers
+  /// never blocking, uplinks always drain, children always return to
+  /// their channel reads, and the forwarder's writes always progress.
+  bool ForwardWorkerFrame(const FrameHeader& fh,
+                          const std::vector<uint8_t>& payload);
+  void ForwarderLoop();
   void CloseSendSide();      // shuts channel write ends; children see EOF
   void ReapChildren();
 
@@ -97,6 +118,19 @@ class SocketTransport final : public MailboxTransport {
   std::vector<int> uplink_read_fds_;                // one per rank
   std::vector<pid_t> children_;
   std::vector<std::thread> receivers_;
+
+  // Worker-to-worker re-injection (remote compute): receiver threads
+  // enqueue, the forwarder thread drains with (safely) blocking writes.
+  // Per-channel order is preserved: one queue, one drainer.
+  struct ForwardJob {
+    FrameHeader fh;
+    std::vector<uint8_t> payload;
+  };
+  std::mutex fwd_mu_;
+  std::condition_variable fwd_cv_;
+  std::deque<ForwardJob> fwd_queue_;
+  bool fwd_stop_ = false;
+  std::thread forwarder_;
 
   // Flush barrier: frames accepted by Send vs. frames parsed into
   // mailboxes by receiver threads.

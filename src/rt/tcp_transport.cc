@@ -21,6 +21,8 @@
 #include "rt/fd_registry.h"
 #include "rt/frame_decoder.h"
 #include "rt/net_util.h"
+#include "rt/remote_worker.h"
+#include "rt/worker_protocol.h"
 
 namespace grape {
 namespace {
@@ -225,6 +227,15 @@ struct EndpointPlan {
                                          // the main loop's pfds iteration)
   std::vector<uint8_t> out_buf;      // outbound (link -> mesh) relay chunks
   std::vector<uint8_t> in_buf;       // inbound (mesh -> link) relay chunks
+  /// Remote compute: lazily created by the first worker-protocol frame
+  /// addressed to this rank (kTagWkLoad). From then on this endpoint is
+  /// not just a relay — PEval/IncEval execute HERE, and the host's
+  /// output frames leave through the mesh like any other traffic. Frames
+  /// only the engine sends (remote_app mode), so pure-relay worlds never
+  /// allocate. Forked auto-spawn children rely on glibc's fork handlers
+  /// keeping malloc usable; standalone cluster endpoints
+  /// (RunTcpEndpointProcess) involve no fork at all.
+  std::unique_ptr<RemoteWorkerHost> worker;
 };
 
 void SizePlan(EndpointPlan& plan) {
@@ -240,9 +251,13 @@ void SizePlan(EndpointPlan& plan) {
   plan.in_buf.resize(kRelayChunkBytes);
 }
 
+bool MeshWriteFull(EndpointPlan& plan, int cfd, uint32_t target,
+                   struct iovec* iov, size_t iovcnt);
+
 /// Reads one frame from mesh peer `s` and relays it up the engine link
 /// (which always drains: the engine's receiver thread consumes into an
-/// unbounded mailbox). Clean peer shutdown clears read_open. Uses
+/// unbounded mailbox) — or, for worker-protocol frames, hands it to this
+/// endpoint's worker host. Clean peer shutdown clears read_open. Uses
 /// in_buf, so it is safe to call while out_buf holds a half-sent
 /// outbound chunk.
 bool ServiceMeshRead(EndpointPlan& plan, int cfd, uint32_t s) {
@@ -269,9 +284,56 @@ bool ServiceMeshRead(EndpointPlan& plan, int cfd, uint32_t s) {
   if (h != 1) return false;
   const uint32_t from = GetU32(header + 0);
   const uint32_t to = GetU32(header + 4);
+  const uint32_t tag = GetU32(header + 8);
   const uint32_t len = GetU32(header + 12);
   if (from != s || to != plan.rank || len > kMaxFramePayloadBytes) {
     return false;
+  }
+  // Worker-protocol frames addressed to a worker rank are consumed here —
+  // remote compute happens in THIS process. Rank 0's endpoint never hosts
+  // a worker: it fronts the engine, so worker output addressed to the
+  // coordinator (acks, owner-bound updates, partials) relays up its link
+  // like any other frame.
+  if (IsWorkerTag(tag) && plan.rank != 0) {
+    // Remote compute: consume the frame here instead of relaying it up.
+    // The peer committed a whole frame, so blocking for the payload is
+    // safe (same argument as the header remainder above).
+    std::vector<uint8_t> payload(len);
+    if (len > 0 && net::ReadFullFd(fd, payload.data(), len) != 1) {
+      return false;
+    }
+    if (!plan.worker) {
+      // Output frames travel the mesh exactly like engine-relayed ones:
+      // over the (rank, to) connection with deadlock-free writes, so
+      // acks reach the engine via endpoint 0's link and direct mirror
+      // refreshes reach the destination endpoint's worker directly.
+      EndpointPlan* p = &plan;
+      plan.worker = std::make_unique<RemoteWorkerHost>(
+          plan.rank, [p, cfd](uint32_t out_to, uint32_t out_tag,
+                              std::vector<uint8_t> out_payload) {
+            if (out_to >= p->n || p->mesh_fds[out_to] < 0) {
+              return Status::IOError("worker output for rank " +
+                                     std::to_string(out_to) +
+                                     " has no mesh connection");
+            }
+            uint8_t out_header[kFrameHeaderBytes];
+            EncodeFrameHeader(
+                FrameHeader{p->rank, out_to, out_tag,
+                            static_cast<uint32_t>(out_payload.size())},
+                out_header);
+            struct iovec iov[2];
+            iov[0].iov_base = out_header;
+            iov[0].iov_len = kFrameHeaderBytes;
+            iov[1].iov_base = out_payload.data();
+            iov[1].iov_len = out_payload.size();
+            if (!MeshWriteFull(*p, cfd, out_to, iov,
+                               out_payload.empty() ? 1 : 2)) {
+              return Status::IOError("worker output mesh write failed");
+            }
+            return Status::OK();
+          });
+    }
+    return plan.worker->OnFrame(from, tag, std::move(payload)).ok();
   }
   return RelayFrame(fd, cfd, header, plan.in_buf.data(), plan.in_buf.size(),
                     len);
@@ -868,7 +930,11 @@ Status TcpTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
     // the socket backend): Flush must never observe delivered >= sent
     // while a Send that already returned is still in flight. A failed
     // write leaves sent permanently ahead, which broken_ short-circuits.
-    frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+    // Worker-protocol frames are excluded: they terminate inside an
+    // endpoint's worker host and can never balance the barrier.
+    if (!IsWorkerTag(tag)) {
+      frames_sent_.fetch_add(1, std::memory_order_acq_rel);
+    }
     struct iovec iov[2];
     iov[0].iov_base = header;
     iov[0].iov_len = sizeof(header);
@@ -883,7 +949,7 @@ Status TcpTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
       return Status::Unavailable("tcp transport endpoint died mid-send");
     }
   }
-  CountSend(payload.size());
+  CountSendTagged(tag, payload.size());
   buffer_pool().Release(std::move(payload));
   return Status::OK();
 }
@@ -919,12 +985,18 @@ void TcpTransport::ReceiverLoop(uint32_t rank) {
         bad = true;
         break;
       }
+      const uint32_t tag = msg->tag;
       Deliver(std::move(*msg));
-      {
-        std::lock_guard<std::mutex> lock(flush_mu_);
-        frames_delivered_.fetch_add(1, std::memory_order_acq_rel);
+      if (!IsWorkerTag(tag)) {
+        // Worker-origin frames (acks, partials, owner-bound updates)
+        // never entered the sent side of the Flush barrier; keep the
+        // delivered side symmetric.
+        {
+          std::lock_guard<std::mutex> lock(flush_mu_);
+          frames_delivered_.fetch_add(1, std::memory_order_acq_rel);
+        }
+        flush_cv_.notify_all();
       }
-      flush_cv_.notify_all();
     }
     if (bad) {
       clean = false;

@@ -70,14 +70,17 @@ struct TcpOptions {
 ///    Send/Flush within a bounded time — never a hang (frozen by
 ///    tests/transport_fault_test.cc).
 ///
-/// PEval/IncEval still execute in the engine process; what this backend
-/// makes real is the substrate the roadmap's remote-compute step needs:
-/// rank endpoints addressable by host:port on other machines, with the
-/// Transport contract (tests/transport_conformance_test.cc) unchanged.
+/// Under remote compute (EngineOptions::remote_app), an endpoint is more
+/// than a relay: worker-protocol frames addressed to its rank drive an
+/// in-process RemoteWorkerHost running that fragment's PEval/IncEval, so
+/// in cluster mode compute executes on the worker's machine. Rank 0's
+/// endpoint always stays a pure relay fronting the engine.
 ///
 /// Forked endpoint children run only async-signal-safe code (raw
 /// syscalls over memory preallocated before fork), so construction is
-/// safe in a multi-threaded parent.
+/// safe in a multi-threaded parent; the single exception is a lazily
+/// created worker host on the first kTagWkLoad frame (remote compute
+/// only), which relies on glibc's fork handlers keeping malloc usable.
 class TcpTransport final : public MailboxTransport {
  public:
   static Result<std::unique_ptr<TcpTransport>> Create(uint32_t size,
@@ -89,6 +92,9 @@ class TcpTransport final : public MailboxTransport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   std::string name() const override { return "tcp"; }
+
+  /// Endpoint processes host remote-compute workers themselves.
+  bool has_remote_endpoints() const override { return true; }
 
   Status Send(uint32_t from, uint32_t to, uint32_t tag,
               std::vector<uint8_t> payload) override;

@@ -5,6 +5,7 @@
 #include "rt/comm_world.h"
 #include "rt/socket_transport.h"
 #include "rt/tcp_transport.h"
+#include "rt/worker_protocol.h"
 #include "util/string_util.h"
 
 namespace grape {
@@ -81,6 +82,12 @@ size_t MailboxTransport::PendingCount(uint32_t rank) const {
   const Mailbox& box = *mailboxes_[rank];
   std::lock_guard<std::mutex> lock(box.mu);
   return box.queue.size();
+}
+
+void MailboxTransport::CountSendTagged(uint32_t tag, size_t payload_bytes) {
+  if (!IsWorkerTag(tag) || IsStatsCountedWorkerTag(tag)) {
+    CountSend(payload_bytes);
+  }
 }
 
 CommStats MailboxTransport::stats() const {

@@ -90,6 +90,17 @@ class Transport {
   /// fails future Sends. Idempotent; also called by destructors.
   virtual void Close() = 0;
 
+  /// False once the transport is closed or broken (an endpoint died).
+  /// Pollers that cannot block in Recv — the engine's remote-compute
+  /// await loop, in-thread worker hosts — use this to stop promptly
+  /// instead of waiting out a timeout against a dead world.
+  virtual bool healthy() const { return true; }
+
+  /// True when ranks are backed by endpoint OS processes that host
+  /// remote-compute workers themselves (socket/tcp). False for in-process
+  /// backends, where the engine spawns in-thread workers instead.
+  virtual bool has_remote_endpoints() const { return false; }
+
   /// Global counters since construction or the last ResetStats().
   virtual CommStats stats() const = 0;
   virtual void ResetStats() = 0;
@@ -118,6 +129,7 @@ class MailboxTransport : public Transport {
   CommStats stats() const override;
   void ResetStats() override;
   BufferPool& buffer_pool() override { return pool_; }
+  bool healthy() const override { return !closed(); }
 
  protected:
   explicit MailboxTransport(uint32_t size);
@@ -134,6 +146,12 @@ class MailboxTransport : public Transport {
     total_bytes_.fetch_add(payload_bytes + kEnvelopeBytes,
                            std::memory_order_relaxed);
   }
+
+  /// Tag-aware counting: worker-protocol control frames are invisible to
+  /// CommStats (they have no local-compute equivalent; see
+  /// rt/worker_protocol.h), so remote compute reports the same counters
+  /// as local compute. Backends call this instead of CountSend.
+  void CountSendTagged(uint32_t tag, size_t payload_bytes);
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 

@@ -1,0 +1,220 @@
+#ifndef GRAPE_RT_WORKER_PROTOCOL_H_
+#define GRAPE_RT_WORKER_PROTOCOL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/serializer.h"
+#include "util/status.h"
+
+namespace grape {
+
+// ---------------------------------------------------------------------------
+// The remote-worker protocol: the control plane that moves PEval/IncEval
+// execution out of the rank-0 engine process and into the rank's endpoint
+// process (socket/tcp backends; the inproc backend hosts the same protocol
+// on in-process worker threads). All frames are ordinary transport
+// messages — the 16-byte FrameHeader envelope of core/codec.h — so the
+// protocol rides every conformant backend unchanged.
+//
+// Roles and frame flow, for a world of n workers + coordinator rank 0:
+//
+//   engine (rank 0)                      worker host (rank r = fragment r-1)
+//   ───────────────                      ──────────────────────────────────
+//   kTagWkLoad {app, flags, query,
+//               fragment+routing plan}─▶ instantiate app by name, decode
+//                                        fragment, init ParamStore
+//                        ◀─ kTagWkAck (phase=load)
+//   kTagWkRunPEval ────────────────────▶ PEval + flush
+//                        ◀─ kTagWkData (param updates for rank 0)
+//                        ◀─ kTagWkDirect (owner→mirror refreshes, to peers)
+//                        ◀─ kTagWkAck (phase=peval: dirty/global/sent...)
+//   kTagWkCheckTerm {round, global} ───▶ apps_[0]'s ShouldTerminate hook
+//                        ◀─ kTagWkVote
+//   kTagWkApply {consolidated batch} ──▶ buffered until the matching run
+//   kTagWkRunIncEval {round, expect} ──▶ apply buffered batches, IncEval,
+//                                        flush (as above)
+//                        ◀─ kTagWkData / kTagWkDirect / kTagWkAck
+//   kTagWkGetPartial ──────────────────▶ GetPartial
+//                        ◀─ kTagWkPartial {encoded partial}
+//   kTagWkShutdown ────────────────────▶ worker host retires
+//
+// Ordering is carried entirely by the transport's FIFO-per-channel
+// guarantee: a worker's data frames precede its ack on the (r, 0)
+// channel, and the coordinator's apply batch precedes the matching
+// RunIncEval on the (0, r) channel. Cross-sender races (a fast worker's
+// round-k+1 mirror refresh overtaking a slow worker's round-k one) are
+// closed by explicit per-sender expectations inside kTagWkRunIncEval.
+//
+// Accounting: the golden matrices require remote compute to report
+// bit-identical CommStats to local compute, so control frames are
+// invisible to the stats — every tag below except kTagWkApply is skipped
+// by CountSend — and worker-originated data frames (kTagWkData /
+// kTagWkDirect, which never pass through a rank-0 Send on multi-process
+// backends) are counted by the engine from the per-phase ack's
+// sent_messages/sent_bytes instead. kTagWkApply is the one remote frame
+// that replaces a counted local frame (the coordinator's consolidated
+// batch), so it stays counted at Send like its local twin.
+// ---------------------------------------------------------------------------
+
+enum WorkerProtocolTag : uint32_t {
+  // engine -> worker (consumed inside the endpoint, never relayed up).
+  kTagWkLoad = 0x101,
+  kTagWkRunPEval = 0x102,
+  kTagWkRunIncEval = 0x103,
+  kTagWkGetPartial = 0x104,
+  kTagWkShutdown = 0x105,
+  kTagWkCheckTerm = 0x106,
+  // engine -> worker, the coordinator's consolidated parameter batch.
+  // Stats-counted: it replaces the kTagParamUpdate frame of local mode.
+  kTagWkApply = 0x107,
+  // worker -> engine / worker -> worker.
+  kTagWkAck = 0x108,      // phase completion + per-phase counters
+  kTagWkData = 0x109,     // owner-bound updates for the coordinator
+  kTagWkDirect = 0x10a,   // owner-to-mirror refresh, worker to worker
+  kTagWkVote = 0x10b,     // ShouldTerminate verdict
+  kTagWkPartial = 0x10c,  // encoded partial answer
+  kTagWkError = 0x10d,    // worker-side failure, payload = message
+  kTagWkEnd_,             // exclusive upper bound
+};
+
+/// True for every frame of the worker protocol. Endpoint processes divert
+/// these to their in-process worker host once one is active; transports
+/// exclude them from the Flush sent/delivered accounting (they terminate
+/// inside an endpoint or originate there, so the barrier would otherwise
+/// count frames that can never balance).
+inline bool IsWorkerTag(uint32_t tag) {
+  return tag >= kTagWkLoad && tag < kTagWkEnd_;
+}
+
+/// Worker-protocol frames the CommStats counters must still see: only the
+/// coordinator's consolidated apply batch, whose local-mode twin is a
+/// counted Send. Everything else in the protocol is either control (no
+/// local-mode equivalent) or counted via ack-reported totals.
+inline bool IsStatsCountedWorkerTag(uint32_t tag) {
+  return tag == kTagWkApply;
+}
+
+/// Phase discriminator inside kTagWkAck.
+inline constexpr uint8_t kWkPhaseLoad = 1;
+inline constexpr uint8_t kWkPhasePEval = 2;
+inline constexpr uint8_t kWkPhaseIncEval = 3;
+
+/// Flag bits inside kTagWkLoad.
+inline constexpr uint8_t kWkLoadCheckMonotonicity = 1u << 0;
+
+/// One phase-completion report. Every counter the local engine derives by
+/// looking at its in-process worker state travels here instead: dirty
+/// parameters at the last flush, the app's GlobalValue, |M_i| after
+/// message application, and the exact message/byte totals of the flush
+/// (payload + the 16-byte envelope per frame — the same formula CommStats
+/// charges), so the engine reproduces local-mode metrics bit for bit.
+struct WorkerAck {
+  uint8_t phase = 0;
+  uint32_t round = 0;
+  uint64_t dirty = 0;             // changed+remote parameters at the flush
+  uint64_t direct_updates = 0;    // records shipped worker-to-worker
+  uint64_t updated_count = 0;     // |M_i| handed to IncEval this round
+  uint64_t mono_violations = 0;   // monotonicity-check hits so far
+  uint64_t sent_messages = 0;     // data frames emitted by this flush
+  uint64_t sent_bytes = 0;        // payload + 16-byte envelope each
+  double global = 0.0;            // the app's GlobalValue() after the phase
+  uint64_t worker_pid = 0;        // getpid() of the executing process
+  /// Direct (worker-to-worker) frames emitted this flush, per destination
+  /// rank — the engine aggregates these into the next round's per-sender
+  /// delivery expectations.
+  std::vector<std::pair<uint32_t, uint32_t>> direct_frames;
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU8(phase);
+    enc.WriteU32(round);
+    enc.WriteU64(dirty);
+    enc.WriteU64(direct_updates);
+    enc.WriteU64(updated_count);
+    enc.WriteU64(mono_violations);
+    enc.WriteU64(sent_messages);
+    enc.WriteU64(sent_bytes);
+    enc.WriteDouble(global);
+    enc.WriteU64(worker_pid);
+    enc.WriteVarint(direct_frames.size());
+    for (const auto& [rank, frames] : direct_frames) {
+      enc.WriteU32(rank);
+      enc.WriteU32(frames);
+    }
+  }
+
+  static Status DecodeFrom(Decoder& dec, WorkerAck* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU8(&out->phase));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->round));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->dirty));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->direct_updates));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->updated_count));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->mono_violations));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->sent_messages));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->sent_bytes));
+    GRAPE_RETURN_NOT_OK(dec.ReadDouble(&out->global));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->worker_pid));
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    if (n > dec.Remaining() / 8) {
+      return Status::Corruption("worker ack direct-frame list overruns");
+    }
+    out->direct_frames.clear();
+    out->direct_frames.reserve(n);
+    for (uint64_t k = 0; k < n; ++k) {
+      uint32_t rank = 0, frames = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&rank));
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&frames));
+      out->direct_frames.emplace_back(rank, frames);
+    }
+    return Status::OK();
+  }
+};
+
+/// The engine's per-round IncEval order. `apply_frames` tells the worker
+/// how many coordinator batches (kTagWkApply) belong to this round, and
+/// `expect_direct` how many kTagWkDirect frames to await from each peer
+/// rank before applying and evaluating — the explicit BSP delivery
+/// barrier that replaces local mode's transport Flush.
+struct IncEvalCommand {
+  uint32_t round = 0;
+  bool incremental = true;
+  uint32_t apply_frames = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> expect_direct;  // (from, frames)
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU32(round);
+    enc.WriteBool(incremental);
+    enc.WriteU32(apply_frames);
+    enc.WriteVarint(expect_direct.size());
+    for (const auto& [rank, frames] : expect_direct) {
+      enc.WriteU32(rank);
+      enc.WriteU32(frames);
+    }
+  }
+
+  static Status DecodeFrom(Decoder& dec, IncEvalCommand* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->round));
+    GRAPE_RETURN_NOT_OK(dec.ReadBool(&out->incremental));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->apply_frames));
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    if (n > dec.Remaining() / 8) {
+      return Status::Corruption("inceval command expectation list overruns");
+    }
+    out->expect_direct.clear();
+    out->expect_direct.reserve(n);
+    for (uint64_t k = 0; k < n; ++k) {
+      uint32_t rank = 0, frames = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&rank));
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&frames));
+      out->expect_direct.emplace_back(rank, frames);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_RT_WORKER_PROTOCOL_H_

@@ -8,8 +8,10 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -17,9 +19,13 @@
 #include <thread>
 #include <vector>
 
+#include "apps/register_apps.h"
+#include "apps/sssp.h"
+#include "core/engine.h"
 #include "gtest/gtest.h"
 #include "rt/cluster.h"
 #include "rt/message.h"
+#include "tests/message_path_scenarios.h"
 #include "util/flags.h"
 
 namespace grape {
@@ -230,6 +236,114 @@ TEST(ClusterTest, ClusterModeWorldOverLocalhost) {
   t.reset();
   for (auto& th : endpoints) th.join();
   stray.join();
+}
+
+TEST(ClusterTest, RemoteComputeRunsInsideEndpointProcesses) {
+  // The headline of the remote-compute work: a live cluster-mode world in
+  // which ranks > 0 are real OS processes running RunClusterEndpoint —
+  // exactly what `--transport=tcp --rank=N` launches on another machine —
+  // and PEval/IncEval execute IN those processes. The proof is twofold:
+  // the per-rank compute counters the engine collects from worker acks,
+  // and the acks' worker pids, which must be the forked endpoints' pids,
+  // not this (engine) process's.
+  RegisterBuiltinWorkerApps();  // endpoints snapshot the registry at fork
+
+  constexpr uint32_t kRanks = 4;  // 3 workers + coordinator
+  std::vector<HostPort> hosts(kRanks, HostPort{"127.0.0.1", 0});
+  hosts[0].port = GrabFreePort();
+
+  std::vector<pid_t> endpoint_pids;
+  for (uint32_t r = 1; r < kRanks; ++r) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ClusterSpec spec;
+      spec.rank = r;
+      spec.hosts = hosts;
+      Status st = RunClusterEndpoint(spec);
+      _exit(st.ok() ? 0 : 1);
+    }
+    endpoint_pids.push_back(pid);
+  }
+
+  Graph g = testing::ScenarioGraph("grid");
+  FragmentedGraph fg = testing::ScenarioFragments(g, "metis", kRanks - 1);
+
+  // Local reference run (private inproc world) for the differential.
+  EngineOptions local_options;
+  GrapeEngine<SsspApp> local_engine(fg, SsspApp{}, local_options);
+  auto local = local_engine.Run(SsspQuery{3});
+  ASSERT_TRUE(local.ok()) << local.status();
+
+  ClusterSpec spec;
+  spec.hosts = hosts;
+  auto made = MakeClusterTransport("tcp", kRanks, spec);
+  ASSERT_TRUE(made.ok()) << made.status();
+  std::unique_ptr<Transport> world = std::move(made).value();
+
+  EngineOptions options;
+  options.transport = world.get();
+  options.remote_app = "sssp";
+  GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
+  auto remote = engine.Run(SsspQuery{3});
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  EXPECT_EQ(remote->dist, local->dist)
+      << "remote compute diverged from local compute";
+
+  const EngineMetrics& m = engine.metrics();
+  ASSERT_EQ(m.remote_peval_runs.size(), kRanks - 1);
+  ASSERT_EQ(m.remote_inceval_runs.size(), kRanks - 1);
+  ASSERT_EQ(m.remote_worker_pids.size(), kRanks - 1);
+  ASSERT_GT(m.supersteps, 1u);
+  const pid_t engine_pid = getpid();
+  std::vector<pid_t> worker_pids;
+  for (uint32_t i = 0; i < kRanks - 1; ++i) {
+    // Every rank > 0 actually ran PEval once and IncEval every round.
+    EXPECT_EQ(m.remote_peval_runs[i], 1u) << "worker " << i;
+    EXPECT_EQ(m.remote_inceval_runs[i], m.supersteps - 1) << "worker " << i;
+    // ...and did so in another OS process: the endpoint's.
+    const pid_t wpid = static_cast<pid_t>(m.remote_worker_pids[i]);
+    EXPECT_NE(wpid, engine_pid)
+        << "worker " << i << " computed in the engine process";
+    worker_pids.push_back(wpid);
+  }
+  std::sort(worker_pids.begin(), worker_pids.end());
+  std::vector<pid_t> expected = endpoint_pids;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(worker_pids, expected)
+      << "worker pids are not the forked endpoint processes";
+
+  // Coordinated shutdown: endpoints drain and exit 0.
+  world.reset();
+  for (pid_t pid : endpoint_pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "endpoint " << pid << " exited abnormally";
+  }
+}
+
+TEST(ClusterTest, RemoteComputeRejectsUnknownApp) {
+  // An endpoint whose registry does not know the requested app must
+  // reject the load with a clean NotFound that reaches the Run caller —
+  // not crash, not hang. The socket backend forks its endpoints at
+  // Create time, before the engine's own-app auto-registration, so the
+  // children genuinely lack the name.
+  Graph g = testing::ScenarioGraph("grid");
+  FragmentedGraph fg = testing::ScenarioFragments(g, "hash", 3);
+  auto world = MakeTransport("socket", 4);
+  ASSERT_TRUE(world.ok()) << world.status();
+  EngineOptions options;
+  options.transport = world->get();
+  options.remote_app = "no_such_app_registered";
+  options.remote_timeout_ms = 15000;
+  GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
+  auto out = engine.Run(SsspQuery{3});
+  ASSERT_FALSE(out.ok()) << "engine ran an app no endpoint knows";
+  EXPECT_TRUE(out.status().IsNotFound()) << out.status();
+  EXPECT_NE(out.status().message().find("no_such_app_registered"),
+            std::string::npos)
+      << out.status();
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+// Round-trip and corruption coverage for the fragment wire format
+// (Fragment::EncodeTo/DecodeFrom): the payload a kTagWkLoad frame ships
+// to a remote worker host. A decoded fragment must be indistinguishable
+// from the built one — topology, labels, border set, and the complete
+// routing plan (mirror destinations, outer owner routes, shared owner
+// tables) — across empty fragments, single-vertex graphs, and
+// mirror-heavy METIS cuts. Corrupt buffers (truncations, flipped counts,
+// out-of-range ids) must be rejected with a sticky Status and must never
+// leave a half-written fragment behind: remote workers run app code
+// straight off these tables, so an accepted-then-mangled decode would be
+// remote code execution on garbage indices.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "util/serializer.h"
+
+namespace grape {
+namespace {
+
+FragmentedGraph BuildFragments(const Graph& g, const std::string& strategy,
+                               FragmentId workers) {
+  auto partitioner = MakePartitioner(strategy);
+  EXPECT_TRUE(partitioner.ok()) << partitioner.status();
+  auto assignment = (*partitioner)->Partition(g, workers);
+  EXPECT_TRUE(assignment.ok()) << assignment.status();
+  auto fg = FragmentBuilder::Build(g, *assignment, workers);
+  EXPECT_TRUE(fg.ok()) << fg.status();
+  return std::move(fg).value();
+}
+
+std::vector<uint8_t> EncodeFragment(const Fragment& frag) {
+  Encoder enc;
+  frag.EncodeTo(enc);
+  return enc.TakeBuffer();
+}
+
+/// Field-by-field equivalence of a decoded fragment against the original,
+/// through the public API a worker-side app actually uses.
+void ExpectFragmentsEqual(const Fragment& a, const Fragment& b) {
+  ASSERT_EQ(a.fid(), b.fid());
+  ASSERT_EQ(a.num_fragments(), b.num_fragments());
+  ASSERT_EQ(a.total_num_vertices(), b.total_num_vertices());
+  ASSERT_EQ(a.is_directed(), b.is_directed());
+  ASSERT_EQ(a.num_inner(), b.num_inner());
+  ASSERT_EQ(a.num_outer(), b.num_outer());
+  ASSERT_EQ(a.num_border(), b.num_border());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.gids(), b.gids());
+  for (LocalId lid = 0; lid < a.num_local(); ++lid) {
+    EXPECT_EQ(a.Gid(lid), b.Gid(lid));
+    EXPECT_EQ(a.vertex_label(lid), b.vertex_label(lid));
+    auto an = a.OutNeighbors(lid);
+    auto bn = b.OutNeighbors(lid);
+    ASSERT_EQ(an.size(), bn.size()) << "out-degree of lid " << lid;
+    for (size_t k = 0; k < an.size(); ++k) {
+      EXPECT_EQ(an[k].local, bn[k].local);
+      EXPECT_EQ(an[k].weight, bn[k].weight);
+      EXPECT_EQ(an[k].label, bn[k].label);
+    }
+    auto ain = a.InNeighbors(lid);
+    auto bin = b.InNeighbors(lid);
+    ASSERT_EQ(ain.size(), bin.size()) << "in-degree of lid " << lid;
+    for (size_t k = 0; k < ain.size(); ++k) {
+      EXPECT_EQ(ain[k].local, bin[k].local);
+      EXPECT_EQ(ain[k].weight, bin[k].weight);
+      EXPECT_EQ(ain[k].label, bin[k].label);
+    }
+    if (a.IsInner(lid)) {
+      EXPECT_EQ(a.IsBorder(lid), b.IsBorder(lid));
+      auto amf = a.MirrorFragments(lid);
+      auto bmf = b.MirrorFragments(lid);
+      auto aml = a.MirrorDstLids(lid);
+      auto bml = b.MirrorDstLids(lid);
+      ASSERT_EQ(amf.size(), bmf.size());
+      for (size_t k = 0; k < amf.size(); ++k) {
+        EXPECT_EQ(amf[k], bmf[k]);
+        EXPECT_EQ(aml[k], bml[k]);
+      }
+    } else {
+      EXPECT_EQ(a.OuterOwner(lid), b.OuterOwner(lid));
+      EXPECT_EQ(a.OuterOwnerLid(lid), b.OuterOwnerLid(lid));
+    }
+  }
+  // The gid -> lid indexer is rebuilt on decode; spot-check every vertex
+  // plus an absent gid.
+  for (LocalId lid = 0; lid < a.num_local(); ++lid) {
+    EXPECT_EQ(b.Lid(a.Gid(lid)), lid);
+  }
+  EXPECT_EQ(b.Lid(a.total_num_vertices() + 17), kInvalidLocal);
+  // Shared routing tables.
+  for (VertexId gid = 0; gid < a.total_num_vertices(); ++gid) {
+    EXPECT_EQ(a.OwnerOf(gid), b.OwnerOf(gid));
+    EXPECT_EQ(a.LidAtOwner(gid), b.LidAtOwner(gid));
+  }
+}
+
+void RoundTrip(const Fragment& frag) {
+  std::vector<uint8_t> wire = EncodeFragment(frag);
+  Decoder dec(wire);
+  Fragment decoded;
+  ASSERT_OK(Fragment::DecodeFrom(dec, &decoded));
+  EXPECT_TRUE(dec.AtEnd()) << "decoder left trailing bytes";
+  ExpectFragmentsEqual(frag, decoded);
+}
+
+TEST(FragmentCodecTest, GridHashFragmentsRoundTrip) {
+  auto g = GenerateGridRoad(16, 16, 7);
+  ASSERT_OK(g.status());
+  FragmentedGraph fg = BuildFragments(*g, "hash", 4);
+  for (const Fragment& frag : fg.fragments) RoundTrip(frag);
+}
+
+TEST(FragmentCodecTest, MirrorHeavyMetisCutRoundTrips) {
+  // An RMat graph under METIS produces irregular cuts with long mirror
+  // lists — the routing-plan tables that must survive the wire exactly.
+  RMatOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 6;
+  opts.seed = 71;
+  auto g = GenerateRMat(opts);
+  ASSERT_OK(g.status());
+  FragmentedGraph fg = BuildFragments(*g, "metis", 7);
+  size_t mirrors = 0;
+  for (const Fragment& frag : fg.fragments) {
+    for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+      mirrors += frag.MirrorFragments(lid).size();
+    }
+    RoundTrip(frag);
+  }
+  EXPECT_GT(mirrors, 0u) << "cut produced no mirrors; test is vacuous";
+}
+
+TEST(FragmentCodecTest, UndirectedFragmentsRoundTrip) {
+  auto g = GenerateErdosRenyi(300, 900, /*directed=*/false, 73);
+  ASSERT_OK(g.status());
+  FragmentedGraph fg = BuildFragments(*g, "metis", 6);
+  for (const Fragment& frag : fg.fragments) RoundTrip(frag);
+}
+
+TEST(FragmentCodecTest, SingleVertexAndEmptyFragmentsRoundTrip) {
+  // Two vertices, one edge, three workers: one fragment is empty (no
+  // inner vertices) and the others are near-degenerate.
+  GraphBuilder builder(/*directed=*/true);
+  builder.AddEdge(0, 1, 1.0);
+  auto g = std::move(builder).Build();
+  ASSERT_OK(g.status());
+  std::vector<FragmentId> assignment = {0, 1};
+  auto fg = FragmentBuilder::Build(*g, assignment, 3);
+  ASSERT_OK(fg.status());
+  ASSERT_EQ(fg->fragments.size(), 3u);
+  EXPECT_EQ(fg->fragments[2].num_local(), 0u);
+  for (const Fragment& frag : fg->fragments) RoundTrip(frag);
+}
+
+TEST(FragmentCodecTest, TruncationsAreRejectedEverywhere) {
+  auto g = GenerateGridRoad(8, 8, 7);
+  ASSERT_OK(g.status());
+  FragmentedGraph fg = BuildFragments(*g, "metis", 3);
+  std::vector<uint8_t> wire = EncodeFragment(fg.fragments[1]);
+
+  // Every proper prefix must fail cleanly (sweep small buffers densely,
+  // larger ones in strides to keep the test fast).
+  for (size_t cut = 0; cut < wire.size();
+       cut += (cut < 128 ? 1 : 97)) {
+    Decoder dec(wire.data(), cut);
+    Fragment out;
+    Status s = Fragment::DecodeFrom(dec, &out);
+    ASSERT_FALSE(s.ok()) << "accepted a " << cut << "-byte prefix of a "
+                         << wire.size() << "-byte fragment";
+    // A failed decode must not leave a partially-initialized fragment.
+    EXPECT_EQ(out.num_local(), 0u);
+    EXPECT_EQ(out.num_fragments(), 1u);
+  }
+}
+
+TEST(FragmentCodecTest, CorruptCountsAndIdsAreRejected) {
+  auto g = GenerateGridRoad(8, 8, 7);
+  ASSERT_OK(g.status());
+  FragmentedGraph fg = BuildFragments(*g, "metis", 3);
+  const std::vector<uint8_t> wire = EncodeFragment(fg.fragments[0]);
+
+  // Flip bytes all over the buffer. Every outcome must be either a clean
+  // rejection or a fragment that still satisfies the decoder's own
+  // invariants — never a crash, never trailing acceptance of garbage
+  // counts. (A flip in e.g. an edge weight legitimately decodes.)
+  Rng rng(0x5eedULL);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> bad = wire;
+    const size_t at = rng.NextBounded(bad.size());
+    bad[at] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    Decoder dec(bad);
+    Fragment out;
+    Status s = Fragment::DecodeFrom(dec, &out);
+    if (!s.ok()) {
+      EXPECT_EQ(out.num_local(), 0u)
+          << "rejected decode still wrote into the output fragment";
+    }
+  }
+
+  // Targeted corruption: grow the gid-table count without supplying
+  // data — the classic accepted-then-overread shape.
+  {
+    std::vector<uint8_t> bad = wire;
+    // Layout: magic(4) version(4) fid(4) nfrag(4) total(4) directed(1)
+    // num_inner(4) num_border(4), then varint gid count.
+    const size_t count_at = 4 + 4 + 4 + 4 + 4 + 1 + 4 + 4;
+    bad[count_at] = 0x7f;  // 127 gids claimed
+    Decoder dec(bad);
+    Fragment out;
+    EXPECT_FALSE(Fragment::DecodeFrom(dec, &out).ok());
+  }
+
+  // Targeted corruption: out-of-range num_inner must be caught by
+  // validation even though every vector decodes.
+  {
+    std::vector<uint8_t> bad = wire;
+    const size_t num_inner_at = 4 + 4 + 4 + 4 + 4 + 1;
+    bad[num_inner_at + 3] = 0x7f;  // enormous num_inner
+    Decoder dec(bad);
+    Fragment out;
+    EXPECT_FALSE(Fragment::DecodeFrom(dec, &out).ok());
+  }
+
+  // Bad magic is rejected before anything else is read.
+  {
+    std::vector<uint8_t> bad = wire;
+    bad[0] ^= 0xff;
+    Decoder dec(bad);
+    Fragment out;
+    Status s = Fragment::DecodeFrom(dec, &out);
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.IsCorruption()) << s;
+  }
+}
+
+TEST(FragmentCodecTest, DecoderStatusIsSticky) {
+  // After a rejected fragment, the decoder position must not have been
+  // advanced into a state where a retry "succeeds" on garbage: decoding
+  // the same corrupt buffer twice fails twice.
+  auto g = GenerateGridRoad(6, 6, 7);
+  ASSERT_OK(g.status());
+  FragmentedGraph fg = BuildFragments(*g, "hash", 2);
+  std::vector<uint8_t> wire = EncodeFragment(fg.fragments[0]);
+  wire.resize(wire.size() / 2);  // truncate
+  Decoder dec(wire);
+  Fragment out;
+  ASSERT_FALSE(Fragment::DecodeFrom(dec, &out).ok());
+  ASSERT_FALSE(Fragment::DecodeFrom(dec, &out).ok());
+}
+
+}  // namespace
+}  // namespace grape

@@ -1,20 +1,27 @@
 // Differential guard for the engine's message path: the golden rows below
 // were captured from the seed (hash-map) flush/route/apply at commit
 // ec95ff1, running the scenarios in tests/message_path_scenarios.h. Every
-// (scenario, transport backend) combination — inproc, socket, and tcp —
-// must reproduce them exactly: same message count, same byte count (the
-// wire format is byte-count preserving and the socket/tcp frame envelope
-// equals the counted 16-byte header), same superstep count, and
-// bit-identical outputs. A mismatch
-// means routing semantics changed — or the substrate leaked into the
-// computation — which is a correctness bug, not a perf trade-off.
+// (scenario, transport backend, compute placement) combination — inproc,
+// socket, and tcp, each with local compute (PEval/IncEval inline in the
+// engine process) AND remote compute (the phases execute inside each
+// rank's worker host: endpoint processes on socket/tcp, in-thread workers
+// on inproc) — must reproduce them exactly: same message count, same byte
+// count (the wire format is byte-count preserving, the socket/tcp frame
+// envelope equals the counted 16-byte header, and the worker protocol's
+// control frames are invisible to the counters), same superstep count,
+// and bit-identical outputs. A mismatch means routing semantics changed —
+// or the substrate/placement leaked into the computation — which is a
+// correctness bug, not a perf trade-off.
 
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "rt/remote_worker.h"
 #include "rt/transport.h"
 #include "tests/message_path_scenarios.h"
 
@@ -41,17 +48,25 @@ const GoldenRow kGolden[] = {
     {"pagerank_rmat_metis5", 434ull, 113566ull, 31u, 0x4414656a78cc731full},
 };
 
-/// One (scenario, backend) cell of the differential matrix.
+const std::vector<std::string>& ComputeModes() {
+  static const std::vector<std::string> kModes = {"local", "remote"};
+  return kModes;
+}
+
+/// One (scenario, backend, compute placement) cell of the matrix.
 struct GoldenCase {
   testing::MessagePathScenario scenario;
   std::string transport;
+  std::string compute;
 };
 
 std::vector<GoldenCase> AllGoldenCases() {
   std::vector<GoldenCase> cases;
   for (const auto& s : testing::AllMessagePathScenarios()) {
     for (const std::string& t : TransportNames()) {
-      cases.push_back(GoldenCase{s, t});
+      for (const std::string& c : ComputeModes()) {
+        cases.push_back(GoldenCase{s, t, c});
+      }
     }
   }
   return cases;
@@ -62,6 +77,7 @@ class MessagePathGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
 TEST_P(MessagePathGoldenTest, MatchesSeedSemantics) {
   const auto& s = GetParam().scenario;
   const std::string& transport = GetParam().transport;
+  const std::string& compute = GetParam().compute;
   const GoldenRow* golden = nullptr;
   for (const GoldenRow& row : kGolden) {
     if (std::string(row.name) == s.name) golden = &row;
@@ -69,13 +85,15 @@ TEST_P(MessagePathGoldenTest, MatchesSeedSemantics) {
   ASSERT_NE(golden, nullptr) << "no golden row for scenario " << s.name;
 
   testing::MessagePathObservation obs = testing::RunMessagePathScenario(
-      s.app, s.graph, s.strategy, s.workers, transport);
-  EXPECT_EQ(obs.messages, golden->messages) << s.name << " on " << transport;
-  EXPECT_EQ(obs.bytes, golden->bytes) << s.name << " on " << transport;
+      s.app, s.graph, s.strategy, s.workers, transport, compute);
+  EXPECT_EQ(obs.messages, golden->messages)
+      << s.name << " on " << transport << "/" << compute;
+  EXPECT_EQ(obs.bytes, golden->bytes)
+      << s.name << " on " << transport << "/" << compute;
   EXPECT_EQ(obs.supersteps, golden->supersteps)
-      << s.name << " on " << transport;
+      << s.name << " on " << transport << "/" << compute;
   EXPECT_EQ(obs.output_hash, golden->output_hash)
-      << s.name << " on " << transport
+      << s.name << " on " << transport << "/" << compute
       << ": output is not bit-identical to the seed path";
 }
 
@@ -97,23 +115,125 @@ TEST(MessagePathGoldenTest, RunsAreDeterministic) {
   }
 }
 
-// The three-backend differential in one place: for every scenario, run
-// inproc, socket, and tcp side by side and compare the full observation
-// structs pairwise — output hash AND CommStats (messages, bytes,
-// supersteps). The matrix above already pins each cell to the seed
-// goldens; this test additionally proves the backends agree with EACH
-// OTHER, so it keeps discriminating even for scenarios added without
-// golden rows. This is the merge gate the tcp backend rides in on: the
-// substrate may change how bytes travel, never what is computed or
-// counted.
-TEST(MessagePathGoldenTest, ThreeBackendsAgreeBitForBit) {
+// Remote-compute determinism: worker acks and data frames arrive in
+// scheduling-dependent order; none of it may leak into observables.
+TEST(MessagePathGoldenTest, RemoteRunsAreDeterministic) {
+  for (const std::string& transport : TransportNames()) {
+    for (const auto& s : testing::AllMessagePathScenarios()) {
+      auto a = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
+                                               s.workers, transport, "remote");
+      auto b = testing::RunMessagePathScenario(s.app, s.graph, s.strategy,
+                                               s.workers, transport, "remote");
+      EXPECT_EQ(a.messages, b.messages)
+          << s.name << " on " << transport << "/remote";
+      EXPECT_EQ(a.bytes, b.bytes) << s.name << " on " << transport
+                                  << "/remote";
+      EXPECT_EQ(a.output_hash, b.output_hash)
+          << s.name << " on " << transport << "/remote";
+    }
+  }
+}
+
+// Worlds are multi-query: local compute has always supported repeated
+// Run() calls over one transport, and remote compute must too — worker
+// hosts reload on each run's kTagWkLoad and a retired in-thread worker
+// must not leave frames behind that poison the next run.
+TEST(MessagePathGoldenTest, RemoteWorldsAreReusableAcrossRuns) {
+  for (const std::string& transport : TransportNames()) {
+    RegisterBuiltinWorkerApps();
+    auto world = MakeTransport(transport, 5);
+    ASSERT_TRUE(world.ok()) << world.status();
+    Graph g = testing::ScenarioGraph("grid");
+    FragmentedGraph fg = testing::ScenarioFragments(g, "hash", 4);
+    EngineOptions options;
+    options.transport = world->get();
+    options.remote_app = "sssp";
+    GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
+    auto first = engine.Run(SsspQuery{3});
+    ASSERT_TRUE(first.ok()) << transport << ": " << first.status();
+    auto second = engine.Run(SsspQuery{3});
+    ASSERT_TRUE(second.ok())
+        << transport << ": second run over the same world: "
+        << second.status();
+    EXPECT_EQ(first->dist, second->dist)
+        << transport << ": reruns over one world diverged";
+  }
+}
+
+// SSSP whose PEval stalls long past the impatient engine's phase budget:
+// the deterministic way to abandon a remote run AFTER the worker hosts
+// loaded successfully.
+struct StallingPEvalSssp : SsspApp {
+  void PEval(const SsspQuery& query, const Fragment& frag,
+             ParamStore<double>& params) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    SsspApp::PEval(query, frag, params);
+  }
+};
+
+// A failed remote run must not poison the world: endpoints that already
+// loaded their worker keep it when the engine gives up (no shutdown is
+// sent on error paths), and the next run's kTagWkLoad must be honored as
+// an implicit reload — not rejected as a duplicate.
+TEST(MessagePathGoldenTest, FailedRemoteRunDoesNotPoisonTheWorld) {
+  RegisterBuiltinWorkerApps();
+  RegisterRemoteWorker<StallingPEvalSssp>("stall_sssp");
+  for (const std::string& transport : TransportNames()) {
+    auto world = MakeTransport(transport, 5);
+    ASSERT_TRUE(world.ok()) << world.status();
+    Graph g = testing::ScenarioGraph("grid");
+    FragmentedGraph fg = testing::ScenarioFragments(g, "hash", 4);
+
+    // Run 1: loads complete (they're fast), then every worker stalls in
+    // PEval far past the 50ms phase budget — the engine abandons the run
+    // with the workers loaded and mid-phase.
+    EngineOptions impatient;
+    impatient.transport = world->get();
+    impatient.remote_app = "stall_sssp";
+    impatient.remote_timeout_ms = 50;
+    GrapeEngine<StallingPEvalSssp> doomed(fg, StallingPEvalSssp{},
+                                          impatient);
+    auto failed = doomed.Run(SsspQuery{3});
+    ASSERT_FALSE(failed.ok()) << transport << ": stalled run succeeded?";
+    EXPECT_TRUE(failed.status().IsUnavailable()) << failed.status();
+
+    // Run 2 on the SAME world must recover and produce the right answer.
+    EngineOptions options;
+    options.transport = world->get();
+    options.remote_app = "sssp";
+    GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
+    auto out = engine.Run(SsspQuery{3});
+    ASSERT_TRUE(out.ok()) << transport
+                          << ": world poisoned by a failed run: "
+                          << out.status();
+
+    GrapeEngine<SsspApp> local(fg, SsspApp{}, EngineOptions{});
+    auto expected = local.Run(SsspQuery{3});
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(out->dist, expected->dist) << transport;
+  }
+}
+
+// The full differential in one place: for every scenario, run all three
+// backends × both compute placements side by side and compare the full
+// observation structs pairwise — output hash AND CommStats (messages,
+// bytes, supersteps). The matrix above already pins each cell to the seed
+// goldens; this test additionally proves the cells agree with EACH OTHER,
+// so it keeps discriminating even for scenarios added without golden
+// rows. This is the merge gate remote compute rides in on: the substrate
+// may change how bytes travel, and the placement may change where
+// PEval/IncEval execute — never what is computed or counted.
+TEST(MessagePathGoldenTest, BackendsAndPlacementsAgreeBitForBit) {
   ASSERT_GE(TransportNames().size(), 3u);
   for (const auto& s : testing::AllMessagePathScenarios()) {
     std::vector<std::pair<std::string, testing::MessagePathObservation>> runs;
     for (const std::string& transport : TransportNames()) {
-      runs.emplace_back(transport,
-                        testing::RunMessagePathScenario(
-                            s.app, s.graph, s.strategy, s.workers, transport));
+      for (const std::string& compute : ComputeModes()) {
+        runs.emplace_back(transport + "/" + compute,
+                          testing::RunMessagePathScenario(
+                              s.app, s.graph, s.strategy, s.workers,
+                              transport, compute));
+      }
     }
     const auto& base = runs.front();
     for (size_t i = 1; i < runs.size(); ++i) {
@@ -134,7 +254,8 @@ INSTANTIATE_TEST_SUITE_P(Matrix, MessagePathGoldenTest,
                          ::testing::ValuesIn(AllGoldenCases()),
                          [](const auto& info) {
                            return std::string(info.param.scenario.name) + "_" +
-                                  info.param.transport;
+                                  info.param.transport + "_" +
+                                  info.param.compute;
                          });
 
 }  // namespace

@@ -17,6 +17,7 @@
 
 #include "apps/cc.h"
 #include "apps/pagerank.h"
+#include "apps/register_apps.h"
 #include "apps/sssp.h"
 #include "core/engine.h"
 #include "graph/generators.h"
@@ -82,17 +83,28 @@ inline Graph ScenarioGraph(const std::string& kind) {
 /// app is one of "sssp", "cc", "pagerank"; transport is a MakeTransport
 /// backend name ("inproc" reproduces the engine's historical private
 /// CommWorld; "socket" runs the same scenario over forked endpoint
-/// processes — observables must not change).
+/// processes — observables must not change). compute is "local" (PEval /
+/// IncEval inline in this process, the historical mode) or "remote" (the
+/// phases execute inside each rank's worker host — endpoint processes on
+/// socket/tcp, in-thread workers on inproc — and only messages, acks and
+/// partials come back; observables must not change either).
 inline MessagePathObservation RunMessagePathScenario(
     const std::string& app, const std::string& graph_kind,
     const std::string& strategy, FragmentId workers,
-    const std::string& transport = "inproc") {
+    const std::string& transport = "inproc",
+    const std::string& compute = "local") {
   Graph g = ScenarioGraph(graph_kind);
   FragmentedGraph fg = ScenarioFragments(g, strategy, workers);
+  if (compute == "remote") {
+    // Endpoint processes snapshot the worker registry when the transport
+    // forks them — populate it first.
+    RegisterBuiltinWorkerApps();
+  }
   auto world = MakeTransport(transport, workers + 1);
   GRAPE_CHECK(world.ok()) << world.status();
   EngineOptions options;
   options.transport = world->get();
+  if (compute == "remote") options.remote_app = app;
   MessagePathObservation obs;
   if (app == "sssp") {
     GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);

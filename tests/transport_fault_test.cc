@@ -25,6 +25,7 @@
 #include "gtest/gtest.h"
 #include "rt/comm_world.h"
 #include "rt/flaky_transport.h"
+#include "rt/remote_worker.h"
 #include "rt/socket_transport.h"
 #include "rt/tcp_transport.h"
 #include "tests/message_path_scenarios.h"
@@ -258,6 +259,185 @@ TEST(TransportFaultTest, KilledSocketEndpointSurfacesStatusWithinDeadline) {
 
 TEST(TransportFaultTest, KilledTcpEndpointSurfacesStatusWithinDeadline) {
   RunKilledEndpointScenario("tcp");
+}
+
+// ---------------------------------------------------------------------------
+// Remote-compute faults: PEval/IncEval execute inside the endpoint
+// processes (EngineOptions::remote_app), so an endpoint death is now a
+// *worker* death mid-computation, and soft faults hit the worker-protocol
+// control frames too. Contract: the engine's remote superstep loop
+// surfaces a Status within bounded time — never a hang, never a partial
+// Assemble passed off as a result.
+// ---------------------------------------------------------------------------
+
+/// SSSP whose IncEval dawdles: keeps every worker verifiably
+/// mid-IncEval for seconds, so a SIGKILL lands inside remote compute.
+struct SlowIncEvalSssp : SsspApp {
+  void IncEval(const SsspQuery& query, const Fragment& frag,
+               ParamStore<double>& params,
+               const std::vector<LocalId>& updated) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    SsspApp::IncEval(query, frag, params, updated);
+  }
+};
+
+/// SSSP whose GetPartial dawdles: holds the world in the Assemble
+/// phase long enough to kill a worker mid-partial-extraction.
+struct SlowPartialSssp : SsspApp {
+  PartialType GetPartial(const SsspQuery& query, const Fragment& frag,
+                         const ParamStore<double>& params) const {
+    std::this_thread::sleep_for(std::chrono::seconds(5));
+    return SsspApp::GetPartial(query, frag, params);
+  }
+};
+
+/// Kills a worker endpoint while remote compute is verifiably inside the
+/// named phase, and requires the engine's Run to come back with a Status
+/// within a bounded time. The slow app's per-phase sleeps dwarf the kill
+/// delay, so the kill cannot race past the phase under test.
+template <typename SlowApp>
+void KillRemoteWorkerMidPhase(const std::string& backend,
+                              const std::string& app_name, int kill_after_ms,
+                              const char* phase) {
+  // Endpoint children snapshot the registry at fork: register first.
+  RegisterRemoteWorker<SlowApp>(app_name);
+  SsspFixture f = SsspFixture::Make();
+  auto made = MakeTransport(backend, 5);
+  ASSERT_TRUE(made.ok()) << made.status();
+  Transport* transport = made->get();
+  std::vector<pid_t> pids;
+  if (auto* st = dynamic_cast<SocketTransport*>(transport)) {
+    pids = st->endpoint_pids();
+  } else if (auto* tt = dynamic_cast<TcpTransport*>(transport)) {
+    pids = tt->endpoint_pids();
+  }
+  ASSERT_EQ(pids.size(), 5u) << backend << " did not fork real endpoints";
+
+  EngineOptions options;
+  options.transport = transport;
+  options.max_supersteps = 2000;
+  options.remote_app = app_name;
+  options.remote_timeout_ms = 30000;
+  GrapeEngine<SlowApp> engine(f.fg, SlowApp{}, options);
+  auto out = std::async(std::launch::async,
+                        [&engine] { return engine.Run(SsspQuery{3}); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+  ASSERT_EQ(kill(pids[3], SIGKILL), 0);
+  ASSERT_EQ(waitpid(pids[3], nullptr, 0), pids[3]);
+
+  if (out.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+    ADD_FAILURE() << backend << ": engine hung on a worker killed mid-"
+                  << phase;
+    std::fflush(nullptr);
+    std::abort();
+  }
+  auto result = out.get();
+  ASSERT_FALSE(result.ok())
+      << backend << ": engine produced a result although a remote worker "
+      << "was killed mid-" << phase;
+  const Status& st = result.status();
+  EXPECT_TRUE(st.IsUnavailable() || st.IsCancelled() || st.IsIOError()) << st;
+}
+
+TEST(TransportFaultTest, KilledRemoteWorkerMidIncEvalSocket) {
+  // ~31 supersteps x 100ms sleeping IncEval >> the 600ms kill delay (the
+  // first rounds alone take seconds), so the kill lands mid-IncEval.
+  KillRemoteWorkerMidPhase<SlowIncEvalSssp>("socket", "slow_inc_sssp", 600,
+                                            "IncEval");
+}
+
+TEST(TransportFaultTest, KilledRemoteWorkerMidIncEvalTcp) {
+  KillRemoteWorkerMidPhase<SlowIncEvalSssp>("tcp", "slow_inc_sssp", 600,
+                                            "IncEval");
+}
+
+TEST(TransportFaultTest, KilledRemoteWorkerMidAssembleSocket) {
+  // The fixpoint itself converges in well under a second; GetPartial then
+  // sleeps 5s in every worker, so a 1.5s kill lands mid-Assemble and no
+  // partial Assemble may be accepted.
+  KillRemoteWorkerMidPhase<SlowPartialSssp>("socket", "slow_partial_sssp",
+                                            1500, "Assemble");
+}
+
+TEST(TransportFaultTest, KilledRemoteWorkerMidAssembleTcp) {
+  KillRemoteWorkerMidPhase<SlowPartialSssp>("tcp", "slow_partial_sssp", 1500,
+                                            "Assemble");
+}
+
+/// Soft faults over the worker protocol: drop/dup/delay now hit control
+/// frames (load, run commands, acks, apply batches), not just parameter
+/// payloads. The engine must stay Status-clean: every run returns within
+/// its remote deadline, either OK or with a Status — never a hang, and
+/// never an abort.
+TEST(TransportFaultTest, FlakyWorkerProtocolStaysStatusClean) {
+  SsspFixture f = SsspFixture::Make();
+  struct Case {
+    const char* what;
+    FlakyOptions fo;
+  };
+  std::vector<Case> cases;
+  for (uint64_t seed : {1ull, 7ull, 99ull}) {
+    FlakyOptions drop;
+    drop.drop_rate = 0.05;
+    drop.seed = seed;
+    cases.push_back({"drop", drop});
+    FlakyOptions dup;
+    dup.dup_rate = 0.2;
+    dup.seed = seed;
+    cases.push_back({"dup", dup});
+    FlakyOptions delay;
+    delay.delay_rate = 0.15;
+    delay.seed = seed;
+    cases.push_back({"delay", delay});
+  }
+  for (const Case& c : cases) {
+    CommWorld inner(5);
+    FlakyTransport flaky(&inner, c.fo);
+    EngineOptions options;
+    options.transport = &flaky;
+    options.max_supersteps = 2000;
+    options.remote_app = "sssp";
+    // Small deadline: a dropped control frame must time out promptly.
+    options.remote_timeout_ms = 3000;
+    GrapeEngine<SsspApp> engine(f.fg, SsspApp{}, options);
+    auto fut = std::async(std::launch::async,
+                          [&engine] { return engine.Run(SsspQuery{3}); });
+    if (fut.wait_for(std::chrono::seconds(60)) !=
+        std::future_status::ready) {
+      ADD_FAILURE() << "remote run hung under flaky " << c.what << " (seed "
+                    << c.fo.seed << ")";
+      std::fflush(nullptr);
+      std::abort();
+    }
+    auto result = fut.get();
+    if (!result.ok()) {
+      const Status& st = result.status();
+      EXPECT_TRUE(st.IsUnavailable() || st.IsCancelled() || st.IsInternal() ||
+                  st.IsFailedPrecondition() || st.IsIOError())
+          << "flaky " << c.what << " (seed " << c.fo.seed
+          << ") surfaced an unexpected status: " << st;
+    }
+  }
+}
+
+/// A hard Send failure in remote mode propagates exactly like local mode:
+/// through the engine's control-plane sends instead of DispatchSends.
+TEST(TransportFaultTest, RemoteComputeSendFailureReachesRunCaller) {
+  SsspFixture f = SsspFixture::Make();
+  CommWorld inner(5);
+  FlakyOptions fo;
+  fo.fail_send_after = 6;  // fails during load / first commands
+  FlakyTransport flaky(&inner, fo);
+  EngineOptions options;
+  options.transport = &flaky;
+  options.max_supersteps = 2000;
+  options.remote_app = "sssp";
+  options.remote_timeout_ms = 3000;
+  GrapeEngine<SsspApp> engine(f.fg, SsspApp{}, options);
+  auto out = engine.Run(SsspQuery{3});
+  ASSERT_FALSE(out.ok()) << "engine swallowed an injected Send failure";
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
 }
 
 TEST(TransportFaultTest, KilledTcpEndpointFailsDirectTransportOpsToo) {
