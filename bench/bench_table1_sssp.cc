@@ -16,24 +16,41 @@
 // Flags: --rows --cols (grid size), --workers, --source,
 //        --transport inproc|socket|tcp (substrate for the GRAPE rows),
 //        --compute local|remote (where PEval/IncEval execute),
+//        --load coordinator|distributed (how fragments come to exist;
+//          distributed requires --compute=remote),
+//        --full (paper-shaped sizes instead of smoke defaults),
 //        --rank N --hosts a:p,... (tcp cluster mode; rank>0 = endpoint),
 //        --json <path> (machine-readable report, rows in table order).
 //
 // Besides the four-system table, the bench always appends a GRAPE row per
-// transport backend (inproc, socket, tcp) on the same partition, tracking
-// what each multi-process substrate (forked endpoints + AF_UNIX frames,
-// or TCP-meshed endpoints + the same frames) costs per superstep relative
-// to in-memory mailboxes — plus a local-vs-remote compute pair on the
-// chosen transport, tracking what moving PEval/IncEval into the endpoint
-// processes costs (comm must be identical; only time may move).
+// transport backend (inproc, socket, tcp) on the same partition, a
+// local-vs-remote compute pair on the chosen transport (comm must be
+// identical; only time may move), and three load-phase rows measuring
+// time-to-fragments-resident per (load mode, placement):
+//
+//   GRAPE load (coordinator/local)   partition + build at rank 0
+//   GRAPE load (coordinator/remote)  ... + serialize + ship to workers
+//   GRAPE load (distributed/remote)  per-rank shard read + exchange +
+//                                    in-place assembly (rank 0 never
+//                                    materializes the graph)
+//
+// With --load=distributed the headline "GRAPE" and "GRAPE (hash)" rows run
+// on distributed-built fragments; CI gates that their comm counters,
+// rounds, and correctness match a --load=coordinator run exactly.
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "apps/register_apps.h"
 #include "apps/seq/seq_algorithms.h"
 #include "bench/bench_util.h"
+#include "graph/io.h"
 #include "rt/cluster.h"
+#include "rt/distributed_load.h"
 #include "rt/transport.h"
 #include "util/flags.h"
 
@@ -44,8 +61,14 @@ namespace {
 int Run(int argc, char** argv) {
   FlagParser flags;
   GRAPE_CHECK(flags.Parse(argc, argv).ok());
-  const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 170));
-  const uint32_t cols = static_cast<uint32_t>(flags.GetInt("cols", 170));
+  // --full is profile scaffolding (ROADMAP housekeeping): paper-shaped
+  // sizes for overnight runs; smoke defaults keep CI in seconds. Explicit
+  // --rows/--cols always win.
+  const bool full = flags.GetBool("full", false);
+  const uint32_t rows =
+      static_cast<uint32_t>(flags.GetInt("rows", full ? 512 : 170));
+  const uint32_t cols =
+      static_cast<uint32_t>(flags.GetInt("cols", full ? 512 : 170));
   const FragmentId workers =
       static_cast<FragmentId>(flags.GetInt("workers", 8));
   const VertexId source = static_cast<VertexId>(flags.GetInt("source", 0));
@@ -53,6 +76,12 @@ int Run(int argc, char** argv) {
   const std::string compute = flags.GetString("compute", "local");
   GRAPE_CHECK(compute == "local" || compute == "remote")
       << "--compute must be local or remote";
+  const std::string load = flags.GetString("load", "coordinator");
+  GRAPE_CHECK(load == "coordinator" || load == "distributed")
+      << "--load must be coordinator or distributed";
+  GRAPE_CHECK(load == "coordinator" || compute == "remote")
+      << "--load=distributed leaves rank 0 without fragments; pass "
+         "--compute=remote";
 
   // Endpoint processes (forked at transport creation) resolve remote
   // apps by name from a registry snapshot taken at fork: populate first.
@@ -104,7 +133,36 @@ int Run(int argc, char** argv) {
   // coordinator relay.
   FragmentedGraph hash_fg = Fragmentize(*g, "hash", workers);
   FragmentedGraph voronoi_fg = Fragmentize(*g, "voronoi", workers);
-  FragmentedGraph grid_fg = Fragmentize(*g, "grid2d", workers);
+  // The headline partition is built by hand so (a) the coordinator-side
+  // build is timed (the "GRAPE load (coordinator/*)" rows) and (b) the
+  // assignment is available for --load=distributed to ship.
+  WallTimer grid_build_timer;
+  auto grid_partitioner = MakePartitioner("grid2d");
+  GRAPE_CHECK(grid_partitioner.ok()) << grid_partitioner.status();
+  auto grid_assignment = (*grid_partitioner)->Partition(*g, workers);
+  GRAPE_CHECK(grid_assignment.ok()) << grid_assignment.status();
+  auto grid_built = FragmentBuilder::Build(*g, *grid_assignment, workers);
+  GRAPE_CHECK(grid_built.ok()) << grid_built.status();
+  FragmentedGraph grid_fg = std::move(grid_built).value();
+  const double coordinator_build_seconds = grid_build_timer.ElapsedSeconds();
+
+  // Edge-list file for the distributed load path (the load rows always
+  // measure it; the headline rows run from it under --load=distributed).
+  const std::string shard_path =
+      "/tmp/grape_bench_table1_" + std::to_string(getpid()) + ".txt";
+  GRAPE_CHECK(SaveEdgeListFile(*g, shard_path).ok());
+  EdgeListFormat saved_format;
+  saved_format.directed = true;
+  saved_format.has_weight = true;
+  saved_format.has_label = true;
+  auto distributed_grid_options = [&] {
+    DistributedLoadOptions dopt;
+    dopt.path = shard_path;
+    dopt.format = saved_format;
+    dopt.partitioner = "explicit";
+    dopt.assignment = *grid_assignment;
+    return dopt;
+  };
 
   std::vector<SystemRow> table;
   table.push_back(
@@ -114,15 +172,39 @@ int Run(int argc, char** argv) {
   table.push_back(
       RunBlockSssp(voronoi_fg, source, expected, "Blogel-like (block)"));
   std::unique_ptr<Transport> grape_world = make_world(transport);
-  table.push_back(RunGrapeSssp(grid_fg, source, expected,
-                               with_transport(grape_world.get()), "GRAPE"));
+  double distributed_load_seconds = 0;
+  if (load == "distributed") {
+    WallTimer dl_timer;
+    auto meta = DistributedLoad(grape_world.get(), distributed_grid_options());
+    GRAPE_CHECK(meta.ok()) << meta.status();
+    distributed_load_seconds = dl_timer.ElapsedSeconds();
+    table.push_back(RunGrapeSsspDistributed(
+        *meta, source, expected, with_transport(grape_world.get()), "GRAPE"));
+  } else {
+    table.push_back(RunGrapeSssp(grid_fg, source, expected,
+                                 with_transport(grape_world.get()), "GRAPE"));
+  }
   // Same engine on the vertex-centric systems' hash partition: the
   // worst-case cut maximizes border traffic, so this row is the one that
   // exercises (and tracks) the flush -> route -> apply message path.
+  // Under --load=distributed the workers rebuild it in place from their
+  // shards with the pure-arithmetic hash policy (no assignment shipped).
   std::unique_ptr<Transport> hash_world = make_world(transport);
-  table.push_back(RunGrapeSssp(hash_fg, source, expected,
-                               with_transport(hash_world.get()),
-                               "GRAPE (hash)"));
+  if (load == "distributed") {
+    DistributedLoadOptions hopt;
+    hopt.path = shard_path;
+    hopt.format = saved_format;
+    hopt.partitioner = "hash";
+    auto hmeta = DistributedLoad(hash_world.get(), hopt);
+    GRAPE_CHECK(hmeta.ok()) << hmeta.status();
+    table.push_back(RunGrapeSsspDistributed(*hmeta, source, expected,
+                                            with_transport(hash_world.get()),
+                                            "GRAPE (hash)"));
+  } else {
+    table.push_back(RunGrapeSssp(hash_fg, source, expected,
+                                 with_transport(hash_world.get()),
+                                 "GRAPE (hash)"));
+  }
   // The substrate pair: identical engine, partition, and query — only the
   // transport differs, so the row delta is pure substrate cost. The
   // backend already measured for the "GRAPE" row is reused (relabeled)
@@ -146,19 +228,49 @@ int Run(int argc, char** argv) {
   // transport — only WHERE PEval/IncEval execute differs (inline in the
   // rank-0 process vs inside each rank's worker host), so the row delta
   // is pure placement cost. Comm must be identical: the worker protocol's
-  // control frames are invisible to the counters by design.
-  auto compute_row = [&](const std::string& mode) {
+  // control frames are invisible to the counters by design. The remote
+  // run's metrics also yield the fragment-ship half of the
+  // coordinator/remote load row.
+  EngineMetrics remote_metrics;
+  auto compute_row = [&](const std::string& mode, EngineMetrics* metrics) {
     std::unique_ptr<Transport> world = make_world(transport);
     EngineOptions options;
     options.transport = world.get();
     if (mode == "remote") options.remote_app = "sssp";
     return RunGrapeSssp(grid_fg, source, expected, options,
-                        "GRAPE (" + mode + " compute)");
+                        "GRAPE (" + mode + " compute)", metrics);
   };
   const size_t compute_base = table.size();
-  table.push_back(compute_row("local"));
-  table.push_back(compute_row("remote"));
+  table.push_back(compute_row("local", nullptr));
+  table.push_back(compute_row("remote", &remote_metrics));
   PrintSystemTable(table);
+
+  // Load-phase rows: time-to-fragments-resident per (load mode,
+  // placement). The distributed row is measured on a dedicated world when
+  // the headline rows did not already run it.
+  if (load != "distributed") {
+    std::unique_ptr<Transport> world = make_world(transport);
+    WallTimer dl_timer;
+    auto meta = DistributedLoad(world.get(), distributed_grid_options());
+    GRAPE_CHECK(meta.ok()) << meta.status();
+    distributed_load_seconds = dl_timer.ElapsedSeconds();
+  }
+  struct LoadRow {
+    std::string mode;
+    double seconds;
+  };
+  const LoadRow load_rows[] = {
+      {"coordinator/local", coordinator_build_seconds},
+      {"coordinator/remote",
+       coordinator_build_seconds + remote_metrics.load_seconds},
+      {"distributed/remote", distributed_load_seconds},
+  };
+  std::printf("\nLoad phase (time to fragments resident, %s transport):\n",
+              transport.c_str());
+  for (const LoadRow& lr : load_rows) {
+    std::printf("  %-22s %8.3fs\n", lr.mode.c_str(), lr.seconds);
+  }
+  std::remove(shard_path.c_str());
 
   const SystemRow& grape = table[3];
   std::printf("\nShape checks (paper: GRAPE >> Blogel >> Giraph/GraphLab):\n");
@@ -200,6 +312,14 @@ int Run(int argc, char** argv) {
 
   Report report("table1_sssp");
   AddSystemTable(table, &report);
+  for (const LoadRow& lr : load_rows) {
+    ReportRow row;
+    row.system = "GRAPE load (" + lr.mode + ")";
+    row.category = "load-phase";
+    row.time_s = lr.seconds;
+    row.correct = true;
+    report.Add(row);
+  }
   MaybeWriteJson(flags, report);
   return 0;
 }

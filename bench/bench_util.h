@@ -119,14 +119,40 @@ inline bool SsspMatches(const std::vector<double>& got,
   return true;
 }
 
-/// Runs GRAPE SSSP; fills a table row.
+/// Runs GRAPE SSSP; fills a table row. `metrics_out`, when non-null,
+/// receives the full engine metrics (load/peval/... breakdown).
 inline SystemRow RunGrapeSssp(const FragmentedGraph& fg, VertexId source,
                               const std::vector<double>& expected,
                               EngineOptions options = {},
-                              const std::string& label = "GRAPE") {
+                              const std::string& label = "GRAPE",
+                              EngineMetrics* metrics_out = nullptr) {
   GrapeEngine<SsspApp> engine(fg, SsspApp{}, options);
   auto out = engine.Run(SsspQuery{source});
   GRAPE_CHECK(out.ok()) << out.status();
+  if (metrics_out != nullptr) *metrics_out = engine.metrics();
+  SystemRow row;
+  row.system = label;
+  row.category = "auto-parallelization";
+  row.seconds = engine.metrics().total_seconds;
+  row.bytes = engine.metrics().bytes;
+  row.messages = engine.metrics().messages;
+  row.supersteps = engine.metrics().supersteps;
+  row.correct = SsspMatches(out->dist, expected);
+  return row;
+}
+
+/// Runs GRAPE SSSP on fragments built in place by DistributedLoad: the
+/// engine holds only `meta` and drives remote compute on the same world.
+inline SystemRow RunGrapeSsspDistributed(const DistributedGraphMeta& meta,
+                                         VertexId source,
+                                         const std::vector<double>& expected,
+                                         EngineOptions options,
+                                         const std::string& label = "GRAPE",
+                                         EngineMetrics* metrics_out = nullptr) {
+  GrapeEngine<SsspApp> engine(meta, options);
+  auto out = engine.Run(SsspQuery{source});
+  GRAPE_CHECK(out.ok()) << out.status();
+  if (metrics_out != nullptr) *metrics_out = engine.metrics();
   SystemRow row;
   row.system = label;
   row.category = "auto-parallelization";

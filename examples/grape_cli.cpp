@@ -2,6 +2,7 @@
 //
 //   grape_cli --graph=<kind> [--scale=N|--rows=R --cols=C]
 //             [--partitioner=<name>|auto] --workers=N
+//             [--load=coordinator|distributed]
 //             <app> [k=v ...]
 //
 // Graph kinds: rmat, grid, er, community, labeled, social, ratings, or a
@@ -10,10 +11,24 @@
 // subiso, keyword, cf, gpar, triangle, kcore). Trailing k=v pairs are the
 // query arguments.
 //
+// --load=distributed rebuilds the graph in place: every worker endpoint
+// reads its own byte-range shard of the edge-list file and assembles its
+// own fragment while rank 0 orchestrates without materializing the graph.
+// Compute is remote by construction, so only the wire-codable apps (sssp,
+// bfs, cc, pagerank) qualify. When --graph is a file and the partitioner
+// is hash (the distributed default), rank 0 never reads the input at all —
+// this is the path that scales past one machine's RAM; generated graphs
+// and explicit partitioners still materialize once at rank 0 to write the
+// file or compute the assignment.
+//
 // Examples:
 //   grape_cli --graph=grid --rows=200 --cols=200 --workers=8 sssp source=0
 //   grape_cli --graph=social --scale=15 --workers=4 gpar item=32768
 //   grape_cli --graph=labeled --workers=8 sim pattern=path3 l0=1 l1=2 l2=3
+//   grape_cli --graph=/data/edges.txt --weighted=true --workers=8
+//             --load=distributed --transport=tcp sssp source=0
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <string>
@@ -27,6 +42,7 @@
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
 #include "rt/cluster.h"
+#include "rt/distributed_load.h"
 #include "rt/transport.h"
 #include "partition/quality.h"
 #include "util/flags.h"
@@ -34,6 +50,12 @@
 
 namespace grape {
 namespace {
+
+bool IsGeneratorKind(const std::string& kind) {
+  return kind == "rmat" || kind == "grid" || kind == "er" ||
+         kind == "community" || kind == "labeled" || kind == "social" ||
+         kind == "ratings";
+}
 
 Result<Graph> MakeGraph(const FlagParser& flags) {
   const std::string kind = flags.GetString("graph", "rmat");
@@ -92,6 +114,142 @@ Result<Graph> MakeGraph(const FlagParser& flags) {
   return LoadEdgeListFile(kind, format);
 }
 
+/// The --load=distributed path: every worker endpoint reads its own
+/// byte-range shard and assembles its own fragment in place; rank 0
+/// orchestrates and then runs the pure coordinator role (compute is
+/// remote by construction). With a file input and the hash partitioner,
+/// rank 0 touches only shard metadata — the graph never exists whole in
+/// any single process.
+int RunDistributed(const FlagParser& flags, const std::string& app_name,
+                   const QueryArgs& args, const ClusterSpec& cluster) {
+  auto app = AppRegistry::Global().Get(app_name);
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+  if (!app->run_distributed) {
+    std::fprintf(stderr,
+                 "app '%s' is not wire-codable, so it cannot run on "
+                 "distributed-built fragments; pick one of sssp, bfs, cc, "
+                 "pagerank — or drop --load=distributed\n",
+                 app_name.c_str());
+    return 2;
+  }
+  const auto workers = static_cast<FragmentId>(flags.GetInt("workers", 8));
+  // "auto" resolves to hash here: it is the one strategy every worker can
+  // derive in place from pure arithmetic, with nothing shipped.
+  std::string strategy = flags.GetString("partitioner", "auto");
+  if (strategy == "auto") strategy = "hash";
+
+  const std::string kind = flags.GetString("graph", "rmat");
+  DistributedLoadOptions dopt;
+  std::string temp_path;
+  const bool pure = !IsGeneratorKind(kind) && strategy == "hash";
+  if (pure) {
+    dopt.path = kind;
+    dopt.format.directed = flags.GetBool("directed", true);
+    dopt.format.has_weight = flags.GetBool("weighted", false);
+    dopt.format.has_label = flags.GetBool("edge_labels", false);
+    dopt.partitioner = "hash";
+    std::printf("graph: %s (sharded; rank 0 reads no edges)\n", kind.c_str());
+  } else {
+    // A generated graph (or a non-hash partitioner) materializes once at
+    // rank 0 — to write the shard file, or to compute the assignment.
+    auto graph = MakeGraph(flags);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "graph: %s\n",
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (IsGeneratorKind(kind)) {
+      temp_path = "/tmp/grape_cli_" + std::to_string(getpid()) + ".txt";
+      if (Status s = SaveEdgeListFile(*graph, temp_path); !s.ok()) {
+        std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      dopt.path = temp_path;
+      dopt.format.directed = graph->is_directed();
+      dopt.format.has_weight = true;
+      dopt.format.has_label = true;
+    } else {
+      dopt.path = kind;
+      dopt.format.directed = flags.GetBool("directed", true);
+      dopt.format.has_weight = flags.GetBool("weighted", false);
+      dopt.format.has_label = flags.GetBool("edge_labels", false);
+    }
+    if (strategy == "hash") {
+      dopt.partitioner = "hash";
+    } else {
+      auto partitioner = MakePartitioner(strategy);
+      if (!partitioner.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     partitioner.status().ToString().c_str());
+        return 1;
+      }
+      auto assignment = (*partitioner)->Partition(*graph, workers);
+      if (!assignment.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     assignment.status().ToString().c_str());
+        return 1;
+      }
+      dopt.partitioner = "explicit";
+      dopt.assignment = std::move(*assignment);
+    }
+    GraphProfile profile = ProfileGraph(*graph);
+    std::printf("graph: %s\n", profile.ToString().c_str());
+  }
+  std::printf("partitioner: %s (distributed build)\n", strategy.c_str());
+
+  const std::string transport = flags.GetString("transport", "inproc");
+  auto world = MakeClusterTransport(transport, workers + 1, cluster);
+  if (!world.ok()) {
+    std::fprintf(stderr, "transport: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer load_timer;
+  auto meta = DistributedLoad(world->get(), dopt);
+  if (!meta.ok()) {
+    std::fprintf(stderr, "distributed load: %s\n",
+                 meta.status().ToString().c_str());
+    if (!temp_path.empty()) std::remove(temp_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "distributed load: %u fragments, %u vertices, %llu edge lines in "
+      "%.2fs (shard %.2fs + build %.2fs; coordinator data frames: %llu)\n",
+      meta->num_fragments, meta->total_vertices,
+      static_cast<unsigned long long>(meta->total_edges),
+      load_timer.ElapsedSeconds(), meta->shard_seconds, meta->build_seconds,
+      static_cast<unsigned long long>(meta->coordinator_data_frames));
+
+  EngineOptions options;
+  options.transport = world->get();
+  options.remote_app = app_name;
+  options.load_mode = "distributed";
+  std::printf("running '%s' (%s) on %u workers over %s (remote compute)...\n",
+              app->name.c_str(), app->description.c_str(), workers,
+              transport.c_str());
+  EngineMetrics metrics;
+  auto answer = app->run_distributed(*meta, args, options, &metrics);
+  if (!temp_path.empty()) std::remove(temp_path.c_str());
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nanswer : %s\n", answer->c_str());
+  std::printf("engine : %s\n", metrics.ToString().c_str());
+  if (metrics.rounds.size() > 1) {
+    std::printf("rounds :");
+    for (const RoundMetrics& r : metrics.rounds) {
+      std::printf(" %llu",
+                  static_cast<unsigned long long>(r.updated_params));
+    }
+    std::printf("  (parameter updates per superstep)\n");
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   Status parsed = flags.Parse(argc, argv);
@@ -118,6 +276,7 @@ int Run(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::fprintf(stderr, "usage: grape_cli --graph=<kind> [--workers=N] "
                          "[--transport=inproc|socket|tcp] "
+                         "[--load=coordinator|distributed] "
                          "[--rank=N --hosts=a:p,b:p,...] "
                          "<app> [k=v ...]\nregistered apps:");
     for (const std::string& name : AppRegistry::Global().Names()) {
@@ -129,6 +288,15 @@ int Run(int argc, char** argv) {
   const std::string app_name = flags.positional()[0];
   QueryArgs args = ParseQueryArgs({flags.positional().begin() + 1,
                                    flags.positional().end()});
+
+  const std::string load = flags.GetString("load", "coordinator");
+  if (load != "coordinator" && load != "distributed") {
+    std::fprintf(stderr, "--load must be coordinator or distributed\n");
+    return 2;
+  }
+  if (load == "distributed") {
+    return RunDistributed(flags, app_name, args, *cluster);
+  }
 
   auto graph = MakeGraph(flags);
   if (!graph.ok()) {

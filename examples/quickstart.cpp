@@ -9,6 +9,7 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/quickstart [--transport=inproc|socket|tcp]
 //                      [--compute=local|remote]
+//                      [--load=coordinator|distributed]
 //
 // --transport picks the message-passing substrate: "inproc" (default)
 // keeps every rank in this process; "socket" forks one endpoint process
@@ -23,6 +24,14 @@
 // ships back messages and a final partial. Same answer, same counters,
 // real compute placement.
 //
+// --load picks how the fragments come to exist: "coordinator" (default)
+// loads and partitions the whole graph in this process; "distributed"
+// writes the graph to an edge-list file and rebuilds it in place — every
+// worker reads its own byte-range shard and assembles its own fragment,
+// while rank 0 orchestrates without ever materializing the graph
+// (requires --compute=remote; the file path must be readable by every
+// endpoint, which auto-spawned local worlds always satisfy).
+//
 // Multi-machine tcp (the world here is 4 ranks: 3 workers + P0):
 //   machine0$ ./build/quickstart --transport=tcp --rank=0
 //                --hosts=machine0:9000,machine1:0,machine2:0,machine3:0
@@ -32,15 +41,20 @@
 // exits when rank 0 finishes. Without --hosts, tcp auto-spawns all
 // endpoints locally on loopback.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
 
 #include "apps/register_apps.h"
 #include "apps/sssp.h"
 #include "core/engine.h"
 #include "graph/graph.h"
+#include "graph/io.h"
 #include "partition/fragment.h"
 #include "partition/partitioner.h"
 #include "rt/cluster.h"
+#include "rt/distributed_load.h"
 #include "rt/transport.h"
 #include "util/flags.h"
 
@@ -56,6 +70,18 @@ int main(int argc, char** argv) {
   const std::string compute = flags.GetString("compute", "local");
   if (compute != "local" && compute != "remote") {
     std::fprintf(stderr, "--compute must be local or remote\n");
+    return 2;
+  }
+  const std::string load = flags.GetString("load", "coordinator");
+  if (load != "coordinator" && load != "distributed") {
+    std::fprintf(stderr, "--load must be coordinator or distributed\n");
+    return 2;
+  }
+  if (load == "distributed" && compute != "remote") {
+    std::fprintf(stderr,
+                 "--load=distributed leaves rank 0 without fragments, so "
+                 "PEval/IncEval must run on the workers: pass "
+                 "--compute=remote\n");
     return 2;
   }
   auto cluster = ClusterSpec::FromFlags(flags);
@@ -98,12 +124,6 @@ int main(int argc, char** argv) {
   // Partition onto 3 workers with the multilevel (METIS-style) strategy.
   auto partitioner = MakePartitioner("metis");
   auto assignment = (*partitioner)->Partition(*graph, 3);
-  auto fragments = FragmentBuilder::Build(*graph, *assignment, 3);
-  if (!fragments.ok()) {
-    std::fprintf(stderr, "fragmentation failed: %s\n",
-                 fragments.status().ToString().c_str());
-    return 1;
-  }
 
   // The substrate: 3 workers + coordinator P0 = 4 ranks.
   auto world = MakeClusterTransport(transport, 4, *cluster);
@@ -114,13 +134,58 @@ int main(int argc, char** argv) {
   }
   EngineOptions options;
   options.transport = world->get();
+  options.load_mode = load;
   if (compute == "remote") options.remote_app = "sssp";
 
   // "Plug": SsspApp wraps sequential Dijkstra (PEval) and incremental
   // shortest paths (IncEval) with a min aggregate — nothing else.
   // "Play": run the fixed-point computation for a query.
-  GrapeEngine<SsspApp> engine(*fragments, SsspApp{}, options);
-  auto result = engine.Run(SsspQuery{0});
+  Result<SsspOutput> result = Status::Internal("query never ran");
+  EngineMetrics metrics;
+  if (load == "distributed") {
+    // Round-trip the street map through an edge-list file so every
+    // worker can read its own shard and assemble its own fragment —
+    // rank 0 ships only the partition assignment, never the graph.
+    const std::string path =
+        "/tmp/grape_quickstart_streets_" + std::to_string(getpid()) + ".txt";
+    if (Status s = SaveEdgeListFile(*graph, path); !s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    DistributedLoadOptions dopt;
+    dopt.path = path;
+    dopt.format.directed = true;
+    dopt.format.has_weight = true;
+    dopt.format.has_label = true;
+    dopt.partitioner = "explicit";
+    dopt.assignment = *assignment;
+    auto meta = DistributedLoad(world->get(), dopt);
+    if (!meta.ok()) {
+      std::fprintf(stderr, "distributed load: %s\n",
+                   meta.status().ToString().c_str());
+      std::remove(path.c_str());
+      return 1;
+    }
+    std::printf(
+        "distributed load: %llu edges sharded to 3 workers "
+        "(shard %.3fs, build %.3fs, coordinator data frames: %llu)\n\n",
+        (unsigned long long)meta->total_edges, meta->shard_seconds,
+        meta->build_seconds, (unsigned long long)meta->coordinator_data_frames);
+    GrapeEngine<SsspApp> engine(*meta, options);
+    result = engine.Run(SsspQuery{0});
+    metrics = engine.metrics();
+    std::remove(path.c_str());
+  } else {
+    auto fragments = FragmentBuilder::Build(*graph, *assignment, 3);
+    if (!fragments.ok()) {
+      std::fprintf(stderr, "fragmentation failed: %s\n",
+                   fragments.status().ToString().c_str());
+      return 1;
+    }
+    GrapeEngine<SsspApp> engine(*fragments, SsspApp{}, options);
+    result = engine.Run(SsspQuery{0});
+    metrics = engine.metrics();
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
@@ -131,10 +196,10 @@ int main(int argc, char** argv) {
   for (VertexId v = 0; v < result->dist.size(); ++v) {
     std::printf("  0 -> %u : %.1f\n", v, result->dist[v]);
   }
-  std::printf("\ntransport: %s, compute: %s\n", (*world)->name().c_str(),
-              compute.c_str());
-  std::printf("engine: %s\n", engine.metrics().ToString().c_str());
+  std::printf("\ntransport: %s, compute: %s, load: %s\n",
+              (*world)->name().c_str(), compute.c_str(), load.c_str());
+  std::printf("engine: %s\n", metrics.ToString().c_str());
   std::printf("rounds: PEval + %u IncEval supersteps to the fixed point\n",
-              engine.metrics().supersteps - 1);
+              metrics.supersteps - 1);
   return 0;
 }

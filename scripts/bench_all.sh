@@ -3,15 +3,29 @@
 # the repo root, seeding the perf trajectory. Invoked by the `bench-all`
 # CMake target (which exports GRAPE_BENCH_BIN_DIR), or directly:
 #
-#   GRAPE_BENCH_BIN_DIR=build scripts/bench_all.sh
+#   GRAPE_BENCH_BIN_DIR=build scripts/bench_all.sh [--full]
 #
-# Inputs are deliberately small so the whole suite finishes in a couple of
-# minutes; absolute numbers only need to be comparable across commits on
-# the same machine, the paper-shape checks inside each bench do the rest.
+# Default (smoke) inputs are deliberately small so the whole suite finishes
+# in a couple of minutes; absolute numbers only need to be comparable
+# across commits on the same machine, the paper-shape checks inside each
+# bench do the rest. `--full` switches to paper-shaped sizes (minutes, not
+# seconds) for machines where the real curves are wanted; full runs write
+# BENCH_full_<name>.json so they never clobber the smoke trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN_DIR="${GRAPE_BENCH_BIN_DIR:-build}"
+
+PROFILE=smoke
+for arg in "$@"; do
+  case "$arg" in
+    --full) PROFILE=full ;;
+    *)
+      echo "usage: scripts/bench_all.sh [--full]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 if [[ ! -x "${BIN_DIR}/bench_table1_sssp" ]]; then
   echo "error: ${BIN_DIR}/bench_table1_sssp not found." >&2
@@ -19,29 +33,44 @@ if [[ ! -x "${BIN_DIR}/bench_table1_sssp" ]]; then
   exit 1
 fi
 
+PREFIX=BENCH_
+[[ "$PROFILE" == full ]] && PREFIX=BENCH_full_
+
 run() {
   local name="$1"
   shift
-  echo "--- bench_${name} -> BENCH_${name}.json"
-  "${BIN_DIR}/bench_${name}" "$@" --json "BENCH_${name}.json"
+  echo "--- bench_${name} -> ${PREFIX}${name}.json"
+  "${BIN_DIR}/bench_${name}" "$@" --json "${PREFIX}${name}.json"
 }
 
-run table1_sssp --rows 96 --cols 96 --workers 4
-run fixed_point --rows 80 --cols 80 --scale 12 --workers 4
-run partition_impact --scale 13 --workers 8
-run scalability --rows 160 --cols 160 --scale 13 --max_workers 4
-run query_classes --scale 11 --workers 4
-run inceval_bounded --workers 4
-run gpar --persons 40000 --max_workers 4
+if [[ "$PROFILE" == full ]]; then
+  # Paper-shaped sizes: table1 at its --full defaults (512x512 grid) with
+  # remote compute so the load-phase rows time real endpoint processes.
+  run table1_sssp --full --compute remote
+  run fixed_point --rows 256 --cols 256 --scale 16 --workers 4
+  run partition_impact --scale 16 --workers 8
+  run scalability --rows 512 --cols 512 --scale 16 --max_workers 8
+  run query_classes --scale 14 --workers 4
+  run inceval_bounded --workers 8
+  run gpar --persons 200000 --max_workers 8
+else
+  run table1_sssp --rows 96 --cols 96 --workers 4
+  run fixed_point --rows 80 --cols 80 --scale 12 --workers 4
+  run partition_impact --scale 13 --workers 8
+  run scalability --rows 160 --cols 160 --scale 13 --max_workers 4
+  run query_classes --scale 11 --workers 4
+  run inceval_bounded --workers 4
+  run gpar --persons 40000 --max_workers 4
+fi
 
 if [[ -x "${BIN_DIR}/bench_micro" ]]; then
-  echo "--- bench_micro -> BENCH_micro.json (google-benchmark schema)"
+  echo "--- bench_micro -> ${PREFIX}micro.json (google-benchmark schema)"
   "${BIN_DIR}/bench_micro" --benchmark_min_time=0.05 \
-    --json BENCH_micro.json
+    --json "${PREFIX}micro.json"
 else
   echo "--- bench_micro not built (google-benchmark missing); skipping"
 fi
 
 echo
 echo "wrote:"
-ls -l BENCH_*.json
+ls -l "${PREFIX}"*.json

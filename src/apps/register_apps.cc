@@ -81,6 +81,34 @@ RegisteredApp MakeEntry(std::string name, std::string description,
   return entry;
 }
 
+/// Wire-codable apps additionally get a distributed-load entry point: the
+/// engine holds only DistributedGraphMeta, so the query must be buildable
+/// from args alone (there is no graph at rank 0 to inspect).
+template <typename App, typename MakeQuery, typename Describe>
+RegisteredApp MakeRemoteEntry(std::string name, std::string description,
+                              MakeQuery make_query, Describe describe) {
+  RegisteredApp entry = MakeEntry<App>(
+      std::move(name), std::move(description),
+      [make_query](const FragmentedGraph&, const QueryArgs& args) {
+        return make_query(args);
+      },
+      describe);
+  entry.run_distributed =
+      [make_query, describe](const DistributedGraphMeta& meta,
+                             const QueryArgs& args,
+                             const EngineOptions& options,
+                             EngineMetrics* metrics) -> Result<std::string> {
+    auto query = make_query(args);
+    if (!query.ok()) return query.status();
+    GrapeEngine<App> engine(meta, options);
+    auto output = engine.Run(*query);
+    if (!output.ok()) return output.status();
+    if (metrics != nullptr) *metrics = engine.metrics();
+    return describe(*output);
+  };
+  return entry;
+}
+
 }  // namespace
 
 void RegisterBuiltinWorkerApps() {
@@ -97,9 +125,9 @@ void RegisterBuiltinApps() {
   RegisterBuiltinWorkerApps();
   AppRegistry& registry = AppRegistry::Global();
 
-  registry.Register(MakeEntry<SsspApp>(
+  registry.Register(MakeRemoteEntry<SsspApp>(
       "sssp", "single-source shortest paths (args: source)",
-      [](const FragmentedGraph&, const QueryArgs& args) -> Result<SsspQuery> {
+      [](const QueryArgs& args) -> Result<SsspQuery> {
         return SsspQuery{static_cast<VertexId>(ArgInt(args, "source", 0))};
       },
       [](const SsspOutput& out) {
@@ -116,9 +144,9 @@ void RegisterBuiltinApps() {
         return os.str();
       }));
 
-  registry.Register(MakeEntry<BfsApp>(
+  registry.Register(MakeRemoteEntry<BfsApp>(
       "bfs", "breadth-first hop counts (args: source)",
-      [](const FragmentedGraph&, const QueryArgs& args) -> Result<BfsQuery> {
+      [](const QueryArgs& args) -> Result<BfsQuery> {
         return BfsQuery{static_cast<VertexId>(ArgInt(args, "source", 0))};
       },
       [](const BfsOutput& out) {
@@ -135,11 +163,9 @@ void RegisterBuiltinApps() {
         return os.str();
       }));
 
-  registry.Register(MakeEntry<CcApp>(
+  registry.Register(MakeRemoteEntry<CcApp>(
       "cc", "connected components (no args)",
-      [](const FragmentedGraph&, const QueryArgs&) -> Result<CcQuery> {
-        return CcQuery{};
-      },
+      [](const QueryArgs&) -> Result<CcQuery> { return CcQuery{}; },
       [](const CcOutput& out) {
         size_t components = 0;
         for (VertexId v = 0; v < out.label.size(); ++v) {
@@ -151,10 +177,9 @@ void RegisterBuiltinApps() {
         return os.str();
       }));
 
-  registry.Register(MakeEntry<PageRankApp>(
+  registry.Register(MakeRemoteEntry<PageRankApp>(
       "pagerank", "PageRank (args: damping, iters, epsilon)",
-      [](const FragmentedGraph&,
-         const QueryArgs& args) -> Result<PageRankQuery> {
+      [](const QueryArgs& args) -> Result<PageRankQuery> {
         PageRankQuery q;
         q.damping = ArgDouble(args, "damping", q.damping);
         q.max_iterations = static_cast<uint32_t>(

@@ -26,6 +26,13 @@ struct RegisteredApp {
                                     const EngineOptions&,
                                     EngineMetrics* metrics)>
       run;
+  /// Runs on fragments built in place by DistributedLoad (rank 0 holds
+  /// only `meta`; compute is remote by construction). Null for apps whose
+  /// types are not wire-codable — those cannot leave the engine process.
+  std::function<Result<std::string>(const DistributedGraphMeta&,
+                                    const QueryArgs&, const EngineOptions&,
+                                    EngineMetrics* metrics)>
+      run_distributed;
 };
 
 /// Process-wide registry keyed by query-class name ("sssp", "cc", "sim",

@@ -15,6 +15,7 @@
 #include "core/pie.h"
 #include "core/worker_core.h"
 #include "rt/comm_world.h"
+#include "rt/distributed_load.h"
 #include "rt/remote_worker.h"
 #include "rt/transport.h"
 #include "rt/worker_protocol.h"
@@ -66,6 +67,15 @@ struct EngineOptions {
   /// gives up with Unavailable (a dead endpoint usually surfaces faster
   /// through the transport's health tracking).
   int remote_timeout_ms = 120000;
+  /// How the graph reached the workers — drivers resolve their --load
+  /// flag here. "coordinator": rank 0 loaded and partitioned the whole
+  /// graph and constructs the engine from a FragmentedGraph (the
+  /// historical path). "distributed": the graph was built in place by
+  /// rt/distributed_load.h — each worker assembled its own fragment from
+  /// its shard of the input — and the engine is constructed from the
+  /// DistributedGraphMeta, never holding a fragment; requires remote_app
+  /// and an endpoint-backed transport sharing the build's world.
+  std::string load_mode = "coordinator";
 };
 
 /// Per-superstep observability (drives the Fig. 3(4)-style analytics).
@@ -81,6 +91,11 @@ struct RoundMetrics {
 
 struct EngineMetrics {
   uint32_t supersteps = 0;
+  /// Remote runs only: time from the first kTagWkLoad frame until every
+  /// worker acked its load — fragment ship (coordinator-loaded) or
+  /// resident-token attach (distributed-loaded). Zero on local compute,
+  /// where fragments are resident from engine construction.
+  double load_seconds = 0;
   double peval_seconds = 0;
   double inceval_seconds = 0;
   double coordinator_seconds = 0;
@@ -141,7 +156,8 @@ class GrapeEngine {
 
   GrapeEngine(const FragmentedGraph& fg, App prototype,
               EngineOptions options = {})
-      : fg_(fg),
+      : fg_(&fg),
+        n_frags_(fg.num_fragments()),
         options_(options),
         owned_world_(options.transport ? nullptr
                                        : std::make_unique<CommWorld>(
@@ -149,21 +165,58 @@ class GrapeEngine {
         world_(options.transport ? options.transport : owned_world_.get()),
         pool_(options.num_threads == 0 ? fg.num_fragments()
                                        : options.num_threads) {
-    const FragmentId n = fg_.num_fragments();
+    const FragmentId n = n_frags_;
     GRAPE_CHECK(world_->size() == n + 1)
         << "transport sized " << world_->size() << " for " << n
         << " fragments (need num_fragments()+1 ranks)";
     cores_.reserve(n);
     for (FragmentId i = 0; i < n; ++i) {
-      cores_.emplace_back(fg_.fragments[i], prototype);
+      cores_.emplace_back(fg_->fragments[i], prototype);
     }
     phase_status_.assign(n, Status::OK());
     pending_sends_.resize(n);
 
     coord_batches_.resize(n);
     for (FragmentId i = 0; i < n; ++i) {
-      coord_batches_[i].slot_round.assign(fg_.fragments[i].num_local(), 0);
-      coord_batches_[i].slot_pos.resize(fg_.fragments[i].num_local());
+      coord_batches_[i].slot_round.assign(fg_->fragments[i].num_local(), 0);
+      coord_batches_[i].slot_pos.resize(fg_->fragments[i].num_local());
+    }
+  }
+
+  /// Distributed-load engine: the graph was built in place by
+  /// DistributedLoad on the same `options.transport` world; this engine
+  /// holds only `meta` — fragment shapes and the build token — and runs
+  /// the pure coordinator role. Every query executes remotely
+  /// (options.remote_app must name the app); the load frame ships the
+  /// build token instead of a serialized fragment, and each worker
+  /// attaches to the fragment resident in its own process. Rank 0 never
+  /// constructs, decodes, or serializes a fragment on this path.
+  GrapeEngine(const DistributedGraphMeta& meta, EngineOptions options)
+      : fg_(nullptr),
+        n_frags_(meta.num_fragments),
+        resident_token_(meta.token),
+        options_(options),
+        owned_world_(nullptr),
+        world_(options.transport),
+        pool_(options.num_threads == 0 ? meta.num_fragments
+                                       : options.num_threads) {
+    const FragmentId n = n_frags_;
+    GRAPE_CHECK(world_ != nullptr)
+        << "a distributed-load engine reuses the build's transport";
+    GRAPE_CHECK(world_->size() == n + 1)
+        << "transport sized " << world_->size() << " for " << n
+        << " fragments (need num_fragments()+1 ranks)";
+    GRAPE_CHECK(!options_.remote_app.empty())
+        << "distributed-load engines execute remotely; set remote_app";
+    GRAPE_CHECK(meta.shapes.size() == n)
+        << "distributed meta carries " << meta.shapes.size()
+        << " fragment shapes for " << n << " fragments";
+    phase_status_.assign(n, Status::OK());
+    pending_sends_.resize(n);
+    coord_batches_.resize(n);
+    for (FragmentId i = 0; i < n; ++i) {
+      coord_batches_[i].slot_round.assign(meta.shapes[i].num_local, 0);
+      coord_batches_[i].slot_pos.resize(meta.shapes[i].num_local);
     }
   }
 
@@ -181,6 +234,11 @@ class GrapeEngine {
             "types; this app must run locally");
       }
     }
+    if (fg_ == nullptr) {
+      return Status::InvalidArgument(
+          "a distributed-load engine has no local fragments; local compute "
+          "is impossible (set remote_app)");
+    }
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
     world_->ResetStats();
@@ -188,7 +246,7 @@ class GrapeEngine {
     recorded_bytes_ = 0;
     extra_messages_ = 0;
     extra_bytes_ = 0;
-    const FragmentId n = fg_.num_fragments();
+    const FragmentId n = n_frags_;
 
     for (FragmentId i = 0; i < n; ++i) {
       cores_[i].Reset(options_.check_monotonicity);
@@ -299,6 +357,11 @@ class GrapeEngine {
           "live in the worker hosts, not in this process, so there is "
           "nothing to warm-start from (re-run it locally first)");
     }
+    if (fg_ == nullptr || previous.fg_ == nullptr) {
+      return Status::InvalidArgument(
+          "RunIncremental needs coordinator-loaded graphs on both engines; "
+          "distributed-load engines hold no fragments");
+    }
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
     world_->ResetStats();
@@ -306,19 +369,19 @@ class GrapeEngine {
     recorded_bytes_ = 0;
     extra_messages_ = 0;
     extra_bytes_ = 0;
-    const FragmentId n = fg_.num_fragments();
+    const FragmentId n = n_frags_;
 
     // Warm start: every local copy adopts the owner's converged value from
     // the previous run (unseen vertices keep InitValue).
     for (FragmentId i = 0; i < n; ++i) {
-      const Fragment& frag = fg_.fragments[i];
+      const Fragment& frag = fg_->fragments[i];
       cores_[i].Reset(options_.check_monotonicity);
       ParamStore<Value>& store = cores_[i].store();
       for (LocalId lid = 0; lid < frag.num_local(); ++lid) {
         VertexId gid = frag.Gid(lid);
-        if (gid >= previous.fg_.owner->size()) continue;  // new vertex
-        FragmentId prev_owner = (*previous.fg_.owner)[gid];
-        const Fragment& prev_frag = previous.fg_.fragments[prev_owner];
+        if (gid >= previous.fg_->owner->size()) continue;  // new vertex
+        FragmentId prev_owner = (*previous.fg_->owner)[gid];
+        const Fragment& prev_frag = previous.fg_->fragments[prev_owner];
         LocalId prev_lid = prev_frag.Lid(gid);
         if (prev_lid == kInvalidLocal) continue;
         store.UntrackedRef(lid) =
@@ -328,7 +391,7 @@ class GrapeEngine {
     // Seed M: the update's touched vertices (all local copies).
     for (VertexId gid : touched) {
       for (FragmentId i = 0; i < n; ++i) {
-        LocalId lid = fg_.fragments[i].Lid(gid);
+        LocalId lid = fg_->fragments[i].Lid(gid);
         if (lid != kInvalidLocal) cores_[i].updated().push_back(lid);
       }
     }
@@ -401,7 +464,7 @@ class GrapeEngine {
     return cores_[i].store();
   }
 
-  FragmentId num_workers() const { return fg_.num_fragments(); }
+  FragmentId num_workers() const { return n_frags_; }
 
  private:
   /// Rank of worker i in the comm world (rank 0 is the coordinator).
@@ -471,7 +534,7 @@ class GrapeEngine {
   /// observes exactly what an in-process mailbox would.
   Result<uint64_t> DispatchSends() {
     uint64_t direct = 0;
-    for (FragmentId i = 0; i < fg_.num_fragments(); ++i) {
+    for (FragmentId i = 0; i < n_frags_; ++i) {
       for (WorkerSend& p : pending_sends_[i]) {
         direct += p.direct_updates;
         GRAPE_RETURN_NOT_OK(world_->Send(RankOf(i), p.dst_rank,
@@ -510,7 +573,7 @@ class GrapeEngine {
   Result<uint64_t> RouteInbox(std::vector<RtMessage> inbox, uint32_t send_tag,
                               std::vector<uint32_t>* apply_counts) {
     if (apply_counts != nullptr) {
-      apply_counts->assign(fg_.num_fragments(), 0);
+      apply_counts->assign(n_frags_, 0);
     }
     if (inbox.empty()) return uint64_t{0};
     // Mailbox order is FIFO per sender; sort by sender for a deterministic
@@ -629,7 +692,7 @@ class GrapeEngine {
     extra_messages_ = 0;
     extra_bytes_ = 0;
     remote_inbox_.clear();
-    const FragmentId n = fg_.num_fragments();
+    const FragmentId n = n_frags_;
     metrics_.remote_worker_pids.assign(n, 0);
     metrics_.remote_peval_runs.assign(n, 0);
     metrics_.remote_inceval_runs.assign(n, 0);
@@ -654,19 +717,29 @@ class GrapeEngine {
     }
     InThreadWorkers in_thread(world_, n, !world_->has_remote_endpoints());
 
-    // Load: app name + flags + query + the serialized fragment (with its
-    // routing plan and the shared owner tables).
-    for (FragmentId i = 0; i < n; ++i) {
-      Encoder enc(world_->buffer_pool().Acquire());
-      enc.WriteString(options_.remote_app);
-      enc.WriteU8(options_.check_monotonicity ? kWkLoadCheckMonotonicity
-                                              : 0);
-      EncodeValue(enc, query);
-      fg_.fragments[i].EncodeTo(enc);
-      GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
-                                       kTagWkLoad, enc.TakeBuffer()));
-    }
+    // Load: app name + flags + query + the fragment. Coordinator-loaded
+    // engines serialize the fragment (with its routing plan and the
+    // shared owner tables); distributed-load engines ship only the build
+    // token, and each worker attaches to the fragment already resident
+    // in its own process — the graph never transits rank 0.
     {
+      ScopedTimer t(&metrics_.load_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        Encoder enc(world_->buffer_pool().Acquire());
+        enc.WriteString(options_.remote_app);
+        uint8_t flags =
+            options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
+        if (fg_ == nullptr) flags |= kWkLoadUseResident;
+        enc.WriteU8(flags);
+        EncodeValue(enc, query);
+        if (fg_ == nullptr) {
+          enc.WriteU64(resident_token_);
+        } else {
+          fg_->fragments[i].EncodeTo(enc);
+        }
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkLoad, enc.TakeBuffer()));
+      }
       RemoteRound load;
       GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseLoad, 0, &load));
     }
@@ -778,7 +851,7 @@ class GrapeEngine {
   /// a dead endpoint or a dropped control frame must surface as a Status
   /// within bounded time, not hang the superstep loop.
   Status AwaitPhase(uint8_t phase, uint32_t round, RemoteRound* out) {
-    const FragmentId n = fg_.num_fragments();
+    const FragmentId n = n_frags_;
     out->global_by_frag.assign(n, 0.0);
     out->mono_by_frag.assign(n, 0);
     out->direct_matrix.assign(n, std::vector<uint32_t>(n, 0));
@@ -889,7 +962,7 @@ class GrapeEngine {
   Status AwaitPartials(std::vector<Partial>* partials)
     requires RemoteCompatibleApp<App>
   {
-    const FragmentId n = fg_.num_fragments();
+    const FragmentId n = n_frags_;
     std::vector<uint8_t> seen(n, 0);
     FragmentId have = 0;
     uint32_t idle = 0;
@@ -946,7 +1019,12 @@ class GrapeEngine {
     return Status::OK();
   }
 
-  const FragmentedGraph& fg_;
+  /// The coordinator-loaded graph, or nullptr for a distributed-load
+  /// engine (which holds only shapes and the resident-build token).
+  const FragmentedGraph* fg_;
+  FragmentId n_frags_;
+  /// ResidentFragmentStore key of the distributed build (fg_ == nullptr).
+  uint64_t resident_token_ = 0;
   EngineOptions options_;
   std::unique_ptr<Transport> owned_world_;  // only when no external substrate
   Transport* world_;                        // the substrate actually used

@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +39,116 @@ Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
 }
 }  // namespace
 
+namespace {
+
+/// Parses one trimmed edge line. `where` names the line in errors.
+Status ParseEdgeLine(std::string_view sv, const EdgeListFormat& format,
+                     const std::string& where, Edge* out) {
+  std::istringstream ss{std::string(sv)};
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  if (!(ss >> src >> dst)) {
+    return Status::Corruption(where + ": malformed edge line");
+  }
+  Edge e{static_cast<VertexId>(src), static_cast<VertexId>(dst), 1.0, 0};
+  if (format.has_weight) {
+    if (!(ss >> e.weight)) {
+      return Status::Corruption(where + ": missing weight column");
+    }
+  }
+  if (format.has_label) {
+    uint64_t label = 0;
+    if (!(ss >> label)) {
+      return Status::Corruption(where + ": missing label column");
+    }
+    e.label = static_cast<Label>(label);
+  }
+  *out = e;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ShardRange>> ComputeShardRanges(const std::string& path,
+                                                   uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+
+  // Shard i nominally starts at size*i/n; the actual start is the first
+  // line boundary at or after that, so a line belongs to the shard holding
+  // its first byte. Starts are found by scanning forward from the byte
+  // before the nominal cut for a newline — O(line length) per cut.
+  std::vector<uint64_t> starts(num_shards + 1, size);
+  starts[0] = 0;
+  for (uint32_t i = 1; i < num_shards; ++i) {
+    const uint64_t nominal = size / num_shards * i +
+                             size % num_shards * i / num_shards;
+    if (nominal == 0) {
+      starts[i] = 0;
+      continue;
+    }
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(nominal - 1));
+    uint64_t pos = nominal - 1;
+    int c;
+    while ((c = in.get()) != EOF && c != '\n') ++pos;
+    starts[i] = (c == EOF) ? size : pos + 1;
+  }
+  if (in.bad()) {
+    return Status::IOError("read error scanning " + path + " for shard cuts");
+  }
+
+  std::vector<ShardRange> ranges(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    // Monotone by construction ("first line start >= x" is monotone in x),
+    // so adjacent ranges tile without overlap.
+    ranges[i].offset = starts[i];
+    ranges[i].length = starts[i + 1] - starts[i];
+  }
+  return ranges;
+}
+
+Result<EdgeShard> ReadEdgeShard(const std::string& path,
+                                const ShardRange& range,
+                                const EdgeListFormat& format) {
+  EdgeShard shard;
+  if (range.length == 0) return shard;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(range.offset));
+  const uint64_t end = range.offset + range.length;
+  uint64_t line_start = range.offset;
+  std::string line;
+  // Every line starting inside [offset, end) belongs to this shard; the
+  // last one is read to completion even when it continues past `end`.
+  while (line_start < end && std::getline(in, line)) {
+    const uint64_t next_start = line_start + line.size() + 1;
+    std::string_view sv = Trim(line);
+    if (!sv.empty() && sv[0] != format.comment_char) {
+      Edge e;
+      GRAPE_RETURN_NOT_OK(ParseEdgeLine(
+          sv, format, path + " @" + std::to_string(line_start), &e));
+      shard.edges.push_back(ShardEdge{line_start, e});
+      const VertexId hi = std::max(e.src, e.dst);
+      shard.max_vertex_plus1 = std::max(shard.max_vertex_plus1, hi + 1);
+    }
+    line_start = next_start;
+  }
+  if (in.bad()) {
+    return Status::IOError("read error in shard of " + path);
+  }
+  return shard;
+}
+
 Result<Graph> LoadEdgeListFile(const std::string& path,
                                const EdgeListFormat& format) {
   std::ifstream in(path);
@@ -51,28 +162,9 @@ Result<Graph> LoadEdgeListFile(const std::string& path,
     ++line_no;
     std::string_view sv = Trim(line);
     if (sv.empty() || sv[0] == format.comment_char) continue;
-    std::istringstream ss{std::string(sv)};
-    uint64_t src = 0;
-    uint64_t dst = 0;
-    if (!(ss >> src >> dst)) {
-      return Status::Corruption(path + ":" + std::to_string(line_no) +
-                                ": malformed edge line");
-    }
-    Edge e{static_cast<VertexId>(src), static_cast<VertexId>(dst), 1.0, 0};
-    if (format.has_weight) {
-      if (!(ss >> e.weight)) {
-        return Status::Corruption(path + ":" + std::to_string(line_no) +
-                                  ": missing weight column");
-      }
-    }
-    if (format.has_label) {
-      uint64_t label = 0;
-      if (!(ss >> label)) {
-        return Status::Corruption(path + ":" + std::to_string(line_no) +
-                                  ": missing label column");
-      }
-      e.label = static_cast<Label>(label);
-    }
+    Edge e;
+    GRAPE_RETURN_NOT_OK(ParseEdgeLine(
+        sv, format, path + ":" + std::to_string(line_no), &e));
     builder.AddEdge(e);
   }
   return std::move(builder).Build();

@@ -1,7 +1,9 @@
 #ifndef GRAPE_GRAPH_IO_H_
 #define GRAPE_GRAPH_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/graph.h"
 #include "util/result.h"
@@ -23,6 +25,47 @@ struct EdgeListFormat {
 /// Loads a whitespace-separated edge list ("src dst [weight] [label]").
 Result<Graph> LoadEdgeListFile(const std::string& path,
                                const EdgeListFormat& format);
+
+/// One shard of an edge-list file: a contiguous byte range. A line belongs
+/// to the shard containing its first byte, so readers of adjacent shards
+/// never split, drop, or double-read a line.
+struct ShardRange {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// Splits `path` into `num_shards` byte ranges aligned to line boundaries:
+/// the ranges tile [0, file size) exactly, every range starts at the first
+/// byte of a line (or at EOF), and trailing shards of a small file may be
+/// empty. Only reads a handful of bytes around each nominal cut — the
+/// coordinator's whole view of the input is this metadata.
+Result<std::vector<ShardRange>> ComputeShardRanges(const std::string& path,
+                                                   uint32_t num_shards);
+
+/// One edge parsed from a shard, keyed by the absolute byte offset of its
+/// line. Keys are globally unique and ascend in file order, so edges merged
+/// from many shards can be restored to exact whole-file parse order —
+/// the property that makes distributed fragment builds bit-identical to
+/// coordinator builds from the same file.
+struct ShardEdge {
+  uint64_t key = 0;
+  Edge edge;
+};
+
+/// What one shard read produced.
+struct EdgeShard {
+  std::vector<ShardEdge> edges;  // ascending key (file order)
+  /// max(endpoint id) + 1 over the shard's edges; 0 for an empty shard.
+  VertexId max_vertex_plus1 = 0;
+};
+
+/// Parses the lines whose first byte lies in `range` (the last such line is
+/// followed to completion even when it crosses the range end). Grammar and
+/// error codes match LoadEdgeListFile exactly: blank lines and
+/// `format.comment_char` lines are skipped, malformed lines are Corruption.
+Result<EdgeShard> ReadEdgeShard(const std::string& path,
+                                const ShardRange& range,
+                                const EdgeListFormat& format);
 
 /// Writes "src dst weight label" lines; the inverse of LoadEdgeListFile with
 /// has_weight = has_label = true.

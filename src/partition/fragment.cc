@@ -278,6 +278,271 @@ Status Fragment::DecodeFrom(Decoder& dec, Fragment* out) {
   return Status::OK();
 }
 
+std::vector<LocalId> FragmentBuilder::OwnerLidTable(
+    const std::vector<FragmentId>& owner, FragmentId num_fragments) {
+  // Inner local ids are positions in each fragment's ascending-gid inner
+  // list, so one counting pass over ascending gids yields every vertex's
+  // local id at its owner.
+  std::vector<LocalId> table(owner.size(), kInvalidLocal);
+  std::vector<LocalId> next(num_fragments, 0);
+  for (VertexId v = 0; v < owner.size(); ++v) {
+    table[v] = next[owner[v]]++;
+  }
+  return table;
+}
+
+Result<Fragment> FragmentBuilder::AssembleLocal(
+    const Graph& graph, std::shared_ptr<const std::vector<FragmentId>> owner,
+    std::shared_ptr<const std::vector<LocalId>> owner_lid, FragmentId fid,
+    FragmentId num_fragments) {
+  const VertexId n = graph.num_vertices();
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  if (fid >= num_fragments) {
+    return Status::InvalidArgument("fragment id outside the world");
+  }
+  if (!owner || owner->size() != n || !owner_lid || owner_lid->size() != n) {
+    return Status::InvalidArgument("owner tables are not sized to the graph");
+  }
+  const std::vector<FragmentId>& assignment = *owner;
+
+  Fragment frag;
+  frag.fid_ = fid;
+  frag.num_fragments_ = num_fragments;
+  frag.total_vertices_ = n;
+  frag.directed_ = graph.is_directed();
+  frag.owner_ = owner;
+  frag.owner_lid_ = owner_lid;
+
+  // Inner vertices: ascending gid for deterministic local ids.
+  std::vector<VertexId> inner;
+  for (VertexId v = 0; v < n; ++v) {
+    if (assignment[v] == fid) inner.push_back(v);
+  }
+  frag.num_inner_ = static_cast<LocalId>(inner.size());
+
+  // Outer set, border flags, and mirror lists — all derivable from the
+  // in/out rows of this fragment's inner vertices alone (undirected rows
+  // carry both directions, so InNeighbors aliasing OutNeighbors is enough):
+  //   - outer: foreign endpoints adjacent to the inner set;
+  //   - border: inner vertices with at least one foreign neighbor;
+  //   - mirrors of inner gid: the owners of its foreign neighbors, i.e.
+  //     exactly the fragments holding an outer copy of gid.
+  std::unordered_set<VertexId> outer;
+  std::vector<std::vector<FragmentId>> mirrors(inner.size());
+  frag.border_.assign(frag.num_inner_, 0);
+  frag.num_border_ = 0;
+  for (size_t i = 0; i < inner.size(); ++i) {
+    const VertexId gid = inner[i];
+    auto visit = [&](const Neighbor& nb) {
+      if (assignment[nb.vertex] == fid) return;
+      outer.insert(nb.vertex);
+      mirrors[i].push_back(assignment[nb.vertex]);
+    };
+    for (const Neighbor& nb : graph.OutNeighbors(gid)) visit(nb);
+    if (graph.is_directed()) {
+      for (const Neighbor& nb : graph.InNeighbors(gid)) visit(nb);
+    }
+    auto& m = mirrors[i];
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+    if (!m.empty()) {
+      frag.border_[i] = 1;
+      ++frag.num_border_;
+    }
+  }
+
+  frag.gids_ = std::move(inner);
+  std::vector<VertexId> outer_sorted(outer.begin(), outer.end());
+  std::sort(outer_sorted.begin(), outer_sorted.end());
+  frag.gids_.insert(frag.gids_.end(), outer_sorted.begin(),
+                    outer_sorted.end());
+  for (VertexId gid : frag.gids_) frag.indexer_.GetOrInsert(gid);
+
+  const LocalId num_local = frag.num_local();
+  const LocalId ni = frag.num_inner_;
+
+  // Local out-CSR. Inner rows: full global out-adjacency. Outer rows:
+  // edges from the outer vertex into this fragment's inner set (derived
+  // from the in-edges of inner vertices), so apps can navigate both
+  // directions across the border.
+  frag.out_offsets_.assign(num_local + 1, 0);
+  for (LocalId i = 0; i < ni; ++i) {
+    frag.out_offsets_[i + 1] = graph.OutDegree(frag.gids_[i]);
+  }
+  if (graph.is_directed()) {
+    for (LocalId i = 0; i < ni; ++i) {
+      for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
+        LocalId src = frag.indexer_.Find(nb.vertex);
+        if (src != kInvalidLocal && src >= ni) frag.out_offsets_[src + 1]++;
+      }
+    }
+  } else {
+    // Undirected: outer rows list neighbours inside the inner set.
+    for (LocalId i = 0; i < ni; ++i) {
+      for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+        LocalId other = frag.indexer_.Find(nb.vertex);
+        if (other != kInvalidLocal && other >= ni) {
+          frag.out_offsets_[other + 1]++;
+        }
+      }
+    }
+  }
+  for (LocalId i = 0; i < num_local; ++i) {
+    frag.out_offsets_[i + 1] += frag.out_offsets_[i];
+  }
+  frag.out_neighbors_.resize(frag.out_offsets_[num_local]);
+  {
+    std::vector<size_t> cursor(frag.out_offsets_.begin(),
+                               frag.out_offsets_.end() - 1);
+    for (LocalId i = 0; i < ni; ++i) {
+      for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+        LocalId target = frag.indexer_.Find(nb.vertex);
+        frag.out_neighbors_[cursor[i]++] =
+            FragNeighbor{target, nb.weight, nb.label};
+      }
+    }
+    if (graph.is_directed()) {
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
+          LocalId src = frag.indexer_.Find(nb.vertex);
+          if (src != kInvalidLocal && src >= ni) {
+            frag.out_neighbors_[cursor[src]++] =
+                FragNeighbor{i, nb.weight, nb.label};
+          }
+        }
+      }
+    } else {
+      for (LocalId i = 0; i < ni; ++i) {
+        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+          LocalId other = frag.indexer_.Find(nb.vertex);
+          if (other != kInvalidLocal && other >= ni) {
+            frag.out_neighbors_[cursor[other]++] =
+                FragNeighbor{i, nb.weight, nb.label};
+          }
+        }
+      }
+    }
+  }
+
+  if (graph.is_directed()) {
+    // Local in-CSR. Inner rows: full global in-adjacency. Outer rows:
+    // in-edges from the inner set (reverse of inner out-edges that cross).
+    frag.in_offsets_.assign(num_local + 1, 0);
+    for (LocalId i = 0; i < ni; ++i) {
+      frag.in_offsets_[i + 1] = graph.InDegree(frag.gids_[i]);
+    }
+    for (LocalId i = 0; i < ni; ++i) {
+      for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+        LocalId dst = frag.indexer_.Find(nb.vertex);
+        if (dst != kInvalidLocal && dst >= ni) frag.in_offsets_[dst + 1]++;
+      }
+    }
+    for (LocalId i = 0; i < num_local; ++i) {
+      frag.in_offsets_[i + 1] += frag.in_offsets_[i];
+    }
+    frag.in_neighbors_.resize(frag.in_offsets_[num_local]);
+    std::vector<size_t> cursor(frag.in_offsets_.begin(),
+                               frag.in_offsets_.end() - 1);
+    for (LocalId i = 0; i < ni; ++i) {
+      for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
+        LocalId source = frag.indexer_.Find(nb.vertex);
+        frag.in_neighbors_[cursor[i]++] =
+            FragNeighbor{source, nb.weight, nb.label};
+      }
+    }
+    for (LocalId i = 0; i < ni; ++i) {
+      for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
+        LocalId dst = frag.indexer_.Find(nb.vertex);
+        if (dst != kInvalidLocal && dst >= ni) {
+          frag.in_neighbors_[cursor[dst]++] =
+              FragNeighbor{i, nb.weight, nb.label};
+        }
+      }
+    }
+  }
+
+  if (graph.has_vertex_labels()) {
+    frag.labels_.resize(num_local);
+    for (LocalId i = 0; i < num_local; ++i) {
+      frag.labels_[i] = graph.vertex_label(frag.gids_[i]);
+    }
+  }
+
+  frag.mirror_offsets_.assign(ni + 1, 0);
+  for (LocalId i = 0; i < ni; ++i) {
+    frag.mirror_offsets_[i + 1] = frag.mirror_offsets_[i] + mirrors[i].size();
+  }
+  frag.mirror_frags_.resize(frag.mirror_offsets_[ni]);
+  for (LocalId i = 0; i < ni; ++i) {
+    std::copy(mirrors[i].begin(), mirrors[i].end(),
+              frag.mirror_frags_.begin() + frag.mirror_offsets_[i]);
+  }
+  // Destination-local ids are only known to the mirroring fragments;
+  // resolved by the exchange half (ApplyMirrorAnswers).
+  frag.mirror_dst_lids_.assign(frag.mirror_frags_.size(), kInvalidLocal);
+
+  // Routing plan, part 2: owner routes of this fragment's outer vertices.
+  // The owner tables are global, so this needs no other fragment.
+  frag.outer_owner_frag_.resize(frag.num_outer());
+  frag.outer_owner_lid_.resize(frag.num_outer());
+  for (LocalId i = ni; i < num_local; ++i) {
+    VertexId gid = frag.gids_[i];
+    frag.outer_owner_frag_[i - ni] = assignment[gid];
+    frag.outer_owner_lid_[i - ni] = (*owner_lid)[gid];
+  }
+  return frag;
+}
+
+std::vector<std::vector<MirrorLidEntry>> FragmentBuilder::MirrorAnswers(
+    const Fragment& frag) {
+  std::vector<std::vector<MirrorLidEntry>> answers(frag.num_fragments());
+  for (LocalId i = frag.num_inner_; i < frag.num_local(); ++i) {
+    answers[frag.outer_owner_frag_[i - frag.num_inner_]].push_back(
+        MirrorLidEntry{frag.gids_[i], i});
+  }
+  return answers;
+}
+
+Status FragmentBuilder::ApplyMirrorAnswers(
+    Fragment* frag, FragmentId from,
+    const std::vector<MirrorLidEntry>& answers) {
+  for (const MirrorLidEntry& entry : answers) {
+    if (entry.gid >= frag->total_vertices_ ||
+        (*frag->owner_)[entry.gid] != frag->fid_) {
+      return Status::Corruption("mirror answer for gid " +
+                                std::to_string(entry.gid) +
+                                " which fragment " +
+                                std::to_string(frag->fid_) + " does not own");
+    }
+    const LocalId i = (*frag->owner_lid_)[entry.gid];
+    const auto begin = frag->mirror_frags_.begin() + frag->mirror_offsets_[i];
+    const auto end = frag->mirror_frags_.begin() + frag->mirror_offsets_[i + 1];
+    const auto it = std::lower_bound(begin, end, from);
+    if (it == end || *it != from) {
+      return Status::Corruption(
+          "fragment " + std::to_string(from) + " answered for gid " +
+          std::to_string(entry.gid) + " it is not known to mirror");
+    }
+    frag->mirror_dst_lids_[it - frag->mirror_frags_.begin()] = entry.lid;
+  }
+  return Status::OK();
+}
+
+Status FragmentBuilder::CheckMirrorsResolved(const Fragment& frag) {
+  for (size_t k = 0; k < frag.mirror_dst_lids_.size(); ++k) {
+    if (frag.mirror_dst_lids_[k] == kInvalidLocal) {
+      return Status::Corruption("fragment " + std::to_string(frag.fid_) +
+                                " mirror route " + std::to_string(k) +
+                                " (to fragment " +
+                                std::to_string(frag.mirror_frags_[k]) +
+                                ") was never answered");
+    }
+  }
+  return Status::OK();
+}
+
 Result<FragmentedGraph> FragmentBuilder::Build(
     const Graph& graph, const std::vector<FragmentId>& assignment,
     FragmentId num_fragments) {
@@ -298,218 +563,30 @@ Result<FragmentedGraph> FragmentBuilder::Build(
   out.directed = graph.is_directed();
   out.total_vertices = n;
   out.owner = std::make_shared<const std::vector<FragmentId>>(assignment);
+  out.owner_lid = std::make_shared<const std::vector<LocalId>>(
+      OwnerLidTable(assignment, num_fragments));
 
-  // Inner vertex lists (ascending gid for deterministic local ids).
-  std::vector<std::vector<VertexId>> inner(num_fragments);
-  for (VertexId v = 0; v < n; ++v) inner[assignment[v]].push_back(v);
-
-  // Routing plan, part 1: every vertex's local id at its owner. Inner local
-  // ids are positions in the (ascending) inner list, so this is known
-  // before any fragment is materialized.
-  auto owner_lid = std::make_shared<std::vector<LocalId>>(n, kInvalidLocal);
+  // The coordinator path is the distributed protocol run in one process:
+  // assemble every fragment locally against the whole graph, then exchange
+  // the mirror-placement answers that finish the routing plan. Running on
+  // the same halves is what keeps the two paths bit-identical.
+  out.fragments.reserve(num_fragments);
   for (FragmentId f = 0; f < num_fragments; ++f) {
-    for (size_t i = 0; i < inner[f].size(); ++i) {
-      (*owner_lid)[inner[f][i]] = static_cast<LocalId>(i);
+    auto frag =
+        AssembleLocal(graph, out.owner, out.owner_lid, f, num_fragments);
+    if (!frag.ok()) return frag.status();
+    out.fragments.push_back(std::move(frag).value());
+  }
+  for (FragmentId m = 0; m < num_fragments; ++m) {
+    auto answers = MirrorAnswers(out.fragments[m]);
+    for (FragmentId f = 0; f < num_fragments; ++f) {
+      if (f == m) continue;
+      GRAPE_RETURN_NOT_OK(
+          ApplyMirrorAnswers(&out.fragments[f], m, answers[f]));
     }
   }
-  out.owner_lid = owner_lid;
-
-  // Outer vertex sets per fragment + mirror lists per gid.
-  std::vector<std::unordered_set<VertexId>> outer(num_fragments);
-  std::vector<uint8_t> is_border(n, 0);
-  for (VertexId u = 0; u < n; ++u) {
-    FragmentId fu = assignment[u];
-    for (const Neighbor& nb : graph.OutNeighbors(u)) {
-      FragmentId fv = assignment[nb.vertex];
-      if (fv == fu) continue;
-      is_border[u] = 1;
-      is_border[nb.vertex] = 1;
-      outer[fu].insert(nb.vertex);   // fu mirrors the foreign target
-      if (graph.is_directed()) {
-        outer[fv].insert(u);         // fv mirrors the foreign source
-      }
-    }
-  }
-
-  std::vector<std::vector<FragmentId>> mirrors_by_gid(n);
-  for (FragmentId f = 0; f < num_fragments; ++f) {
-    for (VertexId gid : outer[f]) mirrors_by_gid[gid].push_back(f);
-  }
-  for (auto& m : mirrors_by_gid) std::sort(m.begin(), m.end());
-
-  out.fragments.resize(num_fragments);
-  for (FragmentId f = 0; f < num_fragments; ++f) {
-    Fragment& frag = out.fragments[f];
-    frag.fid_ = f;
-    frag.num_fragments_ = num_fragments;
-    frag.total_vertices_ = n;
-    frag.directed_ = graph.is_directed();
-    frag.owner_ = out.owner;
-    frag.owner_lid_ = out.owner_lid;
-
-    frag.num_inner_ = static_cast<LocalId>(inner[f].size());
-    frag.gids_ = inner[f];
-    std::vector<VertexId> outer_sorted(outer[f].begin(), outer[f].end());
-    std::sort(outer_sorted.begin(), outer_sorted.end());
-    frag.gids_.insert(frag.gids_.end(), outer_sorted.begin(),
-                      outer_sorted.end());
-    for (VertexId gid : frag.gids_) frag.indexer_.GetOrInsert(gid);
-
-    const LocalId num_local = frag.num_local();
-    const LocalId ni = frag.num_inner_;
-
-    // Local out-CSR. Inner rows: full global out-adjacency. Outer rows:
-    // edges from the outer vertex into this fragment's inner set (derived
-    // from the in-edges of inner vertices), so apps can navigate both
-    // directions across the border.
-    frag.out_offsets_.assign(num_local + 1, 0);
-    for (LocalId i = 0; i < ni; ++i) {
-      frag.out_offsets_[i + 1] = graph.OutDegree(frag.gids_[i]);
-    }
-    if (graph.is_directed()) {
-      for (LocalId i = 0; i < ni; ++i) {
-        for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
-          LocalId src = frag.indexer_.Find(nb.vertex);
-          if (src != kInvalidLocal && src >= ni) frag.out_offsets_[src + 1]++;
-        }
-      }
-    } else {
-      // Undirected: outer rows list neighbours inside the inner set.
-      for (LocalId i = 0; i < ni; ++i) {
-        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
-          LocalId other = frag.indexer_.Find(nb.vertex);
-          if (other != kInvalidLocal && other >= ni) {
-            frag.out_offsets_[other + 1]++;
-          }
-        }
-      }
-    }
-    for (LocalId i = 0; i < num_local; ++i) {
-      frag.out_offsets_[i + 1] += frag.out_offsets_[i];
-    }
-    frag.out_neighbors_.resize(frag.out_offsets_[num_local]);
-    {
-      std::vector<size_t> cursor(frag.out_offsets_.begin(),
-                                 frag.out_offsets_.end() - 1);
-      for (LocalId i = 0; i < ni; ++i) {
-        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
-          LocalId target = frag.indexer_.Find(nb.vertex);
-          frag.out_neighbors_[cursor[i]++] =
-              FragNeighbor{target, nb.weight, nb.label};
-        }
-      }
-      if (graph.is_directed()) {
-        for (LocalId i = 0; i < ni; ++i) {
-          for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
-            LocalId src = frag.indexer_.Find(nb.vertex);
-            if (src != kInvalidLocal && src >= ni) {
-              frag.out_neighbors_[cursor[src]++] =
-                  FragNeighbor{i, nb.weight, nb.label};
-            }
-          }
-        }
-      } else {
-        for (LocalId i = 0; i < ni; ++i) {
-          for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
-            LocalId other = frag.indexer_.Find(nb.vertex);
-            if (other != kInvalidLocal && other >= ni) {
-              frag.out_neighbors_[cursor[other]++] =
-                  FragNeighbor{i, nb.weight, nb.label};
-            }
-          }
-        }
-      }
-    }
-
-    if (graph.is_directed()) {
-      // Local in-CSR. Inner rows: full global in-adjacency. Outer rows:
-      // in-edges from the inner set (reverse of inner out-edges that cross).
-      frag.in_offsets_.assign(num_local + 1, 0);
-      for (LocalId i = 0; i < ni; ++i) {
-        frag.in_offsets_[i + 1] = graph.InDegree(frag.gids_[i]);
-      }
-      for (LocalId i = 0; i < ni; ++i) {
-        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
-          LocalId dst = frag.indexer_.Find(nb.vertex);
-          if (dst != kInvalidLocal && dst >= ni) frag.in_offsets_[dst + 1]++;
-        }
-      }
-      for (LocalId i = 0; i < num_local; ++i) {
-        frag.in_offsets_[i + 1] += frag.in_offsets_[i];
-      }
-      frag.in_neighbors_.resize(frag.in_offsets_[num_local]);
-      std::vector<size_t> cursor(frag.in_offsets_.begin(),
-                                 frag.in_offsets_.end() - 1);
-      for (LocalId i = 0; i < ni; ++i) {
-        for (const Neighbor& nb : graph.InNeighbors(frag.gids_[i])) {
-          LocalId source = frag.indexer_.Find(nb.vertex);
-          frag.in_neighbors_[cursor[i]++] =
-              FragNeighbor{source, nb.weight, nb.label};
-        }
-      }
-      for (LocalId i = 0; i < ni; ++i) {
-        for (const Neighbor& nb : graph.OutNeighbors(frag.gids_[i])) {
-          LocalId dst = frag.indexer_.Find(nb.vertex);
-          if (dst != kInvalidLocal && dst >= ni) {
-            frag.in_neighbors_[cursor[dst]++] =
-                FragNeighbor{i, nb.weight, nb.label};
-          }
-        }
-      }
-    }
-
-    if (graph.has_vertex_labels()) {
-      frag.labels_.resize(num_local);
-      for (LocalId i = 0; i < num_local; ++i) {
-        frag.labels_[i] = graph.vertex_label(frag.gids_[i]);
-      }
-    }
-
-    frag.border_.assign(ni, 0);
-    frag.num_border_ = 0;
-    frag.mirror_offsets_.assign(ni + 1, 0);
-    for (LocalId i = 0; i < ni; ++i) {
-      VertexId gid = frag.gids_[i];
-      if (is_border[gid]) {
-        frag.border_[i] = 1;
-        ++frag.num_border_;
-      }
-      frag.mirror_offsets_[i + 1] =
-          frag.mirror_offsets_[i] + mirrors_by_gid[gid].size();
-    }
-    frag.mirror_frags_.resize(frag.mirror_offsets_[ni]);
-    for (LocalId i = 0; i < ni; ++i) {
-      std::copy(mirrors_by_gid[frag.gids_[i]].begin(),
-                mirrors_by_gid[frag.gids_[i]].end(),
-                frag.mirror_frags_.begin() + frag.mirror_offsets_[i]);
-    }
-
-    // Routing plan, part 2: owner routes of this fragment's outer vertices.
-    // The owner tables are global, so this needs no other fragment.
-    frag.outer_owner_frag_.resize(frag.num_outer());
-    frag.outer_owner_lid_.resize(frag.num_outer());
-    for (LocalId i = ni; i < num_local; ++i) {
-      VertexId gid = frag.gids_[i];
-      frag.outer_owner_frag_[i - ni] = assignment[gid];
-      frag.outer_owner_lid_[i - ni] = (*owner_lid)[gid];
-    }
-  }
-
-  // Routing plan, part 3: destination-local ids of mirror copies. A mirror
-  // of gid inside fragment m sits in m's (sorted) outer block, so its local
-  // id there is only known once every fragment's vertex list exists —
-  // resolved here, once, so the per-superstep flush never hashes.
-  for (FragmentId f = 0; f < num_fragments; ++f) {
-    Fragment& frag = out.fragments[f];
-    frag.mirror_dst_lids_.resize(frag.mirror_frags_.size());
-    size_t k = 0;
-    for (LocalId i = 0; i < frag.num_inner_; ++i) {
-      VertexId gid = frag.gids_[i];
-      for (; k < frag.mirror_offsets_[i + 1]; ++k) {
-        const Fragment& dst = out.fragments[frag.mirror_frags_[k]];
-        frag.mirror_dst_lids_[k] = dst.indexer_.Find(gid);
-      }
-    }
+  for (const Fragment& frag : out.fragments) {
+    GRAPE_RETURN_NOT_OK(CheckMirrorsResolved(frag));
   }
   return out;
 }

@@ -198,13 +198,75 @@ struct FragmentedGraph {
   }
 };
 
+/// One mirror-placement answer: global vertex `gid` sits at local id `lid`
+/// inside the answering fragment's outer block. Owners collect these from
+/// every peer that mirrors one of their inner vertices to finish the
+/// owner-to-mirror routing plan (mirror_dst_lids).
+struct MirrorLidEntry {
+  VertexId gid;
+  LocalId lid;
+};
+
 /// Splits `graph` into `num_fragments` edge-cut fragments according to
 /// `assignment` (as produced by a Partitioner).
+///
+/// Build() is composed of two halves that are also the local steps of the
+/// distributed build protocol (rt/distributed_load.h):
+///
+///   1. AssembleLocal — builds one fragment complete except the
+///      mirror_dst_lids routing column, from any graph view that contains
+///      at least every edge incident to the fragment's inner vertices with
+///      per-row adjacency order equal to the full graph's. On a worker
+///      endpoint that view is the mini-graph assembled from exchanged
+///      shard edges; on the coordinator it is the whole graph.
+///   2. MirrorAnswers / ResolveMirrorDstLids — the routing-plan exchange:
+///      each fragment answers, per owner, where it placed its outer copies;
+///      owners fill mirror_dst_lids from those answers.
+///
+/// Because Build() itself runs on these halves, the legacy coordinator path
+/// and the distributed path produce bit-identical fragments by
+/// construction.
 class FragmentBuilder {
  public:
   static Result<FragmentedGraph> Build(
       const Graph& graph, const std::vector<FragmentId>& assignment,
       FragmentId num_fragments);
+
+  /// Derives the shared owner_lid routing table (gid -> local id at its
+  /// owner; inner ids ascend with gid within each fragment) from an owner
+  /// table alone. Both the coordinator and every worker compute this with
+  /// one O(total vertices) pass — it is never shipped.
+  static std::vector<LocalId> OwnerLidTable(
+      const std::vector<FragmentId>& owner, FragmentId num_fragments);
+
+  /// Local-assembly half: fragment `fid`, complete except mirror_dst_lids
+  /// (left kInvalidLocal until resolved). `graph` must contain every edge
+  /// incident to fid's inner vertices, in whole-graph adjacency order;
+  /// extra edges between foreign vertices are ignored. `owner` and
+  /// `owner_lid` must be sized graph.num_vertices().
+  static Result<Fragment> AssembleLocal(
+      const Graph& graph,
+      std::shared_ptr<const std::vector<FragmentId>> owner,
+      std::shared_ptr<const std::vector<LocalId>> owner_lid, FragmentId fid,
+      FragmentId num_fragments);
+
+  /// Exchange half, outbound: for each peer fragment, the (gid, local id
+  /// here) of this fragment's outer vertices owned by that peer. Entry
+  /// [frag.fid()] is always empty (a fragment never mirrors its own
+  /// vertices).
+  static std::vector<std::vector<MirrorLidEntry>> MirrorAnswers(
+      const Fragment& frag);
+
+  /// Exchange half, inbound: fills frag's mirror_dst_lids from the answers
+  /// of peer `from`, i.e. MirrorAnswers(peer)[frag.fid()]. Corruption if an
+  /// answer names a vertex this fragment does not own or does not mirror
+  /// into `from`.
+  static Status ApplyMirrorAnswers(Fragment* frag, FragmentId from,
+                                   const std::vector<MirrorLidEntry>& answers);
+
+  /// Validates that every mirror destination was resolved (call after all
+  /// peers' answers were applied).
+  static Status CheckMirrorsResolved(const Fragment& frag);
 };
 
 }  // namespace grape

@@ -1,0 +1,230 @@
+#include "rt/distributed_load.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "rt/message.h"
+#include "rt/remote_worker.h"
+#include "rt/worker_protocol.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace grape {
+
+namespace {
+
+/// Process-global build token source: every distributed build gets a fresh
+/// token, so stale frames of an abandoned build can never be mistaken for
+/// the current one, and resident fragments of different builds coexist.
+std::atomic<uint64_t>& TokenCounter() {
+  static std::atomic<uint64_t> counter{1};
+  return counter;
+}
+
+/// One coordinator await step (mirrors the engine's CheckRemoteLiveness):
+/// fail fast on a dead transport, Unavailable past the deadline,
+/// otherwise yield with adaptive backoff.
+Status AwaitStep(Transport* world,
+                 const std::chrono::steady_clock::time_point& deadline,
+                 const char* what, uint32_t* idle) {
+  if (!world->healthy()) {
+    return Status::Unavailable(
+        std::string("transport died while awaiting ") + what);
+  }
+  if (std::chrono::steady_clock::now() > deadline) {
+    return Status::Unavailable(std::string("timed out awaiting ") + what);
+  }
+  if (*idle < 40) {
+    ++*idle;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::OK();
+}
+
+/// Collects one `want_tag` frame from every worker rank, invoking
+/// `on_frame(fragment, decoder)` for each. Errors (kTagWkError) abort;
+/// edge- or mirror-bearing frames addressed to rank 0 are a protocol
+/// violation, counted into *data_frames for the purity assertion.
+template <typename OnFrame>
+Status AwaitFromAllWorkers(Transport* world, uint32_t n, uint32_t want_tag,
+                           int timeout_ms, const char* what,
+                           uint64_t* data_frames, OnFrame on_frame) {
+  std::vector<uint8_t> seen(n, 0);
+  uint32_t have = 0;
+  uint32_t idle = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (have < n) {
+    std::optional<RtMessage> msg = world->TryRecv(kCoordinatorRank);
+    if (!msg) {
+      GRAPE_RETURN_NOT_OK(AwaitStep(world, deadline, what, &idle));
+      continue;
+    }
+    idle = 0;
+    if (msg->tag == kTagWkError) {
+      return DecodeWorkerError(msg->payload);
+    }
+    if (msg->tag == kTagWkExchange || msg->tag == kTagWkMirror) {
+      ++*data_frames;  // never happens on a conformant world; see header
+      world->buffer_pool().Release(std::move(msg->payload));
+      continue;
+    }
+    if (msg->tag != want_tag || msg->from < 1 || msg->from > n ||
+        seen[msg->from - 1]) {
+      // Stale frame of an earlier build (or a duplicate): drop.
+      world->buffer_pool().Release(std::move(msg->payload));
+      continue;
+    }
+    Decoder dec(msg->payload);
+    Status s = on_frame(msg->from - 1, dec);
+    world->buffer_pool().Release(std::move(msg->payload));
+    GRAPE_RETURN_NOT_OK(s);
+    seen[msg->from - 1] = 1;
+    have++;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DistributedGraphMeta> DistributedLoad(
+    Transport* world, const DistributedLoadOptions& options) {
+  if (world == nullptr) {
+    return Status::InvalidArgument("distributed load requires a transport");
+  }
+  if (world->size() < 2) {
+    return Status::InvalidArgument(
+        "distributed load needs at least one worker rank");
+  }
+  const uint32_t n = world->size() - 1;
+
+  uint8_t policy = kWkPartitionHash;
+  if (options.partitioner == "explicit") {
+    policy = kWkPartitionExplicit;
+    if (options.assignment.empty()) {
+      return Status::InvalidArgument(
+          "explicit partitioning needs a non-empty assignment");
+    }
+    for (FragmentId f : options.assignment) {
+      if (f >= n) {
+        return Status::InvalidArgument(
+            "assignment references fragment " + std::to_string(f) +
+            " in a world of " + std::to_string(n));
+      }
+    }
+  } else if (options.partitioner != "hash") {
+    return Status::InvalidArgument("unknown distributed partitioner '" +
+                                   options.partitioner +
+                                   "' (hash|explicit)");
+  }
+
+  // Shard ranges: pure file metadata — rank 0 reads at most one line per
+  // cut point to align on a boundary, never an edge.
+  std::vector<ShardRange> ranges;
+  GRAPE_ASSIGN_OR_RETURN(ranges, ComputeShardRanges(options.path, n));
+
+  // A previous build or run on this world may have left worker frames
+  // behind; drain them so they cannot alias into this build.
+  for (uint32_t tag = kTagWkLoad; tag < kTagWkEnd_; ++tag) {
+    for (uint32_t rank = 0; rank <= n; ++rank) {
+      while (auto stale = world->TryRecv(rank, tag)) {
+        world->buffer_pool().Release(std::move(stale->payload));
+      }
+    }
+  }
+  InThreadWorkers in_thread(world, n, !world->has_remote_endpoints());
+
+  DistributedGraphMeta meta;
+  meta.token = TokenCounter().fetch_add(1, std::memory_order_relaxed);
+  meta.num_fragments = n;
+  meta.directed = options.format.directed;
+  meta.shapes.resize(n);
+
+  // Phase 1: shard scan. Every worker reads its byte range and reports
+  // (max gid, edge count); no edge travels here.
+  WallTimer shard_timer;
+  for (uint32_t i = 0; i < n; ++i) {
+    WkShardCommand cmd;
+    cmd.token = meta.token;
+    cmd.path = options.path;
+    cmd.offset = ranges[i].offset;
+    cmd.length = ranges[i].length;
+    cmd.format = options.format;
+    cmd.num_fragments = n;
+    cmd.policy = policy;
+    if (policy == kWkPartitionExplicit) cmd.assignment = options.assignment;
+    Encoder enc(world->buffer_pool().Acquire());
+    cmd.EncodeTo(enc);
+    GRAPE_RETURN_NOT_OK(
+        world->Send(kCoordinatorRank, i + 1, kTagWkShard, enc.TakeBuffer()));
+  }
+  VertexId total = 0;
+  GRAPE_RETURN_NOT_OK(AwaitFromAllWorkers(
+      world, n, kTagWkShardAck, options.timeout_ms, "shard acks",
+      &meta.coordinator_data_frames, [&](uint32_t frag, Decoder& dec) {
+        WkShardAck ack;
+        GRAPE_RETURN_NOT_OK(WkShardAck::DecodeFrom(dec, &ack));
+        if (ack.token != meta.token) {
+          return Status::Internal("shard ack for a different build");
+        }
+        total = std::max(total, ack.max_vertex_plus1);
+        meta.total_edges += ack.num_edges;
+        (void)frag;
+        return Status::OK();
+      }));
+  meta.shard_seconds = shard_timer.ElapsedSeconds();
+
+  if (policy == kWkPartitionExplicit) {
+    if (total > options.assignment.size()) {
+      return Status::InvalidArgument(
+          "assignment covers " + std::to_string(options.assignment.size()) +
+          " vertices but the input names vertex " + std::to_string(total - 1));
+    }
+    // Like LoadEdgeListFile + Partitioner: the vertex universe is the
+    // assignment's domain, padding isolated vertices past the max gid.
+    total = static_cast<VertexId>(options.assignment.size());
+  }
+  meta.total_vertices = total;
+  if (options.verbose) {
+    GRAPE_LOG(kInfo) << "distributed load: " << meta.total_edges
+                     << " edges across " << n << " shards, " << total
+                     << " vertices (" << meta.shard_seconds << "s scan)";
+  }
+
+  // Phase 2: broadcast the vertex count; workers exchange edges, assemble,
+  // resolve mirrors peer-to-peer, and ack their fragment shapes.
+  WallTimer build_timer;
+  for (uint32_t i = 0; i < n; ++i) {
+    Encoder enc(world->buffer_pool().Acquire());
+    enc.WriteU64(meta.token);
+    enc.WriteU32(total);
+    GRAPE_RETURN_NOT_OK(
+        world->Send(kCoordinatorRank, i + 1, kTagWkBuild, enc.TakeBuffer()));
+  }
+  GRAPE_RETURN_NOT_OK(AwaitFromAllWorkers(
+      world, n, kTagWkBuildAck, options.timeout_ms, "build acks",
+      &meta.coordinator_data_frames, [&](uint32_t frag, Decoder& dec) {
+        WkBuildAck ack;
+        GRAPE_RETURN_NOT_OK(WkBuildAck::DecodeFrom(dec, &ack));
+        if (ack.token != meta.token) {
+          return Status::Internal("build ack for a different build");
+        }
+        meta.shapes[frag].num_inner = ack.num_inner;
+        meta.shapes[frag].num_local = ack.num_local;
+        meta.shapes[frag].num_arcs = ack.num_arcs;
+        return Status::OK();
+      }));
+  meta.build_seconds = build_timer.ElapsedSeconds();
+  if (options.verbose) {
+    GRAPE_LOG(kInfo) << "distributed load: fragments resident ("
+                     << meta.build_seconds << "s exchange+assembly)";
+  }
+  return meta;
+}
+
+}  // namespace grape

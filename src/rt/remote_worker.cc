@@ -1,6 +1,9 @@
 #include "rt/remote_worker.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "util/random.h"
 
 namespace grape {
 
@@ -40,6 +43,36 @@ std::vector<std::string> WorkerAppRegistry::Names() const {
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);
   return names;
+}
+
+// --------------------------------------------------------- resident store
+
+ResidentFragmentStore& ResidentFragmentStore::Global() {
+  // Never destroyed, like the registry: worker threads may deposit during
+  // any teardown order.
+  static ResidentFragmentStore& store = *new ResidentFragmentStore();
+  return store;
+}
+
+void ResidentFragmentStore::Put(uint64_t token, uint32_t rank,
+                                std::shared_ptr<const Fragment> fragment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fragments_[{token, rank}] = std::move(fragment);
+}
+
+std::shared_ptr<const Fragment> ResidentFragmentStore::Get(
+    uint64_t token, uint32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fragments_.find({token, rank});
+  return it == fragments_.end() ? nullptr : it->second;
+}
+
+void ResidentFragmentStore::Erase(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fragments_.lower_bound({token, 0});
+  while (it != fragments_.end() && it->first.first == token) {
+    it = fragments_.erase(it);
+  }
 }
 
 // ------------------------------------------------------------ error frame
@@ -99,7 +132,9 @@ Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
   if (!factory.ok()) return EmitError(factory.status());
   std::unique_ptr<WorkerAppServerBase> server = (*factory)();
   check_monotonicity_ = (flags & kWkLoadCheckMonotonicity) != 0;
-  if (Status s = server->Load(dec, rank_, check_monotonicity_); !s.ok()) {
+  const bool resident = (flags & kWkLoadUseResident) != 0;
+  if (Status s = server->Load(dec, rank_, check_monotonicity_, resident);
+      !s.ok()) {
     return EmitError(s);
   }
   server_ = std::move(server);
@@ -200,9 +235,296 @@ Status RemoteWorkerHost::MaybeRunIncEval() {
   return RunPhase(kWkPhaseIncEval, cmd_.round, cmd_.incremental);
 }
 
+// ------------------------------------------------- distributed build steps
+
+namespace {
+
+/// Chunk size for edge exchange: ~28 wire bytes per edge keeps frames
+/// around 1 MB — large enough to amortize the envelope, small enough to
+/// interleave fairly on a shared link.
+constexpr size_t kExchangeChunkEdges = 32 * 1024;
+
+}  // namespace
+
+Status RemoteWorkerHost::HandleShard(const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  WkShardCommand cmd;
+  if (Status s = WkShardCommand::DecodeFrom(dec, &cmd); !s.ok()) {
+    return EmitError(s);
+  }
+  if (cmd.num_fragments == 0 || rank_ == 0 || rank_ > cmd.num_fragments) {
+    return EmitError(Status::InvalidArgument(
+        "shard command for a world of " + std::to_string(cmd.num_fragments) +
+        " fragments reached rank " + std::to_string(rank_)));
+  }
+  // A new shard command replaces any unfinished build (the coordinator
+  // abandoned it); stale frames of the old session are dropped by token.
+  build_.emplace();
+  build_->token = cmd.token;
+  auto shard = ReadEdgeShard(cmd.path,
+                             ShardRange{cmd.offset, cmd.length}, cmd.format);
+  if (!shard.ok()) {
+    build_.reset();
+    return EmitError(shard.status());
+  }
+  build_->shard_edges = std::move(shard->edges);
+  build_->shard_edge_count = build_->shard_edges.size();
+  WkShardAck ack;
+  ack.token = cmd.token;
+  ack.max_vertex_plus1 = shard->max_vertex_plus1;
+  ack.num_edges = build_->shard_edge_count;
+  build_->cmd = std::move(cmd);
+  Encoder enc(pool_->Acquire());
+  ack.EncodeTo(enc);
+  return emit_(kCoordinatorRank, kTagWkShardAck, enc.TakeBuffer());
+}
+
+Status RemoteWorkerHost::HandleBuildCmd(const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  uint64_t token = 0;
+  VertexId total = 0;
+  Status s = dec.ReadU64(&token);
+  if (s.ok()) s = dec.ReadU32(&total);
+  if (!s.ok()) return EmitError(s);
+  if (!build_ || build_->token != token) {
+    return EmitError(Status::FailedPrecondition(
+        "build command for token " + std::to_string(token) +
+        " without a matching shard"));
+  }
+  BuildSession& b = *build_;
+  const uint32_t n = b.cmd.num_fragments;
+  const FragmentId fid = rank_ - 1;
+
+  // Ownership tables, derived locally: the hash policy is pure arithmetic
+  // and the explicit policy shipped with the shard command. owner_lid is
+  // one counting pass — never transmitted.
+  auto owner = std::make_shared<std::vector<FragmentId>>();
+  if (b.cmd.policy == kWkPartitionExplicit) {
+    if (b.cmd.assignment.size() != total) {
+      build_.reset();
+      return EmitError(Status::InvalidArgument(
+          "explicit assignment sized " +
+          std::to_string(b.cmd.assignment.size()) + " for " +
+          std::to_string(total) + " vertices"));
+    }
+    *owner = b.cmd.assignment;
+  } else {
+    owner->resize(total);
+    for (VertexId v = 0; v < total; ++v) {
+      (*owner)[v] = static_cast<FragmentId>(SplitMix64(v) % n);
+    }
+  }
+  b.owner = owner;
+  b.owner_lid = std::make_shared<const std::vector<LocalId>>(
+      FragmentBuilder::OwnerLidTable(*owner, n));
+  b.total_vertices = total;
+
+  // Route the shard: each edge goes to the owner of each endpoint (once
+  // when they coincide). Self-owned edges stay; the rest stream out in
+  // chunks, closed by one final chunk per peer — even an empty one, so
+  // every receiver sees exactly n-1 finals.
+  std::vector<ShardEdge> shard_edges = std::move(b.shard_edges);
+  b.shard_edges.clear();
+  std::vector<std::vector<ShardEdge>> outbound(n);
+  for (const ShardEdge& se : shard_edges) {
+    if (se.edge.src >= total || se.edge.dst >= total) {
+      build_.reset();
+      return EmitError(Status::Corruption(
+          "shard edge endpoint outside the announced vertex count"));
+    }
+    const FragmentId f1 = (*owner)[se.edge.src];
+    const FragmentId f2 = (*owner)[se.edge.dst];
+    if (f1 == fid) {
+      b.edges.push_back(se);
+    } else {
+      outbound[f1].push_back(se);
+    }
+    if (f2 != f1) {
+      if (f2 == fid) {
+        b.edges.push_back(se);
+      } else {
+        outbound[f2].push_back(se);
+      }
+    }
+  }
+  shard_edges.clear();
+  shard_edges.shrink_to_fit();
+  for (FragmentId f = 0; f < n; ++f) {
+    if (f == fid) continue;
+    const std::vector<ShardEdge>& q = outbound[f];
+    size_t sent = 0;
+    do {
+      const size_t count = std::min(kExchangeChunkEdges, q.size() - sent);
+      const bool final = sent + count == q.size();
+      Encoder enc(pool_->Acquire());
+      EncodeExchangeChunk(enc, b.token, final, q.data() + sent, count);
+      GRAPE_RETURN_NOT_OK(emit_(f + 1, kTagWkExchange, enc.TakeBuffer()));
+      sent += count;
+    } while (sent < q.size());
+  }
+  b.exchanging = true;
+  return MaybeAssemble();
+}
+
+Status RemoteWorkerHost::HandleExchange(const std::vector<uint8_t>& payload) {
+  // A chunk with no live session, or a stale token, belongs to an
+  // abandoned build: dropped, not fatal.
+  if (!build_) return Status::OK();
+  Decoder dec(payload);
+  uint64_t token = 0;
+  bool final = false;
+  std::vector<ShardEdge> chunk;
+  if (Status s = DecodeExchangeChunk(dec, &token, &final, &chunk); !s.ok()) {
+    return EmitError(s);
+  }
+  if (token != build_->token) return Status::OK();
+  build_->edges.insert(build_->edges.end(), chunk.begin(), chunk.end());
+  if (final) ++build_->finals_seen;
+  return MaybeAssemble();
+}
+
+Status RemoteWorkerHost::MaybeAssemble() {
+  if (!build_ || !build_->exchanging || build_->assembled) {
+    return Status::OK();
+  }
+  BuildSession& b = *build_;
+  const uint32_t n = b.cmd.num_fragments;
+  if (b.finals_seen < n - 1) return Status::OK();
+  const FragmentId fid = rank_ - 1;
+
+  // Restore whole-file parse order (keys are line byte offsets), so the
+  // mini-graph's inner adjacency rows match a coordinator build bit for
+  // bit.
+  std::sort(b.edges.begin(), b.edges.end(),
+            [](const ShardEdge& x, const ShardEdge& y) {
+              return x.key < y.key;
+            });
+  GraphBuilder builder(b.cmd.format.directed);
+  builder.ReserveEdges(b.edges.size());
+  for (const ShardEdge& se : b.edges) builder.AddEdge(se.edge);
+  b.edges.clear();
+  b.edges.shrink_to_fit();
+  auto graph = std::move(builder).Build(b.total_vertices);
+  if (!graph.ok()) {
+    build_.reset();
+    return EmitError(graph.status());
+  }
+  auto frag = FragmentBuilder::AssembleLocal(*graph, b.owner, b.owner_lid,
+                                             fid, n);
+  if (!frag.ok()) {
+    build_.reset();
+    return EmitError(frag.status());
+  }
+  b.fragment = std::make_shared<Fragment>(std::move(frag).value());
+  b.assembled = true;
+
+  // Mirror answers: one frame to every peer (possibly empty), the static
+  // expectation that doubles as this step's delivery barrier.
+  auto answers = FragmentBuilder::MirrorAnswers(*b.fragment);
+  for (FragmentId f = 0; f < n; ++f) {
+    if (f == fid) continue;
+    Encoder enc(pool_->Acquire());
+    enc.WriteU64(b.token);
+    enc.WriteVarint(answers[f].size());
+    for (const MirrorLidEntry& e : answers[f]) enc.WriteU32(e.gid);
+    for (const MirrorLidEntry& e : answers[f]) enc.WriteU32(e.lid);
+    GRAPE_RETURN_NOT_OK(emit_(f + 1, kTagWkMirror, enc.TakeBuffer()));
+  }
+
+  // Answers that raced ahead of our assembly.
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> early =
+      std::move(b.early_mirrors);
+  b.early_mirrors.clear();
+  for (auto& [from, buffered] : early) {
+    GRAPE_RETURN_NOT_OK(ApplyMirrorFrame(from, buffered));
+    if (!build_) return Status::OK();  // a corrupt frame ended the session
+  }
+  return MaybeFinishBuild();
+}
+
+Status RemoteWorkerHost::ApplyMirrorFrame(
+    uint32_t from, const std::vector<uint8_t>& payload) {
+  BuildSession& b = *build_;
+  Decoder dec(payload);
+  uint64_t token = 0;
+  if (Status s = dec.ReadU64(&token); !s.ok()) return EmitError(s);
+  if (token != b.token) return Status::OK();  // stale session, drop
+  uint64_t count = 0;
+  if (Status s = dec.ReadVarint(&count); !s.ok()) return EmitError(s);
+  std::vector<MirrorLidEntry> answers(count);
+  Status s = Status::OK();
+  for (uint64_t i = 0; i < count && s.ok(); ++i) {
+    s = dec.ReadU32(&answers[i].gid);
+  }
+  for (uint64_t i = 0; i < count && s.ok(); ++i) {
+    s = dec.ReadU32(&answers[i].lid);
+  }
+  if (s.ok()) {
+    s = FragmentBuilder::ApplyMirrorAnswers(b.fragment.get(), from - 1,
+                                            answers);
+  }
+  if (!s.ok()) {
+    build_.reset();
+    return EmitError(s);
+  }
+  ++b.mirrors_seen;
+  return Status::OK();
+}
+
+Status RemoteWorkerHost::HandleMirror(uint32_t from,
+                                      std::vector<uint8_t> payload) {
+  if (!build_) return Status::OK();  // stale frame of an abandoned build
+  if (!build_->assembled) {
+    build_->early_mirrors.emplace_back(from, std::move(payload));
+    return Status::OK();
+  }
+  GRAPE_RETURN_NOT_OK(ApplyMirrorFrame(from, payload));
+  if (!build_) return Status::OK();
+  return MaybeFinishBuild();
+}
+
+Status RemoteWorkerHost::MaybeFinishBuild() {
+  BuildSession& b = *build_;
+  if (!b.assembled || b.mirrors_seen < b.cmd.num_fragments - 1) {
+    return Status::OK();
+  }
+  if (Status s = FragmentBuilder::CheckMirrorsResolved(*b.fragment);
+      !s.ok()) {
+    build_.reset();
+    return EmitError(s);
+  }
+  WkBuildAck ack;
+  ack.token = b.token;
+  ack.num_inner = b.fragment->num_inner();
+  ack.num_local = b.fragment->num_local();
+  ack.num_arcs = b.fragment->num_edges();
+  ResidentFragmentStore::Global().Put(b.token, rank_, std::move(b.fragment));
+  Encoder enc(pool_->Acquire());
+  ack.EncodeTo(enc);
+  build_.reset();
+  return emit_(kCoordinatorRank, kTagWkBuildAck, enc.TakeBuffer());
+}
+
 Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
                                  std::vector<uint8_t> payload) {
   switch (tag) {
+    case kTagWkShard: {
+      Status s = HandleShard(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkBuild: {
+      Status s = HandleBuildCmd(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkExchange: {
+      Status s = HandleExchange(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkMirror:
+      return HandleMirror(from, std::move(payload));
     case kTagWkLoad: {
       Status s = HandleLoad(payload);
       pool_->Release(std::move(payload));

@@ -36,6 +36,29 @@ struct WorkerPhaseOutput {
   double global = 0.0;
 };
 
+/// Process-wide store of fragments assembled by distributed builds
+/// (rt/distributed_load.h), keyed by (build token, worker rank). A
+/// kTagWkLoad frame flagged kWkLoadUseResident attaches to an entry
+/// instead of decoding a shipped fragment, so the graph never leaves the
+/// endpoint process. Entries are shared_ptrs: a loaded WorkerCore keeps
+/// its fragment alive even across later builds.
+class ResidentFragmentStore {
+ public:
+  static ResidentFragmentStore& Global();
+
+  void Put(uint64_t token, uint32_t rank,
+           std::shared_ptr<const Fragment> fragment);
+  std::shared_ptr<const Fragment> Get(uint64_t token, uint32_t rank) const;
+  /// Drops every rank's entry for one build (frees the graph once no
+  /// loaded worker references it).
+  void Erase(uint64_t token);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<uint64_t, uint32_t>, std::shared_ptr<const Fragment>>
+      fragments_;
+};
+
 /// Type-erased worker for one (app, fragment) pair — the virtual seam
 /// between the generic protocol host below and the templated
 /// WorkerCore<App> compute. Instantiated by name through
@@ -47,9 +70,11 @@ class WorkerAppServerBase {
 
   /// Decodes query + fragment (the name and flags were already consumed)
   /// and initializes the parameter store. `rank` is this worker's
-  /// transport rank; the shipped fragment must be fragment rank-1.
-  virtual Status Load(Decoder& dec, uint32_t rank,
-                      bool check_monotonicity) = 0;
+  /// transport rank; the shipped fragment must be fragment rank-1. When
+  /// `resident` is set the frame carries a build token instead of a
+  /// fragment, resolved through ResidentFragmentStore.
+  virtual Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity,
+                      bool resident) = 0;
   virtual Status PEval(BufferPool& pool, WorkerPhaseOutput* out) = 0;
   virtual void BeginApply() = 0;
   virtual Status ApplyFrame(const std::vector<uint8_t>& payload) = 0;
@@ -67,15 +92,30 @@ class WorkerServer final : public WorkerAppServerBase {
  public:
   using Query = typename App::QueryType;
 
-  Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity) override {
+  Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity,
+              bool resident) override {
     GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
-    GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
-    if (frag_.fid() + 1 != rank) {
+    if (resident) {
+      uint64_t token = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU64(&token));
+      resident_ = ResidentFragmentStore::Global().Get(token, rank);
+      if (resident_ == nullptr) {
+        return Status::NotFound(
+            "no resident fragment for build token " + std::to_string(token) +
+            " at rank " + std::to_string(rank) +
+            " (was the distributed load run on this world?)");
+      }
+    } else {
+      GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
+      resident_.reset();
+    }
+    const Fragment& frag = resident_ ? *resident_ : frag_;
+    if (frag.fid() + 1 != rank) {
       return Status::InvalidArgument(
-          "fragment " + std::to_string(frag_.fid()) + " shipped to rank " +
+          "fragment " + std::to_string(frag.fid()) + " shipped to rank " +
           std::to_string(rank) + " (worker rank must be fid + 1)");
     }
-    core_.emplace(frag_, App{});
+    core_.emplace(frag, App{});
     core_->Reset(check_monotonicity);
     return Status::OK();
   }
@@ -107,7 +147,9 @@ class WorkerServer final : public WorkerAppServerBase {
     return core_->ShouldTerminate(round, global);
   }
 
-  uint32_t num_fragments() const override { return frag_.num_fragments(); }
+  uint32_t num_fragments() const override {
+    return (resident_ ? *resident_ : frag_).num_fragments();
+  }
 
  private:
   Status FlushInto(BufferPool& pool, WorkerPhaseOutput* out) {
@@ -126,6 +168,9 @@ class WorkerServer final : public WorkerAppServerBase {
 
   Query query_{};
   Fragment frag_;
+  /// Set instead of frag_ for resident loads; shared with the store so the
+  /// core's fragment outlives later builds.
+  std::shared_ptr<const Fragment> resident_;
   std::optional<WorkerCore<App>> core_;
 };
 
@@ -201,6 +246,18 @@ class RemoteWorkerHost {
   Status EmitError(const Status& error);
   Status EmitAck(const WorkerAck& ack);
 
+  // Distributed build steps (kTagWkShard .. kTagWkBuildAck).
+  Status HandleShard(const std::vector<uint8_t>& payload);
+  Status HandleBuildCmd(const std::vector<uint8_t>& payload);
+  Status HandleExchange(const std::vector<uint8_t>& payload);
+  Status HandleMirror(uint32_t from, std::vector<uint8_t> payload);
+  /// Assembles the fragment once the build command arrived and every
+  /// peer's final exchange chunk is in; sends mirror answers.
+  Status MaybeAssemble();
+  Status ApplyMirrorFrame(uint32_t from, const std::vector<uint8_t>& payload);
+  /// Deposits the fragment and acks once every peer answered.
+  Status MaybeFinishBuild();
+
   uint32_t rank_;
   Emit emit_;
   BufferPool owned_pool_;
@@ -218,6 +275,32 @@ class RemoteWorkerHost {
   std::vector<PendingFrame> pending_;  // arrival order preserved
   bool inc_pending_ = false;
   IncEvalCommand cmd_;
+
+  /// One in-flight distributed build. Independent of the compute state
+  /// above: a world can build the next graph while a loaded worker idles.
+  struct BuildSession {
+    uint64_t token = 0;
+    WkShardCommand cmd;
+    /// Own shard, staged until the build command routes it. Kept apart
+    /// from `edges`: exchange chunks from fast peers can land before our
+    /// own build command, and must never be re-routed as shard input.
+    std::vector<ShardEdge> shard_edges;
+    /// Exchange chunks and self-owned edges accumulate here until
+    /// assembly.
+    std::vector<ShardEdge> edges;
+    uint64_t shard_edge_count = 0;
+    VertexId total_vertices = 0;
+    bool exchanging = false;   // build command processed, shard routed
+    uint32_t finals_seen = 0;  // peers whose last exchange chunk arrived
+    bool assembled = false;
+    uint32_t mirrors_seen = 0;  // peers whose mirror answers were applied
+    std::shared_ptr<const std::vector<FragmentId>> owner;
+    std::shared_ptr<const std::vector<LocalId>> owner_lid;
+    std::shared_ptr<Fragment> fragment;
+    /// Mirror frames from peers that assembled before we did.
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> early_mirrors;
+  };
+  std::optional<BuildSession> build_;
 };
 
 /// Encodes/decodes the kTagWkError payload.

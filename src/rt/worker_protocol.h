@@ -2,9 +2,12 @@
 #define GRAPE_RT_WORKER_PROTOCOL_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "graph/io.h"
+#include "graph/types.h"
 #include "util/serializer.h"
 #include "util/status.h"
 
@@ -76,7 +79,19 @@ enum WorkerProtocolTag : uint32_t {
   kTagWkVote = 0x10b,     // ShouldTerminate verdict
   kTagWkPartial = 0x10c,  // encoded partial answer
   kTagWkError = 0x10d,    // worker-side failure, payload = message
-  kTagWkEnd_,             // exclusive upper bound
+
+  // Distributed graph build (rt/distributed_load.h): rank 0 orchestrates,
+  // each worker reads its byte-range shard of the edge-list file, streams
+  // every edge to the owners of its endpoints, assembles its own fragment,
+  // and exchanges mirror placements peer-to-peer. Rank 0 only ever sees
+  // shard metadata and shape acks — never edges or fragments.
+  kTagWkShard = 0x10e,     // 0 -> r: build session start + shard descriptor
+  kTagWkShardAck = 0x10f,  // r -> 0: shard scanned (max gid, edge count)
+  kTagWkBuild = 0x110,     // 0 -> r: global vertex count; begin exchange
+  kTagWkExchange = 0x111,  // r -> s: owned-edge records (+ final marker)
+  kTagWkMirror = 0x112,    // r -> s: mirror placement answers, one frame
+  kTagWkBuildAck = 0x113,  // r -> 0: fragment resident (token + shape)
+  kTagWkEnd_,              // exclusive upper bound
 };
 
 /// True for every frame of the worker protocol. Endpoint processes divert
@@ -103,6 +118,14 @@ inline constexpr uint8_t kWkPhaseIncEval = 3;
 
 /// Flag bits inside kTagWkLoad.
 inline constexpr uint8_t kWkLoadCheckMonotonicity = 1u << 0;
+/// The load frame carries a resident-fragment token (u64) instead of a
+/// serialized fragment: the worker attaches to the fragment a distributed
+/// build (kTagWkShard..kTagWkBuildAck) left in its process-local store.
+inline constexpr uint8_t kWkLoadUseResident = 1u << 1;
+
+/// Vertex-ownership policies a distributed build can apply locally.
+inline constexpr uint8_t kWkPartitionHash = 0;      // SplitMix64(gid) % n
+inline constexpr uint8_t kWkPartitionExplicit = 1;  // shipped assignment
 
 /// One phase-completion report. Every counter the local engine derives by
 /// looking at its in-process worker state travels here instead: dirty
@@ -171,6 +194,147 @@ struct WorkerAck {
     return Status::OK();
   }
 };
+
+/// kTagWkShard payload: everything a worker needs to read its slice of the
+/// input and know the ownership policy. For the explicit policy the full
+/// assignment rides along (total vertices are implied by its size); for
+/// hash the worker derives ownership from the vertex count announced later
+/// in kTagWkBuild.
+struct WkShardCommand {
+  uint64_t token = 0;
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  EdgeListFormat format;
+  uint32_t num_fragments = 0;
+  uint8_t policy = kWkPartitionHash;
+  std::vector<FragmentId> assignment;  // kWkPartitionExplicit only
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU64(token);
+    enc.WriteString(path);
+    enc.WriteU64(offset);
+    enc.WriteU64(length);
+    enc.WriteBool(format.directed);
+    enc.WriteBool(format.has_weight);
+    enc.WriteBool(format.has_label);
+    enc.WriteU8(static_cast<uint8_t>(format.comment_char));
+    enc.WriteU32(num_fragments);
+    enc.WriteU8(policy);
+    if (policy == kWkPartitionExplicit) enc.WritePodVector(assignment);
+  }
+
+  static Status DecodeFrom(Decoder& dec, WkShardCommand* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->token));
+    GRAPE_RETURN_NOT_OK(dec.ReadString(&out->path));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->offset));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->length));
+    GRAPE_RETURN_NOT_OK(dec.ReadBool(&out->format.directed));
+    GRAPE_RETURN_NOT_OK(dec.ReadBool(&out->format.has_weight));
+    GRAPE_RETURN_NOT_OK(dec.ReadBool(&out->format.has_label));
+    uint8_t comment = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadU8(&comment));
+    out->format.comment_char = static_cast<char>(comment);
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->num_fragments));
+    GRAPE_RETURN_NOT_OK(dec.ReadU8(&out->policy));
+    out->assignment.clear();
+    if (out->policy == kWkPartitionExplicit) {
+      GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&out->assignment));
+    }
+    return Status::OK();
+  }
+};
+
+/// kTagWkShardAck payload: the shard scan summary rank 0 folds into the
+/// global vertex count. No edge ever travels to rank 0.
+struct WkShardAck {
+  uint64_t token = 0;
+  VertexId max_vertex_plus1 = 0;
+  uint64_t num_edges = 0;
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU64(token);
+    enc.WriteU32(max_vertex_plus1);
+    enc.WriteU64(num_edges);
+  }
+
+  static Status DecodeFrom(Decoder& dec, WkShardAck* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->token));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->max_vertex_plus1));
+    return dec.ReadU64(&out->num_edges);
+  }
+};
+
+/// kTagWkBuildAck payload: the assembled fragment's shape, so the engine
+/// can size its routing batches without ever holding the fragment.
+struct WkBuildAck {
+  uint64_t token = 0;
+  LocalId num_inner = 0;
+  LocalId num_local = 0;
+  uint64_t num_arcs = 0;
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU64(token);
+    enc.WriteU32(num_inner);
+    enc.WriteU32(num_local);
+    enc.WriteU64(num_arcs);
+  }
+
+  static Status DecodeFrom(Decoder& dec, WkBuildAck* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->token));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->num_inner));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->num_local));
+    return dec.ReadU64(&out->num_arcs);
+  }
+};
+
+/// Encodes a kTagWkExchange chunk: shard edges as parallel pod spans (the
+/// ShardEdge struct has padding, so it never ships raw). `final` marks the
+/// sender's last chunk to this destination; every worker sends at least one
+/// final chunk to every peer, which is the receiver's delivery barrier.
+inline void EncodeExchangeChunk(Encoder& enc, uint64_t token, bool final,
+                                const ShardEdge* edges, size_t n) {
+  enc.WriteU64(token);
+  enc.WriteBool(final);
+  enc.WriteVarint(n);
+  for (size_t i = 0; i < n; ++i) enc.WriteU64(edges[i].key);
+  for (size_t i = 0; i < n; ++i) enc.WriteU32(edges[i].edge.src);
+  for (size_t i = 0; i < n; ++i) enc.WriteU32(edges[i].edge.dst);
+  for (size_t i = 0; i < n; ++i) enc.WriteDouble(edges[i].edge.weight);
+  for (size_t i = 0; i < n; ++i) enc.WriteU32(edges[i].edge.label);
+}
+
+/// Decodes a kTagWkExchange chunk, appending to `out`.
+inline Status DecodeExchangeChunk(Decoder& dec, uint64_t* token, bool* final,
+                                  std::vector<ShardEdge>* out) {
+  GRAPE_RETURN_NOT_OK(dec.ReadU64(token));
+  GRAPE_RETURN_NOT_OK(dec.ReadBool(final));
+  uint64_t n = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+  constexpr size_t kWireBytes = sizeof(uint64_t) + 2 * sizeof(VertexId) +
+                                sizeof(EdgeWeight) + sizeof(Label);
+  if (n > dec.Remaining() / kWireBytes) {
+    return Status::Corruption("exchange chunk overruns its payload");
+  }
+  const size_t base = out->size();
+  out->resize(base + n);
+  for (size_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&(*out)[base + i].key));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&(*out)[base + i].edge.src));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&(*out)[base + i].edge.dst));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadDouble(&(*out)[base + i].edge.weight));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&(*out)[base + i].edge.label));
+  }
+  return Status::OK();
+}
 
 /// The engine's per-round IncEval order. `apply_frames` tells the worker
 /// how many coordinator batches (kTagWkApply) belong to this round, and

@@ -84,6 +84,207 @@ TEST_F(IoTest, MissingFileIsIOError) {
   EXPECT_TRUE(g.status().IsIOError());
 }
 
+// ----------------------------------------------------------- shard reader
+
+// Reads every shard of `path` under `ranges` and checks the union against
+// a whole-file LoadEdgeListFile: byte-range splitting must never drop or
+// duplicate an edge, and the exchange keys (line byte offsets) must
+// restore exact whole-file parse order.
+void ExpectShardsCoverFile(const std::string& path,
+                           const std::vector<ShardRange>& ranges,
+                           const EdgeListFormat& format) {
+  std::vector<ShardEdge> merged;
+  for (const ShardRange& r : ranges) {
+    auto shard = ReadEdgeShard(path, r, format);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    merged.insert(merged.end(), shard->edges.begin(), shard->edges.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ShardEdge& a, const ShardEdge& b) {
+              return a.key < b.key;
+            });
+  for (size_t i = 1; i < merged.size(); ++i) {
+    ASSERT_LT(merged[i - 1].key, merged[i].key)
+        << "duplicate line offset across shards";
+  }
+  // Reference: the whole file parsed as a single shard — file order with
+  // byte-offset keys, the exact stream the splits must reassemble into.
+  // (Graph::ToEdgeList would reorder into CSR order, hiding drops that
+  // happen to preserve the multiset.)
+  std::ifstream in(path, std::ios::binary);
+  in.seekg(0, std::ios::end);
+  ShardRange all{0, static_cast<uint64_t>(in.tellg())};
+  auto whole = ReadEdgeShard(path, all, format);
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  const auto& expect = whole->edges;
+  ASSERT_EQ(merged.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(merged[i].key, expect[i].key) << "edge " << i << " diverged";
+    EXPECT_EQ(merged[i].edge.src, expect[i].edge.src) << "edge " << i;
+    EXPECT_EQ(merged[i].edge.dst, expect[i].edge.dst) << "edge " << i;
+    EXPECT_EQ(merged[i].edge.weight, expect[i].edge.weight) << "edge " << i;
+    EXPECT_EQ(merged[i].edge.label, expect[i].edge.label) << "edge " << i;
+  }
+  // Cross-check the single-shard path against the canonical loader: the
+  // same lines must survive both (count + vertex horizon).
+  auto graph = LoadEdgeListFile(path, format);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(expect.size(), graph->num_edges());
+  EXPECT_EQ(whole->max_vertex_plus1, graph->num_vertices());
+}
+
+TEST_F(IoTest, ShardRangesTileTheFile) {
+  std::string path = TempPath("shard_tile.txt");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n";
+    for (int i = 0; i < 97; ++i) out << i << " " << (i * 7 + 1) % 100 << "\n";
+  }
+  EdgeListFormat format;
+  for (uint32_t shards : {1u, 2u, 3u, 5u, 8u, 13u, 64u}) {
+    auto ranges = ComputeShardRanges(path, shards);
+    ASSERT_TRUE(ranges.ok());
+    ASSERT_EQ(ranges->size(), shards);
+    uint64_t pos = 0;
+    for (const ShardRange& r : *ranges) {
+      EXPECT_EQ(r.offset, pos) << "ranges must tile without gap or overlap";
+      pos = r.offset + r.length;
+    }
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(0, std::ios::end);
+    EXPECT_EQ(pos, static_cast<uint64_t>(in.tellg()));
+    ExpectShardsCoverFile(path, *ranges, format);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ShardSplitsNeverDropOrDuplicateFuzz) {
+  // Fuzz: random line lengths (1- to 7-digit ids), interleaved comments
+  // and blank lines, with and without a trailing newline, over many shard
+  // counts — including cut points landing on every byte class.
+  EdgeListFormat format;
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 12; ++round) {
+    std::string path = TempPath("shard_fuzz_" + std::to_string(round));
+    {
+      std::ofstream out(path);
+      const int lines = 20 + static_cast<int>(next() % 300);
+      for (int i = 0; i < lines; ++i) {
+        switch (next() % 8) {
+          case 0:
+            out << "# noise " << next() % 1000 << "\n";
+            break;
+          case 1:
+            out << "\n";
+            break;
+          default:
+            out << next() % 2000000 << " " << next() % 2000000 << "\n";
+            break;
+        }
+      }
+      if (round % 2 == 0) out << next() % 100 << " " << next() % 100;
+      // (odd rounds end with a newline, even rounds without one)
+    }
+    for (uint32_t shards = 1; shards <= 9; ++shards) {
+      auto ranges = ComputeShardRanges(path, shards);
+      ASSERT_TRUE(ranges.ok());
+      ExpectShardsCoverFile(path, *ranges, format);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(IoTest, ShardEmptyRangesAndTinyFiles) {
+  std::string path = TempPath("shard_tiny.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  EdgeListFormat format;
+  // Far more shards than lines: later shards must come back empty, and
+  // the single edge must appear exactly once.
+  auto ranges = ComputeShardRanges(path, 16);
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(ranges->size(), 16u);
+  ExpectShardsCoverFile(path, *ranges, format);
+  size_t nonempty = 0;
+  for (const ShardRange& r : *ranges) {
+    auto shard = ReadEdgeShard(path, r, format);
+    ASSERT_TRUE(shard.ok());
+    if (!shard->edges.empty()) {
+      nonempty++;
+      EXPECT_EQ(shard->max_vertex_plus1, 2u);
+    } else {
+      EXPECT_EQ(shard->max_vertex_plus1, 0u);
+    }
+  }
+  EXPECT_EQ(nonempty, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ShardOfEmptyAndCommentOnlyFiles) {
+  EdgeListFormat format;
+  {
+    std::string path = TempPath("shard_empty.txt");
+    std::ofstream(path).flush();
+    auto ranges = ComputeShardRanges(path, 4);
+    ASSERT_TRUE(ranges.ok());
+    for (const ShardRange& r : *ranges) {
+      EXPECT_EQ(r.length, 0u);
+      auto shard = ReadEdgeShard(path, r, format);
+      ASSERT_TRUE(shard.ok());
+      EXPECT_TRUE(shard->edges.empty());
+    }
+    std::remove(path.c_str());
+  }
+  {
+    std::string path = TempPath("shard_comments.txt");
+    {
+      std::ofstream out(path);
+      out << "# a\n# b\n\n  \n# c\n";
+    }
+    auto ranges = ComputeShardRanges(path, 3);
+    ASSERT_TRUE(ranges.ok());
+    ExpectShardsCoverFile(path, *ranges, format);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(IoTest, ShardMalformedLineSurfacesCorruption) {
+  std::string path = TempPath("shard_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot an edge\n2 3\n";
+  }
+  EdgeListFormat format;
+  auto ranges = ComputeShardRanges(path, 2);
+  ASSERT_TRUE(ranges.ok());
+  bool saw_corruption = false;
+  for (const ShardRange& r : *ranges) {
+    auto shard = ReadEdgeShard(path, r, format);
+    if (!shard.ok()) {
+      EXPECT_TRUE(shard.status().IsCorruption());
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, ShardRangesRejectBadArguments) {
+  EXPECT_FALSE(ComputeShardRanges("/nonexistent/grape/file.txt", 2).ok());
+  std::string path = TempPath("shard_zero.txt");
+  std::ofstream(path) << "0 1\n";
+  EXPECT_FALSE(ComputeShardRanges(path, 0).ok());
+  std::remove(path.c_str());
+}
+
 TEST_F(IoTest, BinaryRoundTripWithLabels) {
   LabeledGraphOptions opts;
   opts.scale = 7;

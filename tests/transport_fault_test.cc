@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "apps/sssp.h"
+#include "graph/io.h"
 #include "gtest/gtest.h"
 #include "rt/comm_world.h"
+#include "rt/distributed_load.h"
 #include "rt/flaky_transport.h"
 #include "rt/remote_worker.h"
 #include "rt/socket_transport.h"
@@ -438,6 +440,62 @@ TEST(TransportFaultTest, RemoteComputeSendFailureReachesRunCaller) {
   auto out = engine.Run(SsspQuery{3});
   ASSERT_FALSE(out.ok()) << "engine swallowed an injected Send failure";
   EXPECT_TRUE(out.status().IsUnavailable()) << out.status();
+}
+
+/// A worker endpoint SIGKILLed during a distributed graph build
+/// (rt/distributed_load.h): the coordinator's await loops must surface a
+/// Status within bounded time — never hang on the missing shard or build
+/// ack. The endpoint dies before its shard command arrives, so the kill
+/// verifiably lands mid-protocol.
+void KillEndpointMidDistributedLoad(const std::string& backend) {
+  Graph g = testing::ScenarioGraph("grid");
+  std::string path = ::testing::TempDir() + "/grape_fault_dist_" + backend +
+                     "_" + std::to_string(getpid()) + ".txt";
+  ASSERT_TRUE(SaveEdgeListFile(g, path).ok());
+
+  auto made = MakeTransport(backend, 5);
+  ASSERT_TRUE(made.ok()) << made.status();
+  Transport* transport = made->get();
+  std::vector<pid_t> pids;
+  if (auto* st = dynamic_cast<SocketTransport*>(transport)) {
+    pids = st->endpoint_pids();
+  } else if (auto* tt = dynamic_cast<TcpTransport*>(transport)) {
+    pids = tt->endpoint_pids();
+  }
+  ASSERT_EQ(pids.size(), 5u) << backend << " did not fork real endpoints";
+  ASSERT_EQ(kill(pids[2], SIGKILL), 0);
+  ASSERT_EQ(waitpid(pids[2], nullptr, 0), pids[2]);
+
+  DistributedLoadOptions opt;
+  opt.path = path;
+  opt.format.directed = true;
+  opt.format.has_weight = true;
+  opt.format.has_label = true;
+  opt.timeout_ms = 30000;
+  auto fut = std::async(std::launch::async, [transport, &opt] {
+    return DistributedLoad(transport, opt);
+  });
+  if (fut.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+    ADD_FAILURE() << backend
+                  << ": distributed load hung on a killed endpoint";
+    std::fflush(nullptr);
+    std::abort();
+  }
+  auto meta = fut.get();
+  ASSERT_FALSE(meta.ok())
+      << backend << ": distributed load reported success although a "
+      << "worker endpoint was dead";
+  const Status& st = meta.status();
+  EXPECT_TRUE(st.IsUnavailable() || st.IsCancelled() || st.IsIOError()) << st;
+  std::remove(path.c_str());
+}
+
+TEST(TransportFaultTest, KilledSocketEndpointMidDistributedLoad) {
+  KillEndpointMidDistributedLoad("socket");
+}
+
+TEST(TransportFaultTest, KilledTcpEndpointMidDistributedLoad) {
+  KillEndpointMidDistributedLoad("tcp");
 }
 
 TEST(TransportFaultTest, KilledTcpEndpointFailsDirectTransportOpsToo) {
