@@ -243,6 +243,24 @@ int Run(int argc, char** argv) {
   const size_t compute_base = table.size();
   table.push_back(compute_row("local", nullptr));
   table.push_back(compute_row("remote", &remote_metrics));
+  // The fault-tolerance pair: the remote-compute row just above is the
+  // checkpoint-off baseline; this row re-runs it with a checkpoint every
+  // superstep (the worst-case cadence). The delta is pure checkpoint
+  // cost — comm counters must not move, because checkpoint frames are
+  // control traffic and invisible to CommStats by design. The time ratio
+  // is reported warn-only: it tracks serialization throughput, which is
+  // machine-dependent, so it must never gate CI.
+  EngineMetrics ckpt_metrics;
+  const size_t ckpt_base = table.size();
+  {
+    std::unique_ptr<Transport> world = make_world(transport);
+    EngineOptions options;
+    options.transport = world.get();
+    options.remote_app = "sssp";
+    options.checkpoint.every_k = 1;
+    table.push_back(RunGrapeSssp(grid_fg, source, expected, options,
+                                 "GRAPE (ckpt every 1)", &ckpt_metrics));
+  }
   PrintSystemTable(table);
 
   // Load-phase rows: time-to-fragments-resident per (load mode,
@@ -309,6 +327,26 @@ int Run(int argc, char** argv) {
           static_cast<long long>(local_row.bytes),
       static_cast<int>(remote_row.supersteps) -
           static_cast<int>(local_row.supersteps));
+
+  const SystemRow& ckpt_row = table[ckpt_base];
+  std::printf("\nCheckpoint row (%s transport, remote compute, every "
+              "superstep):\n",
+              transport.c_str());
+  std::printf(
+      "  time  ratio ckpt/remote = %7.2fx  comm delta = %lld B (must be 0)"
+      "  ckpts=%u ckpt_bytes=%llu ckpt=%.3fs\n",
+      ckpt_row.seconds / remote_row.seconds,
+      static_cast<long long>(ckpt_row.bytes) -
+          static_cast<long long>(remote_row.bytes),
+      ckpt_metrics.checkpoints,
+      static_cast<unsigned long long>(ckpt_metrics.checkpoint_bytes),
+      ckpt_metrics.checkpoint_seconds);
+  if (ckpt_row.seconds > 3.0 * remote_row.seconds) {
+    std::printf("  WARN: per-superstep checkpointing cost %.1fx the "
+                "checkpoint-off run (warn-only; serialization throughput "
+                "is machine-dependent)\n",
+                ckpt_row.seconds / remote_row.seconds);
+  }
 
   Report report("table1_sssp");
   AddSystemTable(table, &report);

@@ -3,6 +3,7 @@
 //   grape_cli --graph=<kind> [--scale=N|--rows=R --cols=C]
 //             [--partitioner=<name>|auto] --workers=N
 //             [--load=coordinator|distributed]
+//             [--ckpt-every=N] [--ckpt-dir=DIR]
 //             <app> [k=v ...]
 //
 // Graph kinds: rmat, grid, er, community, labeled, social, ratings, or a
@@ -20,6 +21,13 @@
 // this is the path that scales past one machine's RAM; generated graphs
 // and explicit partitioners still materialize once at rank 0 to write the
 // file or compute the assignment.
+//
+// --ckpt-every=N checkpoints worker state every N supersteps so a killed
+// worker endpoint can be respawned and the run replayed bit-identically
+// from the last completed checkpoint. Checkpointing needs the workers to
+// own the state, so it requires --load=distributed (remote compute).
+// Images live in rank 0's memory unless --ckpt-dir=DIR persists one file
+// per worker under DIR.
 //
 // Examples:
 //   grape_cli --graph=grid --rows=200 --cols=200 --workers=8 sssp source=0
@@ -227,6 +235,9 @@ int RunDistributed(const FlagParser& flags, const std::string& app_name,
   options.transport = world->get();
   options.remote_app = app_name;
   options.load_mode = "distributed";
+  options.checkpoint.every_k =
+      static_cast<uint32_t>(flags.GetInt("ckpt-every", 0));
+  options.checkpoint.dir = flags.GetString("ckpt-dir", "");
   std::printf("running '%s' (%s) on %u workers over %s (remote compute)...\n",
               app->name.c_str(), app->description.c_str(), workers,
               transport.c_str());
@@ -277,6 +288,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "usage: grape_cli --graph=<kind> [--workers=N] "
                          "[--transport=inproc|socket|tcp] "
                          "[--load=coordinator|distributed] "
+                         "[--ckpt-every=N --ckpt-dir=DIR] "
                          "[--rank=N --hosts=a:p,b:p,...] "
                          "<app> [k=v ...]\nregistered apps:");
     for (const std::string& name : AppRegistry::Global().Names()) {
@@ -292,6 +304,12 @@ int Run(int argc, char** argv) {
   const std::string load = flags.GetString("load", "coordinator");
   if (load != "coordinator" && load != "distributed") {
     std::fprintf(stderr, "--load must be coordinator or distributed\n");
+    return 2;
+  }
+  if (flags.GetInt("ckpt-every", 0) > 0 && load != "distributed") {
+    std::fprintf(stderr,
+                 "--ckpt-every checkpoints worker state, so the workers "
+                 "must own the state: pass --load=distributed\n");
     return 2;
   }
   if (load == "distributed") {

@@ -10,6 +10,7 @@
 //   ./build/quickstart [--transport=inproc|socket|tcp]
 //                      [--compute=local|remote]
 //                      [--load=coordinator|distributed]
+//                      [--ckpt-every=N] [--ckpt-dir=DIR]
 //
 // --transport picks the message-passing substrate: "inproc" (default)
 // keeps every rank in this process; "socket" forks one endpoint process
@@ -32,6 +33,20 @@
 // (requires --compute=remote; the file path must be readable by every
 // endpoint, which auto-spawned local worlds always satisfy).
 //
+// --ckpt-every=N checkpoints worker state every N supersteps so a
+// SIGKILLed worker can be respawned and the run replayed bit-identically
+// from the last completed checkpoint (requires --compute=remote).
+// Checkpoints live in coordinator memory by default; --ckpt-dir=DIR
+// writes one file per worker under DIR instead.
+//
+// --chaos-kill-rank=R demonstrates recovery: SIGKILL rank R's endpoint
+// process from the second superstep's boundary, then let the engine
+// detect the death, respawn the world, and finish — the printed
+// distances must match an unharmed run. The kill fires from inside the
+// run because the whole query takes milliseconds: no external kill can
+// land mid-superstep reliably (this is what CI's chaos job uses;
+// requires --ckpt-every with a forking transport).
+//
 // Multi-machine tcp (the world here is 4 ranks: 3 workers + P0):
 //   machine0$ ./build/quickstart --transport=tcp --rank=0
 //                --hosts=machine0:9000,machine1:0,machine2:0,machine3:0
@@ -41,6 +56,7 @@
 // exits when rank 0 finishes. Without --hosts, tcp auto-spawns all
 // endpoints locally on loopback.
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -82,6 +98,26 @@ int main(int argc, char** argv) {
                  "--load=distributed leaves rank 0 without fragments, so "
                  "PEval/IncEval must run on the workers: pass "
                  "--compute=remote\n");
+    return 2;
+  }
+  const int64_t ckpt_every = flags.GetInt("ckpt-every", 0);
+  const std::string ckpt_dir = flags.GetString("ckpt-dir", "");
+  if (ckpt_every < 0) {
+    std::fprintf(stderr, "--ckpt-every must be >= 0\n");
+    return 2;
+  }
+  if (ckpt_every > 0 && compute != "remote") {
+    std::fprintf(stderr,
+                 "--ckpt-every checkpoints worker state, so the workers "
+                 "must own the state: pass --compute=remote\n");
+    return 2;
+  }
+  const int64_t chaos_kill_rank = flags.GetInt("chaos-kill-rank", -1);
+  if (chaos_kill_rank >= 0 &&
+      (ckpt_every <= 0 || transport == "inproc")) {
+    std::fprintf(stderr,
+                 "--chaos-kill-rank kills an endpoint process, so it needs "
+                 "--ckpt-every=N and a forking transport (socket or tcp)\n");
     return 2;
   }
   auto cluster = ClusterSpec::FromFlags(flags);
@@ -136,6 +172,23 @@ int main(int argc, char** argv) {
   options.transport = world->get();
   options.load_mode = load;
   if (compute == "remote") options.remote_app = "sssp";
+  options.checkpoint.every_k = static_cast<uint32_t>(ckpt_every);
+  options.checkpoint.dir = ckpt_dir;
+  bool chaos_killed = false;
+  if (chaos_kill_rank >= 0) {
+    Transport* tp = world->get();
+    options.on_superstep = [&chaos_killed, tp,
+                            chaos_kill_rank](uint32_t superstep) {
+      if (chaos_killed || superstep < 2) return;
+      auto pids = tp->endpoint_process_ids();
+      if (static_cast<size_t>(chaos_kill_rank) < pids.size() &&
+          pids[static_cast<size_t>(chaos_kill_rank)] > 0) {
+        ::kill(static_cast<pid_t>(pids[static_cast<size_t>(chaos_kill_rank)]),
+               SIGKILL);
+        chaos_killed = true;
+      }
+    };
+  }
 
   // "Plug": SsspApp wraps sequential Dijkstra (PEval) and incremental
   // shortest paths (IncEval) with a min aggregate — nothing else.

@@ -73,6 +73,20 @@ class PageRankApp {
     return global < query_.epsilon || round >= query_.max_iterations + 1;
   }
 
+  // Checkpoint hooks (CheckpointableApp): PageRank keeps the rank vector
+  // and residual outside the ParamStore, so fault-tolerant recovery must
+  // capture them or a resumed run would restart the power iteration.
+  void EncodeState(Encoder& enc) const {
+    query_.EncodeTo(enc);
+    enc.WritePodVector(rank_);
+    enc.WriteDouble(delta_);
+  }
+  Status DecodeState(Decoder& dec) {
+    GRAPE_RETURN_NOT_OK(PageRankQuery::DecodeFrom(dec, &query_));
+    GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&rank_));
+    return dec.ReadDouble(&delta_);
+  }
+
  private:
   QueryType query_;
   std::vector<double> rank_;  // by inner lid

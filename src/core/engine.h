@@ -1,10 +1,13 @@
 #ifndef GRAPE_CORE_ENGINE_H_
 #define GRAPE_CORE_ENGINE_H_
 
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -14,8 +17,10 @@
 #include "core/codec.h"
 #include "core/pie.h"
 #include "core/worker_core.h"
+#include "rt/checkpoint.h"
 #include "rt/comm_world.h"
 #include "rt/distributed_load.h"
+#include "rt/liveness.h"
 #include "rt/remote_worker.h"
 #include "rt/transport.h"
 #include "rt/worker_protocol.h"
@@ -24,6 +29,45 @@
 #include "util/timer.h"
 
 namespace grape {
+
+/// Fault-tolerance policy for remote compute. Off by default (every_k ==
+/// 0), in which case the engine behaves — and counts — exactly as it did
+/// without this subsystem: no control frames beyond the existing protocol,
+/// no pings, no retries. When enabled, the remote superstep loop
+/// checkpoints every k supersteps, monitors worker liveness (leases +
+/// pid probes, rt/liveness.h), and on an Unavailable failure rebuilds the
+/// world in place (Transport::Recover) and resumes from the last completed
+/// checkpoint — bit-identically, because each worker image carries the
+/// exact buffered message frontier alongside its state.
+struct CheckpointPolicy {
+  /// Checkpoint every k supersteps; 0 disables checkpointing AND recovery.
+  uint32_t every_k = 0;
+  /// Empty: worker images ship inline to rank 0's memory (lost if rank 0
+  /// dies — out of scope, see README). Non-empty: each worker persists its
+  /// image under this directory via CheckpointStore's tmp+rename files,
+  /// and restores read them back locally.
+  std::string dir;
+  /// Give up after this many world rebuilds within one Run.
+  uint32_t max_recoveries = 3;
+  /// Quiet time before the coordinator pings a worker (rt/liveness.h).
+  /// Keep well above a superstep's compute time; pings only fire while an
+  /// await loop is idle, so a busy worker is never flooded.
+  uint32_t lease_ms = 1000;
+
+  bool enabled() const { return every_k > 0; }
+};
+
+/// Polling cadence shared by every remote await loop — the engine's
+/// coordinator side and the in-thread worker hosts: poll at
+/// `poll_interval_us` for `idle_spins` empty polls, then back off to
+/// `idle_poll_interval_us` until the next frame resets the spin budget.
+/// Hoisted into one knob set (previously scattered hard-coded constants)
+/// so deadlines and poll rates are tuned — and tested — in one place.
+struct EngineTimingOptions {
+  uint32_t poll_interval_us = 50;
+  uint32_t idle_spins = 40;
+  uint32_t idle_poll_interval_us = 1000;
+};
 
 /// Engine configuration (the demo's "play panel" knobs).
 struct EngineOptions {
@@ -76,6 +120,16 @@ struct EngineOptions {
   /// DistributedGraphMeta, never holding a fragment; requires remote_app
   /// and an endpoint-backed transport sharing the build's world.
   std::string load_mode = "coordinator";
+  /// Superstep checkpointing + automatic recovery (remote compute only;
+  /// drivers resolve --ckpt-every / --ckpt-dir here).
+  CheckpointPolicy checkpoint;
+  /// Await-loop poll cadence, also handed to in-thread worker hosts.
+  EngineTimingOptions timing;
+  /// Observability/test hook: invoked after each remote superstep's round
+  /// is recorded (and after its checkpoint, when one was due) with the
+  /// completed superstep count. Fault-injection tests use it to kill
+  /// endpoints at exact barriers.
+  std::function<void(uint32_t)> on_superstep;
 };
 
 /// Per-superstep observability (drives the Fig. 3(4)-style analytics).
@@ -115,6 +169,14 @@ struct EngineMetrics {
   std::vector<uint32_t> remote_peval_runs;
   std::vector<uint32_t> remote_inceval_runs;
 
+  /// Fault tolerance (all zero when CheckpointPolicy is off): completed
+  /// checkpoint barriers, total encoded image bytes, wall time spent at
+  /// those barriers, and world rebuilds this run survived.
+  uint32_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  double checkpoint_seconds = 0;
+  uint32_t recoveries = 0;
+
   std::string ToString() const {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -124,7 +186,18 @@ struct EngineMetrics {
                   coordinator_seconds, assemble_seconds,
                   static_cast<unsigned long long>(messages),
                   static_cast<unsigned long long>(bytes));
-    return buf;
+    std::string out = buf;
+    // Appended only when fault tolerance did something, so policy-off
+    // output is byte-identical to what it always was.
+    if (checkpoints > 0 || recoveries > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    " ckpts=%u ckpt_bytes=%llu ckpt=%.3fs recoveries=%u",
+                    checkpoints,
+                    static_cast<unsigned long long>(checkpoint_bytes),
+                    checkpoint_seconds, recoveries);
+      out += buf;
+    }
+    return out;
   }
 };
 
@@ -486,23 +559,26 @@ class GrapeEngine {
     // O(rounds^2) over a long fixed point). Remote compute adds the
     // ack-reported worker flush traffic, which never passes through a
     // rank-0 Send on multi-process backends.
+    // base_* splice a pre-recovery world's totals in front of the rebuilt
+    // transport's counters (zero until the first recovery), so replayed
+    // rounds re-count identically to the fault-free run.
     CommStats cs = world_->stats();
     RoundMetrics rm;
     rm.round = metrics_.supersteps;
     rm.seconds = seconds;
     rm.messages =
-        cs.messages + extra_messages_ - recorded_messages_;
-    rm.bytes = cs.bytes + extra_bytes_ - recorded_bytes_;
-    recorded_messages_ = cs.messages + extra_messages_;
-    recorded_bytes_ = cs.bytes + extra_bytes_;
+        base_messages_ + cs.messages + extra_messages_ - recorded_messages_;
+    rm.bytes = base_bytes_ + cs.bytes + extra_bytes_ - recorded_bytes_;
+    recorded_messages_ = base_messages_ + cs.messages + extra_messages_;
+    recorded_bytes_ = base_bytes_ + cs.bytes + extra_bytes_;
     rm.updated_params = updated_params;
     metrics_.rounds.push_back(rm);
   }
 
   void FinishMetrics(const WallTimer& total_timer) {
     CommStats cs = world_->stats();
-    metrics_.messages = cs.messages + extra_messages_;
-    metrics_.bytes = cs.bytes + extra_bytes_;
+    metrics_.messages = base_messages_ + cs.messages + extra_messages_;
+    metrics_.bytes = base_bytes_ + cs.bytes + extra_bytes_;
     uint64_t mono = 0;
     if (metrics_.remote_worker_pids.empty()) {
       for (const auto& core : cores_) mono += core.monotonicity_violations();
@@ -681,7 +757,75 @@ class GrapeEngine {
     }
   };
 
+  /// Coordinator state at a checkpoint barrier — everything the superstep
+  /// loop needs to resume exactly where a failed attempt left off, paired
+  /// with the worker images in ckpt_store_. The comm_* bases keep
+  /// CommStats-derived views continuous across a world rebuild, whose
+  /// fresh transport counts from zero.
+  struct CoordSnapshot {
+    bool valid = false;
+    uint32_t supersteps = 0;
+    /// The barrier round whole: dirty/direct/global resume from it and its
+    /// direct_matrix seeds the next round's delivery expectations.
+    RemoteRound round;
+    /// Deep copies of the routed-but-unconsumed worker data frames
+    /// (remote_inbox_), as (from, payload) pairs.
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> inbox;
+    EngineMetrics metrics;
+    uint64_t extra_messages = 0;
+    uint64_t extra_bytes = 0;
+    uint64_t recorded_messages = 0;
+    uint64_t recorded_bytes = 0;
+    uint64_t comm_messages = 0;
+    uint64_t comm_bytes = 0;
+    std::vector<uint64_t> remote_mono;
+  };
+
+  /// Remote compute with fault tolerance: each attempt runs the full
+  /// PEval → IncEval* → Assemble pipeline; when a CheckpointPolicy is
+  /// enabled and an attempt dies with Unavailable (endpoint SIGKILLed,
+  /// transport broken, liveness probe fired), the world is rebuilt in
+  /// place (Transport::Recover) and the next attempt resumes from the
+  /// last completed checkpoint. With the policy off this degenerates to
+  /// exactly one attempt with no added control traffic.
   Result<Output> RunRemote(const Query& query)
+    requires RemoteCompatibleApp<App>
+  {
+    run_recoveries_ = 0;
+    snapshot_ = CoordSnapshot{};
+    ckpt_store_ = CheckpointStore(options_.checkpoint.dir);
+    // A previous run's images must never satisfy this run's restores: a
+    // stale file with a matching (rank, round) would restore cleanly and
+    // silently compute over the wrong graph/query. Start from nothing.
+    ckpt_store_.Clear();
+    for (;;) {
+      Result<Output> out = RunRemoteAttempt(query, run_recoveries_ > 0);
+      if (out.ok()) return out;
+      const CheckpointPolicy& cp = options_.checkpoint;
+      // Recoverable means: the failure is a death, not an app error; the
+      // policy allows another attempt; the backend can rebuild the world;
+      // and there is something to resume from — a checkpoint, or (lacking
+      // one yet) a coordinator-held graph to cold-restart with. A
+      // distributed-load engine that dies before its first checkpoint is
+      // unrecoverable: the resident fragments died with the endpoints.
+      if (!out.status().IsUnavailable() || !cp.enabled() ||
+          run_recoveries_ >= cp.max_recoveries ||
+          !world_->supports_recovery() ||
+          !(snapshot_.valid || fg_ != nullptr)) {
+        return out;
+      }
+      if (options_.verbose) {
+        GRAPE_LOG(kInfo) << "recovering world after: "
+                         << out.status().ToString();
+      }
+      if (Status r = world_->Recover(); !r.ok()) {
+        return out;  // rebuild failed: surface the original death
+      }
+      ++run_recoveries_;
+    }
+  }
+
+  Result<Output> RunRemoteAttempt(const Query& query, bool resume)
     requires RemoteCompatibleApp<App>
   {
     WallTimer total_timer;
@@ -691,12 +835,31 @@ class GrapeEngine {
     recorded_bytes_ = 0;
     extra_messages_ = 0;
     extra_bytes_ = 0;
+    base_messages_ = 0;
+    base_bytes_ = 0;
     remote_inbox_.clear();
     const FragmentId n = n_frags_;
     metrics_.remote_worker_pids.assign(n, 0);
     metrics_.remote_peval_runs.assign(n, 0);
     metrics_.remote_inceval_runs.assign(n, 0);
+    metrics_.recoveries = run_recoveries_;
     remote_mono_.assign(n, 0);
+
+    const CheckpointPolicy& cp = options_.checkpoint;
+    if (cp.enabled()) {
+      monitor_.Reset(n, cp.lease_ms);
+      const std::vector<int64_t> pids = world_->endpoint_process_ids();
+      monitor_.set_pid_probe([pids](uint32_t frag) {
+        const uint32_t rank = frag + 1;
+        if (rank >= pids.size() || pids[rank] <= 0) return false;
+        // waitpid over kill(pid, 0): a SIGKILLed child stays a zombie
+        // until reaped and kill(zombie, 0) still succeeds. WNOHANG
+        // returning the pid (just died) or -1/ECHILD (already reaped)
+        // both mean dead; 0 means alive.
+        int st = 0;
+        return ::waitpid(static_cast<pid_t>(pids[rank]), &st, WNOHANG) != 0;
+      });
+    }
 
     // Cover the in-thread host path even when nobody pre-registered this
     // app; endpoint processes snapshot the registry at fork, so for
@@ -715,52 +878,67 @@ class GrapeEngine {
         }
       }
     }
-    InThreadWorkers in_thread(world_, n, !world_->has_remote_endpoints());
+    InThreadWorkers in_thread(world_, n, !world_->has_remote_endpoints(),
+                              options_.timing.poll_interval_us,
+                              options_.timing.idle_spins,
+                              options_.timing.idle_poll_interval_us);
 
-    // Load: app name + flags + query + the fragment. Coordinator-loaded
-    // engines serialize the fragment (with its routing plan and the
-    // shared owner tables); distributed-load engines ship only the build
-    // token, and each worker attaches to the fragment already resident
-    // in its own process — the graph never transits rank 0.
-    {
-      ScopedTimer t(&metrics_.load_seconds);
-      for (FragmentId i = 0; i < n; ++i) {
-        Encoder enc(world_->buffer_pool().Acquire());
-        enc.WriteString(options_.remote_app);
-        uint8_t flags =
-            options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
-        if (fg_ == nullptr) flags |= kWkLoadUseResident;
-        enc.WriteU8(flags);
-        EncodeValue(enc, query);
-        if (fg_ == nullptr) {
-          enc.WriteU64(resident_token_);
-        } else {
-          fg_->fragments[i].EncodeTo(enc);
-        }
-        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
-                                         kTagWkLoad, enc.TakeBuffer()));
-      }
-      RemoteRound load;
-      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseLoad, 0, &load));
-    }
-
-    // Superstep 1: remote PEval everywhere.
     RemoteRound round;
-    {
-      ScopedTimer t(&metrics_.peval_seconds);
-      for (FragmentId i = 0; i < n; ++i) {
-        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
-                                         kTagWkRunPEval, {}));
+    uint64_t dirty = 0;
+    uint64_t direct = 0;
+    double global = 0;
+    if (resume && snapshot_.valid) {
+      // Rebuilt world: re-seed every (fresh) worker from its checkpoint
+      // image and roll the coordinator back to the barrier.
+      GRAPE_RETURN_NOT_OK(
+          RestoreFromSnapshot(&round, &dirty, &direct, &global));
+    } else {
+      // Load: app name + flags + query + the fragment. Coordinator-loaded
+      // engines serialize the fragment (with its routing plan and the
+      // shared owner tables); distributed-load engines ship only the build
+      // token, and each worker attaches to the fragment already resident
+      // in its own process — the graph never transits rank 0.
+      {
+        ScopedTimer t(&metrics_.load_seconds);
+        for (FragmentId i = 0; i < n; ++i) {
+          Encoder enc(world_->buffer_pool().Acquire());
+          enc.WriteString(options_.remote_app);
+          uint8_t flags =
+              options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
+          if (fg_ == nullptr) flags |= kWkLoadUseResident;
+          enc.WriteU8(flags);
+          EncodeValue(enc, query);
+          if (fg_ == nullptr) {
+            enc.WriteU64(resident_token_);
+          } else {
+            fg_->fragments[i].EncodeTo(enc);
+          }
+          GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                           kTagWkLoad, enc.TakeBuffer()));
+        }
+        RemoteRound load;
+        GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseLoad, 0, &load));
       }
-      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhasePEval, 1, &round));
-      metrics_.supersteps = 1;
+
+      // Superstep 1: remote PEval everywhere.
+      {
+        ScopedTimer t(&metrics_.peval_seconds);
+        for (FragmentId i = 0; i < n; ++i) {
+          GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                           kTagWkRunPEval, {}));
+        }
+        GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhasePEval, 1, &round));
+        metrics_.supersteps = 1;
+      }
+      extra_messages_ += round.sent_messages;
+      extra_bytes_ += round.sent_bytes;
+      RecordRound(0.0, round.updated_count);
+      dirty = round.dirty;
+      direct = round.direct_updates;
+      global = round.GlobalSum();
+      GRAPE_RETURN_NOT_OK(MaybeTakeCheckpoint(round));
+      if (options_.on_superstep) options_.on_superstep(metrics_.supersteps);
     }
-    extra_messages_ += round.sent_messages;
-    extra_bytes_ += round.sent_bytes;
-    RecordRound(0.0, round.updated_count);
-    uint64_t dirty = round.dirty;
-    uint64_t direct = round.direct_updates;
-    double global = round.GlobalSum();
 
     while (metrics_.supersteps < options_.max_supersteps) {
       if (!metrics_.rounds.empty()) metrics_.rounds.back().global = global;
@@ -817,6 +995,8 @@ class GrapeEngine {
                          << metrics_.rounds.back().messages
                          << " msgs (remote)";
       }
+      GRAPE_RETURN_NOT_OK(MaybeTakeCheckpoint(round));
+      if (options_.on_superstep) options_.on_superstep(metrics_.supersteps);
     }
     remote_mono_ = round.mono_by_frag.empty() ? remote_mono_
                                               : round.mono_by_frag;
@@ -844,6 +1024,175 @@ class GrapeEngine {
     return output;
   }
 
+  /// Checkpoint barrier, entered right after a round's acks (and therefore
+  /// its whole message frontier) are in. Each worker is told how many
+  /// direct frames it should already hold buffered (this round's
+  /// direct_matrix column); it snapshots state + buffered frames WITHOUT
+  /// consuming them and acks with the image (inline in memory mode, via
+  /// its local CheckpointStore in disk mode). Once every ack is in, the
+  /// coordinator rolls its own loop state into snapshot_.
+  Status MaybeTakeCheckpoint(const RemoteRound& round) {
+    const CheckpointPolicy& cp = options_.checkpoint;
+    if (!cp.enabled() || metrics_.supersteps % cp.every_k != 0) {
+      return Status::OK();
+    }
+    ScopedTimer timer(&metrics_.checkpoint_seconds);
+    const FragmentId n = n_frags_;
+    for (FragmentId i = 0; i < n; ++i) {
+      WkCheckpointCommand cmd;
+      cmd.round = metrics_.supersteps;
+      cmd.dir = cp.dir;
+      for (FragmentId s = 0; s < n; ++s) {
+        const uint32_t frames = round.direct_matrix[s][i];
+        if (frames > 0) cmd.expect_direct.emplace_back(RankOf(s), frames);
+      }
+      Encoder enc(world_->buffer_pool().Acquire());
+      cmd.EncodeTo(enc);
+      GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                       kTagWkCheckpoint, enc.TakeBuffer()));
+    }
+    uint64_t bytes = 0;
+    GRAPE_RETURN_NOT_OK(AwaitCheckpointAcks(metrics_.supersteps, &bytes));
+    metrics_.checkpoints++;
+    metrics_.checkpoint_bytes += bytes;
+
+    snapshot_.valid = false;  // not valid while half-written
+    snapshot_.supersteps = metrics_.supersteps;
+    snapshot_.round = round;
+    snapshot_.inbox.clear();
+    snapshot_.inbox.reserve(remote_inbox_.size());
+    for (const RtMessage& m : remote_inbox_) {
+      snapshot_.inbox.emplace_back(m.from, m.payload);  // deep copy
+    }
+    snapshot_.metrics = metrics_;
+    snapshot_.extra_messages = extra_messages_;
+    snapshot_.extra_bytes = extra_bytes_;
+    snapshot_.recorded_messages = recorded_messages_;
+    snapshot_.recorded_bytes = recorded_bytes_;
+    const CommStats cs = world_->stats();
+    snapshot_.comm_messages = base_messages_ + cs.messages;
+    snapshot_.comm_bytes = base_bytes_ + cs.bytes;
+    snapshot_.remote_mono = remote_mono_;
+    snapshot_.valid = true;
+    return Status::OK();
+  }
+
+  /// Collects one kTagWkCheckpointAck per worker for barrier `round`.
+  /// Inline images are validated by a full decode BEFORE being committed
+  /// to the store: a corrupt image must never become the recovery point.
+  /// No kTagWkData can legitimately arrive here (the barrier sits between
+  /// a round's acks and the next round's commands), so anything else is
+  /// stale and released.
+  Status AwaitCheckpointAcks(uint32_t round, uint64_t* bytes) {
+    const FragmentId n = n_frags_;
+    std::vector<uint8_t> seen(n, 0);
+    FragmentId have = 0;
+    uint32_t idle = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.remote_timeout_ms);
+    while (have < n) {
+      std::optional<RtMessage> msg = world_->TryRecv(kCoordinatorRank);
+      if (!msg) {
+        GRAPE_RETURN_NOT_OK(
+            CheckRemoteLiveness(deadline, "checkpoint acks", &idle));
+        continue;
+      }
+      idle = 0;
+      if (msg->from >= 1 && msg->from <= n) monitor_.Heard(msg->from - 1);
+      if (msg->tag == kTagWkError) return DecodeWorkerError(msg->payload);
+      if (msg->tag == kTagWkCheckpointAck && msg->from >= 1 &&
+          msg->from <= n && !seen[msg->from - 1]) {
+        Decoder dec(msg->payload);
+        WkCheckpointAck ack;
+        GRAPE_RETURN_NOT_OK(WkCheckpointAck::DecodeFrom(dec, &ack));
+        world_->buffer_pool().Release(std::move(msg->payload));
+        if (ack.round != round) continue;  // stale duplicate
+        seen[msg->from - 1] = 1;
+        have++;
+        *bytes += ack.bytes;
+        if (!ack.image.empty()) {
+          GRAPE_RETURN_NOT_OK(
+              DecodeCheckpointImage(ack.image.data(), ack.image.size())
+                  .status());
+          GRAPE_RETURN_NOT_OK(
+              ckpt_store_.Put(msg->from, round, std::move(ack.image)));
+        }
+        continue;
+      }
+      world_->buffer_pool().Release(std::move(msg->payload));
+    }
+    return Status::OK();
+  }
+
+  /// Re-seeds a rebuilt world from snapshot_ + ckpt_store_: ships each
+  /// worker its image (inline in memory mode; by directory in disk mode),
+  /// awaits the restore acks — which report the NEW endpoint pids — then
+  /// rolls the coordinator's counters, metrics, and routed inbox back to
+  /// the barrier. The loop resumes exactly as the fault-free run would
+  /// have continued from that superstep.
+  Status RestoreFromSnapshot(RemoteRound* round, uint64_t* dirty,
+                             uint64_t* direct, double* global) {
+    const FragmentId n = n_frags_;
+    const CheckpointPolicy& cp = options_.checkpoint;
+    double restore_seconds = 0;
+    {
+      ScopedTimer t(&restore_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        WkRestoreCommand cmd;
+        cmd.app_name = options_.remote_app;
+        cmd.flags = options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
+        // Name the barrier explicitly: a crash during a later checkpoint
+        // can leave newer images committed for SOME ranks, and those must
+        // not be restored over the last complete cut.
+        cmd.round = snapshot_.supersteps;
+        cmd.dir = cp.dir;
+        if (cp.dir.empty()) {
+          GRAPE_ASSIGN_OR_RETURN(
+              cmd.image,
+              ckpt_store_.GetEncoded(RankOf(i), snapshot_.supersteps));
+        }
+        Encoder enc(world_->buffer_pool().Acquire());
+        cmd.EncodeTo(enc);
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkRestore, enc.TakeBuffer()));
+      }
+      RemoteRound acks;
+      GRAPE_RETURN_NOT_OK(
+          AwaitPhase(kWkPhaseRestore, snapshot_.supersteps, &acks));
+    }
+    // The restore acks deposited the fresh worker pids into this attempt's
+    // cold metrics_; carry them over the snapshot's metrics, which are
+    // authoritative for everything else.
+    std::vector<uint64_t> pids = std::move(metrics_.remote_worker_pids);
+    metrics_ = snapshot_.metrics;
+    metrics_.remote_worker_pids = std::move(pids);
+    metrics_.recoveries = run_recoveries_;
+    metrics_.load_seconds += restore_seconds;
+    extra_messages_ = snapshot_.extra_messages;
+    extra_bytes_ = snapshot_.extra_bytes;
+    recorded_messages_ = snapshot_.recorded_messages;
+    recorded_bytes_ = snapshot_.recorded_bytes;
+    // The rebuilt transport's counters restart at zero; the bases splice
+    // the old world's totals back in so RecordRound deltas stay exact.
+    world_->ResetStats();
+    base_messages_ = snapshot_.comm_messages;
+    base_bytes_ = snapshot_.comm_bytes;
+    remote_mono_ = snapshot_.remote_mono;
+    remote_inbox_.clear();
+    for (const auto& [from, payload] : snapshot_.inbox) {
+      std::vector<uint8_t> copy = world_->buffer_pool().Acquire();
+      copy.assign(payload.begin(), payload.end());
+      remote_inbox_.push_back(
+          RtMessage{from, kCoordinatorRank, kTagWkData, std::move(copy)});
+    }
+    *round = snapshot_.round;
+    *dirty = snapshot_.round.dirty;
+    *direct = snapshot_.round.direct_updates;
+    *global = snapshot_.round.GlobalSum();
+    return Status::OK();
+  }
+
   /// Pulls rank-0 frames until every worker acked `phase` (round-tagged
   /// for IncEval). kTagWkData frames are buffered into remote_inbox_ —
   /// FIFO per channel guarantees a worker's data precedes its ack, so a
@@ -868,6 +1217,9 @@ class GrapeEngine {
         continue;
       }
       idle = 0;
+      // Any frame from a worker — data, ack, vote, pong — is proof of
+      // life for the lease monitor (pongs then fall to the stale branch).
+      if (msg->from >= 1 && msg->from <= n) monitor_.Heard(msg->from - 1);
       switch (msg->tag) {
         case kTagWkData:
           remote_inbox_.push_back(std::move(*msg));
@@ -938,6 +1290,9 @@ class GrapeEngine {
         continue;
       }
       idle = 0;
+      if (msg->from >= 1 && msg->from <= n_frags_) {
+        monitor_.Heard(msg->from - 1);
+      }
       if (msg->tag == kTagWkVote) {
         Decoder dec(msg->payload);
         uint32_t vote_round = 0;
@@ -976,6 +1331,7 @@ class GrapeEngine {
         continue;
       }
       idle = 0;
+      if (msg->from >= 1 && msg->from <= n) monitor_.Heard(msg->from - 1);
       if (msg->tag == kTagWkError) return DecodeWorkerError(msg->payload);
       if (msg->tag == kTagWkPartial && msg->from >= 1 && msg->from <= n &&
           !seen[msg->from - 1]) {
@@ -993,11 +1349,15 @@ class GrapeEngine {
   /// endpoint marks it unhealthy within its bounded detection time), fail
   /// with Unavailable past the per-phase deadline (a dropped control
   /// frame on a flaky-but-alive substrate), otherwise yield. The yield
-  /// backs off adaptively — 50µs while a phase is actively completing
-  /// (sub-millisecond inproc rounds stay snappy), 1ms once the wait is
-  /// clearly compute-bound — so a long remote PEval does not burn an
-  /// engine core on TryRecv polling. Callers reset *idle on every
-  /// received frame.
+  /// backs off adaptively per EngineTimingOptions — fast polls while a
+  /// phase is actively completing (sub-millisecond inproc rounds stay
+  /// snappy), the idle cadence once the wait is clearly compute-bound —
+  /// so a long remote PEval does not burn an engine core on TryRecv
+  /// polling. Callers reset *idle on every received frame. Under a
+  /// CheckpointPolicy the step also runs the failure detector: leases
+  /// that expired get a ping (a control frame invisible to CommStats),
+  /// and the pid probe turns a SIGKILLed local endpoint into Unavailable
+  /// within one poll instead of waiting out the phase deadline.
   Status CheckRemoteLiveness(
       const std::chrono::steady_clock::time_point& deadline,
       const char* what, uint32_t* idle) {
@@ -1010,11 +1370,23 @@ class GrapeEngine {
           std::string("timed out awaiting remote ") + what + " after " +
           std::to_string(options_.remote_timeout_ms) + "ms");
     }
-    if (*idle < 40) {
+    if (options_.checkpoint.enabled()) {
+      for (FragmentId i = 0; i < n_frags_; ++i) {
+        if (monitor_.ShouldPing(i)) {
+          // Best effort: a failed ping send means the world is dying, and
+          // the healthy() check above surfaces that next pass.
+          (void)world_->Send(kCoordinatorRank, RankOf(i), kTagWkPing, {});
+        }
+      }
+      GRAPE_RETURN_NOT_OK(monitor_.Check());
+    }
+    if (*idle < options_.timing.idle_spins) {
       ++*idle;
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.timing.poll_interval_us));
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.timing.idle_poll_interval_us));
     }
     return Status::OK();
   }
@@ -1060,6 +1432,17 @@ class GrapeEngine {
   // Per-round communication totals already attributed to a RoundMetrics.
   uint64_t recorded_messages_ = 0;
   uint64_t recorded_bytes_ = 0;
+
+  // Fault tolerance (CheckpointPolicy): failure detector, worker image
+  // store, the coordinator snapshot the retry loop resumes from, and
+  // counter bases restoring CommStats continuity after a world rebuild.
+  // All inert — and the counters zero — while the policy is off.
+  WorkerLivenessMonitor monitor_;
+  CheckpointStore ckpt_store_;
+  CoordSnapshot snapshot_;
+  uint32_t run_recoveries_ = 0;
+  uint64_t base_messages_ = 0;
+  uint64_t base_bytes_ = 0;
 };
 
 }  // namespace grape

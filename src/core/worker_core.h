@@ -2,6 +2,7 @@
 #define GRAPE_CORE_WORKER_CORE_H_
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -13,6 +14,18 @@
 #include "util/status.h"
 
 namespace grape {
+
+/// Apps that carry private cross-superstep state beyond the ParamStore
+/// (e.g. PageRank's rank vector and residual) expose it to the checkpoint
+/// path through these hooks. Stateless apps (SSSP, CC, BFS) need nothing —
+/// their entire resumable state is the parameter store, which WorkerCore
+/// checkpoints unconditionally.
+template <typename App>
+concept CheckpointableApp = requires(const App& capp, App& app, Encoder& enc,
+                                     Decoder& dec) {
+  { capp.EncodeState(enc) } -> std::same_as<void>;
+  { app.DecodeState(dec) } -> std::same_as<Status>;
+};
 
 /// One buffer a worker wants shipped after a flush. dst_rank is a
 /// transport rank: kCoordinatorRank for owner-bound updates (the payload
@@ -190,6 +203,57 @@ class WorkerCore {
   double GlobalValue() const { return app_.GlobalValue(); }
   bool ShouldTerminate(uint32_t round, double global) const {
     return app_.ShouldTerminate(round, global);
+  }
+
+  /// Serializes the cross-superstep state a recovered worker resumes
+  /// with: the full parameter store, monotonicity tracking, and any
+  /// private app state. Only valid at a superstep barrier (post-flush,
+  /// pre-apply), where the store's dirty set and remote queue are empty
+  /// and M_i is dead (the next BeginApply clears it) — so neither is
+  /// captured, and restore leaves them empty.
+  void EncodeCheckpoint(Encoder& enc) const {
+    enc.WriteVarint(store_.values().size());
+    for (const Value& v : store_.values()) EncodeValue(enc, v);
+    enc.WriteBool(track_mono_);
+    enc.WriteVarint(prev_flushed_.size());
+    for (const Value& v : prev_flushed_) EncodeValue(enc, v);
+    enc.WriteU64(mono_violations_);
+    enc.WriteU64(flush_dirty_);
+    if constexpr (CheckpointableApp<App>) app_.EncodeState(enc);
+  }
+
+  /// Inverse of EncodeCheckpoint over a freshly constructed core for the
+  /// same fragment. All-or-nothing: any decode failure leaves the caller
+  /// free to discard the core, never a half-restored store.
+  Status RestoreCheckpoint(Decoder& dec) {
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    if (n != static_cast<uint64_t>(frag_->num_local())) {
+      return Status::Corruption("checkpoint store size " + std::to_string(n) +
+                                " != fragment num_local " +
+                                std::to_string(frag_->num_local()));
+    }
+    store_.Init(frag_->num_local(), app_.InitValue());
+    for (LocalId lid = 0; lid < static_cast<LocalId>(n); ++lid) {
+      GRAPE_RETURN_NOT_OK(DecodeValue(dec, &store_.UntrackedRef(lid)));
+    }
+    updated_.clear();
+    GRAPE_RETURN_NOT_OK(dec.ReadBool(&track_mono_));
+    uint64_t prev_n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&prev_n));
+    if (prev_n != 0 && prev_n != static_cast<uint64_t>(frag_->num_local())) {
+      return Status::Corruption("checkpoint prev-flush size mismatch");
+    }
+    prev_flushed_.resize(prev_n);
+    for (uint64_t k = 0; k < prev_n; ++k) {
+      GRAPE_RETURN_NOT_OK(DecodeValue(dec, &prev_flushed_[k]));
+    }
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&mono_violations_));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&flush_dirty_));
+    if constexpr (CheckpointableApp<App>) {
+      GRAPE_RETURN_NOT_OK(app_.DecodeState(dec));
+    }
+    return Status::OK();
   }
 
   /// Parameters changed by the last flush (this worker's share of the

@@ -1,0 +1,295 @@
+#include "rt/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/serializer.h"
+
+namespace grape {
+
+namespace {
+
+constexpr uint32_t kCkptMagic = 0x504b4347;  // "GCKP" little-endian
+constexpr uint32_t kCkptVersion = 1;
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCheckpointImage(const CheckpointImage& image) {
+  // Body first, so the checksum can cover exactly the body bytes.
+  Encoder body;
+  body.WriteU32(image.rank);
+  body.WriteU32(image.round);
+  body.WriteVarint(image.state.size());
+  body.WritePodSpan(image.state.data(), image.state.size());
+  body.WriteVarint(image.pending.size());
+  for (const auto& frame : image.pending) {
+    body.WriteU32(frame.from);
+    body.WriteU32(frame.tag);
+    body.WriteVarint(frame.payload.size());
+    body.WritePodSpan(frame.payload.data(), frame.payload.size());
+  }
+
+  Encoder enc;
+  enc.WriteU32(kCkptMagic);
+  enc.WriteU32(kCkptVersion);
+  enc.WriteVarint(body.size());
+  enc.WritePodSpan(body.buffer().data(), body.size());
+  enc.WriteU64(Fnv1a(body.buffer().data(), body.size()));
+  return enc.TakeBuffer();
+}
+
+Result<CheckpointImage> DecodeCheckpointImage(const uint8_t* data,
+                                              size_t size) {
+  Decoder dec(data, size);
+  uint32_t magic = 0, version = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&magic));
+  if (magic != kCkptMagic) {
+    return Status::InvalidArgument("checkpoint image: bad magic");
+  }
+  GRAPE_RETURN_NOT_OK(dec.ReadU32(&version));
+  if (version != kCkptVersion) {
+    return Status::InvalidArgument("checkpoint image: unsupported version " +
+                                   std::to_string(version));
+  }
+  uint64_t body_len = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadVarint(&body_len));
+  if (body_len > dec.Remaining()) {
+    return Status::InvalidArgument("checkpoint image: truncated body");
+  }
+  const uint8_t* body = data + dec.position();
+  Decoder body_dec(body, body_len);
+  // Skip over the body in the outer decoder, then verify the checksum
+  // BEFORE interpreting a single body byte — a corrupt image must never
+  // yield a half-restored result.
+  std::vector<uint8_t> skip(body_len);
+  GRAPE_RETURN_NOT_OK(dec.ReadPodSpan(skip.data(), body_len));
+  uint64_t checksum = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU64(&checksum));
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("checkpoint image: trailing bytes");
+  }
+  if (Fnv1a(body, body_len) != checksum) {
+    return Status::InvalidArgument("checkpoint image: checksum mismatch");
+  }
+
+  CheckpointImage image;
+  GRAPE_RETURN_NOT_OK(body_dec.ReadU32(&image.rank));
+  GRAPE_RETURN_NOT_OK(body_dec.ReadU32(&image.round));
+  uint64_t state_len = 0;
+  GRAPE_RETURN_NOT_OK(body_dec.ReadVarint(&state_len));
+  if (state_len > body_dec.Remaining()) {
+    return Status::InvalidArgument("checkpoint image: truncated state");
+  }
+  image.state.resize(state_len);
+  GRAPE_RETURN_NOT_OK(body_dec.ReadPodSpan(image.state.data(), state_len));
+  uint64_t n_frames = 0;
+  GRAPE_RETURN_NOT_OK(body_dec.ReadVarint(&n_frames));
+  if (n_frames > body_dec.Remaining()) {
+    return Status::InvalidArgument("checkpoint image: frame count overflow");
+  }
+  image.pending.reserve(n_frames);
+  for (uint64_t i = 0; i < n_frames; ++i) {
+    CheckpointImage::PendingWireFrame frame;
+    GRAPE_RETURN_NOT_OK(body_dec.ReadU32(&frame.from));
+    GRAPE_RETURN_NOT_OK(body_dec.ReadU32(&frame.tag));
+    uint64_t len = 0;
+    GRAPE_RETURN_NOT_OK(body_dec.ReadVarint(&len));
+    if (len > body_dec.Remaining()) {
+      return Status::InvalidArgument("checkpoint image: truncated frame");
+    }
+    frame.payload.resize(len);
+    GRAPE_RETURN_NOT_OK(body_dec.ReadPodSpan(frame.payload.data(), len));
+    image.pending.push_back(std::move(frame));
+  }
+  if (!body_dec.AtEnd()) {
+    return Status::InvalidArgument("checkpoint image: trailing body bytes");
+  }
+  return image;
+}
+
+std::string CheckpointStore::PathFor(uint32_t rank, uint32_t round) const {
+  return dir_ + "/grape_ckpt_r" + std::to_string(rank) + "_s" +
+         std::to_string(round) + ".bin";
+}
+
+namespace {
+
+/// Parses `grape_ckpt_r<rank>_s<round>.bin`; false for anything else.
+bool ParseCheckpointName(const char* name, uint32_t* rank, uint32_t* round) {
+  unsigned long r = 0, s = 0;
+  char tail[8] = {0};
+  if (std::sscanf(name, "grape_ckpt_r%lu_s%lu.bi%1[n]", &r, &s, tail) != 3) {
+    return false;
+  }
+  *rank = static_cast<uint32_t>(r);
+  *round = static_cast<uint32_t>(s);
+  return true;
+}
+
+}  // namespace
+
+Status CheckpointStore::Put(uint32_t rank, uint32_t round,
+                            std::vector<uint8_t> encoded) {
+  if (!disk_backed()) {
+    auto& rounds = images_[rank];
+    rounds[round] = std::move(encoded);
+    while (rounds.size() > 2) rounds.erase(rounds.begin());
+    return Status::OK();
+  }
+  const std::string path = PathFor(rank, round);
+  const std::string tmp = path + ".tmp";
+  // One level of mkdir so --ckpt-dir may name a directory that does not
+  // exist yet; a missing parent still surfaces as the open error below.
+  ::mkdir(dir_.c_str(), 0755);
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("checkpoint open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < encoded.size()) {
+    ssize_t n = ::write(fd, encoded.data() + off, encoded.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("checkpoint write " + tmp + ": " +
+                             std::strerror(err));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("checkpoint sync " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("checkpoint rename " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto& rounds = disk_bytes_[rank];
+  rounds[round] = encoded.size();
+  while (rounds.size() > 2) rounds.erase(rounds.begin());
+
+  // GC on-disk rounds by directory scan, not instance bookkeeping:
+  // workers construct a fresh store per checkpoint (and a respawned
+  // worker starts with no memory at all), so the files themselves are the
+  // only durable record of what exists. Keep the two newest rounds.
+  DIR* d = ::opendir(dir_.c_str());
+  if (d != nullptr) {
+    std::vector<uint32_t> seen;
+    while (struct dirent* e = ::readdir(d)) {
+      uint32_t r = 0, s = 0;
+      if (ParseCheckpointName(e->d_name, &r, &s) && r == rank) {
+        seen.push_back(s);
+      }
+    }
+    ::closedir(d);
+    std::sort(seen.begin(), seen.end());
+    for (size_t i = 0; i + 2 < seen.size(); ++i) {
+      ::unlink(PathFor(rank, seen[i]).c_str());
+    }
+  }
+  return Status::OK();
+}
+
+Result<CheckpointImage> CheckpointStore::Get(uint32_t rank,
+                                             uint32_t round) const {
+  Result<std::vector<uint8_t>> encoded = GetEncoded(rank, round);
+  GRAPE_RETURN_NOT_OK(encoded.status());
+  return DecodeCheckpointImage(encoded->data(), encoded->size());
+}
+
+Result<std::vector<uint8_t>> CheckpointStore::GetEncoded(
+    uint32_t rank, uint32_t round) const {
+  if (!disk_backed()) {
+    auto it = images_.find(rank);
+    if (it == images_.end() || it->second.count(round) == 0) {
+      return Status::NotFound("no checkpoint for rank " +
+                              std::to_string(rank) + " round " +
+                              std::to_string(round));
+    }
+    return it->second.at(round);
+  }
+  const std::string path = PathFor(rank, round);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("no checkpoint file " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IOError("checkpoint read " + path + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+bool CheckpointStore::Has(uint32_t rank, uint32_t round) const {
+  if (!disk_backed()) {
+    auto it = images_.find(rank);
+    return it != images_.end() && it->second.count(round) != 0;
+  }
+  return ::access(PathFor(rank, round).c_str(), R_OK) == 0;
+}
+
+void CheckpointStore::Clear() {
+  images_.clear();
+  disk_bytes_.clear();
+  if (!disk_backed()) return;
+  // Unlink every checkpoint file in the directory, whoever wrote it — a
+  // fresh store instance must be able to clean up a finished run.
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> doomed;
+  while (struct dirent* e = ::readdir(d)) {
+    uint32_t rank = 0, round = 0;
+    if (ParseCheckpointName(e->d_name, &rank, &round)) {
+      doomed.push_back(dir_ + "/" + e->d_name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& path : doomed) ::unlink(path.c_str());
+}
+
+uint64_t CheckpointStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [rank, rounds] : images_) {
+    for (const auto& [round, img] : rounds) total += img.size();
+  }
+  for (const auto& [rank, rounds] : disk_bytes_) {
+    for (const auto& [round, bytes] : rounds) total += bytes;
+  }
+  return total;
+}
+
+}  // namespace grape

@@ -1,0 +1,102 @@
+#ifndef GRAPE_RT_CHECKPOINT_H_
+#define GRAPE_RT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// A worker's snapshot at a superstep barrier. `state` is the opaque blob
+/// produced by WorkerAppServerBase::EncodeCheckpoint (query + fragment +
+/// WorkerCore store + app state); `pending` are the buffered worker-to-worker
+/// direct frames the worker had already received for the *next* round —
+/// replaying them is what keeps merge order, and therefore output hashes,
+/// bit-identical after recovery.
+struct CheckpointImage {
+  uint32_t rank = 0;
+  uint32_t round = 0;  // superstep count at the barrier
+  std::vector<uint8_t> state;
+  struct PendingWireFrame {
+    uint32_t from = 0;
+    uint32_t tag = 0;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<PendingWireFrame> pending;
+};
+
+/// Serializes an image with a self-describing envelope:
+/// magic + version + body + FNV-1a checksum over the body. Decoding is
+/// strict — bad magic, unknown version, truncation, trailing garbage, or a
+/// checksum mismatch all fail with InvalidArgument and never return a
+/// half-restored image.
+std::vector<uint8_t> EncodeCheckpointImage(const CheckpointImage& image);
+Result<CheckpointImage> DecodeCheckpointImage(const uint8_t* data,
+                                              size_t size);
+
+/// Keeps checkpoint images per (worker rank, superstep round). Two modes:
+///  - in-memory (default): images live in the coordinator process; cheap,
+///    but lost if rank 0 dies (rank-0 death is out of scope — see README).
+///  - disk (`dir` non-empty): each Put writes
+///    `<dir>/grape_ckpt_r<rank>_s<round>.bin` via a temp file + atomic
+///    rename, so a crash mid-write leaves the previous file intact.
+///
+/// Both modes retain the TWO most recent rounds per rank and garbage-
+/// collect older ones. Two, not one, because a checkpoint barrier can be
+/// torn by the very crash it guards against: some workers commit round k
+/// while others die before doing so. The last *complete* barrier (k-1 or
+/// earlier) must then still be restorable for every rank, so the newest
+/// image alone is never trusted — the coordinator's snapshot names the
+/// round it wants, and this store still has it.
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  bool disk_backed() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Stores the encoded image for (`rank`, `round`), dropping all but the
+  /// two most recent rounds for that rank. The blob must already be a
+  /// valid encoded image (callers receive it from the worker and validate
+  /// by decoding before committing).
+  Status Put(uint32_t rank, uint32_t round, std::vector<uint8_t> encoded);
+
+  /// Loads and decodes the image for (`rank`, `round`).
+  Result<CheckpointImage> Get(uint32_t rank, uint32_t round) const;
+
+  /// Loads the raw encoded blob Put stored for (`rank`, `round`), without
+  /// decoding — what an engine inlines into a restore command when the
+  /// store is memory-resident and the worker cannot read it from disk.
+  Result<std::vector<uint8_t>> GetEncoded(uint32_t rank,
+                                          uint32_t round) const;
+
+  bool Has(uint32_t rank, uint32_t round) const;
+
+  /// Drops all stored images (memory) / unlinks every checkpoint file in
+  /// the directory, including ones written by other store instances
+  /// (disk) — end-of-run cleanup.
+  void Clear();
+
+  /// Total encoded bytes currently resident (memory mode) or written and
+  /// not yet garbage-collected by this instance (disk mode).
+  uint64_t TotalBytes() const;
+
+  std::string PathFor(uint32_t rank, uint32_t round) const;
+
+ private:
+  std::string dir_;
+  // memory mode: rank -> round -> encoded image (two newest rounds kept)
+  std::map<uint32_t, std::map<uint32_t, std::vector<uint8_t>>> images_;
+  // disk mode bookkeeping for TotalBytes, same keep-two GC as the files
+  std::map<uint32_t, std::map<uint32_t, uint64_t>> disk_bytes_;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_RT_CHECKPOINT_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "rt/retry.h"
 #include "rt/tcp_transport.h"
 #include "util/string_util.h"
 
@@ -116,11 +117,29 @@ Status RunClusterEndpoint(const ClusterSpec& spec) {
         "rank 0 is the engine process, not a standalone endpoint");
   }
   GRAPE_RETURN_NOT_OK(ValidateCoordinatorAddress(spec.hosts));
-  // Generous join budget: the operator may start ranks by hand.
-  return RunTcpEndpointProcess(spec.rank,
-                               static_cast<uint32_t>(spec.hosts.size()),
-                               spec.hosts[0], spec.hosts[spec.rank].port,
-                               /*timeout_ms=*/120000);
+  // A failed join (engine not up yet, a mesh peer still launching, a
+  // transient network blip) retries through the shared rt/retry.h
+  // schedule instead of giving up on the first attempt — hand-started
+  // ranks should survive sloppy launch ordering. A cleanly finished
+  // world returns immediately.
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 200;
+  policy.max_backoff_ms = 5000;
+  policy.max_attempts = 5;
+  RetryState retry(policy, /*deadline_ms=*/0, /*jitter_seed=*/spec.rank + 1);
+  Status s;
+  for (;;) {
+    // Generous join budget per attempt: the operator may start ranks by
+    // hand.
+    s = RunTcpEndpointProcess(spec.rank,
+                              static_cast<uint32_t>(spec.hosts.size()),
+                              spec.hosts[0], spec.hosts[spec.rank].port,
+                              /*timeout_ms=*/120000);
+    if (s.ok()) return s;
+    if (!retry.BackoffOrGiveUp()) return s;
+    std::fprintf(stderr, "endpoint rank %u: %s; rejoining (attempt %u)\n",
+                 spec.rank, s.ToString().c_str(), retry.attempts() + 1);
+  }
 }
 
 Result<std::unique_ptr<Transport>> MakeClusterTransport(

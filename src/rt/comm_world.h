@@ -37,6 +37,15 @@ class CommWorld final : public MailboxTransport {
   }
 
   void Close() override { MarkClosed(); }
+
+  /// The in-process world has nothing to respawn: recovery is clearing
+  /// the mailboxes and reopening. (Exercised through FlakyTransport's
+  /// crash knobs — the deterministic stand-in for a killed endpoint.)
+  bool supports_recovery() const override { return true; }
+  Status Recover() override {
+    ResetForRecovery();
+    return Status::OK();
+  }
 };
 
 }  // namespace grape

@@ -29,6 +29,20 @@ struct FlakyOptions {
   /// (what a killed tcp/socket endpoint process looks like from the
   /// engine), so the barrier propagation path gets its own coverage.
   uint64_t fail_flush_after = 0;
+  /// Deterministic crash knob (ISSUE 7): after this many accepted sends
+  /// the whole world "dies" — Send and Flush fail with Unavailable and
+  /// healthy() goes false — until Recover() heals it. One-shot: recovery
+  /// disarms the knob, so the retried run proceeds cleanly. This is the
+  /// SIGKILL-without-the-timing-race primitive the recovery tests build
+  /// their superstep-k crash matrix on.
+  uint64_t kill_after_frames = 0;
+  /// One-shot partition: after `partition_after_frames` accepted sends,
+  /// the next `partition_heal_frames` send attempts fail with Unavailable
+  /// (the frames are lost, as on a real partition), then the link heals
+  /// by itself — no Recover() needed. healthy() stays true throughout:
+  /// a partition is not a death.
+  uint64_t partition_after_frames = 0;
+  uint64_t partition_heal_frames = 0;
 };
 
 /// Fault-injection decorator over any Transport: drops, duplicates, and
@@ -55,10 +69,30 @@ class FlakyTransport final : public Transport {
   Status Send(uint32_t from, uint32_t to, uint32_t tag,
               std::vector<uint8_t> payload) override {
     std::lock_guard<std::mutex> lock(mu_);
+    if (killed_) {
+      return Status::Unavailable("injected world death (kill_after_frames)");
+    }
     if (options_.fail_send_after != 0 &&
         accepted_ >= options_.fail_send_after) {
       return Status::Unavailable("injected send failure after " +
                                  std::to_string(accepted_) + " sends");
+    }
+    if (options_.kill_after_frames != 0 &&
+        accepted_ >= options_.kill_after_frames) {
+      killed_ = true;
+      return Status::Unavailable("injected world death after " +
+                                 std::to_string(accepted_) + " frames");
+    }
+    if (options_.partition_after_frames != 0 &&
+        accepted_ >= options_.partition_after_frames &&
+        partition_lost_ < options_.partition_heal_frames) {
+      ++partition_lost_;
+      ++accepted_;
+      return Status::Unavailable("injected partition (frame " +
+                                 std::to_string(partition_lost_) + "/" +
+                                 std::to_string(
+                                     options_.partition_heal_frames) +
+                                 " lost before heal)");
     }
     ++accepted_;
     const double roll = rng_.NextDouble();
@@ -86,6 +120,10 @@ class FlakyTransport final : public Transport {
     std::vector<RtMessage> due;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (killed_) {
+        return Status::Unavailable(
+            "injected world death (kill_after_frames)");
+      }
       if (options_.fail_flush_after != 0 &&
           flushed_ >= options_.fail_flush_after) {
         return Status::Unavailable("injected flush failure after " +
@@ -116,9 +154,33 @@ class FlakyTransport final : public Transport {
     return inner_->PendingCount(rank);
   }
   void Close() override { inner_->Close(); }
-  bool healthy() const override { return inner_->healthy(); }
+  bool healthy() const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (killed_) return false;
+    }
+    return inner_->healthy();
+  }
+  bool supports_recovery() const override {
+    return inner_->supports_recovery();
+  }
+  /// Heals an injected death (disarming the one-shot kill knob) and
+  /// recovers the inner world. Held/delayed frames of the failed run are
+  /// dropped — exactly what a rebuilt real transport does.
+  Status Recover() override {
+    GRAPE_RETURN_NOT_OK(inner_->Recover());
+    std::lock_guard<std::mutex> lock(mu_);
+    killed_ = false;
+    options_.kill_after_frames = 0;
+    pending_.clear();
+    held_.clear();
+    return Status::OK();
+  }
   bool has_remote_endpoints() const override {
     return inner_->has_remote_endpoints();
+  }
+  std::vector<int64_t> endpoint_process_ids() const override {
+    return inner_->endpoint_process_ids();
   }
   CommStats stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
@@ -127,12 +189,20 @@ class FlakyTransport final : public Transport {
   uint64_t dropped() const { return dropped_; }
   uint64_t duplicated() const { return duplicated_; }
   uint64_t delayed() const { return delayed_; }
+  /// Sends accepted so far — what crash tests calibrate kill_after_frames
+  /// against (a clean run's total gives the frame budget to kill inside).
+  uint64_t accepted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accepted_;
+  }
 
  private:
   Transport* inner_;  // not owned; must outlive this decorator
   FlakyOptions options_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   Rng rng_;
+  bool killed_ = false;
+  uint64_t partition_lost_ = 0;
   uint64_t accepted_ = 0;
   uint64_t flushed_ = 0;
   uint64_t dropped_ = 0;

@@ -1,0 +1,55 @@
+#include "rt/liveness.h"
+
+#include <time.h>
+
+namespace grape {
+
+uint64_t WorkerLivenessMonitor::NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000ULL +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000ULL;
+}
+
+WorkerLivenessMonitor::WorkerLivenessMonitor(uint32_t num_workers,
+                                             uint64_t lease_ms) {
+  Reset(num_workers, lease_ms);
+}
+
+void WorkerLivenessMonitor::Reset(uint32_t num_workers, uint64_t lease_ms) {
+  lease_ms_ = lease_ms;
+  const uint64_t now = NowMs();
+  last_heard_.assign(num_workers, now);
+  last_ping_.assign(num_workers, now);
+}
+
+void WorkerLivenessMonitor::Heard(uint32_t frag) {
+  if (frag < last_heard_.size()) last_heard_[frag] = NowMs();
+}
+
+bool WorkerLivenessMonitor::ShouldPing(uint32_t frag) {
+  if (lease_ms_ == 0 || frag >= last_heard_.size()) return false;
+  const uint64_t now = NowMs();
+  if (now - last_heard_[frag] < lease_ms_) return false;
+  if (now - last_ping_[frag] < lease_ms_) return false;
+  last_ping_[frag] = now;
+  return true;
+}
+
+Status WorkerLivenessMonitor::Check() {
+  if (!probe_) return Status::OK();
+  for (uint32_t frag = 0; frag < last_heard_.size(); ++frag) {
+    if (probe_(frag)) {
+      return Status::Unavailable("worker for fragment " +
+                                 std::to_string(frag) +
+                                 " detected dead by liveness probe");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t WorkerLivenessMonitor::last_heard_ms(uint32_t frag) const {
+  return frag < last_heard_.size() ? last_heard_[frag] : 0;
+}
+
+}  // namespace grape

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "rt/checkpoint.h"
 #include "util/random.h"
 
 namespace grape {
@@ -128,6 +129,7 @@ Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
   server_.reset();
   pending_.clear();
   inc_pending_ = false;
+  ckpt_pending_ = false;
   auto factory = WorkerAppRegistry::Global().Get(app_name);
   if (!factory.ok()) return EmitError(factory.status());
   std::unique_ptr<WorkerAppServerBase> server = (*factory)();
@@ -233,6 +235,121 @@ Status RemoteWorkerHost::MaybeRunIncEval() {
   inc_pending_ = false;
   if (!apply_status.ok()) return EmitError(apply_status);
   return RunPhase(kWkPhaseIncEval, cmd_.round, cmd_.incremental);
+}
+
+// ---------------------------------------------------- checkpoint / restore
+
+Status RemoteWorkerHost::HandleCheckpointCmd(
+    const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  WkCheckpointCommand cmd;
+  if (Status s = WkCheckpointCommand::DecodeFrom(dec, &cmd); !s.ok()) {
+    return EmitError(s);
+  }
+  if (server_ == nullptr) {
+    return EmitError(
+        Status::FailedPrecondition("checkpoint before a successful load"));
+  }
+  if (inc_pending_ || ckpt_pending_) {
+    return EmitError(Status::FailedPrecondition(
+        "checkpoint command overlapping another command"));
+  }
+  ckpt_cmd_ = std::move(cmd);
+  ckpt_pending_ = true;
+  return MaybeCheckpoint();
+}
+
+Status RemoteWorkerHost::MaybeCheckpoint() {
+  if (!ckpt_pending_ || server_ == nullptr) return Status::OK();
+  // The barrier: every direct frame the engine knows was emitted toward us
+  // this round must already be buffered, or the image would miss part of
+  // the message frontier a recovered run replays.
+  for (const auto& [from, need] : ckpt_cmd_.expect_direct) {
+    uint32_t have = 0;
+    for (const PendingFrame& f : pending_) {
+      if (f.tag == kTagWkDirect && f.from == from) have++;
+    }
+    if (have < need) return Status::OK();
+  }
+  ckpt_pending_ = false;
+
+  CheckpointImage image;
+  image.rank = rank_;
+  image.round = ckpt_cmd_.round;
+  Encoder state(pool_->Acquire());
+  if (Status s = server_->EncodeCheckpoint(state); !s.ok()) {
+    return EmitError(s);
+  }
+  image.state = state.TakeBuffer();
+  image.pending.reserve(pending_.size());
+  for (const PendingFrame& f : pending_) {
+    // Copies, not moves: execution continues from the live buffers.
+    image.pending.push_back(
+        CheckpointImage::PendingWireFrame{f.from, f.tag, f.payload});
+  }
+  std::vector<uint8_t> encoded = EncodeCheckpointImage(image);
+
+  WkCheckpointAck ack;
+  ack.round = ckpt_cmd_.round;
+  ack.bytes = encoded.size();
+  if (ckpt_cmd_.dir.empty()) {
+    ack.image = std::move(encoded);
+  } else {
+    CheckpointStore store(ckpt_cmd_.dir);
+    if (Status s = store.Put(rank_, ckpt_cmd_.round, std::move(encoded));
+        !s.ok()) {
+      return EmitError(s);
+    }
+  }
+  Encoder enc(pool_->Acquire());
+  ack.EncodeTo(enc);
+  return emit_(kCoordinatorRank, kTagWkCheckpointAck, enc.TakeBuffer());
+}
+
+Status RemoteWorkerHost::HandleRestore(const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  WkRestoreCommand cmd;
+  if (Status s = WkRestoreCommand::DecodeFrom(dec, &cmd); !s.ok()) {
+    return EmitError(s);
+  }
+  // A restore replaces whatever partial state this host has, exactly like
+  // a load does — the previous run attempt is dead by definition.
+  server_.reset();
+  pending_.clear();
+  inc_pending_ = false;
+  ckpt_pending_ = false;
+
+  Result<CheckpointImage> image =
+      cmd.dir.empty()
+          ? DecodeCheckpointImage(cmd.image.data(), cmd.image.size())
+          : CheckpointStore(cmd.dir).Get(rank_, cmd.round);
+  if (!image.ok()) return EmitError(image.status());
+  if (image->round != cmd.round || image->rank != rank_) {
+    return EmitError(Status::InvalidArgument(
+        "restore image is rank " + std::to_string(image->rank) + " round " +
+        std::to_string(image->round) + ", command wants rank " +
+        std::to_string(rank_) + " round " + std::to_string(cmd.round)));
+  }
+
+  auto factory = WorkerAppRegistry::Global().Get(cmd.app_name);
+  if (!factory.ok()) return EmitError(factory.status());
+  std::unique_ptr<WorkerAppServerBase> server = (*factory)();
+  check_monotonicity_ = (cmd.flags & kWkLoadCheckMonotonicity) != 0;
+  Decoder state(image->state);
+  if (Status s =
+          server->RestoreFromCheckpoint(state, rank_, check_monotonicity_);
+      !s.ok()) {
+    return EmitError(s);
+  }
+  server_ = std::move(server);
+  for (CheckpointImage::PendingWireFrame& f : image->pending) {
+    pending_.push_back(PendingFrame{f.from, f.tag, std::move(f.payload)});
+  }
+  WorkerAck ack;
+  ack.phase = kWkPhaseRestore;
+  ack.round = image->round;
+  ack.worker_pid = static_cast<uint64_t>(getpid());
+  return EmitAck(ack);
 }
 
 // ------------------------------------------------- distributed build steps
@@ -546,6 +663,9 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
             "parameter batch before a successful load"));
       }
       pending_.push_back(PendingFrame{from, tag, std::move(payload)});
+      // At most one of the two can be armed: checkpoints only happen at
+      // barriers, between a round's ack and the next round's command.
+      if (ckpt_pending_) return MaybeCheckpoint();
       return MaybeRunIncEval();
     }
     case kTagWkRunIncEval: {
@@ -600,6 +720,21 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
       GRAPE_RETURN_NOT_OK(server_->EncodePartial(enc));
       return emit_(kCoordinatorRank, kTagWkPartial, enc.TakeBuffer());
     }
+    case kTagWkCheckpoint: {
+      Status s = HandleCheckpointCmd(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkRestore: {
+      Status s = HandleRestore(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkPing: {
+      // Liveness probe: echo the payload back so the monitor can match
+      // request and reply if it ever wants to.
+      return emit_(kCoordinatorRank, kTagWkPong, std::move(payload));
+    }
     case kTagWkShutdown: {
       pool_->Release(std::move(payload));
       // Retire the current worker but leave the host reloadable: engines
@@ -609,6 +744,7 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
       server_.reset();
       pending_.clear();
       inc_pending_ = false;
+      ckpt_pending_ = false;
       shut_down_ = true;
       return Status::OK();
     }
@@ -623,7 +759,9 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
 // -------------------------------------------------------- in-thread hosts
 
 InThreadWorkers::InThreadWorkers(Transport* world, uint32_t num_workers,
-                                 bool enable) {
+                                 bool enable, uint32_t poll_us,
+                                 uint32_t idle_spins, uint32_t idle_poll_us)
+    : poll_us_(poll_us), idle_spins_(idle_spins), idle_poll_us_(idle_poll_us) {
   if (!enable) return;
   threads_.reserve(num_workers);
   for (uint32_t rank = 1; rank <= num_workers; ++rank) {
@@ -655,12 +793,12 @@ void InThreadWorkers::Loop(Transport* world, uint32_t rank) {
       // next run's worker thread.
       if (stop_.load(std::memory_order_acquire) || !world->healthy()) break;
       // Same adaptive backoff as the engine's await loops: snappy while
-      // traffic flows, 1ms once idle so n workers don't burn n cores.
-      if (idle < 40) {
+      // traffic flows, slower once idle so n workers don't burn n cores.
+      if (idle < idle_spins_) {
         ++idle;
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        std::this_thread::sleep_for(std::chrono::microseconds(poll_us_));
       } else {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::this_thread::sleep_for(std::chrono::microseconds(idle_poll_us_));
       }
       continue;
     }

@@ -83,6 +83,15 @@ class WorkerAppServerBase {
   virtual Status EncodePartial(Encoder& enc) const = 0;
   virtual bool ShouldTerminate(uint32_t round, double global) const = 0;
   virtual uint32_t num_fragments() const = 0;
+
+  /// Serializes everything a respawned worker needs to resume this one's
+  /// run mid-stream: query + fragment + WorkerCore state (+ app state for
+  /// CheckpointableApp programs). Only called at a superstep barrier.
+  virtual Status EncodeCheckpoint(Encoder& enc) const = 0;
+  /// Inverse of EncodeCheckpoint on a fresh server instance. All-or-
+  /// nothing: a failure leaves the caller free to discard this instance.
+  virtual Status RestoreFromCheckpoint(Decoder& dec, uint32_t rank,
+                                       bool check_monotonicity) = 0;
 };
 
 /// Templated worker server: WorkerCore<App> behind the virtual seam.
@@ -149,6 +158,32 @@ class WorkerServer final : public WorkerAppServerBase {
 
   uint32_t num_fragments() const override {
     return (resident_ ? *resident_ : frag_).num_fragments();
+  }
+
+  Status EncodeCheckpoint(Encoder& enc) const override {
+    EncodeValue(enc, query_);
+    // The fragment ships whole even when it came from the resident store:
+    // a post-recovery world's endpoint processes are fresh forks that
+    // never saw the distributed build, so the checkpoint must be
+    // self-sufficient.
+    (resident_ ? *resident_ : frag_).EncodeTo(enc);
+    core_->EncodeCheckpoint(enc);
+    return Status::OK();
+  }
+
+  Status RestoreFromCheckpoint(Decoder& dec, uint32_t rank,
+                               bool check_monotonicity) override {
+    GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
+    GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
+    resident_.reset();
+    if (frag_.fid() + 1 != rank) {
+      return Status::InvalidArgument(
+          "checkpoint of fragment " + std::to_string(frag_.fid()) +
+          " restored at rank " + std::to_string(rank));
+    }
+    core_.emplace(frag_, App{});
+    core_->Reset(check_monotonicity);
+    return core_->RestoreCheckpoint(dec);
   }
 
  private:
@@ -242,6 +277,13 @@ class RemoteWorkerHost {
   Status HandleLoad(const std::vector<uint8_t>& payload);
   Status MaybeRunIncEval();
   Status RunPhase(uint8_t phase, uint32_t round, bool incremental);
+  // Fault tolerance (rt/checkpoint.h).
+  Status HandleCheckpointCmd(const std::vector<uint8_t>& payload);
+  /// Snapshots once this barrier's direct-frame expectations are all
+  /// buffered — without consuming them, so the image captures the exact
+  /// message frontier and execution continues unchanged afterwards.
+  Status MaybeCheckpoint();
+  Status HandleRestore(const std::vector<uint8_t>& payload);
   /// Reports a worker-side failure to the engine (code + message).
   Status EmitError(const Status& error);
   Status EmitAck(const WorkerAck& ack);
@@ -275,6 +317,8 @@ class RemoteWorkerHost {
   std::vector<PendingFrame> pending_;  // arrival order preserved
   bool inc_pending_ = false;
   IncEvalCommand cmd_;
+  bool ckpt_pending_ = false;
+  WkCheckpointCommand ckpt_cmd_;
 
   /// One in-flight distributed build. Independent of the compute state
   /// above: a world can build the next graph while a loaded worker idles.
@@ -313,7 +357,12 @@ Status DecodeWorkerError(const std::vector<uint8_t>& payload);
 /// (when `enable`), destruction stops and joins.
 class InThreadWorkers {
  public:
-  InThreadWorkers(Transport* world, uint32_t num_workers, bool enable);
+  /// Poll cadence while hot / spins before backing off / cadence once
+  /// idle. Defaults match the engine's await loops (EngineTimingOptions in
+  /// core/engine.h); the engine passes its configured knobs through.
+  InThreadWorkers(Transport* world, uint32_t num_workers, bool enable,
+                  uint32_t poll_us = 50, uint32_t idle_spins = 40,
+                  uint32_t idle_poll_us = 1000);
   ~InThreadWorkers();
 
   InThreadWorkers(const InThreadWorkers&) = delete;
@@ -323,6 +372,9 @@ class InThreadWorkers {
   void Loop(Transport* world, uint32_t rank);
 
   std::atomic<bool> stop_{false};
+  uint32_t poll_us_;
+  uint32_t idle_spins_;
+  uint32_t idle_poll_us_;
   std::vector<std::thread> threads_;
 };
 

@@ -294,10 +294,14 @@ Status SocketTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
   if (payload.size() > kMaxFramePayloadBytes) {
     return Status::InvalidArgument("payload exceeds the frame bound");
   }
-  if (closed()) return Status::Cancelled("transport closed");
+  // broken_ before closed(): a dead endpoint marks the world closed too
+  // (to unblock Recv), but the death is the recoverable condition and
+  // must win the status race — Unavailable drives the engine's recovery
+  // path, Cancelled is terminal.
   if (broken_.load(std::memory_order_acquire)) {
-    return Status::IOError("socket transport endpoint died");
+    return Status::Unavailable("socket transport endpoint died");
   }
+  if (closed()) return Status::Cancelled("transport closed");
 
   uint8_t header[kFrameHeaderBytes];
   EncodeFrameHeader(
@@ -324,7 +328,10 @@ Status SocketTransport::Send(uint32_t from, uint32_t to, uint32_t tag,
         std::lock_guard<std::mutex> flush_lock(flush_mu_);
       }
       flush_cv_.notify_all();  // wake any Flush blocked on this frame
-      return Status::IOError("socket transport write failed");
+      // A write failure here is EPIPE from a dead peer — the same
+      // recoverable condition the receiver loop detects, just caught
+      // mid-send before broken_ was observed.
+      return Status::Unavailable("socket transport write failed");
     }
   }
   CountSendTagged(tag, payload.size());
@@ -456,7 +463,7 @@ Status SocketTransport::Flush() {
                frames_sent_.load(std::memory_order_acquire);
   });
   if (broken_.load(std::memory_order_acquire)) {
-    return Status::IOError("socket transport endpoint died in flight");
+    return Status::Unavailable("socket transport endpoint died in flight");
   }
   if (closed()) return Status::Cancelled("transport closed");
   return Status::OK();
@@ -500,6 +507,57 @@ void SocketTransport::ReapChildren() {
     waitpid(pid, nullptr, 0);
   }
   children_.clear();
+}
+
+Status SocketTransport::Recover() {
+  // Kill whatever endpoints are still alive: recovery rebuilds the whole
+  // world from fresh forks, so survivors of the broken world must not
+  // keep reading the old channels (and their death EOFs the uplinks,
+  // unblocking the receiver threads below).
+  for (pid_t pid : children_) kill(pid, SIGKILL);
+  // Stop the forwarder without draining: its writes target dead channels.
+  {
+    std::lock_guard<std::mutex> lock(fwd_mu_);
+    for (ForwardJob& job : fwd_queue_) {
+      buffer_pool().Release(std::move(job.payload));
+    }
+    fwd_queue_.clear();
+    fwd_stop_ = true;
+  }
+  fwd_cv_.notify_all();
+  if (forwarder_.joinable()) forwarder_.join();
+  // Deliberately NOT Close(): close_once_ must stay armed so the eventual
+  // final Close still tears down the world Init() rebuilds below. The
+  // manual sequence covers the same ground.
+  MarkClosed();
+  CloseSendSide();
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+  }
+  flush_cv_.notify_all();
+  for (std::thread& t : receivers_) {
+    if (t.joinable()) t.join();
+  }
+  receivers_.clear();
+  std::vector<int> closed_fds;
+  for (int& fd : uplink_read_fds_) {
+    if (fd >= 0) {
+      closed_fds.push_back(fd);
+      fd = -1;
+    }
+  }
+  CloseAndUnregisterFds(closed_fds);
+  ReapChildren();
+  // Back to just-constructed state, then bring up the fresh world.
+  {
+    std::lock_guard<std::mutex> lock(fwd_mu_);
+    fwd_stop_ = false;
+  }
+  frames_sent_.store(0, std::memory_order_release);
+  frames_delivered_.store(0, std::memory_order_release);
+  broken_.store(false, std::memory_order_release);
+  ResetForRecovery();  // empties mailboxes, clears the closed flag
+  return Init();
 }
 
 }  // namespace grape

@@ -86,6 +86,18 @@ class SocketTransport final : public MailboxTransport {
   /// Endpoint process ids, for tests asserting real child processes.
   const std::vector<pid_t>& endpoint_pids() const { return children_; }
 
+  /// One forked endpoint per rank, in rank order (liveness pid probe).
+  std::vector<int64_t> endpoint_process_ids() const override {
+    return std::vector<int64_t>(children_.begin(), children_.end());
+  }
+
+  /// Full-world rebuild after an endpoint death: kills whatever children
+  /// remain, drains all threads, closes every channel, then reruns the
+  /// constructor-time Init over the same slots — fresh sockets, fresh
+  /// forks, empty mailboxes. See Transport::Recover for the contract.
+  bool supports_recovery() const override { return true; }
+  Status Recover() override;
+
  private:
   /// Per-channel sender state: parent-side write end, serialized writers.
   struct Channel {

@@ -22,6 +22,7 @@
 #include "rt/frame_decoder.h"
 #include "rt/net_util.h"
 #include "rt/remote_worker.h"
+#include "rt/retry.h"
 #include "rt/worker_protocol.h"
 
 namespace grape {
@@ -97,8 +98,16 @@ void TuneSocket(int fd) {
 
 /// Dials `addr`, retrying connection refusals until `deadline_ms`
 /// (CLOCK_MONOTONIC): in cluster mode endpoints may come up before the
-/// engine's listener. Async-signal-safe. Returns -1 past the deadline.
+/// engine's listener. Retries back off through rt/retry.h (capped
+/// exponential with jitter, seeded by the target port so a world of
+/// ranks dialing the same rendezvous de-herds) instead of a fixed-rate
+/// hammer. Async-signal-safe. Returns -1 past the deadline.
 int ConnectWithDeadline(const sockaddr_in& addr, int64_t deadline_ms) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 500;
+  RetryState retry(policy, static_cast<uint64_t>(deadline_ms),
+                   static_cast<uint64_t>(addr.sin_port) + 1);
   for (;;) {
     int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return -1;
@@ -137,9 +146,7 @@ int ConnectWithDeadline(const sockaddr_in& addr, int64_t deadline_ms) {
         err != ENETUNREACH && err != EAGAIN) {
       return -1;
     }
-    if (MonotonicMs() >= deadline_ms) return -1;
-    struct timespec backoff = {0, 50 * 1000 * 1000};  // 50ms
-    nanosleep(&backoff, nullptr);
+    if (!retry.BackoffOrGiveUp()) return -1;
   }
 }
 
@@ -690,6 +697,8 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Create(
   }
   GRAPE_RETURN_NOT_OK(ValidateCoordinatorAddress(options.hosts));
   std::unique_ptr<TcpTransport> t(new TcpTransport(size));
+  t->options_ = options;
+  t->cluster_ = !options.hosts.empty();
   GRAPE_RETURN_NOT_OK(t->Init(options));
   return t;
 }
@@ -1054,6 +1063,47 @@ void TcpTransport::ReapChildren() {
     waitpid(pid, nullptr, 0);
   }
   children_.clear();
+}
+
+Status TcpTransport::Recover() {
+  if (cluster_) {
+    // Remote endpoints are launched out-of-band (RunClusterEndpoint on
+    // their machines); this process cannot respawn them.
+    return Status::Unavailable(
+        "tcp cluster worlds cannot be recovered in place: remote endpoints "
+        "must be relaunched externally");
+  }
+  // Kill the whole local world: every endpoint is our fork, and their
+  // deaths RST the links, unblocking any receiver still parked in read.
+  for (pid_t pid : children_) kill(pid, SIGKILL);
+  // Deliberately NOT Close(): close_once_ must stay armed so the eventual
+  // final Close still shuts down the world Init() rebuilds below.
+  MarkClosed();
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+  }
+  flush_cv_.notify_all();
+  for (std::thread& t : receivers_) {
+    if (t.joinable()) t.join();
+  }
+  receivers_.clear();
+  std::vector<int> closed_fds;
+  for (auto& link : links_) {
+    std::lock_guard<std::mutex> lock(link->mu);
+    if (link->fd >= 0) {
+      closed_fds.push_back(link->fd);
+      link->fd = -1;
+    }
+    link->shut = false;
+  }
+  rt_internal::CloseAndUnregisterFds(closed_fds);
+  ReapChildren();
+  // Back to just-constructed state, then bring up the fresh world.
+  frames_sent_.store(0, std::memory_order_release);
+  frames_delivered_.store(0, std::memory_order_release);
+  broken_.store(false, std::memory_order_release);
+  ResetForRecovery();  // empties mailboxes, clears the closed flag
+  return Init(options_);
 }
 
 Status RunTcpEndpointProcess(uint32_t rank, uint32_t world_size,

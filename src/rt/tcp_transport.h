@@ -109,6 +109,22 @@ class TcpTransport final : public MailboxTransport {
   /// only rank 0 in cluster mode), for tests that kill real endpoints.
   const std::vector<pid_t>& endpoint_pids() const { return children_; }
 
+  /// Auto-spawn forks one endpoint per rank in rank order. Cluster-mode
+  /// remote ranks are other machines' processes — not probeable here.
+  std::vector<int64_t> endpoint_process_ids() const override {
+    if (cluster_) return {};
+    return std::vector<int64_t>(children_.begin(), children_.end());
+  }
+
+  /// Auto-spawn worlds can be rebuilt whole: every endpoint is a local
+  /// fork, so recovery kills the lot, drains the receivers, and reruns the
+  /// constructor-time Init (fresh rendezvous, fresh mesh, fresh forks).
+  /// Cluster worlds cannot — the remote RunClusterEndpoint processes are
+  /// launched out-of-band and cannot be respawned from here, so Recover
+  /// reports Unavailable and the failure surfaces to the caller.
+  bool supports_recovery() const override { return !cluster_; }
+  Status Recover() override;
+
  private:
   /// Per-rank frame link: parent-side fd of the rendezvous connection.
   /// Serialized writers; the receiver thread owns the read half.
@@ -128,6 +144,8 @@ class TcpTransport final : public MailboxTransport {
   std::vector<std::unique_ptr<Link>> links_;  // one per rank
   std::vector<pid_t> children_;
   std::vector<std::thread> receivers_;
+  TcpOptions options_;    // kept so Recover can rerun Init verbatim
+  bool cluster_ = false;  // non-empty roster: endpoints launched remotely
 
   // Flush barrier: frames accepted by Send vs. frames parsed into
   // mailboxes by receiver threads (socket_transport's scheme).

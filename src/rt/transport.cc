@@ -102,6 +102,17 @@ void MailboxTransport::ResetStats() {
   total_bytes_.store(0);
 }
 
+void MailboxTransport::ResetForRecovery() {
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    for (RtMessage& msg : box->queue) {
+      pool_.Release(std::move(msg.payload));
+    }
+    box->queue.clear();
+  }
+  closed_.store(false, std::memory_order_release);
+}
+
 bool MailboxTransport::MarkClosed() {
   bool was = closed_.exchange(true, std::memory_order_acq_rel);
   if (was) return false;

@@ -101,6 +101,29 @@ class Transport {
   /// backends, where the engine spawns in-thread workers instead.
   virtual bool has_remote_endpoints() const { return false; }
 
+  /// True when this backend can rebuild a broken world in place (respawn
+  /// dead endpoints, clear mailboxes) so the engine's fault-tolerant path
+  /// can retry a run. Backends without it surface the original failure.
+  virtual bool supports_recovery() const { return false; }
+
+  /// Tears down whatever is left of a broken world and brings up a fresh
+  /// healthy one of the same size, in place: endpoints respawned,
+  /// channels reconnected, mailboxes cleared (in-flight frames of the
+  /// failed run are discarded — recovery replays from a checkpoint), and
+  /// healthy() true again. Stats are NOT reset; the engine handles
+  /// counter continuity itself. Only call between runs/rounds, never
+  /// concurrently with Send/Recv.
+  virtual Status Recover() {
+    return Status::Unimplemented("transport '" + name() +
+                                 "' does not support recovery");
+  }
+
+  /// Process ids of locally forked endpoint processes, indexed by rank.
+  /// Feeds the engine's liveness pid probe, which turns "lease expired"
+  /// into "known dead" via waitpid. Empty when the backend has no local
+  /// endpoint processes to probe (inproc, tcp cluster mode).
+  virtual std::vector<int64_t> endpoint_process_ids() const { return {}; }
+
   /// Global counters since construction or the last ResetStats().
   virtual CommStats stats() const = 0;
   virtual void ResetStats() = 0;
@@ -158,6 +181,12 @@ class MailboxTransport : public Transport {
   /// Marks the transport closed and wakes every blocked Recv. Returns
   /// false when another caller already closed it (for idempotent Close).
   bool MarkClosed();
+
+  /// Recovery support: empties every mailbox (releasing payloads back to
+  /// the pool) and clears the closed flag, returning the mailbox layer to
+  /// its just-constructed state. Backends call this from Recover() after
+  /// tearing down their transport-specific halves.
+  void ResetForRecovery();
 
   static constexpr size_t kEnvelopeBytes = 16;
 

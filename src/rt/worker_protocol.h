@@ -91,7 +91,17 @@ enum WorkerProtocolTag : uint32_t {
   kTagWkExchange = 0x111,  // r -> s: owned-edge records (+ final marker)
   kTagWkMirror = 0x112,    // r -> s: mirror placement answers, one frame
   kTagWkBuildAck = 0x113,  // r -> 0: fragment resident (token + shape)
-  kTagWkEnd_,              // exclusive upper bound
+
+  // Fault tolerance (rt/checkpoint.h, rt/liveness.h): all control frames,
+  // invisible to CommStats like the rest of the protocol, and only ever
+  // emitted when a CheckpointPolicy is enabled — with the policy off the
+  // wire traffic is byte-identical to a build without these tags.
+  kTagWkCheckpoint = 0x114,     // 0 -> r: snapshot order at a barrier
+  kTagWkCheckpointAck = 0x115,  // r -> 0: encoded image (or disk receipt)
+  kTagWkRestore = 0x116,        // 0 -> r: rebuild state from an image
+  kTagWkPing = 0x117,           // 0 -> r: liveness probe
+  kTagWkPong = 0x118,           // r -> 0: probe reply (payload echoed)
+  kTagWkEnd_,                   // exclusive upper bound
 };
 
 /// True for every frame of the worker protocol. Endpoint processes divert
@@ -115,6 +125,9 @@ inline bool IsStatsCountedWorkerTag(uint32_t tag) {
 inline constexpr uint8_t kWkPhaseLoad = 1;
 inline constexpr uint8_t kWkPhasePEval = 2;
 inline constexpr uint8_t kWkPhaseIncEval = 3;
+/// Ack for kTagWkRestore: the worker rebuilt query + fragment + core state
+/// from a checkpoint image and re-buffered the image's pending frames.
+inline constexpr uint8_t kWkPhaseRestore = 4;
 
 /// Flag bits inside kTagWkLoad.
 inline constexpr uint8_t kWkLoadCheckMonotonicity = 1u << 0;
@@ -376,6 +389,113 @@ struct IncEvalCommand {
       out->expect_direct.emplace_back(rank, frames);
     }
     return Status::OK();
+  }
+};
+
+/// kTagWkCheckpoint payload: the engine's snapshot order at a superstep
+/// barrier. Like IncEvalCommand, `expect_direct` is the per-sender delivery
+/// barrier — the worker must hold the next round's direct frames in its
+/// buffer *before* snapshotting (without consuming them), so the image
+/// captures the exact message frontier a recovered run will replay.
+struct WkCheckpointCommand {
+  uint32_t round = 0;
+  /// Empty: ship the encoded image back inside the ack (in-memory store at
+  /// rank 0). Non-empty: write it to `<dir>/grape_ckpt_r<rank>.bin` on the
+  /// worker's local disk and ack with a byte-count receipt only.
+  std::string dir;
+  std::vector<std::pair<uint32_t, uint32_t>> expect_direct;  // (from, frames)
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU32(round);
+    enc.WriteString(dir);
+    enc.WriteVarint(expect_direct.size());
+    for (const auto& [rank, frames] : expect_direct) {
+      enc.WriteU32(rank);
+      enc.WriteU32(frames);
+    }
+  }
+
+  static Status DecodeFrom(Decoder& dec, WkCheckpointCommand* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->round));
+    GRAPE_RETURN_NOT_OK(dec.ReadString(&out->dir));
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    if (n > dec.Remaining() / 8) {
+      return Status::Corruption("checkpoint command expectation overruns");
+    }
+    out->expect_direct.clear();
+    out->expect_direct.reserve(n);
+    for (uint64_t k = 0; k < n; ++k) {
+      uint32_t rank = 0, frames = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&rank));
+      GRAPE_RETURN_NOT_OK(dec.ReadU32(&frames));
+      out->expect_direct.emplace_back(rank, frames);
+    }
+    return Status::OK();
+  }
+};
+
+/// kTagWkCheckpointAck payload. In-memory mode ships the encoded
+/// CheckpointImage; disk mode ships an empty image and the byte count
+/// written, as a durable-write receipt.
+struct WkCheckpointAck {
+  uint32_t round = 0;
+  uint64_t bytes = 0;
+  std::vector<uint8_t> image;  // encoded CheckpointImage, or empty (disk)
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteU32(round);
+    enc.WriteU64(bytes);
+    enc.WriteVarint(image.size());
+    enc.WritePodSpan(image.data(), image.size());
+  }
+
+  static Status DecodeFrom(Decoder& dec, WkCheckpointAck* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->round));
+    GRAPE_RETURN_NOT_OK(dec.ReadU64(&out->bytes));
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    if (n > dec.Remaining()) {
+      return Status::Corruption("checkpoint ack image overruns");
+    }
+    out->image.resize(n);
+    return dec.ReadPodSpan(out->image.data(), n);
+  }
+};
+
+/// kTagWkRestore payload: everything a freshly respawned worker host needs
+/// to resume mid-run. The image travels inline (in-memory store) or the
+/// worker reads it from `dir` (per-worker local disk).
+struct WkRestoreCommand {
+  std::string app_name;
+  uint8_t flags = 0;   // kWkLoadCheckMonotonicity only
+  uint32_t round = 0;  // the barrier to restore — a torn checkpoint can
+                       // leave newer images around; the coordinator's
+                       // snapshot, not the newest image, picks the round
+  std::string dir;     // non-empty: load image from local disk instead
+  std::vector<uint8_t> image;  // encoded CheckpointImage when dir is empty
+
+  void EncodeTo(Encoder& enc) const {
+    enc.WriteString(app_name);
+    enc.WriteU8(flags);
+    enc.WriteU32(round);
+    enc.WriteString(dir);
+    enc.WriteVarint(image.size());
+    enc.WritePodSpan(image.data(), image.size());
+  }
+
+  static Status DecodeFrom(Decoder& dec, WkRestoreCommand* out) {
+    GRAPE_RETURN_NOT_OK(dec.ReadString(&out->app_name));
+    GRAPE_RETURN_NOT_OK(dec.ReadU8(&out->flags));
+    GRAPE_RETURN_NOT_OK(dec.ReadU32(&out->round));
+    GRAPE_RETURN_NOT_OK(dec.ReadString(&out->dir));
+    uint64_t n = 0;
+    GRAPE_RETURN_NOT_OK(dec.ReadVarint(&n));
+    if (n > dec.Remaining()) {
+      return Status::Corruption("restore command image overruns");
+    }
+    out->image.resize(n);
+    return dec.ReadPodSpan(out->image.data(), n);
   }
 };
 
