@@ -28,6 +28,34 @@ void Propagate(const Fragment& frag, ParamStore<VertexId>& params,
   }
 }
 
+/// Frontier-parallel min-label fixed point, the undirected view like the
+/// sequential Propagate: each round pushes members' labels to their
+/// neighbors with AtomicMin; lowered vertices join the next frontier and
+/// the dirty set.
+void ParallelPropagate(const Fragment& frag, ParamStore<VertexId>& params,
+                       Frontier& cur, Frontier& next,
+                       const ParallelContext& par) {
+  for (;;) {
+    cur.Finalize();
+    if (cur.empty()) return;
+    next.Reset(frag.num_local());
+    cur.ForAll(par, [&](LocalId v) {
+      const VertexId label = AtomicLoad(params.Get(v));
+      auto relax = [&](const FragNeighbor& nb) {
+        if (AtomicMin(params.UntrackedRef(nb.local), label)) {
+          params.MarkChangedAtomic(nb.local);
+          next.AddAtomic(nb.local);
+        }
+      };
+      for (const FragNeighbor& nb : frag.OutNeighbors(v)) relax(nb);
+      if (frag.is_directed()) {
+        for (const FragNeighbor& nb : frag.InNeighbors(v)) relax(nb);
+      }
+    });
+    cur.Swap(next);
+  }
+}
+
 }  // namespace
 
 void CcApp::PEval(const QueryType& query, const Fragment& frag,
@@ -51,6 +79,37 @@ void CcApp::IncEval(const QueryType& query, const Fragment& frag,
   (void)query;
   std::deque<LocalId> worklist(updated.begin(), updated.end());
   Propagate(frag, params, worklist);
+}
+
+void CcApp::ParallelPEval(const QueryType& query, const Fragment& frag,
+                          ParamStore<VertexId>& params,
+                          const ParallelContext& par) {
+  (void)query;
+  // Untracked init, like the sequential PEval: starting labels are not a
+  // "change". 64-aligned chunks keep plain stores race-free.
+  par.ForChunks(frag.num_local(), [&](size_t, size_t lo, size_t hi) {
+    for (size_t lid = lo; lid < hi; ++lid) {
+      params.UntrackedRef(static_cast<LocalId>(lid)) =
+          frag.Gid(static_cast<LocalId>(lid));
+    }
+  });
+  Frontier cur;
+  Frontier next;
+  cur.Reset(frag.num_local());
+  cur.FillAll();
+  ParallelPropagate(frag, params, cur, next, par);
+}
+
+void CcApp::ParallelIncEval(const QueryType& query, const Fragment& frag,
+                            ParamStore<VertexId>& params,
+                            const std::vector<LocalId>& updated,
+                            const ParallelContext& par) {
+  (void)query;
+  Frontier cur;
+  Frontier next;
+  cur.Reset(frag.num_local());
+  for (LocalId lid : updated) cur.Add(lid);
+  ParallelPropagate(frag, params, cur, next, par);
 }
 
 CcApp::PartialType CcApp::GetPartial(const QueryType& query,

@@ -6,6 +6,7 @@
 
 #include "core/aggregators.h"
 #include "core/codec.h"
+#include "core/parallel.h"
 #include "core/pie.h"
 
 namespace grape {
@@ -51,6 +52,18 @@ class CcApp {
   void IncEval(const QueryType& query, const Fragment& frag,
                ParamStore<VertexId>& params,
                const std::vector<LocalId>& updated);
+
+  // Frontier-parallel variants (FrontierParallelApp): min-label rounds
+  // with AtomicMin over exact integer labels — a unique fixed point, so
+  // the converged store, the dirty set, and every flushed byte match the
+  // sequential worklist propagation bitwise at any thread count.
+  void ParallelPEval(const QueryType& query, const Fragment& frag,
+                     ParamStore<VertexId>& params,
+                     const ParallelContext& par);
+  void ParallelIncEval(const QueryType& query, const Fragment& frag,
+                       ParamStore<VertexId>& params,
+                       const std::vector<LocalId>& updated,
+                       const ParallelContext& par);
   PartialType GetPartial(const QueryType& query, const Fragment& frag,
                          const ParamStore<VertexId>& params) const;
   static OutputType Assemble(const QueryType& query,

@@ -73,6 +73,17 @@ struct EngineTimingOptions {
 struct EngineOptions {
   /// Worker threads; 0 means one per fragment.
   uint32_t num_threads = 0;
+  /// Intra-fragment frontier parallelism (opt-in, ROADMAP item 2): when
+  /// > 1, apps implementing the FrontierParallelApp concept run their
+  /// ParallelPEval/ParallelIncEval with this many lanes, and WorkerCore
+  /// stages its flush in parallel. 0 and 1 keep the historical sequential
+  /// path byte-for-byte. Results, message payloads, CommStats, and
+  /// superstep counts are bit-identical to sequential at every value —
+  /// frozen by tests/parallel_compute_test.cc. Plumbed to remote worker
+  /// hosts through the kTagWkLoad/kTagWkRestore frames, so placement does
+  /// not change the contract. Apps without the parallel methods silently
+  /// run sequentially.
+  uint32_t compute_threads = 0;
   /// Hard stop against non-terminating (non-monotonic, mis-specified) apps.
   uint32_t max_supersteps = 1000000;
   /// When false, every round re-evaluates from *all* inner vertices instead
@@ -236,8 +247,10 @@ class GrapeEngine {
                                        : std::make_unique<CommWorld>(
                                              fg.num_fragments() + 1)),
         world_(options.transport ? options.transport : owned_world_.get()),
-        pool_(options.num_threads == 0 ? fg.num_fragments()
-                                       : options.num_threads) {
+        pool_(options.num_threads == 0
+                  ? fg.num_fragments() *
+                        std::max<uint32_t>(1, options.compute_threads)
+                  : options.num_threads) {
     const FragmentId n = n_frags_;
     GRAPE_CHECK(world_->size() == n + 1)
         << "transport sized " << world_->size() << " for " << n
@@ -245,6 +258,9 @@ class GrapeEngine {
     cores_.reserve(n);
     for (FragmentId i = 0; i < n; ++i) {
       cores_.emplace_back(fg_->fragments[i], prototype);
+      if (options_.compute_threads > 1) {
+        cores_.back().EnableParallel(&pool_, options_.compute_threads);
+      }
     }
     phase_status_.assign(n, Status::OK());
     pending_sends_.resize(n);
@@ -906,7 +922,13 @@ class GrapeEngine {
           uint8_t flags =
               options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
           if (fg_ == nullptr) flags |= kWkLoadUseResident;
+          if (options_.compute_threads > 1) flags |= kWkLoadComputeThreads;
           enc.WriteU8(flags);
+          // Gated on the flag so compute_threads <= 1 load frames stay
+          // byte-identical to every frame this engine ever sent.
+          if (options_.compute_threads > 1) {
+            enc.WriteU32(options_.compute_threads);
+          }
           EncodeValue(enc, query);
           if (fg_ == nullptr) {
             enc.WriteU64(resident_token_);
@@ -1142,6 +1164,10 @@ class GrapeEngine {
         WkRestoreCommand cmd;
         cmd.app_name = options_.remote_app;
         cmd.flags = options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
+        if (options_.compute_threads > 1) {
+          cmd.flags |= kWkLoadComputeThreads;
+          cmd.compute_threads = options_.compute_threads;
+        }
         // Name the barrier explicitly: a crash during a later checkpoint
         // can leave newer images committed for SOME ranks, and those must
         // not be restored over the last complete cut.

@@ -1,0 +1,192 @@
+#ifndef GRAPE_CORE_PARALLEL_H_
+#define GRAPE_CORE_PARALLEL_H_
+
+// Opt-in intra-fragment parallelism under the GRAPE contract (ROADMAP
+// item 2). A WorkerCore normally runs its plug-in's *sequential* PEval /
+// IncEval on one thread; apps that additionally implement
+// ParallelPEval/ParallelIncEval (the FrontierParallelApp concept in
+// core/worker_core.h) can execute GBBS/Ligra-style vertex maps over a
+// dense/sparse frontier instead, selected at run time by
+// EngineOptions::compute_threads.
+//
+// The contract is strict determinism: a parallel run must be bit-identical
+// — output bytes, message payloads, CommStats, superstep count — to the
+// sequential oracle at every thread count. The helpers here are designed
+// around that:
+//
+//  * AtomicMin/AtomicLoad give racing relaxations a unique fixed point
+//    (min over a fixed set of candidate values is schedule-independent);
+//  * Frontier tracks membership in a Bitset, so iteration order is always
+//    ascending lid no matter which thread inserted a vertex;
+//  * ForChunks cuts index ranges at multiples of 64, so chunk-local
+//    non-atomic writes (ParamStore values and their changed-bitset words)
+//    never share a word across threads.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/bitset.h"
+#include "util/thread_pool.h"
+
+namespace grape {
+
+/// Atomically lowers `slot` to `value` if value compares smaller; returns
+/// whether the slot was lowered. Concurrent callers converge on the
+/// minimum of everything offered — the schedule-independent primitive
+/// behind parallel SSSP/CC relaxation.
+template <typename T>
+inline bool AtomicMin(T& slot, T value) {
+  std::atomic_ref<T> ref(slot);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Race-free read of a slot that concurrent AtomicMin writers may touch.
+/// (std::atomic_ref<const T> only lands in C++26, hence the const_cast —
+/// the load itself never writes.)
+template <typename T>
+inline T AtomicLoad(const T& slot) {
+  std::atomic_ref<T> ref(const_cast<T&>(slot));
+  return ref.load(std::memory_order_relaxed);
+}
+
+/// Execution handle a frontier-parallel app receives: how many ways to
+/// split a loop and which pool to split it over. Disabled (sequential)
+/// unless the engine plumbed compute_threads > 1 through
+/// WorkerCore::EnableParallel. The chunk layout depends only on
+/// (n, num_threads()), never on the pool size, and every helper here is
+/// order-preserving — two runs with the same num_threads() (and, for the
+/// ported apps, ANY num_threads()) produce bit-identical stores.
+class ParallelContext {
+ public:
+  ParallelContext() = default;
+
+  void Enable(ThreadPool* pool, uint32_t threads) {
+    pool_ = pool;
+    threads_ = threads;
+  }
+
+  bool enabled() const { return pool_ != nullptr && threads_ > 1; }
+  uint32_t num_threads() const { return enabled() ? threads_ : 1; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Splits [0, n) into up to num_threads() contiguous chunks whose
+  /// boundaries are multiples of 64 and runs fn(chunk_index, lo, hi) for
+  /// each in parallel. 64-alignment means chunk-local writes to a Bitset
+  /// (one word per 64 indices) or a value array never straddle a word two
+  /// chunks share, so per-chunk bodies may use plain non-atomic stores.
+  template <typename Fn>
+  void ForChunks(size_t n, const Fn& fn) const {
+    if (n == 0) return;
+    const size_t threads = num_threads();
+    // Round the chunk width up to a multiple of 64.
+    const size_t width = ((n + threads - 1) / threads + 63) & ~size_t{63};
+    const size_t chunks = (n + width - 1) / width;
+    if (chunks <= 1 || !enabled()) {
+      for (size_t c = 0; c < chunks; ++c) {
+        const size_t lo = c * width;
+        fn(c, lo, std::min(n, lo + width));
+      }
+      return;
+    }
+    pool_->ParallelFor(0, chunks, [&](size_t c) {
+      const size_t lo = c * width;
+      fn(c, lo, std::min(n, lo + width));
+    });
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  uint32_t threads_ = 0;
+};
+
+/// A vertex subset with Ligra-style dense/sparse switching. Membership
+/// lives in a Bitset (thread-safe inserts via SetAtomic); iteration either
+/// walks an extracted ascending lid list (sparse) or the bitset words
+/// directly (dense), chosen by density at Finalize time. The switch is a
+/// pure performance decision: both representations visit the same set, and
+/// the ported apps' results do not depend on visit order.
+class Frontier {
+ public:
+  /// Fraction of the vertex range above which iteration goes dense.
+  static constexpr size_t kDenseDenominator = 20;
+
+  void Reset(size_t n) {
+    bits_.Resize(n);
+    bits_.Clear();
+    sparse_.clear();
+    dense_ = false;
+    size_ = 0;
+  }
+
+  /// Single-threaded insert (seeding before the parallel region).
+  void Add(LocalId v) { bits_.Set(v); }
+
+  /// Makes every vertex a member (PEval-style "start everywhere" rounds).
+  void FillAll() { bits_.SetAll(); }
+
+  /// Thread-safe insert; true when v was not already a member.
+  bool AddAtomic(LocalId v) { return bits_.SetAtomic(v); }
+
+  /// Counts members and picks the iteration representation. Call once per
+  /// round, after all inserts and before ForAll.
+  void Finalize() {
+    size_ = bits_.Count();
+    dense_ = size_ * kDenseDenominator >= bits_.size();
+    sparse_.clear();
+    if (!dense_ && size_ > 0) {
+      sparse_.reserve(size_);
+      bits_.ForEach(
+          [this](size_t v) { sparse_.push_back(static_cast<LocalId>(v)); });
+    }
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  bool dense() const { return dense_; }
+
+  /// Calls fn(lid) for every member, in parallel chunks. fn runs
+  /// concurrently across chunks and must tolerate any visit order.
+  template <typename Fn>
+  void ForAll(const ParallelContext& par, const Fn& fn) const {
+    if (size_ == 0) return;
+    if (!dense_) {
+      par.ForChunks(sparse_.size(), [&](size_t, size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) fn(sparse_[k]);
+      });
+      return;
+    }
+    par.ForChunks(bits_.size(), [&](size_t, size_t lo, size_t hi) {
+      for (size_t v = lo; v < hi; ++v) {
+        if (bits_.Test(v)) fn(static_cast<LocalId>(v));
+      }
+    });
+  }
+
+  void Swap(Frontier& other) {
+    bits_.Swap(other.bits_);
+    sparse_.swap(other.sparse_);
+    std::swap(dense_, other.dense_);
+    std::swap(size_, other.size_);
+  }
+
+ private:
+  Bitset bits_;
+  std::vector<LocalId> sparse_;
+  bool dense_ = false;
+  size_t size_ = 0;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_CORE_PARALLEL_H_

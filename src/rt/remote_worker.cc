@@ -117,8 +117,12 @@ Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
   Decoder dec(payload);
   std::string app_name;
   uint8_t flags = 0;
+  uint32_t compute_threads = 0;
   Status parse = dec.ReadString(&app_name);
   if (parse.ok()) parse = dec.ReadU8(&flags);
+  if (parse.ok() && (flags & kWkLoadComputeThreads) != 0) {
+    parse = dec.ReadU32(&compute_threads);
+  }
   if (!parse.ok()) return EmitError(parse);
   // A load is an implicit reload: every run begins with its own
   // kTagWkLoad, and an engine whose previous run failed mid-phase (so no
@@ -135,6 +139,7 @@ Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
   std::unique_ptr<WorkerAppServerBase> server = (*factory)();
   check_monotonicity_ = (flags & kWkLoadCheckMonotonicity) != 0;
   const bool resident = (flags & kWkLoadUseResident) != 0;
+  server->SetComputeThreads(compute_threads);
   if (Status s = server->Load(dec, rank_, check_monotonicity_, resident);
       !s.ok()) {
     return EmitError(s);
@@ -335,6 +340,7 @@ Status RemoteWorkerHost::HandleRestore(const std::vector<uint8_t>& payload) {
   if (!factory.ok()) return EmitError(factory.status());
   std::unique_ptr<WorkerAppServerBase> server = (*factory)();
   check_monotonicity_ = (cmd.flags & kWkLoadCheckMonotonicity) != 0;
+  server->SetComputeThreads(cmd.compute_threads);
   Decoder state(image->state);
   if (Status s =
           server->RestoreFromCheckpoint(state, rank_, check_monotonicity_);

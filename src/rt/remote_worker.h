@@ -21,6 +21,7 @@
 #include "rt/worker_protocol.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace grape {
 
@@ -75,6 +76,11 @@ class WorkerAppServerBase {
   /// fragment, resolved through ResidentFragmentStore.
   virtual Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity,
                       bool resident) = 0;
+  /// Frontier-parallel lane count for subsequent Load/Restore calls
+  /// (kWkLoadComputeThreads). <= 1 keeps the sequential path; the host
+  /// calls this before Load, so the server can size its own pool — each
+  /// endpoint process parallelizes within itself, never across ranks.
+  virtual void SetComputeThreads(uint32_t threads) = 0;
   virtual Status PEval(BufferPool& pool, WorkerPhaseOutput* out) = 0;
   virtual void BeginApply() = 0;
   virtual Status ApplyFrame(const std::vector<uint8_t>& payload) = 0;
@@ -125,8 +131,16 @@ class WorkerServer final : public WorkerAppServerBase {
           std::to_string(rank) + " (worker rank must be fid + 1)");
     }
     core_.emplace(frag, App{});
+    MaybeEnableParallel();
     core_->Reset(check_monotonicity);
     return Status::OK();
+  }
+
+  void SetComputeThreads(uint32_t threads) override {
+    compute_threads_ = threads;
+    if (threads > 1 && pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
   }
 
   Status PEval(BufferPool& pool, WorkerPhaseOutput* out) override {
@@ -182,11 +196,18 @@ class WorkerServer final : public WorkerAppServerBase {
           " restored at rank " + std::to_string(rank));
     }
     core_.emplace(frag_, App{});
+    MaybeEnableParallel();
     core_->Reset(check_monotonicity);
     return core_->RestoreCheckpoint(dec);
   }
 
  private:
+  void MaybeEnableParallel() {
+    if (compute_threads_ > 1) {
+      core_->EnableParallel(pool_.get(), compute_threads_);
+    }
+  }
+
   Status FlushInto(BufferPool& pool, WorkerPhaseOutput* out) {
     // updated_count is read after IncEval so the ablation's expansion of
     // M_i is visible, exactly like the engine's local RecordRound.
@@ -207,6 +228,10 @@ class WorkerServer final : public WorkerAppServerBase {
   /// core's fragment outlives later builds.
   std::shared_ptr<const Fragment> resident_;
   std::optional<WorkerCore<App>> core_;
+  /// Frontier-parallel execution (kWkLoadComputeThreads): this endpoint's
+  /// own lane pool, created on first demand and reused across reloads.
+  uint32_t compute_threads_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Process-wide registry of remotely instantiable PIE programs: the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace grape {
 
@@ -33,24 +34,65 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
+struct ThreadPool::ForState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t chunks = 0;
+  size_t chunk_size = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void ThreadPool::DrainChunks(ForState& s) {
+  for (;;) {
+    const size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= s.chunks) return;  // a late helper after the loop completed
+    const size_t lo = s.begin + c * s.chunk_size;
+    const size_t hi = std::min(s.end, lo + s.chunk_size);
+    for (size_t i = lo; i < hi; ++i) (*s.fn)(i);
+    if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.chunks) {
+      // The empty critical section orders this notify after the caller
+      // either saw done == chunks or entered cv.wait (which releases mu
+      // atomically), so the wakeup cannot be lost.
+      { std::lock_guard<std::mutex> lock(s.mu); }
+      s.cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
-  size_t n = end - begin;
-  size_t chunks = std::min(n, threads_.size() * 4);
-  size_t chunk_size = (n + chunks - 1) / chunks;
-
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (size_t c = 0; c < chunks; ++c) {
-    size_t lo = begin + c * chunk_size;
-    size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    futures.push_back(Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    }));
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, threads_.size() * 4);
+  if (chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
   }
-  for (auto& f : futures) f.get();
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunks = chunks;
+  state->chunk_size = (n + chunks - 1) / chunks;
+  state->fn = &fn;
+
+  // Helpers are best-effort parallelism: the caller drains the chunk
+  // counter itself, so it never blocks behind its own queued helpers —
+  // the deadlock of the old future-per-chunk scheme when ParallelFor ran
+  // on a pool thread. Helpers that wake up after the last chunk was
+  // claimed see next >= chunks and return without touching fn.
+  const size_t helpers = std::min(threads_.size(), chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { DrainChunks(*state); });
+  }
+  DrainChunks(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->chunks;
+  });
 }
 
 void ThreadPool::WorkerLoop() {

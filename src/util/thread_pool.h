@@ -13,8 +13,8 @@
 namespace grape {
 
 /// Fixed-size worker pool. The PIE engine maps each logical worker P_i onto
-/// a pool task per superstep; ParallelFor is used by partitioners and
-/// generators for data-parallel loops.
+/// a pool task per superstep; ParallelFor is used by partitioners,
+/// generators, and the frontier-parallel WorkerCore for data-parallel loops.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -28,12 +28,24 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to limit scheduling overhead.
+  ///
+  /// Safe to call from inside a pool task (including from another
+  /// ParallelFor body): the caller claims and executes chunks itself
+  /// instead of blocking on queued work, so progress never depends on a
+  /// free pool thread. Pool threads only *help*; a nested call on a fully
+  /// busy (even 1-thread) pool degrades to running inline. fn must not
+  /// throw — worker-side failures travel as Status through the callers.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  /// Shared state of one ParallelFor: a chunk ticket counter drained
+  /// cooperatively by the caller and any helper tasks that get scheduled.
+  struct ForState;
+  static void DrainChunks(ForState& s);
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;

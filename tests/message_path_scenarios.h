@@ -88,11 +88,14 @@ inline Graph ScenarioGraph(const std::string& kind) {
 /// phases execute inside each rank's worker host — endpoint processes on
 /// socket/tcp, in-thread workers on inproc — and only messages, acks and
 /// partials come back; observables must not change either).
+/// compute_threads > 1 selects the frontier-parallel PEval/IncEval
+/// variants (EngineOptions::compute_threads) — observables must not
+/// change at ANY thread count (tests/parallel_compute_test.cc).
 inline MessagePathObservation RunMessagePathScenario(
     const std::string& app, const std::string& graph_kind,
     const std::string& strategy, FragmentId workers,
     const std::string& transport = "inproc",
-    const std::string& compute = "local") {
+    const std::string& compute = "local", uint32_t compute_threads = 0) {
   Graph g = ScenarioGraph(graph_kind);
   FragmentedGraph fg = ScenarioFragments(g, strategy, workers);
   if (compute == "remote") {
@@ -104,6 +107,7 @@ inline MessagePathObservation RunMessagePathScenario(
   GRAPE_CHECK(world.ok()) << world.status();
   EngineOptions options;
   options.transport = world->get();
+  options.compute_threads = compute_threads;
   if (compute == "remote") options.remote_app = app;
   MessagePathObservation obs;
   if (app == "sssp") {
