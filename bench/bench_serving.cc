@@ -1,0 +1,159 @@
+// Serving benchmark — the grape_serve daemon path: one resident graph,
+// concurrent clients firing SSSP point queries at the admission loop.
+// Reports client-observed p50/p99 latency and sustained queries/sec,
+// once with the batching window closed (every query is its own wave)
+// and once open (compatible queries fuse into multi-source waves), so
+// the JSON shows what admission fusion buys on the same workload.
+//
+// Flags: --workers --scale --clients --queries (per client)
+//        --batch-window-ms --json <path>.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/register_apps.h"
+#include "bench/bench_util.h"
+#include "serve/client.h"
+#include "serve/serve.h"
+#include "util/timer.h"
+
+namespace grape {
+namespace bench {
+namespace {
+
+struct ServingRun {
+  double p50_s = 0;
+  double p99_s = 0;
+  double qps = 0;
+  uint64_t queries = 0;
+  uint64_t waves = 0;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// `clients` threads each issue `queries` SSSP requests back to back;
+/// the batching window is what turns their overlap into fused waves.
+ServingRun RunClients(uint16_t port, uint32_t clients, uint32_t queries,
+                      VertexId num_vertices) {
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  WallTimer wall;
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = ServeClient::Connect(port);
+      GRAPE_CHECK(client.ok()) << client.status();
+      lat[c].reserve(queries);
+      for (uint32_t q = 0; q < queries; ++q) {
+        const VertexId source = (c * 2654435761u + q * 40503u) % num_vertices;
+        WallTimer t;
+        auto dist = client->Sssp(source);
+        GRAPE_CHECK(dist.ok()) << dist.status();
+        GRAPE_CHECK(dist->size() == num_vertices);
+        lat[c].push_back(t.ElapsedSeconds());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double total_s = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ServingRun run;
+  run.p50_s = Percentile(all, 0.50);
+  run.p99_s = Percentile(all, 0.99);
+  run.queries = all.size();
+  run.qps = total_s > 0 ? static_cast<double>(all.size()) / total_s : 0;
+  return run;
+}
+
+void AddRows(const std::string& system, const ServingRun& run,
+             Report* report) {
+  auto add = [&](const std::string& category, double value) {
+    ReportRow row;
+    row.system = system;
+    row.category = category;
+    row.time_s = value;
+    row.rounds = static_cast<uint32_t>(run.waves);
+    row.messages = run.queries;
+    report->Add(row);
+  };
+  add("p50_latency_s", run.p50_s);
+  add("p99_latency_s", run.p99_s);
+  add("queries_per_sec", run.qps);
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  GRAPE_CHECK(flags.Parse(argc, argv).ok());
+  const auto workers = static_cast<FragmentId>(flags.GetInt("workers", 4));
+  const auto scale = static_cast<uint32_t>(flags.GetInt("scale", 12));
+  const auto clients = static_cast<uint32_t>(flags.GetInt("clients", 8));
+  const auto queries = static_cast<uint32_t>(flags.GetInt("queries", 24));
+  const int window_ms = flags.GetInt("batch-window-ms", 4);
+  RegisterBuiltinWorkerApps();
+  Report report("serving");
+
+  RMatOptions gopts;
+  gopts.scale = scale;
+  gopts.edge_factor = 8;
+  gopts.seed = 7;
+  auto graph = GenerateRMat(gopts);
+  GRAPE_CHECK(graph.ok()) << graph.status();
+  const VertexId num_vertices = graph->num_vertices();
+
+  // No InThreadWorkers here: each engine session spawns its own set for
+  // inproc worlds; a second set would race it for the same mailboxes.
+  auto world = MakeTransport("inproc", workers + 1);
+  GRAPE_CHECK(world.ok()) << world.status();
+
+  PrintHeader("Serving (" + std::to_string(workers) + " workers, " +
+              std::to_string(clients) + " clients x " +
+              std::to_string(queries) + " SSSP queries, 2^" +
+              std::to_string(scale) + " vertices)");
+  std::printf("%-22s %12s %12s %12s %8s\n", "Mode", "p50(ms)", "p99(ms)",
+              "queries/s", "Waves");
+
+  // Two servers, same world: batching off, then on. Each Shutdown()
+  // retires its sessions before the next Start() reuses the endpoints.
+  for (const bool batched : {false, true}) {
+    ServeOptions opts;
+    opts.transport = world->get();
+    opts.num_fragments = workers;
+    opts.load_coordinator = [&]() -> Result<FragmentedGraph> {
+      return Fragmentize(*graph, "hash", workers);
+    };
+    opts.batch_window_ms = batched ? window_ms : 0;
+    opts.max_batch = clients;
+    ServeServer server(opts);
+    Status started = server.Start();
+    GRAPE_CHECK(started.ok()) << started;
+
+    ServingRun run = RunClients(server.port(), clients, queries, num_vertices);
+    run.waves = server.stats().waves;
+    server.Shutdown();
+
+    const std::string mode = batched ? "batched" : "unbatched";
+    std::printf("%-22s %12.3f %12.3f %12.1f %8llu\n", mode.c_str(),
+                run.p50_s * 1e3, run.p99_s * 1e3, run.qps,
+                static_cast<unsigned long long>(run.waves));
+    AddRows("grape_serve/" + mode, run, &report);
+  }
+
+  MaybeWriteJson(flags, report);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace grape
+
+int main(int argc, char** argv) { return grape::bench::Run(argc, argv); }

@@ -1,0 +1,241 @@
+// grape_serve: the resident query-serving daemon. Loads a graph once,
+// keeps the fragments resident in the worker endpoints, and answers
+// client queries (serve/protocol.h over loopback TCP) until killed —
+// the "load once, query forever" complement to the one-shot examples.
+//
+//   ./build/grape_serve [--transport=inproc|socket|tcp]
+//                       [--load=coordinator|distributed]
+//                       [--workers=N] [--rows=R] [--cols=C]
+//                       [--port=P] [--batch-window-ms=W]
+//                       [--selftest] [--verbose]
+//
+// The demo graph is a rows x cols weighted road grid (large diameter, so
+// point queries do real superstep work). --load=coordinator materializes
+// it here and ships each fragment to its worker once per epoch;
+// --load=distributed round-trips it through an edge-list file that the
+// workers shard and assemble themselves — rank 0 never holds the graph.
+//
+// Queries arriving within --batch-window-ms of each other fuse: compatible
+// same-class queries become one multi-source superstep wave (one lane per
+// query), and CC/PageRank reads are answered from a per-epoch cache.
+// Answers are bit-identical to one-at-a-time execution either way
+// (tests/serving_test.cc pins this).
+//
+// --selftest starts the server, runs a sequential client pass, replays
+// the same queries from concurrent clients, and exits 0 only if both
+// passes agree bit-for-bit — this is what CI's serve smoke job runs.
+//
+// Daemon mode prints "serving on 127.0.0.1:<port>" and blocks until
+// SIGINT/SIGTERM. Cluster flags (--rank/--hosts/--cluster-token) work as
+// in quickstart: rank > 0 processes serve as transport endpoints.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/register_apps.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "partition/fragment.h"
+#include "partition/partitioner.h"
+#include "rt/cluster.h"
+#include "rt/distributed_load.h"
+#include "rt/transport.h"
+#include "serve/client.h"
+#include "serve/serve.h"
+#include "util/flags.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+/// Sequential pass vs concurrent pass over the same mixed query set;
+/// returns false (after printing what diverged) unless every answer pair
+/// is bit-identical and the cached classes actually hit their cache.
+bool RunSelfTest(grape::ServeServer& server, uint32_t num_clients) {
+  using namespace grape;
+  const uint16_t port = server.port();
+  const std::vector<VertexId> sources = {0, 7, 13, 42, 99, 128};
+
+  // Sequential reference: one client, one query at a time.
+  auto ref = ServeClient::Connect(port);
+  if (!ref.ok()) {
+    std::fprintf(stderr, "selftest connect: %s\n",
+                 ref.status().ToString().c_str());
+    return false;
+  }
+  std::vector<std::vector<double>> ref_dist;
+  std::vector<std::vector<uint32_t>> ref_depth;
+  for (VertexId s : sources) {
+    auto d = ref->Sssp(s);
+    auto b = ref->Bfs(s);
+    if (!d.ok() || !b.ok()) {
+      std::fprintf(stderr, "selftest sequential query failed: %s / %s\n",
+                   d.status().ToString().c_str(),
+                   b.status().ToString().c_str());
+      return false;
+    }
+    ref_dist.push_back(std::move(*d));
+    ref_depth.push_back(std::move(*b));
+  }
+  auto ref_cc = ref->ComponentLabels();
+  auto ref_pr = ref->PageRank();
+  if (!ref_cc.ok() || !ref_pr.ok()) {
+    std::fprintf(stderr, "selftest cc/pagerank failed: %s / %s\n",
+                 ref_cc.status().ToString().c_str(),
+                 ref_pr.status().ToString().c_str());
+    return false;
+  }
+
+  // Concurrent replay: every client fires the whole mix at once, so the
+  // admission window sees real overlap and fuses waves.
+  std::atomic<uint32_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = ServeClient::Connect(port);
+      if (!client.ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const size_t k = (i + c) % sources.size();  // desynchronize order
+        auto d = client->Sssp(sources[k]);
+        if (!d.ok() || *d != ref_dist[k]) mismatches.fetch_add(1);
+        auto b = client->Bfs(sources[k]);
+        if (!b.ok() || *b != ref_depth[k]) mismatches.fetch_add(1);
+      }
+      auto cc = client->ComponentLabels();
+      if (!cc.ok() || *cc != *ref_cc) mismatches.fetch_add(1);
+      auto pr = client->PageRank();
+      if (!pr.ok() || *pr != *ref_pr) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const ServeStats stats = server.stats();
+  std::printf(
+      "selftest: %llu queries, %llu waves, %llu fused, %llu cache hits, "
+      "%llu errors\n",
+      (unsigned long long)stats.queries, (unsigned long long)stats.waves,
+      (unsigned long long)stats.fused_queries,
+      (unsigned long long)stats.cache_hits, (unsigned long long)stats.errors);
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "selftest FAILED: %u concurrent answers diverged from the "
+                 "sequential reference\n",
+                 mismatches.load());
+    return false;
+  }
+  if (stats.cache_hits == 0) {
+    std::fprintf(stderr,
+                 "selftest FAILED: repeated CC/PageRank reads never hit the "
+                 "epoch cache\n");
+    return false;
+  }
+  std::printf("selftest PASSED: concurrent == sequential, bit for bit\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grape;
+
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "flags: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  const std::string transport = flags.GetString("transport", "inproc");
+  const std::string load = flags.GetString("load", "coordinator");
+  if (load != "coordinator" && load != "distributed") {
+    std::fprintf(stderr, "--load must be coordinator or distributed\n");
+    return 2;
+  }
+  const auto workers = static_cast<FragmentId>(flags.GetInt("workers", 3));
+  const auto rows = static_cast<uint32_t>(flags.GetInt("rows", 40));
+  const auto cols = static_cast<uint32_t>(flags.GetInt("cols", 40));
+  const auto port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const int window_ms = flags.GetInt("batch-window-ms", 2);
+  const bool selftest = flags.GetBool("selftest", false);
+  const bool verbose = flags.GetBool("verbose", false);
+
+  auto cluster = ClusterSpec::FromFlags(flags);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    return 2;
+  }
+  RegisterBuiltinWorkerApps();
+  int endpoint_exit = 0;
+  if (RanAsClusterEndpoint(*cluster, transport, &endpoint_exit)) {
+    return endpoint_exit;
+  }
+
+  auto world = MakeClusterTransport(transport, workers + 1, *cluster);
+  if (!world.ok()) {
+    std::fprintf(stderr, "transport: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+
+  ServeOptions opts;
+  opts.transport = world->get();
+  opts.num_fragments = workers;
+  opts.batch_window_ms = window_ms;
+  opts.listen_port = port;
+  opts.verbose = verbose;
+  const std::string shard_path =
+      "/tmp/grape_serve_grid_" + std::to_string(getpid()) + ".txt";
+  if (load == "coordinator") {
+    opts.load_coordinator = [=]() -> Result<FragmentedGraph> {
+      GRAPE_ASSIGN_OR_RETURN(Graph graph, GenerateGridRoad(rows, cols, 11));
+      GRAPE_ASSIGN_OR_RETURN(auto partitioner, MakePartitioner("metis"));
+      GRAPE_ASSIGN_OR_RETURN(auto assignment,
+                             partitioner->Partition(graph, workers));
+      return FragmentBuilder::Build(graph, assignment, workers);
+    };
+  } else {
+    opts.load_distributed =
+        [=](Transport* w) -> Result<DistributedGraphMeta> {
+      GRAPE_ASSIGN_OR_RETURN(Graph graph, GenerateGridRoad(rows, cols, 11));
+      GRAPE_RETURN_NOT_OK(SaveEdgeListFile(graph, shard_path));
+      DistributedLoadOptions dopt;
+      dopt.path = shard_path;
+      dopt.format.directed = true;
+      dopt.format.has_weight = true;
+      dopt.format.has_label = true;
+      return DistributedLoad(w, dopt);
+    };
+  }
+
+  ServeServer server(opts);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "serve start: %s\n", s.ToString().c_str());
+    std::remove(shard_path.c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (%s, %u workers, %s load, epoch %llu)\n",
+              server.port(), (*world)->name().c_str(), workers, load.c_str(),
+              (unsigned long long)server.epoch());
+  std::fflush(stdout);
+
+  int rc = 0;
+  if (selftest) {
+    rc = RunSelfTest(server, /*num_clients=*/4) ? 0 : 1;
+  } else {
+    signal(SIGINT, HandleSignal);
+    signal(SIGTERM, HandleSignal);
+    while (!g_stop.load()) usleep(100 * 1000);
+    std::printf("shutting down\n");
+  }
+  server.Shutdown();
+  std::remove(shard_path.c_str());
+  return rc;
+}

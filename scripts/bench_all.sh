@@ -53,6 +53,7 @@ if [[ "$PROFILE" == full ]]; then
   run query_classes --scale 14 --workers 4
   run inceval_bounded --workers 8
   run gpar --persons 200000 --max_workers 8
+  run serving --workers 4 --scale 14 --clients 16 --queries 32
 else
   run table1_sssp --rows 96 --cols 96 --workers 4
   run fixed_point --rows 80 --cols 80 --scale 12 --workers 4
@@ -61,6 +62,7 @@ else
   run query_classes --scale 11 --workers 4
   run inceval_bounded --workers 4
   run gpar --persons 40000 --max_workers 4
+  run serving --workers 3 --scale 11 --clients 6 --queries 12
 fi
 
 if [[ -x "${BIN_DIR}/bench_micro" ]]; then

@@ -21,8 +21,9 @@
 #    retries; each success demands a clean exit, at least one recovery,
 #    and an answer + comm counters identical to the fault-free golden.
 #
-# Writes the total observed recovery count to chaos_recoveries.txt so CI
-# can archive it.
+# Writes the total observed recovery count to $CHAOS_RECOVERIES_FILE
+# (default: inside this run's scratch dir, removed on exit) so CI can
+# point it somewhere durable and archive it — never into the source tree.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +36,7 @@ for bin in quickstart grape_cli; do
 done
 WORK_DIR="$(mktemp -d /tmp/grape_chaos_XXXXXX)"
 trap 'rm -rf "$WORK_DIR"' EXIT
+RECOVERIES_FILE="${CHAOS_RECOVERIES_FILE:-$WORK_DIR/chaos_recoveries.txt}"
 total_recoveries=0
 
 recoveries_in() {
@@ -137,6 +139,6 @@ if [[ "$ok" -ne 1 ]]; then
   exit 1
 fi
 
-echo "$total_recoveries" > chaos_recoveries.txt
+echo "$total_recoveries" > "$RECOVERIES_FILE"
 echo "chaos smoke OK: $total_recoveries recoveries across both phases," \
      "all answers identical to fault-free goldens"

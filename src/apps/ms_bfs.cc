@@ -1,0 +1,110 @@
+#include "apps/ms_bfs.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grape {
+
+namespace {
+
+using HeapEntry = std::pair<uint32_t, LocalId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+uint32_t LaneOf(const std::vector<uint32_t>& v, size_t k) {
+  return k < v.size() ? v[k] : UINT32_MAX;
+}
+
+/// BfsApp's LocalBfs transposed onto lane k: seeds may sit at different
+/// depths after message application, so it is a unit-weight lazy-deletion
+/// Dijkstra, identical to the single-source pass.
+void LaneBfs(const Fragment& frag, ParamStore<std::vector<uint32_t>>& params,
+             size_t k, MinHeap& heap) {
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > LaneOf(params.Get(v), k)) continue;
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+      uint32_t nd = d + 1;
+      if (nd < LaneOf(params.Get(nb.local), k)) {
+        std::vector<uint32_t>& val = params.Mutate(nb.local);
+        if (val.size() <= k) val.resize(k + 1, UINT32_MAX);
+        val[k] = nd;
+        heap.push({nd, nb.local});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MsBfsApp::PEval(const QueryType& query, const Fragment& frag,
+                     ParamStore<ValueType>& params) {
+  const size_t m = query.sources.size();
+  for (size_t k = 0; k < m; ++k) {
+    MinHeap heap;
+    LocalId lid = frag.Lid(query.sources[k]);
+    // Only the owner seeds, exactly as in BfsApp.
+    if (lid != kInvalidLocal && frag.IsInner(lid)) {
+      std::vector<uint32_t>& val = params.Mutate(lid);
+      if (val.size() <= k) val.resize(k + 1, UINT32_MAX);
+      val[k] = 0;
+      heap.push({0, lid});
+    }
+    LaneBfs(frag, params, k, heap);
+  }
+}
+
+void MsBfsApp::IncEval(const QueryType& query, const Fragment& frag,
+                       ParamStore<ValueType>& params,
+                       const std::vector<LocalId>& updated) {
+  const size_t m = query.sources.size();
+  for (size_t k = 0; k < m; ++k) {
+    MinHeap heap;
+    for (LocalId lid : updated) {
+      uint32_t d = LaneOf(params.Get(lid), k);
+      // An unreachable lane didn't improve this round; skip it.
+      if (d != UINT32_MAX) heap.push({d, lid});
+    }
+    LaneBfs(frag, params, k, heap);
+  }
+}
+
+MsBfsApp::PartialType MsBfsApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<ValueType>& params) const {
+  const size_t m = query.sources.size();
+  PartialType partial;
+  partial.reserve(frag.num_inner());
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    const std::vector<uint32_t>& val = params.Get(lid);
+    std::vector<uint32_t> lanes(m, UINT32_MAX);
+    for (size_t k = 0; k < std::min(val.size(), m); ++k) lanes[k] = val[k];
+    partial.emplace_back(frag.Gid(lid), std::move(lanes));
+  }
+  return partial;
+}
+
+MsBfsApp::OutputType MsBfsApp::Assemble(const QueryType& query,
+                                        std::vector<PartialType>&& partials) {
+  const size_t m = query.sources.size();
+  VertexId max_gid = 0;
+  bool any = false;
+  for (const PartialType& p : partials) {
+    for (const auto& [gid, lanes] : p) {
+      max_gid = std::max(max_gid, gid);
+      any = true;
+    }
+  }
+  MsBfsOutput out;
+  out.depth.assign(m,
+                   std::vector<uint32_t>(any ? max_gid + 1 : 0, UINT32_MAX));
+  for (PartialType& p : partials) {
+    for (const auto& [gid, lanes] : p) {
+      for (size_t k = 0; k < m; ++k) out.depth[k][gid] = lanes[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace grape

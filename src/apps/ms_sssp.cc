@@ -1,0 +1,111 @@
+#include "apps/ms_sssp.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace grape {
+
+namespace {
+
+using HeapEntry = std::pair<double, LocalId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+double LaneOf(const std::vector<double>& v, size_t k) {
+  return k < v.size() ? v[k] : kInfDistance;
+}
+
+/// SsspApp's LocalDijkstra transposed onto lane k: identical lazy-deletion
+/// heap, identical `d + nb.weight` fold in identical neighbor order, so the
+/// lane converges to the same bits as the single-source run.
+void LaneDijkstra(const Fragment& frag,
+                  ParamStore<std::vector<double>>& params, size_t k,
+                  MinHeap& heap) {
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > LaneOf(params.Get(v), k)) continue;
+    for (const FragNeighbor& nb : frag.OutNeighbors(v)) {
+      double nd = d + nb.weight;
+      if (nd < LaneOf(params.Get(nb.local), k)) {
+        std::vector<double>& val = params.Mutate(nb.local);
+        if (val.size() <= k) val.resize(k + 1, kInfDistance);
+        val[k] = nd;
+        heap.push({nd, nb.local});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void MsSsspApp::PEval(const QueryType& query, const Fragment& frag,
+                      ParamStore<ValueType>& params) {
+  const size_t m = query.sources.size();
+  for (size_t k = 0; k < m; ++k) {
+    MinHeap heap;
+    LocalId lid = frag.Lid(query.sources[k]);
+    // Only the owner seeds — same rule as SsspApp: a mirror would relay a
+    // stale infinite value, and its true distance arrives via messages.
+    if (lid != kInvalidLocal && frag.IsInner(lid)) {
+      std::vector<double>& val = params.Mutate(lid);
+      if (val.size() <= k) val.resize(k + 1, kInfDistance);
+      val[k] = 0.0;
+      heap.push({0.0, lid});
+    }
+    LaneDijkstra(frag, params, k, heap);
+  }
+}
+
+void MsSsspApp::IncEval(const QueryType& query, const Fragment& frag,
+                        ParamStore<ValueType>& params,
+                        const std::vector<LocalId>& updated) {
+  const size_t m = query.sources.size();
+  for (size_t k = 0; k < m; ++k) {
+    MinHeap heap;
+    for (LocalId lid : updated) {
+      double d = LaneOf(params.Get(lid), k);
+      // An +inf lane didn't improve this round; seeding it relaxes nothing.
+      if (d < kInfDistance) heap.push({d, lid});
+    }
+    LaneDijkstra(frag, params, k, heap);
+  }
+}
+
+MsSsspApp::PartialType MsSsspApp::GetPartial(
+    const QueryType& query, const Fragment& frag,
+    const ParamStore<ValueType>& params) const {
+  const size_t m = query.sources.size();
+  PartialType partial;
+  partial.reserve(frag.num_inner());
+  for (LocalId lid = 0; lid < frag.num_inner(); ++lid) {
+    const std::vector<double>& val = params.Get(lid);
+    std::vector<double> lanes(m, kInfDistance);
+    for (size_t k = 0; k < std::min(val.size(), m); ++k) lanes[k] = val[k];
+    partial.emplace_back(frag.Gid(lid), std::move(lanes));
+  }
+  return partial;
+}
+
+MsSsspApp::OutputType MsSsspApp::Assemble(const QueryType& query,
+                                          std::vector<PartialType>&& partials) {
+  const size_t m = query.sources.size();
+  VertexId max_gid = 0;
+  bool any = false;
+  for (const PartialType& p : partials) {
+    for (const auto& [gid, lanes] : p) {
+      max_gid = std::max(max_gid, gid);
+      any = true;
+    }
+  }
+  MsSsspOutput out;
+  out.dist.assign(m, std::vector<double>(any ? max_gid + 1 : 0, kInfDistance));
+  for (PartialType& p : partials) {
+    for (const auto& [gid, lanes] : p) {
+      for (size_t k = 0; k < m; ++k) out.dist[k][gid] = lanes[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace grape

@@ -9,6 +9,8 @@
 #include "apps/gpar.h"
 #include "apps/kcore.h"
 #include "apps/keyword.h"
+#include "apps/ms_bfs.h"
+#include "apps/ms_sssp.h"
 #include "apps/pagerank.h"
 #include "apps/sim.h"
 #include "apps/sssp.h"
@@ -119,6 +121,10 @@ void RegisterBuiltinWorkerApps() {
   RegisterRemoteWorker<BfsApp>("bfs");
   RegisterRemoteWorker<CcApp>("cc");
   RegisterRemoteWorker<PageRankApp>("pagerank");
+  // Batched waves for the serving layer: K single-source queries fused
+  // into one superstep run, one value lane per source.
+  RegisterRemoteWorker<MsSsspApp>("ms_sssp");
+  RegisterRemoteWorker<MsBfsApp>("ms_bfs");
 }
 
 void RegisterBuiltinApps() {

@@ -98,12 +98,16 @@ struct AppendAggregator {
   }
 };
 
-/// Element-wise minimum over fixed-length vectors (multi-source distance
-/// propagation in keyword search).
-struct ElementwiseMinAggregator {
+/// Element-wise minimum over per-lane value vectors (multi-source distance
+/// propagation: keyword search, and the serving layer's batched
+/// multi-source SSSP/BFS waves). A shorter vector is a vector whose
+/// missing tail is +inf: the incoming tail is adopted wholesale. Each lane
+/// is an independent monotonically-decreasing min fixed point, so the
+/// Assurance Theorem applies per lane exactly as for single-source SSSP.
+template <typename V>
+struct ElementwiseMinAggregatorT {
   static constexpr bool kMonotonic = true;
-  static bool Aggregate(std::vector<double>& cur,
-                        const std::vector<double>& in) {
+  static bool Aggregate(std::vector<V>& cur, const std::vector<V>& in) {
     bool changed = false;
     if (cur.size() < in.size()) {
       // Treat missing entries as +inf: adopt the incoming tail.
@@ -122,14 +126,16 @@ struct ElementwiseMinAggregator {
     }
     return changed;
   }
-  static bool InOrder(const std::vector<double>& next,
-                      const std::vector<double>& prev) {
+  static bool InOrder(const std::vector<V>& next, const std::vector<V>& prev) {
     for (size_t i = 0; i < std::min(next.size(), prev.size()); ++i) {
-      if (next[i] > prev[i]) return false;
+      if (prev[i] < next[i]) return false;
     }
     return true;
   }
 };
+
+/// The historical name (keyword search's aggregator).
+using ElementwiseMinAggregator = ElementwiseMinAggregatorT<double>;
 
 }  // namespace grape
 

@@ -131,6 +131,16 @@ struct EngineOptions {
   /// DistributedGraphMeta, never holding a fragment; requires remote_app
   /// and an endpoint-backed transport sharing the build's world.
   std::string load_mode = "coordinator";
+  /// Query sessions (SessionRun) on a coordinator-loaded engine only:
+  /// when non-zero, the session's first load ships each fragment together
+  /// with this token and the worker deposits it in its process-local
+  /// ResidentFragmentStore (kWkLoadStashResident) before loading from the
+  /// deposited copy. Other engines — grape_serve's other query classes —
+  /// can then attach to the very same resident fragments by constructing
+  /// from a DistributedGraphMeta carrying this token, without the graph
+  /// ever being serialized again. Ignored by Run() and by
+  /// distributed-load engines (whose fragments are already resident).
+  uint64_t resident_stash_token = 0;
   /// Superstep checkpointing + automatic recovery (remote compute only;
   /// drivers resolve --ckpt-every / --ckpt-dir here).
   CheckpointPolicy checkpoint;
@@ -314,6 +324,9 @@ class GrapeEngine {
 
   /// Runs the full PEval → IncEval* → Assemble pipeline for one query.
   Result<Output> Run(const Query& query) {
+    // A live session's resident hosts would race this run for the same
+    // mailboxes; retire them first. No-op unless SessionRun was used.
+    EndSession();
     if (!options_.remote_app.empty()) {
       if constexpr (RemoteCompatibleApp<App>) {
         return RunRemote(query);
@@ -543,6 +556,58 @@ class GrapeEngine {
     FinishMetrics(total_timer);
     return output;
   }
+
+  /// Query-session entry point (the serving layer's hot path): like
+  /// Run(), but the remote workers stay loaded between calls. The first
+  /// SessionRun performs the full load (shipping fragments or attaching to
+  /// resident ones); every later call re-seeds the already-resident
+  /// workers with just the next query over kTagWkQuery — no app name, no
+  /// fragment bytes — then runs the identical PEval → IncEval* → Assemble
+  /// superstep loop. Answers are bit-identical to Run(): the per-query
+  /// state (parameter store, update sets, message expectations) is rebuilt
+  /// from scratch on both paths; only the fragment survives between
+  /// queries. Sessions reject CheckpointPolicy (a session's unit of retry
+  /// is the query — the caller just re-runs it; on failure the session is
+  /// torn down and the next call cold-starts with a full load). Only one
+  /// engine's session may be live on a shared transport at a time; call
+  /// EndSession() before running another engine over the same world.
+  Result<Output> SessionRun(const Query& query) {
+    if constexpr (RemoteCompatibleApp<App>) {
+      if (options_.remote_app.empty()) {
+        return Status::InvalidArgument(
+            "query sessions execute remotely; set remote_app");
+      }
+      if (options_.checkpoint.enabled()) {
+        return Status::InvalidArgument(
+            "query sessions do not support checkpoint/recovery; the retry "
+            "unit is the query itself");
+      }
+      Result<Output> out = RunSessionQuery(query);
+      // Any failure invalidates the session wholesale: workers may be
+      // mid-phase with frames in flight. The next call reloads from
+      // scratch (and the stale-drain swallows whatever this run left).
+      if (!out.ok()) EndSession();
+      return out;
+    } else {
+      return Status::InvalidArgument(
+          "query sessions require wire-codable Query/Partial/Value types");
+    }
+  }
+
+  /// Retires a live session: best-effort shutdown frames to the resident
+  /// workers, then the in-thread hosts (inproc) are joined. Idempotent;
+  /// also runs on destruction and before any Run() on this engine.
+  void EndSession() {
+    if (session_live_) {
+      for (FragmentId i = 0; i < n_frags_; ++i) {
+        (void)world_->Send(kCoordinatorRank, RankOf(i), kTagWkShutdown, {});
+      }
+    }
+    session_workers_.reset();
+    session_live_ = false;
+  }
+
+  ~GrapeEngine() { EndSession(); }
 
   const EngineMetrics& metrics() const { return metrics_; }
 
@@ -1046,6 +1111,189 @@ class GrapeEngine {
     return output;
   }
 
+  /// One query over a persistent worker session. Structurally
+  /// RunRemoteAttempt minus checkpointing, recovery, and worker
+  /// retirement: the load step runs once per session (full fragment ship
+  /// or resident attach, optionally stashing under
+  /// options_.resident_stash_token), and later queries replace it with a
+  /// kTagWkQuery re-seed that reuses the worker's resident fragment. The
+  /// superstep loop, routing, and assembly are identical, which is what
+  /// makes session answers bit-identical to Run()'s.
+  Result<Output> RunSessionQuery(const Query& query)
+    requires RemoteCompatibleApp<App>
+  {
+    WallTimer total_timer;
+    metrics_ = EngineMetrics{};
+    world_->ResetStats();
+    recorded_messages_ = 0;
+    recorded_bytes_ = 0;
+    extra_messages_ = 0;
+    extra_bytes_ = 0;
+    base_messages_ = 0;
+    base_bytes_ = 0;
+    remote_inbox_.clear();
+    const FragmentId n = n_frags_;
+    metrics_.remote_worker_pids.assign(n, 0);
+    metrics_.remote_peval_runs.assign(n, 0);
+    metrics_.remote_inceval_runs.assign(n, 0);
+    remote_mono_.assign(n, 0);
+
+    if (!session_live_) {
+      if (!WorkerAppRegistry::Global().Has(options_.remote_app)) {
+        RegisterRemoteWorker<App>(options_.remote_app);
+      }
+      // Same stale-drain as a fresh Run: an abandoned query (or a prior
+      // engine's session on this shared world) may have left
+      // worker-protocol frames behind.
+      for (uint32_t tag = kTagWkLoad; tag < kTagWkEnd_; ++tag) {
+        for (uint32_t rank = 0; rank <= n; ++rank) {
+          while (auto stale = world_->TryRecv(rank, tag)) {
+            world_->buffer_pool().Release(std::move(stale->payload));
+          }
+        }
+      }
+      session_workers_ = std::make_unique<InThreadWorkers>(
+          world_, n, !world_->has_remote_endpoints(),
+          options_.timing.poll_interval_us, options_.timing.idle_spins,
+          options_.timing.idle_poll_interval_us);
+      {
+        ScopedTimer t(&metrics_.load_seconds);
+        for (FragmentId i = 0; i < n; ++i) {
+          Encoder enc(world_->buffer_pool().Acquire());
+          enc.WriteString(options_.remote_app);
+          uint8_t flags =
+              options_.check_monotonicity ? kWkLoadCheckMonotonicity : 0;
+          if (fg_ == nullptr) {
+            flags |= kWkLoadUseResident;
+          } else if (options_.resident_stash_token != 0) {
+            flags |= kWkLoadStashResident;
+          }
+          if (options_.compute_threads > 1) flags |= kWkLoadComputeThreads;
+          enc.WriteU8(flags);
+          if (options_.compute_threads > 1) {
+            enc.WriteU32(options_.compute_threads);
+          }
+          EncodeValue(enc, query);
+          if (fg_ == nullptr) {
+            enc.WriteU64(resident_token_);
+          } else if (options_.resident_stash_token != 0) {
+            enc.WriteU64(options_.resident_stash_token);
+            fg_->fragments[i].EncodeTo(enc);
+          } else {
+            fg_->fragments[i].EncodeTo(enc);
+          }
+          GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                           kTagWkLoad, enc.TakeBuffer()));
+        }
+        RemoteRound load;
+        GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseLoad, 0, &load));
+      }
+      session_live_ = true;
+    } else {
+      // Warm path: just the query crosses the wire. The worker re-seeds
+      // its parameter store from the fragment it already holds and acks
+      // with the same load-phase ack a full load would produce.
+      ScopedTimer t(&metrics_.load_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        Encoder enc(world_->buffer_pool().Acquire());
+        EncodeValue(enc, query);
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkQuery, enc.TakeBuffer()));
+      }
+      RemoteRound load;
+      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseLoad, 0, &load));
+    }
+
+    // Superstep 1: remote PEval everywhere.
+    RemoteRound round;
+    {
+      ScopedTimer t(&metrics_.peval_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkRunPEval, {}));
+      }
+      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhasePEval, 1, &round));
+      metrics_.supersteps = 1;
+    }
+    extra_messages_ += round.sent_messages;
+    extra_bytes_ += round.sent_bytes;
+    RecordRound(0.0, round.updated_count);
+    uint64_t dirty = round.dirty;
+    uint64_t direct = round.direct_updates;
+    double global = round.GlobalSum();
+    if (options_.on_superstep) options_.on_superstep(metrics_.supersteps);
+
+    while (metrics_.supersteps < options_.max_supersteps) {
+      if (!metrics_.rounds.empty()) metrics_.rounds.back().global = global;
+      bool terminate = false;
+      GRAPE_ASSIGN_OR_RETURN(
+          terminate, RemoteCheckTerminate(metrics_.supersteps, global));
+      if (terminate) break;
+
+      uint64_t routed = 0;
+      std::vector<uint32_t> apply_counts;
+      {
+        ScopedTimer t(&metrics_.coordinator_seconds);
+        std::vector<RtMessage> inbox = std::move(remote_inbox_);
+        remote_inbox_.clear();
+        GRAPE_ASSIGN_OR_RETURN(
+            routed, RouteInbox(std::move(inbox), kTagWkApply, &apply_counts));
+      }
+      if (routed + direct == 0 && dirty == 0) break;  // simultaneous fixpoint
+
+      WallTimer round_timer;
+      RemoteRound next;
+      {
+        ScopedTimer t(&metrics_.inceval_seconds);
+        for (FragmentId i = 0; i < n; ++i) {
+          IncEvalCommand cmd;
+          cmd.round = metrics_.supersteps + 1;
+          cmd.incremental = options_.incremental;
+          cmd.apply_frames = apply_counts[i];
+          for (FragmentId s = 0; s < n; ++s) {
+            const uint32_t frames = round.direct_matrix[s][i];
+            if (frames > 0) cmd.expect_direct.emplace_back(RankOf(s), frames);
+          }
+          Encoder enc(world_->buffer_pool().Acquire());
+          cmd.EncodeTo(enc);
+          GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                           kTagWkRunIncEval,
+                                           enc.TakeBuffer()));
+        }
+        GRAPE_RETURN_NOT_OK(
+            AwaitPhase(kWkPhaseIncEval, metrics_.supersteps + 1, &next));
+      }
+      round = std::move(next);
+      metrics_.supersteps++;
+      extra_messages_ += round.sent_messages;
+      extra_bytes_ += round.sent_bytes;
+      RecordRound(round_timer.ElapsedSeconds(), round.updated_count);
+      dirty = round.dirty;
+      direct = round.direct_updates;
+      global = round.GlobalSum();
+      if (options_.on_superstep) options_.on_superstep(metrics_.supersteps);
+    }
+    remote_mono_ = round.mono_by_frag.empty() ? remote_mono_
+                                              : round.mono_by_frag;
+
+    // Termination: remote GetPartial everywhere, Assemble here. No
+    // shutdown frames — the workers stay resident for the next query.
+    Output output;
+    {
+      ScopedTimer t(&metrics_.assemble_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkGetPartial, {}));
+      }
+      std::vector<Partial> partials(n);
+      GRAPE_RETURN_NOT_OK(AwaitPartials(&partials));
+      output = App::Assemble(query, std::move(partials));
+    }
+
+    FinishMetrics(total_timer);
+    return output;
+  }
+
   /// Checkpoint barrier, entered right after a round's acks (and therefore
   /// its whole message frontier) are in. Each worker is told how many
   /// direct frames it should already hold buffered (this round's
@@ -1458,6 +1706,13 @@ class GrapeEngine {
   // Per-round communication totals already attributed to a RoundMetrics.
   uint64_t recorded_messages_ = 0;
   uint64_t recorded_bytes_ = 0;
+
+  // Query sessions (SessionRun): persistent in-thread hosts (inproc
+  // backends; endpoint backends keep their workers in the endpoint
+  // processes) and whether the remote workers currently hold a loaded
+  // app + fragment.
+  std::unique_ptr<InThreadWorkers> session_workers_;
+  bool session_live_ = false;
 
   // Fault tolerance (CheckpointPolicy): failure detector, worker image
   // store, the coordinator snapshot the retry loop resumes from, and

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "rt/retry.h"
@@ -57,6 +58,11 @@ std::string FormatHostList(const std::vector<HostPort>& hosts) {
 Result<ClusterSpec> ClusterSpec::FromFlags(const FlagParser& flags) {
   ClusterSpec spec;
   spec.rank = static_cast<uint32_t>(flags.GetInt("rank", 0));
+  spec.token = flags.GetString("cluster-token", "");
+  if (spec.token.empty()) {
+    const char* env = std::getenv("GRAPE_CLUSTER_TOKEN");
+    if (env != nullptr) spec.token = env;
+  }
   const std::string hosts = flags.GetString("hosts", "");
   if (!hosts.empty()) {
     GRAPE_ASSIGN_OR_RETURN(spec.hosts, ParseHostList(hosts));
@@ -134,7 +140,7 @@ Status RunClusterEndpoint(const ClusterSpec& spec) {
     s = RunTcpEndpointProcess(spec.rank,
                               static_cast<uint32_t>(spec.hosts.size()),
                               spec.hosts[0], spec.hosts[spec.rank].port,
-                              /*timeout_ms=*/120000);
+                              /*timeout_ms=*/120000, spec.token);
     if (s.ok()) return s;
     if (!retry.BackoffOrGiveUp()) return s;
     std::fprintf(stderr, "endpoint rank %u: %s; rejoining (attempt %u)\n",
@@ -152,6 +158,7 @@ Result<std::unique_ptr<Transport>> MakeClusterTransport(
   }
   TcpOptions options;
   options.hosts = spec.hosts;  // empty: single-host auto-spawn
+  options.cluster_token = spec.token;
   if (!options.hosts.empty() && options.hosts.size() != size) {
     return Status::InvalidArgument(
         "--hosts lists " + std::to_string(options.hosts.size()) +

@@ -46,11 +46,17 @@ std::string FormatHostList(const std::vector<HostPort>& hosts);
 struct ClusterSpec {
   uint32_t rank = 0;
   std::vector<HostPort> hosts;
+  /// Shared secret for rank admission (TcpOptions::cluster_token): every
+  /// process of the launch — rank 0 and all endpoints — must carry the
+  /// same value. Empty disables authentication.
+  std::string token;
 
   bool single_host() const { return hosts.empty(); }
 
-  /// Reads --rank / --hosts. Fails on a non-zero rank without --hosts or
-  /// a rank outside the host list.
+  /// Reads --rank / --hosts / --cluster-token (the latter falling back to
+  /// the GRAPE_CLUSTER_TOKEN environment variable, so the secret can stay
+  /// out of process listings). Fails on a non-zero rank without --hosts
+  /// or a rank outside the host list.
   static Result<ClusterSpec> FromFlags(const FlagParser& flags);
 };
 

@@ -32,6 +32,15 @@ class FrameDecoder {
   /// steady-state receive loop recycles instead of allocating.
   explicit FrameDecoder(BufferPool* pool = nullptr) : pool_(pool) {}
 
+  /// Tightens the per-frame payload bound below the protocol-wide
+  /// kMaxFramePayloadBytes (1 GiB). Client-facing listeners use this: a
+  /// mesh peer is a trusted rank, but an arbitrary TCP client declaring a
+  /// huge payload_len must produce a sticky Corruption status — before
+  /// any allocation — not a 1 GiB resize. 0 restores the protocol bound.
+  void set_max_payload_bytes(uint32_t bound) {
+    max_payload_bytes_ = bound == 0 ? kMaxFramePayloadBytes : bound;
+  }
+
   /// Consumes `n` bytes of stream. Completed frames queue up for Next().
   /// Returns the decoder's (sticky) status: once a header is corrupt the
   /// stream has lost sync and every later Feed fails too.
@@ -47,6 +56,13 @@ class FrameDecoder {
         if (header_filled_ < kFrameHeaderBytes) break;
         status_ = DecodeFrameHeader(header_, kFrameHeaderBytes, &fh_);
         if (!status_.ok()) return status_;
+        if (fh_.payload_len > max_payload_bytes_) {
+          status_ = Status::Corruption(
+              "frame declares " + std::to_string(fh_.payload_len) +
+              " payload bytes; this stream's bound is " +
+              std::to_string(max_payload_bytes_));
+          return status_;
+        }
         payload_ = pool_ ? pool_->Acquire() : std::vector<uint8_t>{};
         payload_.resize(fh_.payload_len);
         payload_filled_ = 0;
@@ -105,6 +121,7 @@ class FrameDecoder {
 
  private:
   BufferPool* pool_;
+  uint32_t max_payload_bytes_ = kMaxFramePayloadBytes;
   uint8_t header_[kFrameHeaderBytes];
   size_t header_filled_ = 0;
   FrameHeader fh_;

@@ -138,13 +138,33 @@ Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
   if (!factory.ok()) return EmitError(factory.status());
   std::unique_ptr<WorkerAppServerBase> server = (*factory)();
   check_monotonicity_ = (flags & kWkLoadCheckMonotonicity) != 0;
-  const bool resident = (flags & kWkLoadUseResident) != 0;
   server->SetComputeThreads(compute_threads);
-  if (Status s = server->Load(dec, rank_, check_monotonicity_, resident);
+  if (Status s = server->Load(dec, rank_, check_monotonicity_, flags);
       !s.ok()) {
     return EmitError(s);
   }
   server_ = std::move(server);
+  WorkerAck ack;
+  ack.phase = kWkPhaseLoad;
+  ack.worker_pid = static_cast<uint64_t>(getpid());
+  return EmitAck(ack);
+}
+
+Status RemoteWorkerHost::HandleQuery(const std::vector<uint8_t>& payload) {
+  if (server_ == nullptr) {
+    return EmitError(
+        Status::FailedPrecondition("session query before a successful load"));
+  }
+  // Sessions only advance between completed runs, so anything still
+  // buffered belongs to an abandoned round; clear it exactly as a reload
+  // would, minus the fragment work.
+  pending_.clear();
+  inc_pending_ = false;
+  ckpt_pending_ = false;
+  Decoder dec(payload);
+  if (Status s = server_->ResetQuery(dec, check_monotonicity_); !s.ok()) {
+    return EmitError(s);
+  }
   WorkerAck ack;
   ack.phase = kWkPhaseLoad;
   ack.worker_pid = static_cast<uint64_t>(getpid());
@@ -650,6 +670,11 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
       return HandleMirror(from, std::move(payload));
     case kTagWkLoad: {
       Status s = HandleLoad(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkQuery: {
+      Status s = HandleQuery(payload);
       pool_->Release(std::move(payload));
       return s;
     }

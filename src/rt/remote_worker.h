@@ -71,11 +71,18 @@ class WorkerAppServerBase {
 
   /// Decodes query + fragment (the name and flags were already consumed)
   /// and initializes the parameter store. `rank` is this worker's
-  /// transport rank; the shipped fragment must be fragment rank-1. When
-  /// `resident` is set the frame carries a build token instead of a
-  /// fragment, resolved through ResidentFragmentStore.
+  /// transport rank; the shipped fragment must be fragment rank-1. `flags`
+  /// is the kTagWkLoad flag byte: kWkLoadUseResident resolves a build
+  /// token through ResidentFragmentStore instead of decoding a fragment;
+  /// kWkLoadStashResident decodes a shipped fragment AND deposits it in
+  /// the store under the token that precedes it on the wire.
   virtual Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity,
-                      bool resident) = 0;
+                      uint8_t flags) = 0;
+  /// Re-seeds this already-loaded server for the next query of a session
+  /// (kTagWkQuery): decodes only the query — the fragment stays exactly
+  /// as loaded — and rebuilds the core around a fresh app instance, so
+  /// stateful apps drop every trace of the previous query.
+  virtual Status ResetQuery(Decoder& dec, bool check_monotonicity) = 0;
   /// Frontier-parallel lane count for subsequent Load/Restore calls
   /// (kWkLoadComputeThreads). <= 1 keeps the sequential path; the host
   /// calls this before Load, so the server can size its own pool — each
@@ -108,9 +115,9 @@ class WorkerServer final : public WorkerAppServerBase {
   using Query = typename App::QueryType;
 
   Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity,
-              bool resident) override {
+              uint8_t flags) override {
     GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
-    if (resident) {
+    if ((flags & kWkLoadUseResident) != 0) {
       uint64_t token = 0;
       GRAPE_RETURN_NOT_OK(dec.ReadU64(&token));
       resident_ = ResidentFragmentStore::Global().Get(token, rank);
@@ -120,6 +127,17 @@ class WorkerServer final : public WorkerAppServerBase {
             " at rank " + std::to_string(rank) +
             " (was the distributed load run on this world?)");
       }
+    } else if ((flags & kWkLoadStashResident) != 0) {
+      // Ship-and-stash: decode the fragment into shared ownership and
+      // deposit it under the session token, so every later load on this
+      // world (another query class's engine, a post-reload session)
+      // attaches by token instead of re-shipping the graph.
+      uint64_t token = 0;
+      GRAPE_RETURN_NOT_OK(dec.ReadU64(&token));
+      auto owned = std::make_shared<Fragment>();
+      GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, owned.get()));
+      ResidentFragmentStore::Global().Put(token, rank, owned);
+      resident_ = std::move(owned);
     } else {
       GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
       resident_.reset();
@@ -130,6 +148,19 @@ class WorkerServer final : public WorkerAppServerBase {
           "fragment " + std::to_string(frag.fid()) + " shipped to rank " +
           std::to_string(rank) + " (worker rank must be fid + 1)");
     }
+    core_.emplace(frag, App{});
+    MaybeEnableParallel();
+    core_->Reset(check_monotonicity);
+    return Status::OK();
+  }
+
+  Status ResetQuery(Decoder& dec, bool check_monotonicity) override {
+    if (!core_.has_value()) {
+      return Status::FailedPrecondition(
+          "session query before a successful load");
+    }
+    GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
+    const Fragment& frag = resident_ ? *resident_ : frag_;
     core_.emplace(frag, App{});
     MaybeEnableParallel();
     core_->Reset(check_monotonicity);
@@ -300,6 +331,8 @@ class RemoteWorkerHost {
 
  private:
   Status HandleLoad(const std::vector<uint8_t>& payload);
+  /// kTagWkQuery: re-seed the loaded server for a session's next query.
+  Status HandleQuery(const std::vector<uint8_t>& payload);
   Status MaybeRunIncEval();
   Status RunPhase(uint8_t phase, uint32_t round, bool incremental);
   // Fault tolerance (rt/checkpoint.h).

@@ -40,6 +40,16 @@ namespace {
 //   mesh hello (dialing endpoint -> accepting endpoint), 8 bytes:
 //     u32 magic, u32 dialer's rank
 //
+// When TcpOptions::cluster_token is set, both hellos are followed by an
+// 8-byte token digest (u64, little endian) that the accepting side
+// verifies before the connection can claim a rank: anyone can speak the
+// 12-byte hello, so on a shared network the magic alone must not admit a
+// process into the world. A missing or wrong digest is treated exactly
+// like a malformed hello — dropped, loop keeps accepting — so an
+// impostor cannot take a rank OR abort a legitimate launch. An empty
+// token (the default) adds no bytes anywhere: the wire format stays
+// byte-identical to the unauthenticated protocol.
+//
 // After the roster, the rendezvous connection carries nothing but
 // FrameHeader frames in both directions for the life of the world.
 // ---------------------------------------------------------------------------
@@ -63,6 +73,33 @@ void PutU32(uint8_t* p, uint32_t v) {
 uint32_t GetU32(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+constexpr size_t kTokenDigestBytes = 8;
+
+void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// FNV-1a over the shared secret. This is rank admission on a trusted
+/// network segment, not cryptography: it keeps strangers and
+/// misconfigured clusters out of the world; it does not resist an
+/// attacker who can sniff a valid hello off the wire. 0 is reserved as
+/// "auth disabled", so a digest that lands there is nudged off it.
+uint64_t TokenDigest(const std::string& token) {
+  if (token.empty()) return 0;
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : token) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
 }
 
 int64_t MonotonicMs() {
@@ -184,6 +221,16 @@ int64_t HandshakeDeadline(int64_t phase_deadline_ms) {
   return cap < phase_deadline_ms ? cap : phase_deadline_ms;
 }
 
+/// Reads and checks the 8-byte token digest that follows a hello when
+/// auth is on; reads nothing when it is off. A short read, a timeout, and
+/// a mismatch all mean the same thing: not one of ours.
+bool ReadTokenDigest(int fd, uint64_t expect, int64_t deadline_ms) {
+  if (expect == 0) return true;
+  uint8_t buf[kTokenDigestBytes];
+  if (!ReadFullDeadline(fd, buf, sizeof(buf), deadline_ms)) return false;
+  return GetU64(buf) == expect;
+}
+
 /// Relays one frame: reads up to one chunk of payload from `in`, gathers
 /// it with the already-read header into a single writev, then streams the
 /// remainder. Returns false on peer death or EOF mid-frame.
@@ -220,6 +267,9 @@ struct EndpointPlan {
   uint32_t rank = 0;
   uint32_t n = 0;
   int64_t deadline_ms = 0;  // absolute CLOCK_MONOTONIC setup deadline
+  /// TokenDigest of TcpOptions::cluster_token; 0 = auth disabled.
+  /// Precomputed before fork — children only copy bytes into hellos.
+  uint64_t token_digest = 0;
   sockaddr_in coord_addr{};
   sockaddr_in mesh_bind{};
   std::vector<int> close_fds;        // inherited fds this child must drop
@@ -486,11 +536,16 @@ int EndpointRunBody(EndpointPlan& plan, int& lfd, int& cfd) {
   // the frozen roster back. This connection then IS the frame link.
   cfd = ConnectWithDeadline(plan.coord_addr, plan.deadline_ms);
   if (cfd < 0) return 1;
-  uint8_t hello[kHelloBytes];
+  uint8_t hello[kHelloBytes + kTokenDigestBytes];
   PutU32(hello + 0, kHelloMagic);
   PutU32(hello + 4, plan.rank);
   PutU32(hello + 8, ntohs(bound.sin_port));
-  if (!net::WriteFullFd(cfd, hello, sizeof(hello))) return 1;
+  size_t hello_len = kHelloBytes;
+  if (plan.token_digest != 0) {
+    PutU64(hello + kHelloBytes, plan.token_digest);
+    hello_len += kTokenDigestBytes;
+  }
+  if (!net::WriteFullFd(cfd, hello, hello_len)) return 1;
 
   uint8_t rhdr[kRosterHeaderBytes];
   if (net::ReadFullFd(cfd, rhdr, sizeof(rhdr)) != 1) return 1;
@@ -514,10 +569,15 @@ int EndpointRunBody(EndpointPlan& plan, int& lfd, int& cfd) {
   for (uint32_t s = 0; s < plan.rank; ++s) {
     int fd = ConnectWithDeadline(plan.roster[s], plan.deadline_ms);
     if (fd < 0) return 1;
-    uint8_t mh[kMeshHelloBytes];
+    uint8_t mh[kMeshHelloBytes + kTokenDigestBytes];
     PutU32(mh + 0, kMeshMagic);
     PutU32(mh + 4, plan.rank);
-    if (!net::WriteFullFd(fd, mh, sizeof(mh))) return 1;
+    size_t mh_len = kMeshHelloBytes;
+    if (plan.token_digest != 0) {
+      PutU64(mh + kMeshHelloBytes, plan.token_digest);
+      mh_len += kTokenDigestBytes;
+    }
+    if (!net::WriteFullFd(fd, mh, mh_len)) return 1;
     plan.mesh_fds[s] = fd;
   }
   // Accepting is hardened the same way as the rank-0 rendezvous
@@ -551,7 +611,9 @@ int EndpointRunBody(EndpointPlan& plan, int& lfd, int& cfd) {
     }
     const uint32_t from = GetU32(mh + 4);
     if (GetU32(mh + 0) != kMeshMagic || from <= plan.rank || from >= plan.n ||
-        plan.mesh_fds[from] >= 0) {
+        plan.mesh_fds[from] >= 0 ||
+        !ReadTokenDigest(fd, plan.token_digest,
+                         HandshakeDeadline(plan.deadline_ms))) {
       close(fd);
       continue;
     }
@@ -756,6 +818,7 @@ Status TcpTransport::Init(const TcpOptions& options) {
       MonotonicMs() + (options.rendezvous_timeout_ms > 0
                            ? options.rendezvous_timeout_ms
                            : 30000);
+  const uint64_t token_digest = TokenDigest(options.cluster_token);
 
   std::vector<int> link_fds(n, -1);
   auto cleanup = [&](const std::string& what) {
@@ -791,6 +854,7 @@ Status TcpTransport::Init(const TcpOptions& options) {
       plan.rank = r;
       plan.n = n;
       plan.deadline_ms = deadline;
+      plan.token_digest = token_digest;
       std::memset(&plan.coord_addr, 0, sizeof(plan.coord_addr));
       plan.coord_addr.sin_family = AF_INET;
       plan.coord_addr.sin_port = htons(coord_port);
@@ -852,8 +916,12 @@ Status TcpTransport::Init(const TcpOptions& options) {
     // Port 0 or >65535 would freeze an undialable mesh address into the
     // roster and burn every peer's join deadline — drop it like any
     // other malformed hello.
+    // The token digest (auth enabled) is read only after the base hello
+    // validates: garbage never earns the extra read, and with auth off
+    // the accept path is byte-identical to the historical protocol.
     if (GetU32(hello + 0) != kHelloMagic || rank >= n ||
-        link_fds[rank] >= 0 || port == 0 || port > 65535) {
+        link_fds[rank] >= 0 || port == 0 || port > 65535 ||
+        !ReadTokenDigest(fd, token_digest, HandshakeDeadline(deadline))) {
       close(fd);
       continue;
     }
@@ -1108,7 +1176,8 @@ Status TcpTransport::Recover() {
 
 Status RunTcpEndpointProcess(uint32_t rank, uint32_t world_size,
                              const HostPort& coordinator,
-                             uint16_t mesh_bind_port, int timeout_ms) {
+                             uint16_t mesh_bind_port, int timeout_ms,
+                             const std::string& cluster_token) {
   if (world_size == 0 || rank >= world_size) {
     return Status::InvalidArgument("endpoint rank " + std::to_string(rank) +
                                    " outside world of " +
@@ -1118,6 +1187,7 @@ Status RunTcpEndpointProcess(uint32_t rank, uint32_t world_size,
   plan.rank = rank;
   plan.n = world_size;
   plan.deadline_ms = MonotonicMs() + (timeout_ms > 0 ? timeout_ms : 30000);
+  plan.token_digest = TokenDigest(cluster_token);
   GRAPE_RETURN_NOT_OK(
       ResolveIPv4(coordinator.host, coordinator.port, &plan.coord_addr));
   std::memset(&plan.mesh_bind, 0, sizeof(plan.mesh_bind));

@@ -33,6 +33,15 @@ struct TcpOptions {
   /// roster handed out). Generous by default: in cluster mode remote
   /// ranks may be launched by hand.
   int rendezvous_timeout_ms = 30000;
+  /// Shared-secret rank admission (drivers resolve --cluster-token /
+  /// GRAPE_CLUSTER_TOKEN here). When non-empty, every rendezvous and mesh
+  /// hello carries an 8-byte digest of the token, verified before the
+  /// connection can claim a rank — a process that does not know the token
+  /// is dropped like any other malformed hello, and never admitted to the
+  /// world. Empty (the default) disables the check and keeps every hello
+  /// byte-identical to the historical wire format. Endpoints must be
+  /// launched with the same token (RunClusterEndpoint / --cluster-token).
+  std::string cluster_token;
 };
 
 /// Multi-process Transport backend over TCP: the distributed twin of
@@ -166,7 +175,8 @@ class TcpTransport final : public MailboxTransport {
 /// has exactly one implementation, shared with the forked children.
 Status RunTcpEndpointProcess(uint32_t rank, uint32_t world_size,
                              const HostPort& coordinator,
-                             uint16_t mesh_bind_port, int timeout_ms);
+                             uint16_t mesh_bind_port, int timeout_ms,
+                             const std::string& cluster_token = "");
 
 }  // namespace grape
 

@@ -101,7 +101,15 @@ enum WorkerProtocolTag : uint32_t {
   kTagWkRestore = 0x116,        // 0 -> r: rebuild state from an image
   kTagWkPing = 0x117,           // 0 -> r: liveness probe
   kTagWkPong = 0x118,           // r -> 0: probe reply (payload echoed)
-  kTagWkEnd_,                   // exclusive upper bound
+
+  // Query sessions (core/engine.h SessionRun, the serving layer's hot
+  // path): a loaded worker is handed the NEXT query without re-shipping
+  // the app name or fragment — the server re-seeds its parameter store
+  // from the already-resident fragment. Acked with phase=load, exactly
+  // like the full load it replaces. Control frame, invisible to
+  // CommStats like every other tag here.
+  kTagWkQuery = 0x119,  // 0 -> r: payload = encoded query only
+  kTagWkEnd_,           // exclusive upper bound
 };
 
 /// True for every frame of the worker protocol. Endpoint processes divert
@@ -140,6 +148,14 @@ inline constexpr uint8_t kWkLoadUseResident = 1u << 1;
 /// Gated on the flag so sequential runs' frames stay byte-identical to
 /// what they always were. Also used inside WkRestoreCommand::flags.
 inline constexpr uint8_t kWkLoadComputeThreads = 1u << 2;
+/// The load frame carries BOTH a token (u64) and a serialized fragment:
+/// the worker decodes the fragment, deposits it in its process-local
+/// ResidentFragmentStore under the token, and loads from the deposited
+/// copy. This is how a coordinator-loaded serving session makes its
+/// fragments resident, so every later session on the same world (another
+/// query class, a post-switch reload) attaches by token instead of
+/// re-shipping the graph. Mutually exclusive with kWkLoadUseResident.
+inline constexpr uint8_t kWkLoadStashResident = 1u << 3;
 
 /// Vertex-ownership policies a distributed build can apply locally.
 inline constexpr uint8_t kWkPartitionHash = 0;      // SplitMix64(gid) % n

@@ -1,0 +1,189 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/codec.h"
+#include "rt/net_util.h"
+#include "util/serializer.h"
+
+namespace grape {
+
+namespace {
+
+/// Responses can carry a full per-vertex vector, so the client's read
+/// bound is the protocol-wide frame ceiling, not the request-side bound.
+constexpr uint32_t kClientMaxResponseBytes = kMaxFramePayloadBytes;
+
+template <typename T>
+Result<std::vector<T>> DecodePodVectorPayload(
+    const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  std::vector<T> out;
+  GRAPE_RETURN_NOT_OK(dec.ReadPodVector(&out));
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes after response vector");
+  }
+  return out;
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& host,
+                                         uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("serve client: bad host '" + host +
+                                   "' (dotted quad expected)");
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("serve client socket: ") +
+                           std::strerror(errno));
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Unavailable("serve client connect to " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ServeClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status ServeClient::SendRawBytes(const uint8_t* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (!net::WriteFullFd(fd_, data, n)) {
+    return Status::Unavailable("serve client write failed");
+  }
+  return Status::OK();
+}
+
+Status ServeClient::ReadRawFrame(uint32_t* request_id, uint32_t* tag,
+                                 std::vector<uint8_t>* payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  uint8_t hdr[kFrameHeaderBytes];
+  int rc = net::ReadFullFd(fd_, hdr, sizeof(hdr));
+  if (rc == 0) return Status::Unavailable("server closed the connection");
+  if (rc < 0) return Status::Unavailable("serve client read failed");
+  FrameHeader h;
+  GRAPE_RETURN_NOT_OK(DecodeFrameHeader(hdr, sizeof(hdr), &h));
+  if (h.payload_len > kClientMaxResponseBytes) {
+    return Status::Corruption("response payload exceeds frame bound");
+  }
+  payload->resize(h.payload_len);
+  if (h.payload_len > 0 &&
+      net::ReadFullFd(fd_, payload->data(), h.payload_len) != 1) {
+    return Status::Unavailable("server closed mid-response");
+  }
+  *request_id = h.from;
+  *tag = h.tag;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ServeClient::Request(
+    uint32_t tag, const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const uint32_t id = next_id_++;
+  FrameHeader h;
+  h.from = id;
+  h.to = 0;
+  h.tag = tag;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  uint8_t hdr[kFrameHeaderBytes];
+  EncodeFrameHeader(h, hdr);
+  if (!net::WriteFullFd(fd_, hdr, sizeof(hdr)) ||
+      (!payload.empty() &&
+       !net::WriteFullFd(fd_, payload.data(), payload.size()))) {
+    return Status::Unavailable("serve client write failed");
+  }
+  uint32_t resp_id = 0;
+  uint32_t resp_tag = 0;
+  std::vector<uint8_t> resp;
+  GRAPE_RETURN_NOT_OK(ReadRawFrame(&resp_id, &resp_tag, &resp));
+  if (resp_tag == kTagSvError) return DecodeServeError(resp);
+  if (resp_tag != kTagSvOk) {
+    return Status::Corruption("unexpected response tag " +
+                              std::to_string(resp_tag));
+  }
+  if (resp_id != id) {
+    return Status::Corruption("response id " + std::to_string(resp_id) +
+                              " does not match request id " +
+                              std::to_string(id));
+  }
+  return resp;
+}
+
+Status ServeClient::Ping() { return Request(kTagSvPing, {}).status(); }
+
+Result<std::vector<double>> ServeClient::Sssp(VertexId source) {
+  Encoder enc;
+  enc.WriteU32(source);
+  auto resp = Request(kTagSvSssp, enc.buffer());
+  GRAPE_RETURN_NOT_OK(resp.status());
+  return DecodePodVectorPayload<double>(*resp);
+}
+
+Result<std::vector<uint32_t>> ServeClient::Bfs(VertexId source) {
+  Encoder enc;
+  enc.WriteU32(source);
+  auto resp = Request(kTagSvBfs, enc.buffer());
+  GRAPE_RETURN_NOT_OK(resp.status());
+  return DecodePodVectorPayload<uint32_t>(*resp);
+}
+
+Result<std::vector<VertexId>> ServeClient::ComponentLabels() {
+  auto resp = Request(kTagSvCcLabel, {});
+  GRAPE_RETURN_NOT_OK(resp.status());
+  return DecodePodVectorPayload<VertexId>(*resp);
+}
+
+Result<std::vector<double>> ServeClient::PageRank() {
+  auto resp = Request(kTagSvPageRank, {});
+  GRAPE_RETURN_NOT_OK(resp.status());
+  return DecodePodVectorPayload<double>(*resp);
+}
+
+Result<uint64_t> ServeClient::Reload() {
+  auto resp = Request(kTagSvReload, {});
+  GRAPE_RETURN_NOT_OK(resp.status());
+  Decoder dec(*resp);
+  uint64_t epoch = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU64(&epoch));
+  return epoch;
+}
+
+}  // namespace grape

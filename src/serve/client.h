@@ -1,0 +1,68 @@
+#ifndef GRAPE_SERVE_CLIENT_H_
+#define GRAPE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "serve/protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace grape {
+
+/// Synchronous client for a ServeServer: one connection, one request in
+/// flight. Concurrency comes from holding several clients (one per
+/// thread), which is also how the batching window sees concurrent
+/// arrivals. Movable, not copyable.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Dials `host:port` (dotted-quad host; the server listens on loopback).
+  static Result<ServeClient> Connect(const std::string& host, uint16_t port);
+  static Result<ServeClient> Connect(uint16_t port) {
+    return Connect("127.0.0.1", port);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  Status Ping();
+  /// dist[gid] from `source`; kInfDistance when unreachable.
+  Result<std::vector<double>> Sssp(VertexId source);
+  /// depth[gid] from `source`; UINT32_MAX when unreachable.
+  Result<std::vector<uint32_t>> Bfs(VertexId source);
+  /// label[gid] = smallest vertex id in gid's weakly connected component.
+  Result<std::vector<VertexId>> ComponentLabels();
+  /// rank[gid] under the server's fixed default PageRank parameters.
+  Result<std::vector<double>> PageRank();
+  /// Asks the server to rerun its loader; returns the new graph epoch.
+  Result<uint64_t> Reload();
+
+  /// One framed request → one response payload (kTagSvError decodes into
+  /// the returned Status). The typed calls above are sugar over this.
+  Result<std::vector<uint8_t>> Request(uint32_t tag,
+                                       const std::vector<uint8_t>& payload);
+
+  /// Test hooks: ship arbitrary bytes (not necessarily a valid frame) and
+  /// read back one raw frame, so protocol tests can probe the server's
+  /// rejection path from a real client socket.
+  Status SendRawBytes(const uint8_t* data, size_t n);
+  Status ReadRawFrame(uint32_t* request_id, uint32_t* tag,
+                      std::vector<uint8_t>* payload);
+
+ private:
+  int fd_ = -1;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace grape
+
+#endif  // GRAPE_SERVE_CLIENT_H_

@@ -1,0 +1,376 @@
+// Serving-layer tests (src/serve): the golden guarantee — batched answers
+// are bit-identical to one-at-a-time answers, on every transport — plus
+// concurrent clients, per-epoch cache invalidation across reloads, the
+// bounded client decoder's rejection path, and shared-secret rank
+// admission on the tcp rendezvous.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "apps/ms_sssp.h"
+#include "apps/register_apps.h"
+#include "apps/sssp.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "rt/tcp_transport.h"
+#include "rt/transport.h"
+#include "serve/client.h"
+#include "serve/serve.h"
+#include "tests/test_util.h"
+
+namespace grape {
+namespace {
+
+using testing::MakeFragments;
+
+/// Bitwise equality — exactly what "bit-identical" promises; an
+/// ULP-close-but-different double must fail this.
+template <typename T>
+bool BitEq(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// A 12x12 weighted road grid: connected, large diameter, so point
+/// queries run enough supersteps for fusion and ordering to matter.
+Graph ServingGraph() {
+  auto g = GenerateGridRoad(12, 12, /*seed=*/5);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+const std::vector<VertexId> kSources = {0, 7, 33, 95, 143};
+
+// ---------------------------------------------------------------------------
+// Engine-level golden: every lane of a fused multi-source wave carries
+// the same bits as a standalone single-source SsspApp run.
+
+TEST(ServingTest, MultiSourceLanesMatchSingleSourceBits) {
+  RegisterBuiltinWorkerApps();
+  Graph graph = ServingGraph();
+  FragmentedGraph fg = MakeFragments(graph, "hash", 3);
+
+  auto world = MakeTransport("inproc", 4);
+  ASSERT_TRUE(world.ok()) << world.status();
+  EngineOptions eo;
+  eo.transport = world->get();
+  eo.remote_app = "ms_sssp";
+  GrapeEngine<MsSsspApp> ms(fg, MsSsspApp{}, eo);
+  MsSsspQuery query;
+  query.sources = kSources;
+  auto wave = ms.SessionRun(query);
+  ASSERT_TRUE(wave.ok()) << wave.status();
+  ms.EndSession();
+
+  ASSERT_EQ(wave->dist.size(), kSources.size());
+  for (size_t k = 0; k < kSources.size(); ++k) {
+    GrapeEngine<SsspApp> ref(fg, SsspApp{}, EngineOptions{});
+    auto single = ref.Run(SsspQuery{kSources[k]});
+    ASSERT_TRUE(single.ok()) << single.status();
+    EXPECT_TRUE(BitEq(wave->dist[k], single->dist)) << "lane " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end golden on every transport: a batching server under
+// concurrent clients answers bit-identically to a non-batching server
+// under a sequential client — and both match the engine run directly.
+
+class ServingGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServingGoldenTest, BatchedEqualsSequential) {
+  RegisterBuiltinWorkerApps();
+  Graph graph = ServingGraph();
+
+  auto world = MakeTransport(GetParam(), 4);
+  ASSERT_TRUE(world.ok()) << world.status();
+
+  ServeOptions base;
+  base.transport = world->get();
+  base.num_fragments = 3;
+  base.load_coordinator = [&graph]() -> Result<FragmentedGraph> {
+    auto partitioner = MakePartitioner("hash");
+    GRAPE_RETURN_NOT_OK(partitioner.status());
+    GRAPE_ASSIGN_OR_RETURN(auto assignment,
+                           (*partitioner)->Partition(graph, 3));
+    return FragmentBuilder::Build(graph, assignment, 3);
+  };
+
+  // Pass 1 — batching disabled, one client, one query at a time.
+  std::vector<std::vector<double>> seq_dist;
+  std::vector<std::vector<uint32_t>> seq_depth;
+  std::vector<VertexId> seq_cc;
+  {
+    ServeOptions opts = base;
+    opts.batch_window_ms = 0;
+    ServeServer server(opts);
+    ASSERT_OK(server.Start());
+    ASSERT_OK_AND_ASSIGN(ServeClient client,
+                         ServeClient::Connect(server.port()));
+    for (VertexId s : kSources) {
+      ASSERT_OK_AND_ASSIGN(auto d, client.Sssp(s));
+      ASSERT_OK_AND_ASSIGN(auto b, client.Bfs(s));
+      seq_dist.push_back(std::move(d));
+      seq_depth.push_back(std::move(b));
+    }
+    ASSERT_OK_AND_ASSIGN(seq_cc, client.ComponentLabels());
+    const ServeStats stats = server.stats();
+    EXPECT_EQ(stats.fused_queries, 0u);  // window closed: no fusion
+    EXPECT_EQ(stats.errors, 0u);
+    server.Shutdown();
+  }
+
+  // The sequential pass must itself match the engine, not just later
+  // passes: self-consistent-but-wrong would otherwise slip through.
+  {
+    FragmentedGraph fg = MakeFragments(graph, "hash", 3);
+    for (size_t k = 0; k < kSources.size(); ++k) {
+      GrapeEngine<SsspApp> ref(fg, SsspApp{}, EngineOptions{});
+      auto single = ref.Run(SsspQuery{kSources[k]});
+      ASSERT_TRUE(single.ok()) << single.status();
+      EXPECT_TRUE(BitEq(seq_dist[k], single->dist)) << "source " << kSources[k];
+    }
+  }
+
+  // Pass 2 — wide-open batching window, one client thread per source,
+  // all firing at once so the admission loop actually fuses.
+  {
+    ServeOptions opts = base;
+    opts.batch_window_ms = 100;
+    opts.max_batch = 16;
+    ServeServer server(opts);
+    ASSERT_OK(server.Start());
+    std::atomic<uint32_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (size_t k = 0; k < kSources.size(); ++k) {
+      threads.emplace_back([&, k] {
+        auto client = ServeClient::Connect(server.port());
+        if (!client.ok()) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        auto d = client->Sssp(kSources[k]);
+        if (!d.ok() || !BitEq(*d, seq_dist[k])) mismatches.fetch_add(1);
+        auto b = client->Bfs(kSources[k]);
+        if (!b.ok() || !BitEq(*b, seq_depth[k])) mismatches.fetch_add(1);
+        auto cc = client->ComponentLabels();
+        if (!cc.ok() || !BitEq(*cc, seq_cc)) mismatches.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    // The concurrent CC reads computed the epoch cache (possibly all in
+    // one fused batch, which counts no hits); a read after the dust
+    // settles must be a pure cache hit.
+    ASSERT_OK_AND_ASSIGN(ServeClient late, ServeClient::Connect(server.port()));
+    ASSERT_OK_AND_ASSIGN(auto late_cc, late.ComponentLabels());
+    EXPECT_TRUE(BitEq(late_cc, seq_cc));
+    const ServeStats stats = server.stats();
+    EXPECT_GT(stats.fused_queries, 0u)
+        << "concurrent same-class queries never fused";
+    EXPECT_GT(stats.cache_hits, 0u)
+        << "a repeated CC read never hit the epoch cache";
+    EXPECT_EQ(stats.errors, 0u);
+    server.Shutdown();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, ServingGoldenTest,
+                         ::testing::Values("inproc", "socket", "tcp"));
+
+// ---------------------------------------------------------------------------
+// Reload: a new epoch re-runs the loader, invalidates the CC/PageRank
+// caches, and serves the new graph's answers.
+
+TEST(ServingTest, ReloadInvalidatesCachesAndBumpsEpoch) {
+  RegisterBuiltinWorkerApps();
+  // Epoch 1: one 12-vertex path (single component). Epoch 2: the same
+  // vertices as two disjoint halves — CC labels must change shape-free.
+  auto world = MakeTransport("inproc", 4);
+  ASSERT_TRUE(world.ok()) << world.status();
+
+  std::atomic<int> loads{0};
+  ServeOptions opts;
+  opts.transport = world->get();
+  opts.num_fragments = 3;
+  opts.batch_window_ms = 0;
+  opts.load_coordinator = [&loads]() -> Result<FragmentedGraph> {
+    const int epoch = ++loads;
+    GraphBuilder builder(/*directed=*/false);
+    for (VertexId v = 0; v + 1 < 12; ++v) {
+      if (epoch > 1 && v == 5) continue;  // sever the middle edge
+      builder.AddEdge(v, v + 1, 1.0);
+    }
+    GRAPE_ASSIGN_OR_RETURN(Graph g, std::move(builder).Build());
+    auto partitioner = MakePartitioner("hash");
+    GRAPE_RETURN_NOT_OK(partitioner.status());
+    GRAPE_ASSIGN_OR_RETURN(auto assignment, (*partitioner)->Partition(g, 3));
+    return FragmentBuilder::Build(g, assignment, 3);
+  };
+  ServeServer server(opts);
+  ASSERT_OK(server.Start());
+  EXPECT_EQ(server.epoch(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(ServeClient client, ServeClient::Connect(server.port()));
+  ASSERT_OK_AND_ASSIGN(auto cc1, client.ComponentLabels());
+  ASSERT_OK_AND_ASSIGN(auto cc1_again, client.ComponentLabels());
+  EXPECT_TRUE(BitEq(cc1, cc1_again));
+  EXPECT_GE(server.stats().cache_hits, 1u);
+  ASSERT_OK_AND_ASSIGN(auto pr1, client.PageRank());
+
+  ASSERT_OK_AND_ASSIGN(uint64_t epoch, client.Reload());
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(server.epoch(), 2u);
+  EXPECT_EQ(server.stats().reloads, 1u);
+
+  ASSERT_OK_AND_ASSIGN(auto cc2, client.ComponentLabels());
+  ASSERT_OK_AND_ASSIGN(auto pr2, client.PageRank());
+  EXPECT_FALSE(BitEq(cc1, cc2)) << "reload served the stale CC cache";
+  EXPECT_FALSE(BitEq(pr1, pr2)) << "reload served the stale PageRank cache";
+  // The severed graph has two components; the path had one.
+  EXPECT_EQ(cc2.front(), cc2[5]);
+  EXPECT_NE(cc2.front(), cc2[6]);
+  EXPECT_EQ(cc1.front(), cc1[6]);
+
+  // Point queries see the new epoch too (vertex 6 now unreachable from 0).
+  ASSERT_OK_AND_ASSIGN(auto dist, client.Sssp(0));
+  EXPECT_EQ(dist[6], kInfDistance);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing listener hardening: garbage and oversized frames get one
+// error frame, then the connection dies; well-formed traffic on other
+// connections is unaffected.
+
+TEST(ServingTest, MalformedAndOversizedFramesRejected) {
+  RegisterBuiltinWorkerApps();
+  auto world = MakeTransport("inproc", 4);
+  ASSERT_TRUE(world.ok()) << world.status();
+
+  ServeOptions opts;
+  opts.transport = world->get();
+  opts.num_fragments = 3;
+  opts.batch_window_ms = 0;
+  opts.max_client_frame_bytes = 4096;
+  opts.load_coordinator = []() -> Result<FragmentedGraph> {
+    GRAPE_ASSIGN_OR_RETURN(Graph g, GeneratePath(8));
+    auto partitioner = MakePartitioner("hash");
+    GRAPE_RETURN_NOT_OK(partitioner.status());
+    GRAPE_ASSIGN_OR_RETURN(auto assignment, (*partitioner)->Partition(g, 3));
+    return FragmentBuilder::Build(g, assignment, 3);
+  };
+  ServeServer server(opts);
+  ASSERT_OK(server.Start());
+
+  struct Case {
+    const char* name;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Case> cases;
+  // Pure garbage: the declared payload length lands over the protocol
+  // ceiling, so the header itself fails to decode.
+  cases.push_back({"garbage header",
+                   {0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad,
+                    0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef}});
+  // Valid header, hostile size: inside the 1 GiB protocol bound but over
+  // this listener's 4 KiB per-connection budget — rejected before any
+  // allocation.
+  {
+    FrameHeader h;
+    h.from = 9;
+    h.to = 0;
+    h.tag = kTagSvSssp;
+    h.payload_len = 1u << 20;
+    std::vector<uint8_t> bytes(kFrameHeaderBytes);
+    EncodeFrameHeader(h, bytes.data());
+    cases.push_back({"oversized frame", std::move(bytes)});
+  }
+  // Well-formed frame, unknown tag: not a stream-sync loss, but nothing
+  // sane can follow a request the protocol cannot name.
+  {
+    FrameHeader h;
+    h.from = 11;
+    h.to = 0;
+    h.tag = 0x777;
+    h.payload_len = 0;
+    std::vector<uint8_t> bytes(kFrameHeaderBytes);
+    EncodeFrameHeader(h, bytes.data());
+    cases.push_back({"unknown tag", std::move(bytes)});
+  }
+
+  for (const Case& c : cases) {
+    ASSERT_OK_AND_ASSIGN(ServeClient probe,
+                         ServeClient::Connect(server.port()));
+    ASSERT_OK(probe.SendRawBytes(c.bytes.data(), c.bytes.size()));
+    uint32_t id = 0, tag = 0;
+    std::vector<uint8_t> payload;
+    Status read = probe.ReadRawFrame(&id, &tag, &payload);
+    ASSERT_TRUE(read.ok()) << c.name << ": " << read.ToString();
+    EXPECT_EQ(tag, kTagSvError) << c.name;
+    Status decoded = DecodeServeError(payload);
+    EXPECT_FALSE(decoded.ok()) << c.name;
+    // The connection must be closed after the error frame.
+    Status eof = probe.ReadRawFrame(&id, &tag, &payload);
+    EXPECT_TRUE(eof.IsUnavailable()) << c.name << ": " << eof.ToString();
+  }
+  EXPECT_EQ(server.stats().rejected_frames, cases.size());
+
+  // A well-behaved connection still gets answers after all that abuse.
+  ASSERT_OK_AND_ASSIGN(ServeClient good, ServeClient::Connect(server.port()));
+  ASSERT_OK(good.Ping());
+  ASSERT_OK_AND_ASSIGN(auto dist, good.Sssp(0));
+  EXPECT_EQ(dist.size(), 8u);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Shared-secret rank admission: an endpoint that does not know the
+// cluster token is never admitted to the world — the rendezvous drops its
+// hello and both sides fail instead of forming a mixed-secret mesh.
+
+uint16_t GrabFreePort() {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(ServingTest, ClusterTokenMismatchRejectsEndpoint) {
+  std::vector<HostPort> hosts = {{"127.0.0.1", GrabFreePort()},
+                                 {"127.0.0.1", 0}};
+  std::thread endpoint([hosts] {
+    Status st = RunTcpEndpointProcess(/*rank=*/1, /*world_size=*/2, hosts[0],
+                                      /*mesh_bind_port=*/0,
+                                      /*timeout_ms=*/5000, "wrong-secret");
+    EXPECT_FALSE(st.ok()) << "endpoint with the wrong token joined the world";
+  });
+
+  TcpOptions topts;
+  topts.hosts = hosts;
+  topts.rendezvous_timeout_ms = 5000;
+  topts.cluster_token = "right-secret";
+  auto world = TcpTransport::Create(2, topts);
+  EXPECT_FALSE(world.ok())
+      << "rendezvous completed despite a token-mismatched endpoint";
+  endpoint.join();
+}
+
+}  // namespace
+}  // namespace grape
