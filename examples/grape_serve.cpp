@@ -22,8 +22,10 @@
 // (tests/serving_test.cc pins this).
 //
 // --selftest starts the server, runs a sequential client pass, replays
-// the same queries from concurrent clients, and exits 0 only if both
-// passes agree bit-for-bit — this is what CI's serve smoke job runs.
+// the same queries from concurrent clients, then streams a mutation
+// batch (insert a shortcut, watch the answers move, delete it, watch the
+// original bits come back) — and exits 0 only if every check agrees
+// bit-for-bit. This is what CI's serve smoke job runs.
 //
 // Daemon mode prints "serving on 127.0.0.1:<port>" and blocks until
 // SIGINT/SIGTERM. Cluster flags (--rank/--hosts/--cluster-token) work as
@@ -59,7 +61,8 @@ void HandleSignal(int) { g_stop.store(true); }
 /// Sequential pass vs concurrent pass over the same mixed query set;
 /// returns false (after printing what diverged) unless every answer pair
 /// is bit-identical and the cached classes actually hit their cache.
-bool RunSelfTest(grape::ServeServer& server, uint32_t num_clients) {
+bool RunSelfTest(grape::ServeServer& server, uint32_t num_clients,
+                 grape::VertexId num_vertices) {
   using namespace grape;
   const uint16_t port = server.port();
   const std::vector<VertexId> sources = {0, 7, 13, 42, 99, 128};
@@ -140,6 +143,44 @@ bool RunSelfTest(grape::ServeServer& server, uint32_t num_clients) {
                  "epoch cache\n");
     return false;
   }
+
+  // Mutation smoke: stream a shortcut into the resident graph, watch the
+  // answers move, delete it again, watch the original bits come back.
+  const VertexId far_corner = num_vertices - 1;
+  MutationBatch add;
+  add.InsertEdge(0, far_corner, 0.0625);
+  add.InsertEdge(far_corner, 0, 0.0625);
+  auto v1 = ref->Mutate(add);
+  if (!v1.ok()) {
+    std::fprintf(stderr, "selftest mutate(insert) failed: %s\n",
+                 v1.status().ToString().c_str());
+    return false;
+  }
+  auto warm = ref->Sssp(0);
+  if (!warm.ok() || (*warm)[far_corner] != 0.0625) {
+    std::fprintf(stderr,
+                 "selftest FAILED: inserted shortcut not visible to SSSP\n");
+    return false;
+  }
+  MutationBatch del;
+  del.DeleteEdge(0, far_corner);
+  del.DeleteEdge(far_corner, 0);
+  auto v2 = ref->Mutate(del);
+  if (!v2.ok()) {
+    std::fprintf(stderr, "selftest mutate(delete) failed: %s\n",
+                 v2.status().ToString().c_str());
+    return false;
+  }
+  auto restored = ref->Sssp(0);
+  if (!restored.ok() || *restored != ref_dist[0]) {
+    std::fprintf(stderr,
+                 "selftest FAILED: deleting the shortcut did not restore the "
+                 "original distances bit-for-bit\n");
+    return false;
+  }
+  std::printf("selftest: mutation stream ok (version %llu -> %llu)\n",
+              (unsigned long long)*v1, (unsigned long long)*v2);
+
   std::printf("selftest PASSED: concurrent == sequential, bit for bit\n");
   return true;
 }
@@ -228,7 +269,10 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (selftest) {
-    rc = RunSelfTest(server, /*num_clients=*/4) ? 0 : 1;
+    rc = RunSelfTest(server, /*num_clients=*/4,
+                     static_cast<VertexId>(rows) * cols)
+             ? 0
+             : 1;
   } else {
     signal(SIGINT, HandleSignal);
     signal(SIGTERM, HandleSignal);

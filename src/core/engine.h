@@ -16,6 +16,7 @@
 
 #include "core/codec.h"
 #include "core/pie.h"
+#include "graph/mutation.h"
 #include "core/worker_core.h"
 #include "rt/checkpoint.h"
 #include "rt/comm_world.h"
@@ -179,6 +180,11 @@ struct EngineMetrics {
   uint64_t messages = 0;
   uint64_t bytes = 0;
   uint64_t monotonicity_violations = 0;
+  /// Set when RunIncremental's enforced monotonicity contract rejected the
+  /// warm start (non-monotonic aggregator, or a batch with deletions under
+  /// a min-style order) and the answer came from a full re-run instead.
+  /// The answer is always correct; this records that it was not bounded.
+  bool incremental_fallback = false;
   std::vector<RoundMetrics> rounds;
 
   /// Remote-compute observability (empty after a local-compute run): the
@@ -441,28 +447,46 @@ class GrapeEngine {
   /// Soundness: for monotonic apps this supports change that moves
   /// parameters down the partial order (e.g. edge insertions for SSSP/CC).
   /// Updates that could move values against the order (deletions under min)
-  /// require a dedicated IncEval and should fall back to Run().
+  /// require a dedicated IncEval; the MutationBatch overloads below enforce
+  /// that contract and fall back to a full run.
   ///
-  /// Always executes locally: the warm start reads the previous engine's
-  /// in-process stores, which a remote worker does not have.
+  /// Placement follows the engine: remote engines run the delta inside
+  /// their endpoint processes against the state already resident there
+  /// (the live session's last answer takes the role of `previous`, whose
+  /// in-process stores are never read); local engines warm-start from
+  /// `previous`'s stores — the differential oracle the remote path is
+  /// tested against.
   Result<Output> RunIncremental(const Query& query,
                                 const GrapeEngine& previous,
                                 const std::vector<VertexId>& touched) {
     if (!options_.remote_app.empty()) {
-      return Status::InvalidArgument(
-          "RunIncremental warm-starts from in-process stores and does not "
-          "support remote compute");
+      if constexpr (RemoteCompatibleApp<App>) {
+        (void)previous;  // the endpoints hold the warm state, not `previous`
+        Result<Output> out = RunIncrementalRemote(query, touched);
+        // Same invalidation contract as SessionRun: a failed delta leaves
+        // workers mid-phase, so the next call must cold-start.
+        if (!out.ok()) EndSession();
+        return out;
+      } else {
+        return Status::InvalidArgument(
+            "remote incremental evaluation requires wire-codable "
+            "Query/Partial/Value types");
+      }
     }
+    // Local-oracle preconditions: the warm start below reads `previous`'s
+    // in-process stores, so previous must have computed locally, and both
+    // engines need coordinator-held fragments.
     if (!previous.metrics_.remote_worker_pids.empty()) {
       return Status::InvalidArgument(
           "previous engine ran with remote compute: its converged stores "
-          "live in the worker hosts, not in this process, so there is "
-          "nothing to warm-start from (re-run it locally first)");
+          "live in the worker hosts — answer over the live session instead "
+          "(SessionRun, ApplyMutations, then RunIncremental(query, batch))");
     }
     if (fg_ == nullptr || previous.fg_ == nullptr) {
       return Status::InvalidArgument(
-          "RunIncremental needs coordinator-loaded graphs on both engines; "
-          "distributed-load engines hold no fragments");
+          "the local oracle path needs coordinator-loaded graphs on both "
+          "engines; distributed-load engines answer incrementally over "
+          "their live session (RunIncremental(query, batch))");
     }
     WallTimer total_timer;
     metrics_ = EngineMetrics{};
@@ -555,6 +579,108 @@ class GrapeEngine {
     }
     FinishMetrics(total_timer);
     return output;
+  }
+
+  /// Streams one edge-mutation batch into the live session: every endpoint
+  /// rebuilds its fragment in place around the batch (graph/mutation.h
+  /// semantics — upsert inserts, delete-all-matches deletions), re-resolves
+  /// its routing plan peer-to-peer, and adopts warm parameter values for
+  /// its rebuilt outer set from the owners, so the converged answer state
+  /// survives the topology change. Returns each fragment's rebuilt shape.
+  /// This engine's routing slots are refreshed here; any OTHER engine
+  /// attached to the same resident fragments must be handed the shapes via
+  /// RefreshShapes(). Coordinator-loaded engines: the caller owns keeping
+  /// its FragmentedGraph consistent (FragmentBuilder::MutateFragmentedGraph)
+  /// — the workers rebuild from their own resident state, never from fg_.
+  Result<std::vector<WkBuildAck>> ApplyMutations(const MutationBatch& batch) {
+    if constexpr (RemoteCompatibleApp<App>) {
+      if (options_.remote_app.empty()) {
+        return Status::InvalidArgument(
+            "ApplyMutations streams updates into remote workers; local "
+            "engines mutate their graph directly "
+            "(FragmentBuilder::MutateFragmentedGraph)");
+      }
+      if (!session_live_) {
+        return Status::FailedPrecondition(
+            "ApplyMutations requires a live session (SessionRun first): "
+            "the batch applies to the state resident in the endpoints");
+      }
+      Result<std::vector<WkBuildAck>> shapes = ApplyMutationsImpl(batch);
+      // A half-applied mutation leaves the endpoints inconsistent with
+      // each other; the session is unusable and must cold-start.
+      if (!shapes.ok()) EndSession();
+      return shapes;
+    } else {
+      return Status::InvalidArgument(
+          "query sessions require wire-codable Query/Partial/Value types");
+    }
+  }
+
+  /// Q(G ⊕ M) over a live session — the streaming-serving product path.
+  /// `batch` must already have been applied with ApplyMutations(); this
+  /// re-answers the session's LAST query (which must equal `query`),
+  /// warm-starting IncEval inside the endpoints from the converged state
+  /// resident there, seeded with the batch's touched vertices.
+  ///
+  /// Enforced monotonicity contract (the Assurance Theorem's side
+  /// condition): a min-style warm start is only sound for change that
+  /// moves values down the order. Non-monotonic aggregators, and any
+  /// batch containing deletions, take a full re-run of the query instead
+  /// (reported via metrics().incremental_fallback) — never a silently
+  /// stale answer.
+  Result<Output> RunIncremental(const Query& query,
+                                const MutationBatch& batch) {
+    if constexpr (RemoteCompatibleApp<App>) {
+      if (options_.remote_app.empty()) {
+        return Status::InvalidArgument(
+            "the session overload answers over remote workers; local "
+            "engines pass (query, previous, batch)");
+      }
+      if (!Agg::kMonotonic || batch.has_deletions()) {
+        Result<Output> out = SessionRun(query);
+        metrics_.incremental_fallback = true;
+        return out;
+      }
+      Result<Output> out = RunIncrementalRemote(query,
+                                                batch.TouchedVertices());
+      if (!out.ok()) EndSession();
+      return out;
+    } else {
+      return Status::InvalidArgument(
+          "query sessions require wire-codable Query/Partial/Value types");
+    }
+  }
+
+  /// Local twin of the session overload (the differential oracle): same
+  /// enforcement, then the touched-vertex warm start above. `previous` ran
+  /// `query` on the pre-update graph; THIS engine holds G ⊕ M.
+  Result<Output> RunIncremental(const Query& query,
+                                const GrapeEngine& previous,
+                                const MutationBatch& batch) {
+    if (!Agg::kMonotonic || batch.has_deletions()) {
+      Result<Output> out = Run(query);
+      metrics_.incremental_fallback = true;
+      return out;
+    }
+    return RunIncremental(query, previous, batch.TouchedVertices());
+  }
+
+  /// Re-sizes the coordinator's routing slots to new fragment shapes (a
+  /// mutation changes per-fragment num_local). The engine that applied the
+  /// batch refreshes itself inside ApplyMutations; serving keeps several
+  /// engines attached to the same resident fragments and refreshes the
+  /// others through this. Safe only between runs — slots carry no
+  /// cross-run state (RouteInbox's round counter advances past every
+  /// stale slot_round on its first use).
+  void RefreshShapes(const std::vector<WkBuildAck>& shapes) {
+    GRAPE_CHECK(shapes.size() == coord_batches_.size());
+    for (FragmentId i = 0; i < n_frags_; ++i) {
+      coord_batches_[i].slot_round.assign(shapes[i].num_local, 0);
+      coord_batches_[i].slot_pos.assign(shapes[i].num_local, 0);
+      coord_batches_[i].round = 0;
+      coord_batches_[i].lids.clear();
+      coord_batches_[i].values.clear();
+    }
   }
 
   /// Query-session entry point (the serving layer's hot path): like
@@ -1278,6 +1404,182 @@ class GrapeEngine {
 
     // Termination: remote GetPartial everywhere, Assemble here. No
     // shutdown frames — the workers stay resident for the next query.
+    Output output;
+    {
+      ScopedTimer t(&metrics_.assemble_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkGetPartial, {}));
+      }
+      std::vector<Partial> partials(n);
+      GRAPE_RETURN_NOT_OK(AwaitPartials(&partials));
+      output = App::Assemble(query, std::move(partials));
+    }
+
+    FinishMetrics(total_timer);
+    return output;
+  }
+
+  /// Ships the encoded batch to every endpoint and collects the rebuilt
+  /// shapes. The mutate ack (kTagWkMutateAck, a WkBuildAck) only arrives
+  /// after the worker finished its peer-to-peer mirror/warm-value
+  /// exchange, so a complete ack set means every routing plan is resolved
+  /// and every outer copy holds its owner's converged value.
+  Result<std::vector<WkBuildAck>> ApplyMutationsImpl(const MutationBatch& b)
+    requires RemoteCompatibleApp<App>
+  {
+    if (fg_ != nullptr) {
+      GRAPE_RETURN_NOT_OK(b.Validate(fg_->total_vertices));
+    }
+    const FragmentId n = n_frags_;
+    for (FragmentId i = 0; i < n; ++i) {
+      Encoder enc(world_->buffer_pool().Acquire());
+      b.EncodeTo(enc);
+      GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                       kTagWkMutate, enc.TakeBuffer()));
+    }
+    std::vector<WkBuildAck> shapes(n);
+    std::vector<uint8_t> seen(n, 0);
+    FragmentId have = 0;
+    uint32_t idle = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.remote_timeout_ms);
+    while (have < n) {
+      std::optional<RtMessage> msg = world_->TryRecv(kCoordinatorRank);
+      if (!msg) {
+        GRAPE_RETURN_NOT_OK(
+            CheckRemoteLiveness(deadline, "mutation acks", &idle));
+        continue;
+      }
+      idle = 0;
+      if (msg->from >= 1 && msg->from <= n) monitor_.Heard(msg->from - 1);
+      if (msg->tag == kTagWkError) return DecodeWorkerError(msg->payload);
+      if (msg->tag == kTagWkMutateAck && msg->from >= 1 && msg->from <= n &&
+          !seen[msg->from - 1]) {
+        Decoder dec(msg->payload);
+        WkBuildAck ack;
+        Status s = WkBuildAck::DecodeFrom(dec, &ack);
+        world_->buffer_pool().Release(std::move(msg->payload));
+        GRAPE_RETURN_NOT_OK(s);
+        shapes[msg->from - 1] = ack;
+        seen[msg->from - 1] = 1;
+        have++;
+        continue;
+      }
+      world_->buffer_pool().Release(std::move(msg->payload));
+    }
+    RefreshShapes(shapes);
+    return shapes;
+  }
+
+  /// The bounded delta: IncEval warm-started inside the endpoints from
+  /// the state the session's last query left there, seeded with the
+  /// mutation's touched vertices. Deliberately NO kTagWkQuery frame — a
+  /// query re-seed resets the parameter store, destroying exactly the
+  /// state this path exists to exploit. From superstep 1 onward this is
+  /// RunSessionQuery's loop verbatim: route, aggregate, terminate,
+  /// assemble.
+  Result<Output> RunIncrementalRemote(const Query& query,
+                                      const std::vector<VertexId>& touched)
+    requires RemoteCompatibleApp<App>
+  {
+    if (!session_live_) {
+      return Status::FailedPrecondition(
+          "incremental evaluation rides a live query session: SessionRun "
+          "the query, ApplyMutations the batch, then RunIncremental "
+          "re-answers that same query");
+    }
+    WallTimer total_timer;
+    metrics_ = EngineMetrics{};
+    world_->ResetStats();
+    recorded_messages_ = 0;
+    recorded_bytes_ = 0;
+    extra_messages_ = 0;
+    extra_bytes_ = 0;
+    base_messages_ = 0;
+    base_bytes_ = 0;
+    remote_inbox_.clear();
+    const FragmentId n = n_frags_;
+    metrics_.remote_worker_pids.assign(n, 0);
+    metrics_.remote_peval_runs.assign(n, 0);
+    metrics_.remote_inceval_runs.assign(n, 0);
+    remote_mono_.assign(n, 0);
+
+    // Superstep 1: warm IncEval everywhere (PEval's slot in the loop).
+    RemoteRound round;
+    {
+      ScopedTimer t(&metrics_.inceval_seconds);
+      for (FragmentId i = 0; i < n; ++i) {
+        Encoder enc(world_->buffer_pool().Acquire());
+        enc.WritePodVector(touched);
+        GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                         kTagWkIncStart, enc.TakeBuffer()));
+      }
+      GRAPE_RETURN_NOT_OK(AwaitPhase(kWkPhaseIncEval, 1, &round));
+      metrics_.supersteps = 1;
+    }
+    extra_messages_ += round.sent_messages;
+    extra_bytes_ += round.sent_bytes;
+    RecordRound(0.0, round.updated_count);
+    uint64_t dirty = round.dirty;
+    uint64_t direct = round.direct_updates;
+    double global = round.GlobalSum();
+    if (options_.on_superstep) options_.on_superstep(metrics_.supersteps);
+
+    while (metrics_.supersteps < options_.max_supersteps) {
+      if (!metrics_.rounds.empty()) metrics_.rounds.back().global = global;
+      bool terminate = false;
+      GRAPE_ASSIGN_OR_RETURN(
+          terminate, RemoteCheckTerminate(metrics_.supersteps, global));
+      if (terminate) break;
+
+      uint64_t routed = 0;
+      std::vector<uint32_t> apply_counts;
+      {
+        ScopedTimer t(&metrics_.coordinator_seconds);
+        std::vector<RtMessage> inbox = std::move(remote_inbox_);
+        remote_inbox_.clear();
+        GRAPE_ASSIGN_OR_RETURN(
+            routed, RouteInbox(std::move(inbox), kTagWkApply, &apply_counts));
+      }
+      if (routed + direct == 0 && dirty == 0) break;  // simultaneous fixpoint
+
+      WallTimer round_timer;
+      RemoteRound next;
+      {
+        ScopedTimer t(&metrics_.inceval_seconds);
+        for (FragmentId i = 0; i < n; ++i) {
+          IncEvalCommand cmd;
+          cmd.round = metrics_.supersteps + 1;
+          cmd.incremental = options_.incremental;
+          cmd.apply_frames = apply_counts[i];
+          for (FragmentId s = 0; s < n; ++s) {
+            const uint32_t frames = round.direct_matrix[s][i];
+            if (frames > 0) cmd.expect_direct.emplace_back(RankOf(s), frames);
+          }
+          Encoder enc(world_->buffer_pool().Acquire());
+          cmd.EncodeTo(enc);
+          GRAPE_RETURN_NOT_OK(world_->Send(kCoordinatorRank, RankOf(i),
+                                           kTagWkRunIncEval,
+                                           enc.TakeBuffer()));
+        }
+        GRAPE_RETURN_NOT_OK(
+            AwaitPhase(kWkPhaseIncEval, metrics_.supersteps + 1, &next));
+      }
+      round = std::move(next);
+      metrics_.supersteps++;
+      extra_messages_ += round.sent_messages;
+      extra_bytes_ += round.sent_bytes;
+      RecordRound(round_timer.ElapsedSeconds(), round.updated_count);
+      dirty = round.dirty;
+      direct = round.direct_updates;
+      global = round.GlobalSum();
+      if (options_.on_superstep) options_.on_superstep(metrics_.supersteps);
+    }
+    remote_mono_ = round.mono_by_frag.empty() ? remote_mono_
+                                              : round.mono_by_frag;
+
     Output output;
     {
       ScopedTimer t(&metrics_.assemble_seconds);

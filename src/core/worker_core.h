@@ -147,6 +147,23 @@ class WorkerCore {
                    updated_.end());
   }
 
+  /// Seeds M_i directly (the warm-start path: after a mutation batch, the
+  /// touched vertices ARE the initial update set — no messages involved).
+  void SeedUpdated(const std::vector<LocalId>& lids) {
+    updated_.insert(updated_.end(), lids.begin(), lids.end());
+    FinishApply();
+  }
+
+  /// Re-baselines monotonicity tracking on the current store values. After
+  /// a fragment rebuild migrates a converged store into this core, the old
+  /// baseline (InitValue everywhere) would make the first incremental
+  /// flush look like a fresh descent; the warm values are the new floor.
+  void SyncMonotonicityBaseline() {
+    if (track_mono_) {
+      prev_flushed_.assign(store_.values().begin(), store_.values().end());
+    }
+  }
+
   /// Runs IncEval on the current M_i. `incremental == false` is the
   /// ablation: pretend everything changed, forcing IncEval to re-evaluate
   /// the entire fragment (bench_inceval_bounded's "no IncEval" mode).

@@ -9,6 +9,16 @@ void GraphBuilder::TouchVertex(VertexId v) {
   has_vertices_ = true;
 }
 
+size_t GraphBuilder::RemoveEdge(VertexId src, VertexId dst) {
+  const bool directed = directed_;
+  const size_t before = edges_.size();
+  std::erase_if(edges_, [&](const Edge& e) {
+    if (e.src == src && e.dst == dst) return true;
+    return !directed && e.src == dst && e.dst == src;
+  });
+  return before - edges_.size();
+}
+
 void GraphBuilder::SetVertexLabel(VertexId v, Label label) {
   TouchVertex(v);
   if (labels_.size() <= v) labels_.resize(v + 1, 0);

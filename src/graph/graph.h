@@ -48,6 +48,12 @@ class GraphBuilder {
   }
   void AddEdge(const Edge& e) { edges_.push_back(e); }
 
+  /// Removes every pending edge connecting src and dst (either orientation
+  /// when the builder is undirected), returning how many were erased.
+  /// AddEdge's long-missing inverse: both the coordinator and worker-side
+  /// mutation paths express deletions through this one primitive.
+  size_t RemoveEdge(VertexId src, VertexId dst);
+
   /// Ensures the vertex exists even if isolated.
   void AddVertex(VertexId v) { TouchVertex(v); }
 

@@ -543,6 +543,93 @@ Status FragmentBuilder::CheckMirrorsResolved(const Fragment& frag) {
   return Status::OK();
 }
 
+std::vector<Edge> FragmentBuilder::MaterializeIncidentEdges(
+    const Fragment& frag) {
+  std::vector<Edge> edges;
+  edges.reserve(frag.num_edges());
+  const LocalId ni = frag.num_inner_;
+  if (frag.directed_) {
+    for (LocalId i = 0; i < ni; ++i) {
+      const VertexId g = frag.gids_[i];
+      // Inner out-rows are the full global out-adjacency; inner in-rows
+      // add the arcs arriving from outer sources (inner sources were
+      // already covered by their own out-rows).
+      for (const FragNeighbor& nb : frag.OutNeighbors(i)) {
+        edges.push_back(Edge{g, frag.gids_[nb.local], nb.weight, nb.label});
+      }
+      for (const FragNeighbor& nb : frag.InNeighbors(i)) {
+        if (nb.local >= ni) {
+          edges.push_back(Edge{frag.gids_[nb.local], g, nb.weight, nb.label});
+        }
+      }
+    }
+  } else {
+    for (LocalId i = 0; i < ni; ++i) {
+      const VertexId g = frag.gids_[i];
+      for (const FragNeighbor& nb : frag.OutNeighbors(i)) {
+        // Inner-inner edges appear in both endpoints' rows; emit from the
+        // lower gid only. Inner-outer edges have one inner endpoint.
+        if (nb.local < ni && frag.gids_[nb.local] < g) continue;
+        edges.push_back(Edge{g, frag.gids_[nb.local], nb.weight, nb.label});
+      }
+    }
+  }
+  return edges;
+}
+
+Result<Fragment> FragmentBuilder::MutateFragment(const Fragment& frag,
+                                                 const MutationBatch& batch) {
+  GRAPE_RETURN_NOT_OK(batch.Validate(frag.total_vertices_));
+  std::vector<Edge> edges = MaterializeIncidentEdges(frag);
+  const FragmentId fid = frag.fid_;
+  const std::vector<FragmentId>& owner = *frag.owner_;
+  ApplyMutationsToEdges(&edges, batch, frag.directed_, [&](const Edge& e) {
+    return owner[e.src] == fid || owner[e.dst] == fid;
+  });
+
+  GraphBuilder builder(frag.directed_);
+  builder.ReserveEdges(edges.size());
+  for (const Edge& e : edges) builder.AddEdge(e);
+  if (!frag.labels_.empty()) {
+    for (LocalId i = 0; i < frag.num_local(); ++i) {
+      builder.SetVertexLabel(frag.gids_[i], frag.labels_[i]);
+    }
+  }
+  if (frag.total_vertices_ > 0) builder.AddVertex(frag.total_vertices_ - 1);
+  auto local = std::move(builder).Build(frag.total_vertices_);
+  if (!local.ok()) return local.status();
+  return AssembleLocal(*local, frag.owner_, frag.owner_lid_, fid,
+                       frag.num_fragments_);
+}
+
+Status FragmentBuilder::MutateFragmentedGraph(FragmentedGraph* fg,
+                                              const MutationBatch& batch) {
+  const FragmentId n = fg->num_fragments();
+  std::vector<Fragment> rebuilt;
+  rebuilt.reserve(n);
+  for (const Fragment& frag : fg->fragments) {
+    auto f = MutateFragment(frag, batch);
+    if (!f.ok()) return f.status();
+    rebuilt.push_back(std::move(f).value());
+  }
+  for (FragmentId m = 0; m < n; ++m) {
+    auto answers = MirrorAnswers(rebuilt[m]);
+    for (FragmentId f = 0; f < n; ++f) {
+      if (f == m) continue;
+      GRAPE_RETURN_NOT_OK(ApplyMirrorAnswers(&rebuilt[f], m, answers[f]));
+    }
+  }
+  for (const Fragment& frag : rebuilt) {
+    GRAPE_RETURN_NOT_OK(CheckMirrorsResolved(frag));
+  }
+  // Element-wise: the vector's buffer (and thus each Fragment's address)
+  // must survive — engines hold `const Fragment*` into it across queries.
+  for (FragmentId f = 0; f < n; ++f) {
+    fg->fragments[f] = std::move(rebuilt[f]);
+  }
+  return Status::OK();
+}
+
 Result<FragmentedGraph> FragmentBuilder::Build(
     const Graph& graph, const std::vector<FragmentId>& assignment,
     FragmentId num_fragments) {

@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "graph/id_indexer.h"
+#include "graph/mutation.h"
 #include "graph/types.h"
 #include "util/result.h"
 #include "util/serializer.h"
@@ -267,6 +268,39 @@ class FragmentBuilder {
   /// Validates that every mirror destination was resolved (call after all
   /// peers' answers were applied).
   static Status CheckMirrorsResolved(const Fragment& frag);
+
+  // -- Streaming mutation path (G ⊕ M over fragments) -----------------------
+  //
+  // Mirrors the build protocol's two halves: MutateFragment is the local
+  // half (rebuild one fragment from its mutated incident edge set, routing
+  // plan complete except mirror_dst_lids), and the mirror-answer exchange
+  // finishes the plan. MutateFragmentedGraph runs both in-process — the
+  // worker-protocol path (kTagWkMutate / kTagWkMutMirror) runs the same
+  // halves across endpoints, so the two placements produce bit-identical
+  // fragments by construction.
+
+  /// Reconstructs, in gid space, every edge incident to `frag`'s inner
+  /// vertices — exactly the view AssembleLocal needs to rebuild it.
+  /// Undirected inner-inner edges are emitted once (lower-gid endpoint
+  /// first, matching Graph::ToEdgeList).
+  static std::vector<Edge> MaterializeIncidentEdges(const Fragment& frag);
+
+  /// Local mutation half: applies `batch` to frag's incident edge view and
+  /// reassembles the fragment against the unchanged shared owner tables
+  /// (the vertex set is fixed; only topology moves). Inserted edges not
+  /// incident to this fragment are ignored; deletions apply to whatever is
+  /// present. The result's mirror_dst_lids are unresolved
+  /// (kInvalidLocal) until the peer exchange. A vertex that first becomes
+  /// outer through `batch` gets label 0 here — the owner knows the true
+  /// label but no engine app reads labels, so answers cannot diverge.
+  static Result<Fragment> MutateFragment(const Fragment& frag,
+                                         const MutationBatch& batch);
+
+  /// Whole-world mutation: every fragment rebuilt via MutateFragment, then
+  /// the in-process mirror exchange. All-or-nothing — `fg` is untouched
+  /// unless every fragment rebuilds and resolves.
+  static Status MutateFragmentedGraph(FragmentedGraph* fg,
+                                      const MutationBatch& batch);
 };
 
 }  // namespace grape

@@ -134,6 +134,7 @@ Status RemoteWorkerHost::HandleLoad(const std::vector<uint8_t>& payload) {
   pending_.clear();
   inc_pending_ = false;
   ckpt_pending_ = false;
+  mut_.reset();
   auto factory = WorkerAppRegistry::Global().Get(app_name);
   if (!factory.ok()) return EmitError(factory.status());
   std::unique_ptr<WorkerAppServerBase> server = (*factory)();
@@ -161,6 +162,7 @@ Status RemoteWorkerHost::HandleQuery(const std::vector<uint8_t>& payload) {
   pending_.clear();
   inc_pending_ = false;
   ckpt_pending_ = false;
+  mut_.reset();
   Decoder dec(payload);
   if (Status s = server_->ResetQuery(dec, check_monotonicity_); !s.ok()) {
     return EmitError(s);
@@ -343,6 +345,7 @@ Status RemoteWorkerHost::HandleRestore(const std::vector<uint8_t>& payload) {
   pending_.clear();
   inc_pending_ = false;
   ckpt_pending_ = false;
+  mut_.reset();
 
   Result<CheckpointImage> image =
       cmd.dir.empty()
@@ -648,6 +651,171 @@ Status RemoteWorkerHost::MaybeFinishBuild() {
   return emit_(kCoordinatorRank, kTagWkBuildAck, enc.TakeBuffer());
 }
 
+// ------------------------------------------------- streaming mutation steps
+
+Status RemoteWorkerHost::HandleMutate(const std::vector<uint8_t>& payload) {
+  if (server_ == nullptr) {
+    return EmitError(
+        Status::FailedPrecondition("mutation before a successful load"));
+  }
+  if (inc_pending_ || ckpt_pending_) {
+    return EmitError(Status::FailedPrecondition(
+        "mutation command overlapping another command"));
+  }
+  // Peers that mutated first may already have buffered frames for this
+  // session into mut_ — keep them; only errors reset the session.
+  if (!mut_) mut_.emplace();
+  Decoder dec(payload);
+  Result<const Fragment*> frag =
+      server_->MutateFragment(dec, check_monotonicity_);
+  if (!frag.ok()) {
+    mut_.reset();
+    return EmitError(frag.status());
+  }
+  mut_->rebuilt = true;
+
+  // Our rebuilt outer placements, one frame per peer (possibly empty —
+  // the static n-1 expectation doubles as the exchange's barrier). The
+  // peer answers each with the warm values for the gids we declared.
+  const uint32_t n = server_->num_fragments();
+  const FragmentId fid = rank_ - 1;
+  auto answers = FragmentBuilder::MirrorAnswers(**frag);
+  for (FragmentId f = 0; f < n; ++f) {
+    if (f == fid) continue;
+    Encoder enc(pool_->Acquire());
+    enc.WriteVarint(answers[f].size());
+    for (const MirrorLidEntry& e : answers[f]) enc.WriteU32(e.gid);
+    for (const MirrorLidEntry& e : answers[f]) enc.WriteU32(e.lid);
+    GRAPE_RETURN_NOT_OK(emit_(f + 1, kTagWkMutMirror, enc.TakeBuffer()));
+  }
+
+  // Frames that raced ahead of our rebuild.
+  auto early_mirrors = std::move(mut_->early_mirrors);
+  mut_->early_mirrors.clear();
+  for (auto& [peer, buffered] : early_mirrors) {
+    GRAPE_RETURN_NOT_OK(ApplyMutMirrorFrame(peer, buffered));
+    if (!mut_) return Status::OK();  // a bad frame ended the session
+  }
+  auto early_vals = std::move(mut_->early_vals);
+  mut_->early_vals.clear();
+  for (auto& [peer, buffered] : early_vals) {
+    (void)peer;
+    GRAPE_RETURN_NOT_OK(ApplyMutValsFrame(buffered));
+    if (!mut_) return Status::OK();
+  }
+  return MaybeFinishMutate();
+}
+
+Status RemoteWorkerHost::ApplyMutMirrorFrame(
+    uint32_t from, const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  uint64_t count = 0;
+  Status s = dec.ReadVarint(&count);
+  std::vector<MirrorLidEntry> answers;
+  if (s.ok() && count > dec.Remaining() / 8) {
+    s = Status::Corruption("mutation mirror frame extends past end of buffer");
+  }
+  if (s.ok()) {
+    answers.resize(count);
+    for (uint64_t i = 0; i < count && s.ok(); ++i) {
+      s = dec.ReadU32(&answers[i].gid);
+    }
+    for (uint64_t i = 0; i < count && s.ok(); ++i) {
+      s = dec.ReadU32(&answers[i].lid);
+    }
+  }
+  if (s.ok()) s = server_->ApplyMutMirror(from - 1, answers);
+  Encoder vals(pool_->Acquire());
+  if (s.ok()) s = server_->EncodeWarmValues(answers, vals);
+  if (!s.ok()) {
+    mut_.reset();
+    return EmitError(s);
+  }
+  ++mut_->mirrors_seen;
+  return emit_(from, kTagWkMutVals, vals.TakeBuffer());
+}
+
+Status RemoteWorkerHost::ApplyMutValsFrame(
+    const std::vector<uint8_t>& payload) {
+  Decoder dec(payload);
+  if (Status s = server_->AbsorbWarmValues(dec); !s.ok()) {
+    mut_.reset();
+    return EmitError(s);
+  }
+  ++mut_->vals_seen;
+  return Status::OK();
+}
+
+Status RemoteWorkerHost::HandleMutMirror(uint32_t from,
+                                         std::vector<uint8_t> payload) {
+  // Without a loaded server there is no session to serve: the frame is a
+  // leftover of an abandoned mutation. Drop, like a stale build mirror.
+  if (server_ == nullptr) {
+    pool_->Release(std::move(payload));
+    return Status::OK();
+  }
+  if (!mut_) mut_.emplace();
+  if (!mut_->rebuilt) {
+    mut_->early_mirrors.emplace_back(from, std::move(payload));
+    return Status::OK();
+  }
+  GRAPE_RETURN_NOT_OK(ApplyMutMirrorFrame(from, payload));
+  if (!mut_) return Status::OK();
+  return MaybeFinishMutate();
+}
+
+Status RemoteWorkerHost::HandleMutVals(uint32_t from,
+                                       std::vector<uint8_t> payload) {
+  if (server_ == nullptr) {
+    pool_->Release(std::move(payload));
+    return Status::OK();
+  }
+  if (!mut_) mut_.emplace();
+  if (!mut_->rebuilt) {
+    // Defensive: an owner's reply follows our own mirror frame, which we
+    // only send after rebuilding — but a flaky substrate's duplicate
+    // could arrive any time, and buffering is always safe.
+    mut_->early_vals.emplace_back(from, std::move(payload));
+    return Status::OK();
+  }
+  GRAPE_RETURN_NOT_OK(ApplyMutValsFrame(payload));
+  if (!mut_) return Status::OK();
+  return MaybeFinishMutate();
+}
+
+Status RemoteWorkerHost::MaybeFinishMutate() {
+  if (!mut_ || !mut_->rebuilt) return Status::OK();
+  const uint32_t n = server_->num_fragments();
+  if (mut_->mirrors_seen < n - 1 || mut_->vals_seen < n - 1) {
+    return Status::OK();
+  }
+  WkBuildAck ack;
+  if (Status s = server_->FinishMutation(&ack); !s.ok()) {
+    mut_.reset();
+    return EmitError(s);
+  }
+  mut_.reset();
+  Encoder enc(pool_->Acquire());
+  ack.EncodeTo(enc);
+  return emit_(kCoordinatorRank, kTagWkMutateAck, enc.TakeBuffer());
+}
+
+Status RemoteWorkerHost::HandleIncStart(const std::vector<uint8_t>& payload) {
+  if (server_ == nullptr) {
+    return EmitError(Status::FailedPrecondition(
+        "warm IncEval start before a successful load"));
+  }
+  if (mut_) {
+    return EmitError(Status::FailedPrecondition(
+        "warm IncEval start during an unfinished mutation"));
+  }
+  Decoder dec(payload);
+  std::vector<VertexId> touched;
+  if (Status s = dec.ReadPodVector(&touched); !s.ok()) return EmitError(s);
+  if (Status s = server_->SeedTouched(touched); !s.ok()) return EmitError(s);
+  return RunPhase(kWkPhaseIncEval, 1, true);
+}
+
 Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
                                  std::vector<uint8_t> payload) {
   switch (tag) {
@@ -751,6 +919,20 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
       GRAPE_RETURN_NOT_OK(server_->EncodePartial(enc));
       return emit_(kCoordinatorRank, kTagWkPartial, enc.TakeBuffer());
     }
+    case kTagWkMutate: {
+      Status s = HandleMutate(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
+    case kTagWkMutMirror:
+      return HandleMutMirror(from, std::move(payload));
+    case kTagWkMutVals:
+      return HandleMutVals(from, std::move(payload));
+    case kTagWkIncStart: {
+      Status s = HandleIncStart(payload);
+      pool_->Release(std::move(payload));
+      return s;
+    }
     case kTagWkCheckpoint: {
       Status s = HandleCheckpointCmd(payload);
       pool_->Release(std::move(payload));
@@ -776,6 +958,7 @@ Status RemoteWorkerHost::OnFrame(uint32_t from, uint32_t tag,
       pending_.clear();
       inc_pending_ = false;
       ckpt_pending_ = false;
+      mut_.reset();
       shut_down_ = true;
       return Status::OK();
     }

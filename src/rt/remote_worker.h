@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/worker_core.h"
+#include "graph/mutation.h"
 #include "partition/fragment.h"
 #include "rt/transport.h"
 #include "rt/worker_protocol.h"
@@ -105,6 +106,45 @@ class WorkerAppServerBase {
   /// nothing: a failure leaves the caller free to discard this instance.
   virtual Status RestoreFromCheckpoint(Decoder& dec, uint32_t rank,
                                        bool check_monotonicity) = 0;
+
+  // Streaming mutations (kTagWkMutate .. kTagWkIncStart): the warm path
+  // that rebuilds the resident fragment in place and keeps the converged
+  // parameter store alive across the rebuild. Inner lids are stable under
+  // edge mutation (the inner set is fixed by vertex ownership), so inner
+  // values migrate by lid; the rebuilt outer set starts cold and is
+  // overwritten with the owners' converged values through the
+  // kTagWkMutMirror / kTagWkMutVals exchange the host drives.
+
+  /// Decodes a MutationBatch and rebuilds this worker's fragment from its
+  /// mutated incident edge view (FragmentBuilder::MutateFragment). The
+  /// core is re-seated on the rebuilt fragment with inner values carried
+  /// over; mirror destinations stay unresolved until the host applies the
+  /// peers' kTagWkMutMirror answers. Returns the rebuilt fragment so the
+  /// host can compute its own mirror answers.
+  virtual Result<const Fragment*> MutateFragment(Decoder& dec,
+                                                 bool check_monotonicity) = 0;
+  /// Applies one peer's rebuilt mirror placements (patching this
+  /// fragment's routing plan), exactly like the build path's mirror step.
+  virtual Status ApplyMutMirror(FragmentId from,
+                                const std::vector<MirrorLidEntry>& answers) = 0;
+  /// Answers a peer's warm-value request: for each entry — a gid this
+  /// worker owns, paired with the REQUESTER's local id for it — encode the
+  /// converged inner value under the requester's lid (record-block wire
+  /// format, the same codec parameter messages use).
+  virtual Status EncodeWarmValues(const std::vector<MirrorLidEntry>& request,
+                                  Encoder& enc) = 0;
+  /// Absorbs an owner's kTagWkMutVals reply: OVERWRITES the addressed
+  /// store slots (no aggregation — at a converged fixpoint an outer copy
+  /// can be stale-high, and the owner's value is authoritative).
+  virtual Status AbsorbWarmValues(Decoder& dec) = 0;
+  /// Verifies the rebuilt routing plan is fully resolved, freezes the
+  /// fragment (re-depositing it in ResidentFragmentStore when this load
+  /// carried a token), re-baselines monotonicity tracking on the warm
+  /// values, and reports the new shape for the mutate ack.
+  virtual Status FinishMutation(WkBuildAck* shape) = 0;
+  /// Seeds the warm IncEval's initial M_i with the local ids (inner AND
+  /// outer copies) of the batch's touched vertices.
+  virtual Status SeedTouched(const std::vector<VertexId>& gids) = 0;
 };
 
 /// Templated worker server: WorkerCore<App> behind the virtual seam.
@@ -113,10 +153,13 @@ template <PIEProgram App>
 class WorkerServer final : public WorkerAppServerBase {
  public:
   using Query = typename App::QueryType;
+  using Value = typename App::ValueType;
 
   Status Load(Decoder& dec, uint32_t rank, bool check_monotonicity,
               uint8_t flags) override {
     GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
+    rank_ = rank;
+    token_ = 0;
     if ((flags & kWkLoadUseResident) != 0) {
       uint64_t token = 0;
       GRAPE_RETURN_NOT_OK(dec.ReadU64(&token));
@@ -127,6 +170,7 @@ class WorkerServer final : public WorkerAppServerBase {
             " at rank " + std::to_string(rank) +
             " (was the distributed load run on this world?)");
       }
+      token_ = token;
     } else if ((flags & kWkLoadStashResident) != 0) {
       // Ship-and-stash: decode the fragment into shared ownership and
       // deposit it under the session token, so every later load on this
@@ -138,6 +182,7 @@ class WorkerServer final : public WorkerAppServerBase {
       GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, owned.get()));
       ResidentFragmentStore::Global().Put(token, rank, owned);
       resident_ = std::move(owned);
+      token_ = token;
     } else {
       GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
       resident_.reset();
@@ -221,6 +266,8 @@ class WorkerServer final : public WorkerAppServerBase {
     GRAPE_RETURN_NOT_OK(DecodeValue(dec, &query_));
     GRAPE_RETURN_NOT_OK(Fragment::DecodeFrom(dec, &frag_));
     resident_.reset();
+    rank_ = rank;
+    token_ = 0;
     if (frag_.fid() + 1 != rank) {
       return Status::InvalidArgument(
           "checkpoint of fragment " + std::to_string(frag_.fid()) +
@@ -230,6 +277,136 @@ class WorkerServer final : public WorkerAppServerBase {
     MaybeEnableParallel();
     core_->Reset(check_monotonicity);
     return core_->RestoreCheckpoint(dec);
+  }
+
+  Result<const Fragment*> MutateFragment(Decoder& dec,
+                                         bool check_monotonicity) override {
+    if (!core_.has_value()) {
+      return Status::FailedPrecondition(
+          "mutation before a successful load");
+    }
+    MutationBatch batch;
+    GRAPE_RETURN_NOT_OK(MutationBatch::DecodeFrom(dec, &batch));
+    const Fragment& old = resident_ ? *resident_ : frag_;
+    auto rebuilt = FragmentBuilder::MutateFragment(old, batch);
+    if (!rebuilt.ok()) return rebuilt.status();
+    auto owned = std::make_shared<Fragment>(std::move(rebuilt).value());
+    if (owned->num_inner() != old.num_inner()) {
+      return Status::Internal(
+          "edge mutation changed the inner vertex set (ownership is fixed)");
+    }
+    // The warm state: converged inner values survive the rebuild by lid
+    // (the inner order — ascending gid among owned vertices — is a
+    // function of ownership alone, which mutations never change).
+    const std::vector<Value>& vals = core_->store().values();
+    std::vector<Value> warm(vals.begin(), vals.begin() + old.num_inner());
+    mut_frag_ = owned;
+    core_.emplace(*mut_frag_, App{});
+    MaybeEnableParallel();
+    core_->Reset(check_monotonicity);
+    ParamStore<Value>& store = core_->store();
+    for (LocalId i = 0; i < old.num_inner(); ++i) {
+      store.UntrackedRef(i) = std::move(warm[i]);
+    }
+    return static_cast<const Fragment*>(mut_frag_.get());
+  }
+
+  Status ApplyMutMirror(FragmentId from,
+                        const std::vector<MirrorLidEntry>& answers) override {
+    if (mut_frag_ == nullptr) {
+      return Status::FailedPrecondition(
+          "mutation mirror answers without a rebuilt fragment");
+    }
+    return FragmentBuilder::ApplyMirrorAnswers(mut_frag_.get(), from, answers);
+  }
+
+  Status EncodeWarmValues(const std::vector<MirrorLidEntry>& request,
+                          Encoder& enc) override {
+    if (!core_.has_value() || mut_frag_ == nullptr) {
+      return Status::FailedPrecondition(
+          "warm-value request without a rebuilt fragment");
+    }
+    const Fragment& frag = *mut_frag_;
+    const ParamStore<Value>& store = core_->store();
+    std::vector<uint32_t> lids;
+    std::vector<Value> values;
+    lids.reserve(request.size());
+    values.reserve(request.size());
+    for (const MirrorLidEntry& e : request) {
+      const LocalId here = frag.Lid(e.gid);
+      if (here == kInvalidLocal || here >= frag.num_inner()) {
+        return Status::InvalidArgument(
+            "warm-value request for gid " + std::to_string(e.gid) +
+            " not owned by fragment " + std::to_string(frag.fid()));
+      }
+      lids.push_back(e.lid);  // addressed in the REQUESTER's lid space
+      values.push_back(store.Get(here));
+    }
+    EncodeOwnedRecords(enc, lids, values);
+    return Status::OK();
+  }
+
+  Status AbsorbWarmValues(Decoder& dec) override {
+    if (!core_.has_value()) {
+      return Status::FailedPrecondition(
+          "warm values before a successful load");
+    }
+    std::vector<uint32_t> lids;
+    std::vector<Value> values;
+    GRAPE_RETURN_NOT_OK(DecodeRecordBlock(dec, &lids, &values));
+    ParamStore<Value>& store = core_->store();
+    for (size_t k = 0; k < lids.size(); ++k) {
+      if (lids[k] >= static_cast<uint32_t>(store.size())) {
+        return Status::Corruption(
+            "warm value addresses lid " + std::to_string(lids[k]) +
+            " outside the rebuilt fragment");
+      }
+      store.UntrackedRef(lids[k]) = std::move(values[k]);
+    }
+    return Status::OK();
+  }
+
+  Status FinishMutation(WkBuildAck* shape) override {
+    if (mut_frag_ == nullptr || !core_.has_value()) {
+      return Status::FailedPrecondition(
+          "mutation finish without a rebuilt fragment");
+    }
+    GRAPE_RETURN_NOT_OK(FragmentBuilder::CheckMirrorsResolved(*mut_frag_));
+    // Inner values are the previous fixpoint, outer values the owners'
+    // replies: the store now matches what a local warm start holds, and
+    // that — not InitValue — is the monotonicity floor the incremental
+    // rounds descend from.
+    core_->SyncMonotonicityBaseline();
+    shape->token = token_;
+    shape->num_inner = mut_frag_->num_inner();
+    shape->num_local = mut_frag_->num_local();
+    shape->num_arcs = mut_frag_->num_edges();
+    std::shared_ptr<const Fragment> frozen = std::move(mut_frag_);
+    mut_frag_.reset();
+    resident_ = frozen;
+    // Loads that carried a token (resident attach or ship-and-stash)
+    // re-deposit under the SAME key: every other engine attached to this
+    // world sees the mutated graph on its next load, without a new epoch.
+    if (token_ != 0) {
+      ResidentFragmentStore::Global().Put(token_, rank_, std::move(frozen));
+    }
+    return Status::OK();
+  }
+
+  Status SeedTouched(const std::vector<VertexId>& gids) override {
+    if (!core_.has_value()) {
+      return Status::FailedPrecondition(
+          "warm IncEval start before a successful load");
+    }
+    const Fragment& frag = resident_ ? *resident_ : frag_;
+    std::vector<LocalId> lids;
+    lids.reserve(gids.size());
+    for (VertexId gid : gids) {
+      const LocalId lid = frag.Lid(gid);
+      if (lid != kInvalidLocal) lids.push_back(lid);
+    }
+    core_->SeedUpdated(lids);
+    return Status::OK();
   }
 
  private:
@@ -258,6 +435,14 @@ class WorkerServer final : public WorkerAppServerBase {
   /// Set instead of frag_ for resident loads; shared with the store so the
   /// core's fragment outlives later builds.
   std::shared_ptr<const Fragment> resident_;
+  /// In-flight mutation rebuild: mutable until FinishMutation freezes it
+  /// into resident_. The core already points at it (routing-plan patches
+  /// from ApplyMutMirror are visible in place).
+  std::shared_ptr<Fragment> mut_frag_;
+  /// Transport rank and resident-store token of the current load (token 0
+  /// for plain fragment ships) — FinishMutation re-deposits under them.
+  uint32_t rank_ = 0;
+  uint64_t token_ = 0;
   std::optional<WorkerCore<App>> core_;
   /// Frontier-parallel execution (kWkLoadComputeThreads): this endpoint's
   /// own lane pool, created on first demand and reused across reloads.
@@ -358,6 +543,23 @@ class RemoteWorkerHost {
   /// Deposits the fragment and acks once every peer answered.
   Status MaybeFinishBuild();
 
+  // Streaming mutation steps (kTagWkMutate .. kTagWkIncStart): rebuild in
+  // place, then the peer-to-peer mirror-placement + warm-value exchange.
+  Status HandleMutate(const std::vector<uint8_t>& payload);
+  Status HandleMutMirror(uint32_t from, std::vector<uint8_t> payload);
+  Status HandleMutVals(uint32_t from, std::vector<uint8_t> payload);
+  /// Applies one peer's rebuilt mirror placements and answers it with the
+  /// warm values for the outer copies it declared.
+  Status ApplyMutMirrorFrame(uint32_t from,
+                             const std::vector<uint8_t>& payload);
+  Status ApplyMutValsFrame(const std::vector<uint8_t>& payload);
+  /// Freezes the rebuilt fragment and acks the new shape once every
+  /// peer's placements were applied AND every owner's values absorbed.
+  Status MaybeFinishMutate();
+  /// kTagWkIncStart: seed M_i with the touched gids and run the warm
+  /// IncEval round 1 (no query frame — the store keeps its warm state).
+  Status HandleIncStart(const std::vector<uint8_t>& payload);
+
   uint32_t rank_;
   Emit emit_;
   BufferPool owned_pool_;
@@ -403,6 +605,21 @@ class RemoteWorkerHost {
     std::vector<std::pair<uint32_t, std::vector<uint8_t>>> early_mirrors;
   };
   std::optional<BuildSession> build_;
+
+  /// One in-flight streaming mutation. Peers' kTagWkMutMirror /
+  /// kTagWkMutVals frames travel on different channels than the
+  /// coordinator's kTagWkMutate (FIFO is per channel), so they can arrive
+  /// before our own rebuild — buffered here like BuildSession's
+  /// early_mirrors. The engine serializes mutations (one batch in flight
+  /// per world), so no token is needed to match frames to the session.
+  struct MutSession {
+    bool rebuilt = false;
+    uint32_t mirrors_seen = 0;
+    uint32_t vals_seen = 0;
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> early_mirrors;
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> early_vals;
+  };
+  std::optional<MutSession> mut_;
 };
 
 /// Encodes/decodes the kTagWkError payload.

@@ -109,7 +109,26 @@ enum WorkerProtocolTag : uint32_t {
   // like the full load it replaces. Control frame, invisible to
   // CommStats like every other tag here.
   kTagWkQuery = 0x119,  // 0 -> r: payload = encoded query only
-  kTagWkEnd_,           // exclusive upper bound
+
+  // Streaming mutations (the incremental serving path): the engine ships
+  // an edge-mutation batch into a live session; each worker rebuilds its
+  // fragment in place from its mutated incident edge view, re-runs the
+  // mirror-placement exchange peer-to-peer (same halves as the build
+  // protocol), and pulls warm parameter values for its new outer set from
+  // the owners — so a following kTagWkIncStart runs IncEval against
+  // exactly the state a local warm start would hold. All control frames,
+  // invisible to CommStats.
+  kTagWkMutate = 0x11a,     // 0 -> r: encoded MutationBatch
+  kTagWkMutMirror = 0x11b,  // r -> s: rebuilt mirror placements (one each)
+  kTagWkMutVals = 0x11c,    // s -> r: warm values for r's outer copies
+  kTagWkMutateAck = 0x11d,  // r -> 0: WkBuildAck (new shape under token)
+  // 0 -> r: warm-start IncEval round 1 seeded with the batch's touched
+  // vertices (payload: pod vector of gids). Re-answers the session's last
+  // query — it deliberately does NOT reset the parameter store the way
+  // kTagWkQuery does.
+  kTagWkIncStart = 0x11e,
+
+  kTagWkEnd_,  // exclusive upper bound
 };
 
 /// True for every frame of the worker protocol. Endpoint processes divert
@@ -136,6 +155,9 @@ inline constexpr uint8_t kWkPhaseIncEval = 3;
 /// Ack for kTagWkRestore: the worker rebuilt query + fragment + core state
 /// from a checkpoint image and re-buffered the image's pending frames.
 inline constexpr uint8_t kWkPhaseRestore = 4;
+/// Ack for kTagWkMutate (travels as a WkBuildAck, not a WorkerAck — the
+/// coordinator needs the rebuilt shape, not phase counters).
+inline constexpr uint8_t kWkPhaseMutate = 5;
 
 /// Flag bits inside kTagWkLoad.
 inline constexpr uint8_t kWkLoadCheckMonotonicity = 1u << 0;

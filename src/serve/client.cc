@@ -186,4 +186,15 @@ Result<uint64_t> ServeClient::Reload() {
   return epoch;
 }
 
+Result<uint64_t> ServeClient::Mutate(const MutationBatch& batch) {
+  Encoder enc;
+  batch.EncodeTo(enc);
+  auto resp = Request(kTagSvMutate, enc.buffer());
+  GRAPE_RETURN_NOT_OK(resp.status());
+  Decoder dec(*resp);
+  uint64_t version = 0;
+  GRAPE_RETURN_NOT_OK(dec.ReadU64(&version));
+  return version;
+}
+
 }  // namespace grape

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/mutation.h"
 #include "graph/types.h"
 #include "serve/protocol.h"
 #include "util/result.h"
@@ -45,6 +46,10 @@ class ServeClient {
   Result<std::vector<double>> PageRank();
   /// Asks the server to rerun its loader; returns the new graph epoch.
   Result<uint64_t> Reload();
+  /// Streams an edge-mutation batch into the resident graph; later
+  /// queries answer over G ⊕ M. Returns the new graph version,
+  /// (epoch << 32) | intra-epoch mutation sequence.
+  Result<uint64_t> Mutate(const MutationBatch& batch);
 
   /// One framed request → one response payload (kTagSvError decodes into
   /// the returned Status). The typed calls above are sugar over this.

@@ -47,6 +47,16 @@ inline constexpr uint32_t kTagSvPageRank = 0x305;
 /// Re-runs the server's loader, bumps the graph epoch, and invalidates
 /// every cache. Payload: empty. Response: u64 new epoch.
 inline constexpr uint32_t kTagSvReload = 0x306;
+/// Streams an edge-mutation batch into the resident graph (graph/mutation.h
+/// wire format: varint count, then per-op u8 kind + u32 src + u32 dst +
+/// double weight + u32 label). The fragments are rebuilt in place inside
+/// the worker endpoints and standing answers are refreshed by bounded
+/// incremental evaluation where the monotonicity contract allows (inserts
+/// under a min-style order), by full recompute otherwise — never left
+/// stale. Response: u64 graph version, (epoch << 32) | seq, where seq
+/// counts mutations within the epoch (a reload starts a new epoch and
+/// resets seq).
+inline constexpr uint32_t kTagSvMutate = 0x307;
 
 /// Success response; payload is the per-request answer documented above.
 inline constexpr uint32_t kTagSvOk = 0x381;
@@ -56,7 +66,7 @@ inline constexpr uint32_t kTagSvOk = 0x381;
 inline constexpr uint32_t kTagSvError = 0x382;
 
 inline bool IsServeRequestTag(uint32_t tag) {
-  return tag >= kTagSvPing && tag <= kTagSvReload;
+  return tag >= kTagSvPing && tag <= kTagSvMutate;
 }
 
 /// Default per-frame payload bound for client connections: generous for

@@ -166,6 +166,7 @@ struct ServeServer::Impl {
     pr_.reset();
     cc_cache_.reset();
     pr_cache_.reset();
+    mut_seq_ = 0;  // versions are (epoch << 32) | seq; a new epoch restarts seq
     const uint64_t old_token = token_;
 
     EngineOptions base;
@@ -320,6 +321,13 @@ struct ServeServer::Impl {
           fatal = true;
           break;
         }
+        if ((msg->tag == kTagSvReload || msg->tag == kTagSvMutate) &&
+            wave_active_.load()) {
+          // The transition is not lost — it waits in FIFO order behind
+          // the wave — but the deferral is observable (epoch transitions
+          // serialize against in-flight waves, never under them).
+          deferred_transitions_.fetch_add(1);
+        }
         {
           std::lock_guard<std::mutex> lk(qu_mu_);
           queue_.push_back(PendingRequest{conn, msg->from, msg->tag,
@@ -428,7 +436,12 @@ struct ServeServer::Impl {
         ExecuteReload(batch);
         return;
       }
+      case kTagSvMutate: {
+        ExecuteMutate(batch);
+        return;
+      }
       case kTagSvSssp: {
+        WaveGuard g(this);
         ExecuteWave<MsSsspApp>(batch, sssp_.get(), kSssp,
                                [](MsSsspOutput&& out) {
                                  return std::move(out.dist);
@@ -436,17 +449,20 @@ struct ServeServer::Impl {
         return;
       }
       case kTagSvBfs: {
+        WaveGuard g(this);
         ExecuteWave<MsBfsApp>(batch, bfs_.get(), kBfs, [](MsBfsOutput&& out) {
           return std::move(out.depth);
         });
         return;
       }
       case kTagSvCcLabel: {
+        WaveGuard g(this);
         ExecuteCached<CcApp>(batch, cc_.get(), kCc, CcQuery{}, &cc_cache_,
                              [](CcOutput&& out) { return std::move(out.label); });
         return;
       }
       case kTagSvPageRank: {
+        WaveGuard g(this);
         ExecuteCached<PageRankApp>(
             batch, pr_.get(), kPageRank, PageRankQuery{}, &pr_cache_,
             [](PageRankOutput&& out) { return std::move(out.rank); });
@@ -469,6 +485,134 @@ struct ServeServer::Impl {
     Encoder enc;
     enc.WriteU64(epoch_.load());
     for (const PendingRequest& req : batch) SendOk(req, enc.buffer());
+  }
+
+  /// Epoch transitions (reload, mutation) only ever run here, on the
+  /// dispatcher thread, BETWEEN waves: a transition frame that arrives
+  /// while a wave executes waits in the admission queue (counted as
+  /// deferred), so fragments are never swapped and the epoch never bumps
+  /// under a running engine session. WaveGuard makes the invariant
+  /// observable to the reader threads.
+  struct WaveGuard {
+    explicit WaveGuard(Impl* impl) : impl_(impl) {
+      impl_->wave_active_.store(true);
+    }
+    ~WaveGuard() { impl_->wave_active_.store(false); }
+    Impl* impl_;
+  };
+
+  void ExecuteMutate(std::vector<PendingRequest>& batch) {
+    // Mutations are never fused: each batch is one version step and the
+    // order of consecutive batches is part of the contract (the
+    // dispatcher admits them one at a time).
+    for (PendingRequest& req : batch) {
+      MutationBatch m;
+      Decoder dec(req.payload);
+      Status s = MutationBatch::DecodeFrom(dec, &m);
+      if (s.ok() && !dec.AtEnd()) {
+        s = Status::Corruption("trailing bytes after mutation batch");
+      }
+      if (s.ok()) {
+        Result<uint64_t> version = ApplyOneMutation(m);
+        if (version.ok()) {
+          mutations_.fetch_add(1);
+          Encoder enc;
+          enc.WriteU64(*version);
+          SendOk(req, enc.TakeBuffer());
+          continue;
+        }
+        s = version.status();
+      }
+      queries_.fetch_add(1);
+      SendError(*req.conn, req.request_id, s);
+    }
+  }
+
+  /// One mutation batch, end to end: rank 0's copy first (coordinator
+  /// mode), then the resident fragments inside the endpoints through the
+  /// active class's live session, then routing-slot refresh of every
+  /// engine and standing-answer maintenance. Returns the new version,
+  /// (epoch << 32) | intra-epoch sequence.
+  Result<uint64_t> ApplyOneMutation(const MutationBatch& m) {
+    if (!sssp_) {
+      return Status::FailedPrecondition(
+          "no loaded graph (did the last reload fail?)");
+    }
+    GRAPE_RETURN_NOT_OK(m.Validate(meta_.total_vertices));
+
+    // Coordinator mode keeps rank 0's FragmentedGraph in lockstep: a
+    // later cold load re-ships fg_ under the epoch token, and shipping
+    // the pre-mutation graph would silently roll the endpoints back.
+    if (options_.load_coordinator) {
+      GRAPE_RETURN_NOT_OK(FragmentBuilder::MutateFragmentedGraph(&fg_, m));
+    }
+
+    // The mutation frames ride the one live session (the active
+    // class's). When CC itself carries the batch its standing answer can
+    // additionally be refreshed by a bounded delta below.
+    bool cc_carried = false;
+    Result<std::vector<WkBuildAck>> shapes =
+        Status::FailedPrecondition("no live session");
+    switch (active_) {
+      case kSssp:
+        shapes = sssp_->ApplyMutations(m);
+        break;
+      case kBfs:
+        shapes = bfs_->ApplyMutations(m);
+        break;
+      case kCc:
+        cc_carried = true;
+        shapes = cc_->ApplyMutations(m);
+        break;
+      case kPageRank:
+        shapes = pr_->ApplyMutations(m);
+        break;
+      case kNone:
+        break;
+    }
+    if (!shapes.ok() &&
+        shapes.status().code() == StatusCode::kFailedPrecondition) {
+      // No live session (fresh kNone, or the last wave failed and tore
+      // its session down): prime a zero-lane SSSP wave to make one.
+      SwitchClass(kNone);
+      SwitchClass(kSssp);
+      GRAPE_RETURN_NOT_OK(sssp_->SessionRun(MsSsspQuery{}).status());
+      cc_carried = false;
+      shapes = sssp_->ApplyMutations(m);
+    }
+    GRAPE_RETURN_NOT_OK(shapes.status());
+
+    // Every fragment was rebuilt: new shapes for the metadata and for
+    // every engine's routing slots. The applier refreshed its own inside
+    // ApplyMutations; the call is idempotent, so refresh all four.
+    for (FragmentId i = 0; i < meta_.num_fragments; ++i) {
+      const WkBuildAck& a = (*shapes)[i];
+      meta_.shapes[i] = FragmentShape{a.num_inner, a.num_local, a.num_arcs};
+    }
+    sssp_->RefreshShapes(*shapes);
+    if (bfs_) bfs_->RefreshShapes(*shapes);
+    if (cc_) cc_->RefreshShapes(*shapes);
+    if (pr_) pr_->RefreshShapes(*shapes);
+
+    // Standing answers: PageRank is non-monotonic, so its cache can only
+    // be invalidated. CC refreshes through the bounded delta when its own
+    // warm session carried the batch and the batch is insertion-only; any
+    // other combination invalidates precisely and the next read
+    // recomputes.
+    pr_cache_.reset();
+    if (cc_carried && cc_cache_.has_value() && !m.has_deletions()) {
+      auto out = cc_->RunIncremental(CcQuery{}, m);
+      if (out.ok()) {
+        waves_.fetch_add(1);
+        delta_refreshes_.fetch_add(1);
+        cc_cache_.emplace(std::move(out->label));
+      } else {
+        cc_cache_.reset();
+      }
+    } else {
+      cc_cache_.reset();
+    }
+    return (epoch_.load() << 32) | static_cast<uint64_t>(++mut_seq_);
   }
 
   /// Fused multi-source wave: one lane per admitted request, answers split
@@ -578,6 +722,13 @@ struct ServeServer::Impl {
   std::condition_variable qu_cv_;
   std::deque<PendingRequest> queue_;
 
+  // Mutation versioning (dispatcher-owned): intra-epoch sequence of
+  // applied batches.
+  uint32_t mut_seq_ = 0;
+  // True while the dispatcher is inside a superstep wave; reader threads
+  // consult it to count deferred epoch transitions.
+  std::atomic<bool> wave_active_{false};
+
   // Stats.
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> waves_{0};
@@ -586,6 +737,9 @@ struct ServeServer::Impl {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> rejected_frames_{0};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> deferred_transitions_{0};
+  std::atomic<uint64_t> delta_refreshes_{0};
 };
 
 ServeServer::ServeServer(ServeOptions options)
@@ -608,6 +762,9 @@ ServeStats ServeServer::stats() const {
   s.errors = impl_->errors_.load();
   s.rejected_frames = impl_->rejected_frames_.load();
   s.reloads = impl_->reloads_.load();
+  s.mutations = impl_->mutations_.load();
+  s.deferred_transitions = impl_->deferred_transitions_.load();
+  s.delta_refreshes = impl_->delta_refreshes_.load();
   return s;
 }
 

@@ -62,6 +62,15 @@ struct ServeStats {
   uint64_t errors = 0;           // error responses sent
   uint64_t rejected_frames = 0;  // malformed/oversized client frames
   uint64_t reloads = 0;          // successful reloads (epoch bumps)
+  uint64_t mutations = 0;        // successful mutation batches applied
+  /// Epoch transitions (reload/mutate) that arrived while a superstep
+  /// wave was executing and were therefore held in the admission queue
+  /// until the wave finished: the dispatcher never swaps fragments or
+  /// bumps the epoch under a running engine session.
+  uint64_t deferred_transitions = 0;
+  /// CC answers refreshed by a bounded incremental delta after a
+  /// mutation (instead of cache invalidation + full recompute).
+  uint64_t delta_refreshes = 0;
 };
 
 /// The grape_serve daemon core: loads a graph once, keeps the fragments

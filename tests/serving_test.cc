@@ -13,12 +13,14 @@
 #include <thread>
 #include <vector>
 
+#include "apps/cc.h"
 #include "apps/ms_sssp.h"
 #include "apps/register_apps.h"
 #include "apps/sssp.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "graph/mutation.h"
 #include "gtest/gtest.h"
 #include "rt/tcp_transport.h"
 #include "rt/transport.h"
@@ -244,6 +246,117 @@ TEST(ServingTest, ReloadInvalidatesCachesAndBumpsEpoch) {
   // Point queries see the new epoch too (vertex 6 now unreachable from 0).
   ASSERT_OK_AND_ASSIGN(auto dist, client.Sssp(0));
   EXPECT_EQ(dist[6], kInfDistance);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming updates through the serve protocol: a mutation batch lands in
+// the resident graph (no reload, no epoch bump), later answers are
+// bit-identical to a from-scratch recompute of G ⊕ M, an insert-only batch
+// carried by the live CC session refreshes the CC cache by bounded delta,
+// and a deletion batch invalidates caches instead of serving stale bits.
+
+TEST(ServingTest, MutateStreamsIntoResidentGraph) {
+  RegisterBuiltinWorkerApps();
+  Graph graph = ServingGraph();
+  auto world = MakeTransport("inproc", 4);
+  ASSERT_TRUE(world.ok()) << world.status();
+
+  ServeOptions opts;
+  opts.transport = world->get();
+  opts.num_fragments = 3;
+  opts.batch_window_ms = 0;
+  opts.load_coordinator = [&graph]() -> Result<FragmentedGraph> {
+    auto partitioner = MakePartitioner("hash");
+    GRAPE_RETURN_NOT_OK(partitioner.status());
+    GRAPE_ASSIGN_OR_RETURN(auto assignment, (*partitioner)->Partition(graph, 3));
+    return FragmentBuilder::Build(graph, assignment, 3);
+  };
+  ServeServer server(opts);
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(ServeClient client, ServeClient::Connect(server.port()));
+
+  // Prime the CC cache so the first mutation rides the live CC session.
+  ASSERT_OK_AND_ASSIGN(auto cc0, client.ComponentLabels());
+
+  // Insert-only batch: a shortcut edge in both directions.
+  MutationBatch m1;
+  m1.InsertEdge(3, 140, 0.25);
+  m1.InsertEdge(140, 3, 0.25);
+  ASSERT_OK_AND_ASSIGN(uint64_t v1, client.Mutate(m1));
+  EXPECT_EQ(v1, (1ull << 32) | 1u) << "epoch 1, first intra-epoch mutation";
+  EXPECT_EQ(server.epoch(), 1u) << "a mutation is not an epoch transition";
+  {
+    const ServeStats stats = server.stats();
+    EXPECT_EQ(stats.mutations, 1u);
+    EXPECT_EQ(stats.reloads, 0u);
+    EXPECT_EQ(stats.delta_refreshes, 1u)
+        << "insert-only batch on the live CC session did not delta-refresh";
+  }
+
+  ASSERT_OK_AND_ASSIGN(Graph g1, ApplyMutations(graph, m1));
+
+  // The delta-refreshed CC cache serves the mutated graph's labels as a
+  // pure cache hit.
+  const uint64_t hits_before = server.stats().cache_hits;
+  ASSERT_OK_AND_ASSIGN(auto cc1, client.ComponentLabels());
+  EXPECT_GT(server.stats().cache_hits, hits_before)
+      << "post-mutation CC read recomputed instead of hitting the "
+         "delta-refreshed cache";
+  {
+    FragmentedGraph ref_fg = MakeFragments(g1, "hash", 3);
+    GrapeEngine<CcApp> ref(ref_fg, CcApp{});
+    auto full = ref.Run(CcQuery{});
+    ASSERT_TRUE(full.ok()) << full.status();
+    EXPECT_TRUE(BitEq(cc1, full->label));
+  }
+
+  // Point queries answer over G ⊕ M: the shortcut pulls 140 close to 0.
+  ASSERT_OK_AND_ASSIGN(auto dist1, client.Sssp(0));
+  {
+    FragmentedGraph ref_fg = MakeFragments(g1, "hash", 3);
+    GrapeEngine<SsspApp> ref(ref_fg, SsspApp{});
+    auto full = ref.Run(SsspQuery{0});
+    ASSERT_TRUE(full.ok()) << full.status();
+    EXPECT_TRUE(BitEq(dist1, full->dist));
+  }
+
+  // Deletion batch: takes the shortcut back out. Caches must not serve
+  // the stale (too-short) world.
+  MutationBatch m2;
+  m2.DeleteEdge(3, 140);
+  m2.DeleteEdge(140, 3);
+  ASSERT_OK_AND_ASSIGN(uint64_t v2, client.Mutate(m2));
+  EXPECT_EQ(v2, (1ull << 32) | 2u);
+  ASSERT_OK_AND_ASSIGN(Graph g2, ApplyMutations(g1, m2));
+
+  ASSERT_OK_AND_ASSIGN(auto cc2, client.ComponentLabels());
+  ASSERT_OK_AND_ASSIGN(auto dist2, client.Sssp(0));
+  {
+    FragmentedGraph ref_fg = MakeFragments(g2, "hash", 3);
+    GrapeEngine<CcApp> ref_cc(ref_fg, CcApp{});
+    auto full_cc = ref_cc.Run(CcQuery{});
+    ASSERT_TRUE(full_cc.ok()) << full_cc.status();
+    EXPECT_TRUE(BitEq(cc2, full_cc->label));
+    GrapeEngine<SsspApp> ref_sssp(ref_fg, SsspApp{});
+    auto full_sssp = ref_sssp.Run(SsspQuery{0});
+    ASSERT_TRUE(full_sssp.ok()) << full_sssp.status();
+    EXPECT_TRUE(BitEq(dist2, full_sssp->dist));
+  }
+  EXPECT_NE(dist1[140], dist2[140])
+      << "deleting the shortcut did not change the distance it created";
+
+  // A malformed mutation payload is a request error, not a server death.
+  {
+    Encoder enc;
+    m1.EncodeTo(enc);
+    std::vector<uint8_t> bytes = enc.buffer();
+    bytes.push_back(0xEE);  // trailing garbage
+    auto bad = client.Request(kTagSvMutate, bytes);
+    EXPECT_FALSE(bad.ok());
+    ASSERT_OK(client.Ping());
+  }
+  EXPECT_EQ(server.stats().mutations, 2u);
   server.Shutdown();
 }
 
